@@ -1,0 +1,123 @@
+// Experiment F3 — cooked-summary accuracy vs space.
+//
+// Claim (paper §3): rot is survivable if data is distilled "into useful
+// knowledge, summary" first. This quantifies what each cooked form
+// costs in memory and what accuracy it buys, on a 200k-event
+// clickstream whose exact statistics we track alongside.
+//
+// Series: Count-Min width sweep (heavy-hitter frequency error),
+// HyperLogLog precision sweep (distinct-user error), histogram bucket
+// sweep (dwell-time median error), and a P2 sketch for reference.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "summary/count_min_sketch.h"
+#include "summary/histogram_sketch.h"
+#include "summary/hyperloglog.h"
+#include "summary/p2_quantile.h"
+#include "workload/clickstream_workload.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr int kEvents = 200000;
+
+void Run() {
+  bench::Banner("F3", "summary accuracy vs space (cooking quality)");
+
+  // Generate the stream once; keep exact ground truth.
+  ClickstreamWorkload workload(ClickstreamWorkload::Params{});
+  std::vector<std::vector<Value>> events;
+  events.reserve(kEvents);
+  std::map<std::string, uint64_t> url_counts;
+  std::set<int64_t> distinct_users;
+  std::vector<double> dwells;
+  for (int i = 0; i < kEvents; ++i) {
+    std::vector<Value> e = *workload.Next();
+    ++url_counts[e[2].AsString()];
+    distinct_users.insert(e[0].AsInt64());
+    dwells.push_back(static_cast<double>(e[3].AsInt64()));
+    events.push_back(std::move(e));
+  }
+  std::sort(dwells.begin(), dwells.end());
+  const double exact_median = dwells[dwells.size() / 2];
+  std::string top_url;
+  uint64_t top_count = 0;
+  for (const auto& [url, count] : url_counts) {
+    if (count > top_count) {
+      top_count = count;
+      top_url = url;
+    }
+  }
+
+  bench::TablePrinter printer(
+      {"sketch", "params", "memory", "metric", "exact", "estimate",
+       "rel_err"},
+      13);
+  printer.PrintHeader();
+
+  // Count-Min width sweep: top-URL frequency.
+  for (size_t width : {64, 256, 1024, 4096}) {
+    CountMinSketch sketch(width, 4);
+    for (const auto& e : events) sketch.Observe(e[2]);
+    const double est =
+        static_cast<double>(sketch.EstimateCount(Value::String(top_url)));
+    printer.PrintRow(
+        {"count_min", "w=" + std::to_string(width),
+         FormatBytes(sketch.MemoryUsage()), "top_url_freq",
+         bench::Fmt(top_count), bench::Fmt(est, 0),
+         bench::Fmt(std::abs(est - static_cast<double>(top_count)) /
+                        static_cast<double>(top_count),
+                    4)});
+  }
+
+  // HyperLogLog precision sweep: distinct users.
+  for (int precision : {8, 10, 12, 14}) {
+    HyperLogLog hll(precision);
+    for (const auto& e : events) hll.Observe(e[0]);
+    const double est = hll.EstimateDistinct();
+    const double exact = static_cast<double>(distinct_users.size());
+    printer.PrintRow({"hyperloglog", "p=" + std::to_string(precision),
+                      FormatBytes(hll.MemoryUsage()), "distinct_users",
+                      bench::Fmt(exact, 0), bench::Fmt(est, 0),
+                      bench::Fmt(std::abs(est - exact) / exact, 4)});
+  }
+
+  // Histogram bucket sweep: dwell-time median.
+  const double dwell_hi = dwells.back() + 1.0;
+  for (size_t buckets : {16, 64, 256, 1024}) {
+    HistogramSketch hist(0.0, dwell_hi, buckets);
+    for (const auto& e : events) hist.Observe(e[3]);
+    const double est = hist.EstimateQuantile(0.5).value();
+    printer.PrintRow(
+        {"histogram", "b=" + std::to_string(buckets),
+         FormatBytes(hist.MemoryUsage()), "dwell_p50",
+         bench::Fmt(exact_median, 0), bench::Fmt(est, 0),
+         bench::Fmt(std::abs(est - exact_median) / exact_median, 4)});
+  }
+
+  // P2: constant space, single quantile.
+  {
+    P2Quantile p2(0.5);
+    for (const auto& e : events) p2.Observe(e[3]);
+    const double est = p2.Estimate().value();
+    printer.PrintRow(
+        {"p2_quantile", "q=0.5", FormatBytes(p2.MemoryUsage()),
+         "dwell_p50", bench::Fmt(exact_median, 0), bench::Fmt(est, 0),
+         bench::Fmt(std::abs(est - exact_median) / exact_median, 4)});
+  }
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::Run();
+  return 0;
+}

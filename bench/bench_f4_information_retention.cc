@@ -1,0 +1,177 @@
+// Experiment F4 — information retained per fungus at equal storage.
+//
+// Claim (paper §2): fungi differ in "rate of decay, what to decay, how
+// to decay" — at the same storage budget different fungi preserve
+// different slices of the queryable information. We hold each variant
+// near the same live-row budget (~25% of the stream) and measure the
+// recall of four query classes against a never-decayed ghost table.
+//
+// recall(class) = rows returned by the decayed table
+//               / rows returned by the ghost table, averaged per query.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "fungus/egi_fungus.h"
+#include "fungus/exponential_fungus.h"
+#include "fungus/importance_fungus.h"
+#include "fungus/retention_fungus.h"
+#include "fungus/sliding_window_fungus.h"
+#include "workload/iot_workload.h"
+#include "workload/query_workload.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr int kDays = 16;
+constexpr uint64_t kTuplesPerDay = 5000;
+constexpr int kQueriesPerClassTarget = 300;
+
+struct Variant {
+  std::string label;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<IotWorkload> workload;
+};
+
+uint64_t RowsOf(const ResultSet& rs) {
+  // Aggregate queries report their input size via rows_matched.
+  return rs.stats.rows_matched;
+}
+
+void Run() {
+  bench::Banner("F4", "information retention per fungus, equal budget");
+
+  // Budget: ~4 days of data = 20k rows out of 80k appended.
+  std::vector<Variant> variants;
+  auto add_variant = [&](const std::string& label,
+                         std::unique_ptr<Fungus> fungus,
+                         bool track_access = false) {
+    Variant v;
+    v.label = label;
+    v.db = std::make_unique<Database>();
+    v.workload = std::make_unique<IotWorkload>(IotWorkload::Params{});
+    TableOptions topts;
+    topts.rows_per_segment = 1024;
+    topts.track_access = track_access;
+    v.db->CreateTable("readings", v.workload->schema(), topts).value();
+    if (fungus != nullptr) {
+      v.db->AttachFungus("readings", std::move(fungus), 2 * kHour).value();
+    }
+    variants.push_back(std::move(v));
+  };
+
+  add_variant("ghost", nullptr);  // full retention: the recall reference
+  add_variant("retention", std::make_unique<RetentionFungus>(4 * kDay));
+  add_variant("window",
+              std::make_unique<SlidingWindowFungus>(4 * kTuplesPerDay));
+  add_variant("exponential",
+              [] {
+                // Half-life tuned so the steady state also holds ~4 days.
+                ExponentialFungus::Params p =
+                    ExponentialFungus::FromHalfLife(2 * kDay);
+                p.kill_threshold = 0.25;
+                return std::make_unique<ExponentialFungus>(p);
+              }());
+  add_variant("egi", [] {
+    EgiFungus::Params p;
+    p.seeds_per_tick = 4.0;
+    p.decay_step = 0.25;
+    p.age_bias = 3.0;
+    return std::make_unique<EgiFungus>(p);
+  }());
+  add_variant("importance",
+              [] {
+                // Tuned so the accessed working set survives a few days
+                // and untouched tuples rot within one, landing near the
+                // same live-row budget as the other variants.
+                ImportanceFungus::Params p;
+                p.decay_step = 0.05;
+                p.access_weight = 2.0;
+                return std::make_unique<ImportanceFungus>(p);
+              }(),
+              /*track_access=*/true);
+
+  // Drive all variants through the same 16 days. The read workload is
+  // concentrated: dashboards keep asking about the hot sensors 0-9
+  // (point lookups), which is exactly the signal the importance fungus
+  // feeds on.
+  QueryWorkload::Params qp;
+  qp.num_sensors = 10;       // hot set
+  qp.point_fraction = 1.0;   // all protective reads are point lookups
+  for (int day = 1; day <= kDays; ++day) {
+    for (Variant& v : variants) {
+      v.db->Ingest("readings", *v.workload, kTuplesPerDay).value();
+      QueryWorkload readers(qp);  // same 10 queries for every variant
+      for (int q = 0; q < 10; ++q) {
+        auto gen = readers.Next(v.db->Now());
+        (void)v.db->Execute(gen.query);
+      }
+      v.db->AdvanceTime(kDay).value();
+    }
+  }
+
+  std::printf("live rows at evaluation time (budget comparability):\n");
+  for (Variant& v : variants) {
+    std::printf("  %-12s %llu\n", v.label.c_str(),
+                static_cast<unsigned long long>(
+                    v.db->GetTable("readings").value()->live_rows()));
+  }
+
+  // Recall evaluation: identical query sequence on every variant. Two
+  // passes: a disjoint query mix (unseen questions) and a mix drawn
+  // with the protective readers' seed (questions like the ones the
+  // workload kept asking) — the axis where access-aware decay pays off.
+  auto evaluate = [&](uint64_t eval_seed, uint64_t eval_sensors,
+                      const char* title) {
+    bench::TablePrinter printer(
+        {"fungus", "point", "value_range", "recent", "historical"}, 14);
+    std::printf("\nrecall vs ghost — %s (1.00 = fully answerable)\n",
+                title);
+    printer.PrintHeader();
+    for (size_t vi = 1; vi < variants.size(); ++vi) {
+      QueryWorkload::Params eval_params;
+      eval_params.num_sensors = eval_sensors;
+      eval_params.history_depth = 12 * kDay;
+      eval_params.recent_window = 2 * kDay;  // newest ingest ~1 day old
+      eval_params.seed = eval_seed;
+      QueryWorkload eval_ghost(eval_params);
+      QueryWorkload eval_variant(eval_params);  // identical stream
+
+      double recall_sum[4] = {0, 0, 0, 0};
+      int counts[4] = {0, 0, 0, 0};
+      int issued = 0;
+      while (issued < 4 * kQueriesPerClassTarget) {
+        auto ghost_q = eval_ghost.Next(variants[0].db->Now());
+        auto var_q = eval_variant.Next(variants[vi].db->Now());
+        ++issued;
+        ResultSet ghost_rs =
+            variants[0].db->Execute(ghost_q.query).value();
+        const uint64_t truth = RowsOf(ghost_rs);
+        if (truth == 0) continue;  // nothing to recall
+        ResultSet var_rs = variants[vi].db->Execute(var_q.query).value();
+        const int cls = static_cast<int>(ghost_q.query_class);
+        recall_sum[cls] += static_cast<double>(RowsOf(var_rs)) /
+                           static_cast<double>(truth);
+        ++counts[cls];
+      }
+      std::vector<std::string> row{variants[vi].label};
+      for (int cls = 0; cls < 4; ++cls) {
+        row.push_back(counts[cls] == 0
+                          ? "n/a"
+                          : bench::Fmt(recall_sum[cls] / counts[cls], 3));
+      }
+      printer.PrintRow(row);
+    }
+  };
+  evaluate(0xEC0, 100, "uniform query mix over all sensors");
+  evaluate(0xEC1, 10, "hot-set mix (the sensors the workload reads)");
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment T2 — query latency vs table age: decayed vs ever-growing.
+//
+// Claim (paper §3): regularly turning rotting portions into summaries
+// keeps the database "in optimal health" — query cost stays bounded,
+// while the no-decay fridge degrades linearly with accumulated data.
+//
+// Setup: ingest 20k IoT tuples/day. Every 5 virtual days replay a fixed
+// query set (full-scan aggregate, point lookup, value range) 20 times on
+// each variant and report mean wall-clock latency and rows scanned.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "fungus/egi_fungus.h"
+#include "fungus/retention_fungus.h"
+#include "workload/iot_workload.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr int kDays = 20;
+constexpr uint64_t kTuplesPerDay = 20000;
+constexpr int kRepetitions = 20;
+
+struct Variant {
+  std::string label;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<IotWorkload> workload;
+};
+
+const char* kQueries[] = {
+    "SELECT count(*) AS n, avg(temp) AS t FROM readings",
+    "SELECT * FROM readings WHERE sensor_id = 7",
+    "SELECT count(*) AS n FROM readings WHERE temp BETWEEN 20 AND 22",
+};
+const char* kQueryLabels[] = {"scan_agg", "point", "range"};
+
+void Run() {
+  bench::Banner("T2", "query latency vs table age");
+
+  std::vector<Variant> variants;
+  auto add_variant = [&](const std::string& label,
+                         std::unique_ptr<Fungus> fungus) {
+    Variant v;
+    v.label = label;
+    v.db = std::make_unique<Database>();
+    v.workload = std::make_unique<IotWorkload>(IotWorkload::Params{});
+    TableOptions topts;
+    topts.rows_per_segment = 4096;
+    v.db->CreateTable("readings", v.workload->schema(), topts).value();
+    if (fungus != nullptr) {
+      v.db->AttachFungus("readings", std::move(fungus), 2 * kHour).value();
+    }
+    variants.push_back(std::move(v));
+  };
+  add_variant("none", nullptr);
+  add_variant("retention", std::make_unique<RetentionFungus>(4 * kDay));
+  add_variant("egi", [] {
+    EgiFungus::Params p;
+    p.seeds_per_tick = 16.0;
+    p.decay_step = 0.34;
+    return std::make_unique<EgiFungus>(p);
+  }());
+
+  bench::TablePrinter printer({"day", "fungus", "query", "live_rows",
+                               "mean_us", "rows_scanned"},
+                              13);
+  printer.PrintHeader();
+  for (int day = 1; day <= kDays; ++day) {
+    for (Variant& v : variants) {
+      v.db->Ingest("readings", *v.workload, kTuplesPerDay).value();
+      v.db->AdvanceTime(kDay).value();
+      if (day % 5 != 0) continue;
+      Table* t = v.db->GetTable("readings").value();
+      for (size_t q = 0; q < std::size(kQueries); ++q) {
+        // Warm-up run, then timed repetitions.
+        v.db->ExecuteSql(kQueries[q]).value();
+        uint64_t scanned = 0;
+        bench::Stopwatch watch;
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+          ResultSet rs = v.db->ExecuteSql(kQueries[q]).value();
+          scanned = rs.stats.rows_scanned;
+        }
+        const double mean_us = watch.ElapsedMicros() / kRepetitions;
+        printer.PrintRow({std::to_string(day), v.label, kQueryLabels[q],
+                          bench::Fmt(t->live_rows()),
+                          bench::Fmt(mean_us, 1), bench::Fmt(scanned)});
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::Run();
+  return 0;
+}

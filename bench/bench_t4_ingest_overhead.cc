@@ -1,0 +1,87 @@
+// Experiment T4 — cost of running the decay clock.
+//
+// Claim (paper §2): decay runs on "a periodic clock of T seconds" in the
+// background of a live system, so it must be cheap relative to
+// ingestion. We measure ingest throughput (wall-clock) with the clock
+// off and at several virtual periods, plus the segment-size ablation
+// from DESIGN.md §4 (reclamation granularity).
+//
+// Pacing: records arrive 1 virtual second apart; smaller decay periods
+// mean more fungus ticks per ingested batch.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "fungus/retention_fungus.h"
+#include "workload/iot_workload.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr uint64_t kRecords = 100000;
+constexpr Duration kInterArrival = kSecond;
+constexpr Duration kRetention = 5000 * kSecond;  // ~5% of the stream live
+
+double MeasureIngest(Duration decay_period, size_t rows_per_segment,
+                     uint64_t* ticks_out) {
+  Database db;
+  IotWorkload workload(IotWorkload::Params{});
+  TableOptions topts;
+  topts.rows_per_segment = rows_per_segment;
+  db.CreateTable("readings", workload.schema(), topts).value();
+  if (decay_period > 0) {
+    db.AttachFungus("readings",
+                    std::make_unique<RetentionFungus>(kRetention),
+                    decay_period)
+        .value();
+  }
+  bench::Stopwatch watch;
+  db.IngestPaced("readings", workload, kRecords, kInterArrival).value();
+  const double us = watch.ElapsedMicros();
+  *ticks_out = static_cast<uint64_t>(db.metrics().GetCounter("decay.ticks"));
+  return static_cast<double>(kRecords) / (us / 1e6);
+}
+
+void Run() {
+  bench::Banner("T4", "ingest throughput under the decay clock");
+
+  bench::TablePrinter printer({"decay_period", "segment_rows", "ticks",
+                               "tuples_per_sec", "slowdown"},
+                              15);
+  printer.PrintHeader();
+
+  uint64_t ticks = 0;
+  const double base = MeasureIngest(0, 4096, &ticks);
+  printer.PrintRow({"off", "4096", "0", bench::Fmt(base, 0), "1.00x"});
+
+  struct Case {
+    const char* label;
+    Duration period;
+  };
+  const Case cases[] = {{"2000s", 2000 * kSecond},
+                        {"200s", 200 * kSecond},
+                        {"20s", 20 * kSecond}};
+  for (const Case& c : cases) {
+    const double rate = MeasureIngest(c.period, 4096, &ticks);
+    printer.PrintRow({c.label, "4096", bench::Fmt(ticks),
+                      bench::Fmt(rate, 0),
+                      bench::Fmt(base / rate, 2) + "x"});
+  }
+
+  std::printf("\nsegment-size ablation (decay period 200s)\n");
+  for (size_t rows : {512, 4096, 32768}) {
+    const double rate = MeasureIngest(200 * kSecond, rows, &ticks);
+    printer.PrintRow({"200s", std::to_string(rows), bench::Fmt(ticks),
+                      bench::Fmt(rate, 0),
+                      bench::Fmt(base / rate, 2) + "x"});
+  }
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::Run();
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Experiment T5 — cook-before-rot ablation.
+//
+// Claim (paper §3/§4): the database stays healthy "if you regularly can
+// turn rotting portions into summaries for later consumption". With the
+// Kitchen on, historical questions remain answerable from the cellar
+// after the raw tuples have rotted; with it off, the answers collapse
+// to whatever is still live.
+//
+// Setup: IoT stream, 2-day retention, 12 virtual days. Historical
+// questions (whole-history, i.e. mostly-rotted data):
+//   q1: total readings per sensor      (GroupedAggregate)
+//   q2: mean temperature per sensor    (GroupedAggregate)
+//   q3: global temperature p50         (histogram)
+// Exact values are tracked alongside in plain maps.
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "fungus/retention_fungus.h"
+#include "summary/grouped_aggregate.h"
+#include "summary/histogram_sketch.h"
+#include "workload/iot_workload.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr int kDays = 12;
+constexpr uint64_t kTuplesPerDay = 5000;
+
+struct Truth {
+  std::map<int64_t, uint64_t> count_per_sensor;
+  std::map<int64_t, double> temp_sum_per_sensor;
+  std::vector<double> temps;
+};
+
+struct Run {
+  std::unique_ptr<Database> db;
+  Truth truth;
+};
+
+Run BuildRun(bool kitchen_on) {
+  Run run;
+  run.db = std::make_unique<Database>();
+  IotWorkload workload(IotWorkload::Params{});
+  run.db->CreateTable("readings", workload.schema()).value();
+  run.db
+      ->AttachFungus("readings",
+                     std::make_unique<RetentionFungus>(2 * kDay), 2 * kHour)
+      .value();
+  if (kitchen_on) {
+    CookSpec per_sensor;
+    per_sensor.table_name = "readings";
+    per_sensor.trigger = CookTrigger::kOnRot;
+    per_sensor.cellar_name = "per_sensor_temp";
+    per_sensor.column = "temp";
+    per_sensor.group_by = "sensor_id";
+    (void)run.db->AddCookSpec(per_sensor);
+    CookSpec hist;
+    hist.table_name = "readings";
+    hist.trigger = CookTrigger::kOnRot;
+    hist.cellar_name = "temp_hist";
+    hist.column = "temp";
+    hist.factory = [] {
+      return std::make_unique<HistogramSketch>(-50.0, 150.0, 256);
+    };
+    (void)run.db->AddCookSpec(hist);
+  }
+
+  for (int day = 1; day <= kDays; ++day) {
+    for (uint64_t i = 0; i < kTuplesPerDay; ++i) {
+      std::vector<Value> record = *workload.Next();
+      run.truth.count_per_sensor[record[0].AsInt64()] += 1;
+      run.truth.temp_sum_per_sensor[record[0].AsInt64()] +=
+          record[1].AsFloat64();
+      run.truth.temps.push_back(record[1].AsFloat64());
+      run.db->Insert("readings", record).value();
+    }
+    run.db->AdvanceTime(kDay).value();
+  }
+  return run;
+}
+
+/// Answers "count per sensor" from cellar + live data; returns mean
+/// relative error across sensors.
+double CountError(Run& run) {
+  const auto* cooked = static_cast<const GroupedAggregate*>(
+      run.db->cellar().Find("per_sensor_temp"));
+  double err_sum = 0.0;
+  int sensors = 0;
+  for (const auto& [sensor, exact] : run.truth.count_per_sensor) {
+    uint64_t estimate = 0;
+    if (cooked != nullptr) {
+      Result<AggregateState> state = cooked->GroupState(Value::Int64(sensor));
+      if (state.ok()) estimate += state->count;
+    }
+    ResultSet live = run.db
+                         ->ExecuteSql("SELECT count(*) AS n FROM readings "
+                                      "WHERE sensor_id = " +
+                                      std::to_string(sensor))
+                         .value();
+    estimate += static_cast<uint64_t>(live.at(0, 0).AsInt64());
+    err_sum += std::abs(static_cast<double>(estimate) -
+                        static_cast<double>(exact)) /
+               static_cast<double>(exact);
+    ++sensors;
+  }
+  return err_sum / sensors;
+}
+
+double MeanTempError(Run& run) {
+  const auto* cooked = static_cast<const GroupedAggregate*>(
+      run.db->cellar().Find("per_sensor_temp"));
+  double err_sum = 0.0;
+  int sensors = 0;
+  for (const auto& [sensor, exact_sum] : run.truth.temp_sum_per_sensor) {
+    const double exact_mean =
+        exact_sum / run.truth.count_per_sensor[sensor];
+    double sum = 0.0;
+    uint64_t count = 0;
+    if (cooked != nullptr) {
+      Result<AggregateState> state = cooked->GroupState(Value::Int64(sensor));
+      if (state.ok()) {
+        sum += state->sum;
+        count += state->count;
+      }
+    }
+    ResultSet live =
+        run.db
+            ->ExecuteSql("SELECT count(temp) AS n, sum(temp) AS s "
+                         "FROM readings WHERE sensor_id = " +
+                         std::to_string(sensor))
+            .value();
+    count += static_cast<uint64_t>(live.at(0, 0).AsInt64());
+    if (!live.at(0, 1).is_null()) sum += live.at(0, 1).AsFloat64();
+    const double estimate = count == 0 ? 0.0 : sum / count;
+    err_sum += std::abs(estimate - exact_mean) /
+               std::max(1.0, std::abs(exact_mean));
+    ++sensors;
+  }
+  return err_sum / sensors;
+}
+
+double MedianError(Run& run) {
+  std::vector<double> temps = run.truth.temps;
+  std::sort(temps.begin(), temps.end());
+  const double exact = temps[temps.size() / 2];
+  const auto* hist = static_cast<const HistogramSketch*>(
+      run.db->cellar().Find("temp_hist"));
+  double estimate;
+  if (hist != nullptr) {
+    estimate = hist->EstimateQuantile(0.5).value();
+  } else {
+    // Kitchen off: best effort from live data via the avg as a proxy
+    // is unfair; report the live-data median via sampling the table.
+    std::vector<double> live;
+    Table* t = run.db->GetTable("readings").value();
+    t->ForEachLive([&](RowId row) {
+      live.push_back(t->GetValue(row, 1).value().AsFloat64());
+    });
+    if (live.empty()) return 1.0;
+    std::sort(live.begin(), live.end());
+    estimate = live[live.size() / 2];
+  }
+  return std::abs(estimate - exact) / std::max(1.0, std::abs(exact));
+}
+
+void RunAll() {
+  bench::Banner("T5", "cooking ablation: kitchen on vs off");
+
+  bench::TablePrinter printer({"kitchen", "live_rows", "rows_cooked",
+                               "count_err", "mean_temp_err", "p50_err"},
+                              15);
+  printer.PrintHeader();
+  for (bool kitchen_on : {true, false}) {
+    Run run = BuildRun(kitchen_on);
+    Table* t = run.db->GetTable("readings").value();
+    printer.PrintRow({kitchen_on ? "on" : "off",
+                      bench::Fmt(t->live_rows()),
+                      bench::Fmt(run.db->kitchen().rows_cooked()),
+                      bench::Fmt(CountError(run), 4),
+                      bench::Fmt(MeanTempError(run), 4),
+                      bench::Fmt(MedianError(run), 4)});
+  }
+  std::printf("\nexpected shape: kitchen=on errors near 0; kitchen=off "
+              "loses the rotted 10 of 12 days\n");
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::RunAll();
+  return 0;
+}

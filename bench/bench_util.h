@@ -1,0 +1,75 @@
+#ifndef FUNGUSDB_BENCH_BENCH_UTIL_H_
+#define FUNGUSDB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fungusdb::bench {
+
+/// Fixed-width row printer for experiment tables. Every experiment
+/// binary prints a header banner, column names, then one line per row,
+/// so EXPERIMENTS.md can quote the output verbatim.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {}
+
+  void PrintHeader() const {
+    for (const std::string& c : columns_) {
+      std::printf("%-*s", width_, c.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s", std::string(width_ - 1, '-').c_str());
+      std::printf(" ");
+    }
+    std::printf("\n");
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (const std::string& c : cells) {
+      std::printf("%-*s", width_, c.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/// Wall-clock stopwatch in microseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+               .count() /
+           1000.0;
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string Fmt(uint64_t v) { return std::to_string(v); }
+
+}  // namespace fungusdb::bench
+
+#endif  // FUNGUSDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+#ifndef FUNGUSDB_COMMON_BUFFER_IO_H_
+#define FUNGUSDB_COMMON_BUFFER_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fungusdb {
+
+/// Append-only little-endian binary encoder used by the snapshot
+/// format. Fixed-width integers, IEEE doubles, and length-prefixed
+/// byte strings.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  /// Length-prefixed (u64) byte string.
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void WriteRaw(const void* data, size_t len) {
+    buffer_.append(static_cast<const char*>(data), len);
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder over a byte span. All reads fail with
+/// OutOfRange instead of walking past the end, so corrupt or truncated
+/// snapshots surface as Status errors rather than undefined behaviour.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t bytes) {
+    if (remaining() < bytes) {
+      return Status::OutOfRange(
+          "snapshot truncated: need " + std::to_string(bytes) +
+          " bytes, have " + std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Result<T> ReadRaw() {
+    FUNGUSDB_RETURN_IF_ERROR(Need(sizeof(T)));
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_COMMON_BUFFER_IO_H_

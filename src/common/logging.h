@@ -1,0 +1,46 @@
+#ifndef FUNGUSDB_COMMON_LOGGING_H_
+#define FUNGUSDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fungusdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Defaults to
+/// kWarning so library users see problems but tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via FUNGUSDB_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace fungusdb
+
+#define FUNGUSDB_LOG(level)                                       \
+  ::fungusdb::internal_logging::LogMessage(                       \
+      ::fungusdb::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // FUNGUSDB_COMMON_LOGGING_H_

@@ -1,0 +1,124 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace fungusdb {
+namespace {
+
+/// Index of the exponential bucket holding `value`.
+int BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  // Bucket i (i >= 1) covers [2^(i-1), 2^i).
+  int bits = 64 - __builtin_clzll(static_cast<uint64_t>(value));
+  return std::min(bits, 63);
+}
+
+/// Lower bound of bucket i.
+double BucketLow(int i) {
+  return i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+}
+
+/// Upper bound of bucket i.
+double BucketHigh(int i) {
+  return i == 0 ? 1.0 : static_cast<double>(1ULL << std::min(i, 62));
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric() { Reset(); }
+
+void HistogramMetric::Record(int64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double HistogramMetric::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+double HistogramMetric::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double frac =
+          buckets_[i] == 0 ? 0.0 : (target - seen) / buckets_[i];
+      double lo = std::max(BucketLow(i), static_cast<double>(min()));
+      double hi = std::min(BucketHigh(i), static_cast<double>(max()));
+      if (hi < lo) hi = lo;
+      return lo + frac * (hi - lo);
+    }
+    seen = next;
+  }
+  return static_cast<double>(max());
+}
+
+void HistogramMetric::Reset() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  min_ = INT64_MAX;
+  max_ = INT64_MIN;
+}
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       int64_t delta) {
+  counters_[name] += delta;
+}
+
+int64_t MetricsRegistry::GetCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::GetGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramMetric& MetricsRegistry::Histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+const HistogramMetric* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " = {count=" << h.count() << " mean=" << h.Mean()
+       << " p50=" << h.Quantile(0.5) << " p99=" << h.Quantile(0.99)
+       << " max=" << h.max() << "}\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace fungusdb

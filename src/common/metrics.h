@@ -1,0 +1,68 @@
+#ifndef FUNGUSDB_COMMON_METRICS_H_
+#define FUNGUSDB_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fungusdb {
+
+/// Fixed-boundary histogram for latency/size distributions. Records
+/// int64 observations; reports count, sum, min, max, mean and quantiles
+/// (approximated by linear interpolation within buckets).
+class HistogramMetric {
+ public:
+  /// Buckets are exponential: [0,1), [1,2), [2,4), ... up to 2^62.
+  HistogramMetric();
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  /// q in [0, 1]. Returns 0 on an empty histogram.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  int64_t buckets_[kNumBuckets];
+  int64_t count_;
+  int64_t sum_;
+  int64_t min_;
+  int64_t max_;
+};
+
+/// Named counters, gauges and histograms owned by a Database (not global,
+/// so parallel tests never share state). All operations are not
+/// thread-safe; FungusDB is single-threaded per database by design.
+class MetricsRegistry {
+ public:
+  void IncrementCounter(const std::string& name, int64_t delta = 1);
+  int64_t GetCounter(const std::string& name) const;
+
+  void SetGauge(const std::string& name, double value);
+  double GetGauge(const std::string& name) const;
+
+  HistogramMetric& Histogram(const std::string& name);
+  const HistogramMetric* FindHistogram(const std::string& name) const;
+
+  /// Multi-line "name = value" dump, sorted by name.
+  std::string Report() const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramMetric> histograms_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_COMMON_METRICS_H_

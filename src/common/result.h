@@ -1,0 +1,84 @@
+#ifndef FUNGUSDB_COMMON_RESULT_H_
+#define FUNGUSDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fungusdb {
+
+/// Either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. The FungusDB analogue of absl::StatusOr<T>.
+///
+///   Result<Table> r = OpenTable(name);
+///   if (!r.ok()) return r.status();
+///   Table& t = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  /// Constructing from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result<T> requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked in debug builds.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fungusdb
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on error and
+/// otherwise binding the value to `lhs`.
+#define FUNGUSDB_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  FUNGUSDB_ASSIGN_OR_RETURN_IMPL_(                      \
+      FUNGUSDB_CONCAT_(_fungusdb_result, __LINE__), lhs, rexpr)
+
+#define FUNGUSDB_CONCAT_INNER_(a, b) a##b
+#define FUNGUSDB_CONCAT_(a, b) FUNGUSDB_CONCAT_INNER_(a, b)
+
+#define FUNGUSDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#endif  // FUNGUSDB_COMMON_RESULT_H_

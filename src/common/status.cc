@@ -1,0 +1,57 @@
+#include "common/status.h"
+#include <cstdio>
+#include <cstdlib>
+
+namespace fungusdb {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeMismatch:
+      return "TypeMismatch";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal_status {
+
+void DieOnError(const Status& status, const char* expr, const char* file,
+                int line) {
+  std::fprintf(stderr, "FUNGUSDB_CHECK_OK failed at %s:%d: %s -> %s\n",
+               file, line, expr, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace fungusdb

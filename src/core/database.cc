@@ -1,0 +1,188 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fungusdb {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      clock_(options.start_time),
+      cellar_(options.cellar_eviction_threshold),
+      kitchen_(&cellar_),
+      engine_(QueryEngineOptions{options.record_access}),
+      ingestor_(&clock_, &kitchen_) {
+  scheduler_.set_metrics(&metrics_);
+  // Rotting tuples (fungus kills) and consumed tuples (Law-2 queries)
+  // both flow through the kitchen's on-rot rules.
+  scheduler_.AddDeathObserver(
+      [this](Table& table, const std::vector<RowId>& rows, Timestamp now) {
+        kitchen_.Cook(CookTrigger::kOnRot, table, rows, now);
+      });
+  engine_.AddConsumeObserver(
+      [this](Table& table, const std::vector<RowId>& rows, Timestamp now) {
+        kitchen_.Cook(CookTrigger::kOnRot, table, rows, now);
+        metrics_.IncrementCounter("query.rows_consumed",
+                                  static_cast<int64_t>(rows.size()));
+      });
+}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
+                                     TableOptions table_options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table =
+      std::make_unique<Table>(name, std::move(schema), table_options);
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<DecayScheduler::AttachmentId> Database::AttachFungus(
+    const std::string& table_name, std::unique_ptr<Fungus> fungus,
+    Duration period) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  return scheduler_.Attach(table, std::move(fungus), period, clock_.Now());
+}
+
+Status Database::DetachFungus(DecayScheduler::AttachmentId id) {
+  return scheduler_.Detach(id);
+}
+
+Result<uint64_t> Database::AdvanceTime(Duration d) {
+  if (d < 0) return Status::InvalidArgument("cannot advance time backwards");
+  clock_.Advance(d);
+  const uint64_t ticks = scheduler_.AdvanceTo(clock_.Now());
+  cellar_.AdvanceTo(clock_.Now());
+  return ticks;
+}
+
+Result<RowId> Database::Insert(const std::string& table_name,
+                               const std::vector<Value>& values) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  FUNGUSDB_ASSIGN_OR_RETURN(RowId row, table->Append(values, clock_.Now()));
+  metrics_.IncrementCounter("ingest.rows");
+  return row;
+}
+
+Result<uint64_t> Database::Ingest(const std::string& table_name,
+                                  RecordSource& source,
+                                  uint64_t max_records) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  FUNGUSDB_ASSIGN_OR_RETURN(
+      uint64_t n, ingestor_.IngestBatch(source, *table, max_records));
+  metrics_.IncrementCounter("ingest.rows", static_cast<int64_t>(n));
+  return n;
+}
+
+Result<uint64_t> Database::IngestPaced(const std::string& table_name,
+                                       RecordSource& source,
+                                       uint64_t max_records,
+                                       Duration inter_arrival) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  // Interleave decay with ingestion so fungi tick close to their due
+  // times instead of replaying a long backlog after the batch.
+  constexpr uint64_t kChunk = 256;
+  uint64_t total = 0;
+  while (total < max_records) {
+    const uint64_t want = std::min(kChunk, max_records - total);
+    FUNGUSDB_ASSIGN_OR_RETURN(
+        uint64_t n, ingestor_.IngestPaced(source, *table, want, clock_,
+                                          inter_arrival));
+    scheduler_.AdvanceTo(clock_.Now());
+    total += n;
+    if (n < want) break;  // source exhausted
+  }
+  cellar_.AdvanceTo(clock_.Now());
+  metrics_.IncrementCounter("ingest.rows", static_cast<int64_t>(total));
+  return total;
+}
+
+Result<ResultSet> Database::ExecuteSql(std::string_view sql) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql));
+  return Execute(query);
+}
+
+Result<ResultSet> Database::Execute(const Query& query) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(query.table_name));
+  metrics_.IncrementCounter("query.executed");
+  if (query.consuming) metrics_.IncrementCounter("query.consuming");
+  return engine_.Execute(query, *table, clock_.Now());
+}
+
+Status Database::AddCookSpec(CookSpec spec) {
+  if (tables_.count(spec.table_name) == 0) {
+    return Status::NotFound("no table named '" + spec.table_name + "'");
+  }
+  return kitchen_.AddSpec(std::move(spec));
+}
+
+HealthReport Database::Health() const {
+  HealthReport report;
+  report.now = clock_.Now();
+  for (const auto& [name, table] : tables_) {
+    TableHealth h;
+    h.name = name;
+    h.live_rows = table->live_rows();
+    h.total_appended = table->total_appended();
+    h.rows_killed = table->rows_killed();
+    h.num_segments = table->num_segments();
+    h.memory_bytes = table->MemoryUsage();
+    if (h.live_rows > 0) {
+      double sum = 0.0;
+      table->ForEachLive(
+          [&](RowId row) { sum += table->Freshness(row); });
+      h.mean_freshness = sum / static_cast<double>(h.live_rows);
+    }
+    report.tables.push_back(std::move(h));
+  }
+  report.cellar_entries = cellar_.size();
+  report.cellar_bytes = cellar_.MemoryUsage();
+  report.rows_cooked = kitchen_.rows_cooked();
+  return report;
+}
+
+std::string HealthReport::ToString() const {
+  std::ostringstream os;
+  os << "health @ t=" << FormatDuration(now) << "\n";
+  for (const TableHealth& t : tables) {
+    os << "  table " << t.name << ": live=" << t.live_rows << "/"
+       << t.total_appended << " killed=" << t.rows_killed
+       << " segments=" << t.num_segments << " mem="
+       << FormatBytes(t.memory_bytes)
+       << " mean_freshness=" << FormatDouble(t.mean_freshness, 3) << "\n";
+  }
+  os << "  cellar: " << cellar_entries << " entries, "
+     << FormatBytes(cellar_bytes) << ", rows_cooked=" << rows_cooked << "\n";
+  return os.str();
+}
+
+}  // namespace fungusdb

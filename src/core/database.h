@@ -1,0 +1,160 @@
+#ifndef FUNGUSDB_CORE_DATABASE_H_
+#define FUNGUSDB_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "fungus/fungus.h"
+#include "fungus/scheduler.h"
+#include "pipeline/ingestor.h"
+#include "pipeline/kitchen.h"
+#include "pipeline/source.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "storage/table.h"
+#include "summary/cellar.h"
+
+namespace fungusdb {
+
+struct DatabaseOptions {
+  /// Epoch of the database's virtual clock.
+  Timestamp start_time = 0;
+
+  /// Cellar entries at or below this freshness are evicted.
+  double cellar_eviction_threshold = 0.01;
+
+  /// Bump access counters on query matches (feeds ImportanceFungus).
+  bool record_access = true;
+};
+
+/// Per-table health snapshot — the paper's "optimal health condition"
+/// made observable.
+struct TableHealth {
+  std::string name;
+  uint64_t live_rows = 0;
+  uint64_t total_appended = 0;
+  uint64_t rows_killed = 0;
+  size_t num_segments = 0;
+  size_t memory_bytes = 0;
+  double mean_freshness = 0.0;  // over live tuples; 0 when empty
+};
+
+struct HealthReport {
+  Timestamp now = 0;
+  std::vector<TableHealth> tables;
+  size_t cellar_entries = 0;
+  size_t cellar_bytes = 0;
+  uint64_t rows_cooked = 0;
+
+  std::string ToString() const;
+};
+
+/// The FungusDB public facade: tables with freshness, fungi on a
+/// periodic clock, consuming queries, the kitchen, and the cellar —
+/// everything runs on one deterministic virtual clock owned here.
+///
+/// Typical use:
+///
+///   Database db;
+///   Table* t = db.CreateTable("readings", schema).value();
+///   db.AttachFungus("readings",
+///                   std::make_unique<RetentionFungus>(7 * kDay),
+///                   /*period=*/kHour).value();
+///   db.Insert("readings", {...});
+///   db.AdvanceTime(3 * kDay);                      // decay happens here
+///   ResultSet rs = db.ExecuteSql(
+///       "CONSUME SELECT * FROM readings WHERE temp > 30").value();
+///
+/// Single-threaded by design (one virtual timeline).
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Tables. ---
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             TableOptions table_options = {});
+  Result<Table*> GetTable(const std::string& name);
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  // --- Decay (the first natural law). ---
+
+  /// Attaches `fungus` to the named table, ticking every `period`.
+  Result<DecayScheduler::AttachmentId> AttachFungus(
+      const std::string& table_name, std::unique_ptr<Fungus> fungus,
+      Duration period);
+
+  Status DetachFungus(DecayScheduler::AttachmentId id);
+
+  // --- Time. ---
+
+  Timestamp Now() const { return clock_.Now(); }
+
+  /// Advances the virtual clock by `d`, running every due fungus tick
+  /// (in order) and decaying the cellar. Returns ticks executed.
+  Result<uint64_t> AdvanceTime(Duration d);
+
+  // --- Ingestion. ---
+
+  /// Appends one row stamped with the current time.
+  Result<RowId> Insert(const std::string& table_name,
+                       const std::vector<Value>& values);
+
+  /// Pulls up to `max_records` from `source` into the named table.
+  Result<uint64_t> Ingest(const std::string& table_name,
+                          RecordSource& source, uint64_t max_records);
+
+  /// Paced variant: the clock advances `inter_arrival` per record.
+  Result<uint64_t> IngestPaced(const std::string& table_name,
+                               RecordSource& source, uint64_t max_records,
+                               Duration inter_arrival);
+
+  // --- Queries. ---
+
+  /// Parses and executes one statement of the FungusDB dialect.
+  Result<ResultSet> ExecuteSql(std::string_view sql);
+
+  /// Executes a programmatic query.
+  Result<ResultSet> Execute(const Query& query);
+
+  // --- Cooking. ---
+
+  /// Registers a cooking rule (validated by the kitchen).
+  Status AddCookSpec(CookSpec spec);
+
+  Cellar& cellar() { return cellar_; }
+  const Cellar& cellar() const { return cellar_; }
+  Kitchen& kitchen() { return kitchen_; }
+
+  // --- Introspection. ---
+
+  HealthReport Health() const;
+  const DatabaseOptions& options() const { return options_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  DecayScheduler& scheduler() { return scheduler_; }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  DatabaseOptions options_;
+  VirtualClock clock_;
+  MetricsRegistry metrics_;
+  Cellar cellar_;
+  Kitchen kitchen_;
+  DecayScheduler scheduler_;
+  QueryEngine engine_;
+  Ingestor ingestor_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_CORE_DATABASE_H_

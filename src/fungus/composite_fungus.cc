@@ -1,0 +1,27 @@
+#include "fungus/composite_fungus.h"
+
+namespace fungusdb {
+
+CompositeFungus::CompositeFungus(
+    std::vector<std::unique_ptr<Fungus>> children)
+    : children_(std::move(children)) {}
+
+void CompositeFungus::Tick(DecayContext& ctx) {
+  for (auto& child : children_) child->Tick(ctx);
+}
+
+std::string CompositeFungus::Describe() const {
+  std::string out = "composite[";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += children_[i]->Describe();
+  }
+  out += "]";
+  return out;
+}
+
+void CompositeFungus::Reset() {
+  for (auto& child : children_) child->Reset();
+}
+
+}  // namespace fungusdb

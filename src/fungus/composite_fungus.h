@@ -1,0 +1,32 @@
+#ifndef FUNGUSDB_FUNGUS_COMPOSITE_FUNGUS_H_
+#define FUNGUSDB_FUNGUS_COMPOSITE_FUNGUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fungus/fungus.h"
+
+namespace fungusdb {
+
+/// Applies several fungi in sequence on each tick. Lets experiments
+/// combine, e.g., a hard retention cap with EGI rot inside the window.
+class CompositeFungus : public Fungus {
+ public:
+  explicit CompositeFungus(std::vector<std::unique_ptr<Fungus>> children);
+
+  std::string_view name() const override { return "composite"; }
+  void Tick(DecayContext& ctx) override;
+  std::string Describe() const override;
+  void Reset() override;
+
+  size_t num_children() const { return children_.size(); }
+  Fungus& child(size_t i) { return *children_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Fungus>> children_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_FUNGUS_COMPOSITE_FUNGUS_H_

@@ -1,0 +1,38 @@
+#include "fungus/fungus.h"
+
+namespace fungusdb {
+
+DecayContext::DecayContext(Table* table, Timestamp now)
+    : table_(table), now_(now) {}
+
+void DecayContext::Decay(RowId row, double delta) {
+  if (!table_->IsLive(row)) return;
+  ++stats_.tuples_touched;
+  const uint64_t killed_before = table_->rows_killed();
+  table_->DecayFreshness(row, delta);  // cannot fail for live rows
+  if (table_->rows_killed() > killed_before) {
+    killed_.push_back(row);
+    ++stats_.tuples_killed;
+  }
+}
+
+void DecayContext::SetFreshness(RowId row, double f) {
+  if (!table_->IsLive(row)) return;
+  ++stats_.tuples_touched;
+  const uint64_t killed_before = table_->rows_killed();
+  table_->SetFreshness(row, f);
+  if (table_->rows_killed() > killed_before) {
+    killed_.push_back(row);
+    ++stats_.tuples_killed;
+  }
+}
+
+void DecayContext::Kill(RowId row) {
+  if (!table_->IsLive(row)) return;
+  ++stats_.tuples_touched;
+  table_->Kill(row);
+  killed_.push_back(row);
+  ++stats_.tuples_killed;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,37 @@
+#include "fungus/quota_fungus.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace fungusdb {
+
+QuotaFungus::QuotaFungus(size_t max_bytes) : max_bytes_(max_bytes) {
+  assert(max_bytes > 0);
+}
+
+void QuotaFungus::Tick(DecayContext& ctx) {
+  Table& table = ctx.table();
+  // Evict oldest-first, reclaiming as we go so MemoryUsage() reflects
+  // progress. Eviction proceeds one segment-stride at a time.
+  while (table.MemoryUsage() > max_bytes_) {
+    std::optional<RowId> victim = table.OldestLive();
+    if (!victim.has_value()) break;  // empty but over quota: fixed cost
+    // Kill up to one segment's worth of the oldest tuples.
+    const size_t stride = table.options().rows_per_segment;
+    for (size_t i = 0; i < stride && victim.has_value(); ++i) {
+      const RowId row = *victim;
+      victim = table.NextLive(row);
+      ctx.Kill(row);
+    }
+    if (table.ReclaimDeadSegments() == 0 && !victim.has_value()) {
+      break;  // nothing left to free
+    }
+  }
+}
+
+std::string QuotaFungus::Describe() const {
+  return "quota(" + FormatBytes(max_bytes_) + ")";
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,34 @@
+#ifndef FUNGUSDB_FUNGUS_QUOTA_FUNGUS_H_
+#define FUNGUSDB_FUNGUS_QUOTA_FUNGUS_H_
+
+#include <string>
+
+#include "fungus/fungus.h"
+
+namespace fungusdb {
+
+/// A hard fridge-size cap: when the table's heap footprint exceeds
+/// `max_bytes`, the oldest tuples are evicted (and their segments
+/// reclaimed) until the footprint fits again. The paper's chess-board
+/// lesson applied literally — the fridge simply refuses to grow.
+///
+/// Memory is reclaimed at segment granularity, so the fungus evicts in
+/// whole-segment strides from the old end of the time axis; the actual
+/// footprint lands at or below the quota after each tick.
+class QuotaFungus : public Fungus {
+ public:
+  explicit QuotaFungus(size_t max_bytes);
+
+  std::string_view name() const override { return "quota"; }
+  void Tick(DecayContext& ctx) override;
+  std::string Describe() const override;
+
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  size_t max_bytes_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_FUNGUS_QUOTA_FUNGUS_H_

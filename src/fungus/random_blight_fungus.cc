@@ -1,0 +1,47 @@
+#include "fungus/random_blight_fungus.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace fungusdb {
+
+RandomBlightFungus::RandomBlightFungus(Params params)
+    : params_(params), rng_(params.rng_seed) {
+  assert(params_.decay_step > 0.0 && params_.decay_step <= 1.0);
+}
+
+void RandomBlightFungus::Tick(DecayContext& ctx) {
+  Table& table = ctx.table();
+  const std::optional<RowId> lo = table.OldestLive();
+  const std::optional<RowId> hi = table.NewestLive();
+  if (!lo.has_value()) return;
+  const RowId span = *hi - *lo + 1;
+  for (uint64_t i = 0; i < params_.tuples_per_tick; ++i) {
+    // Uniform rejection sampling over the live id range.
+    std::optional<RowId> pick;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const RowId candidate = *lo + rng_.NextBounded(span);
+      if (table.IsLive(candidate)) {
+        pick = candidate;
+        break;
+      }
+    }
+    if (!pick.has_value()) {
+      // Sparse table: snap to a live neighbour of a random position.
+      pick = table.NextLive(*lo + rng_.NextBounded(span));
+      if (!pick.has_value()) pick = table.OldestLive();
+      if (!pick.has_value()) return;
+    }
+    ctx.Decay(*pick, params_.decay_step);
+  }
+}
+
+std::string RandomBlightFungus::Describe() const {
+  return "random_blight(n=" + std::to_string(params_.tuples_per_tick) +
+         "/tick, step=" + FormatDouble(params_.decay_step, 3) + ")";
+}
+
+void RandomBlightFungus::Reset() { rng_ = Rng(params_.rng_seed); }
+
+}  // namespace fungusdb

@@ -1,0 +1,45 @@
+#ifndef FUNGUSDB_FUNGUS_RANDOM_BLIGHT_FUNGUS_H_
+#define FUNGUSDB_FUNGUS_RANDOM_BLIGHT_FUNGUS_H_
+
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "fungus/fungus.h"
+
+namespace fungusdb {
+
+/// Spotless comparator for EGI: on each tick it decays `tuples_per_tick`
+/// uniformly random live tuples by `decay_step`, with no spreading and no
+/// age bias. Under this fungus dead tuples are scattered — it produces no
+/// contiguous rotting spots, which is exactly what experiment F2 contrasts
+/// against the Blue-Cheese pattern of EGI.
+class RandomBlightFungus : public Fungus {
+ public:
+  struct Params {
+    /// Live tuples decayed per tick.
+    uint64_t tuples_per_tick = 16;
+
+    /// Freshness lost by each selected tuple.
+    double decay_step = 0.34;
+
+    uint64_t rng_seed = 0xB116887;
+  };
+
+  explicit RandomBlightFungus(Params params);
+
+  std::string_view name() const override { return "random_blight"; }
+  void Tick(DecayContext& ctx) override;
+  std::string Describe() const override;
+  void Reset() override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_FUNGUS_RANDOM_BLIGHT_FUNGUS_H_

@@ -1,0 +1,37 @@
+#include "fungus/retention_fungus.h"
+
+#include <cassert>
+
+namespace fungusdb {
+
+RetentionFungus::RetentionFungus(Duration retention) : retention_(retention) {
+  assert(retention > 0);
+}
+
+void RetentionFungus::Tick(DecayContext& ctx) {
+  const Timestamp now = ctx.now();
+  Table& table = ctx.table();
+  // Freshness under retention is the remaining-life fraction; at or past
+  // the retention age it hits 0 and the tuple is discarded. Killing and
+  // freshness updates only flip per-row state, so mutating during the
+  // live scan is safe (the segment map itself is untouched).
+  table.ForEachLive([&](RowId row) {
+    const Timestamp t = table.InsertTime(row).value();
+    const Duration age = now - t;
+    if (age >= retention_) {
+      ctx.Kill(row);
+      return;
+    }
+    const double f =
+        age <= 0 ? 1.0
+                 : 1.0 - static_cast<double>(age) /
+                             static_cast<double>(retention_);
+    ctx.SetFreshness(row, f);
+  });
+}
+
+std::string RetentionFungus::Describe() const {
+  return "retention(" + FormatDuration(retention_) + ")";
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,30 @@
+#ifndef FUNGUSDB_FUNGUS_RETENTION_FUNGUS_H_
+#define FUNGUSDB_FUNGUS_RETENTION_FUNGUS_H_
+
+#include <string>
+
+#include "fungus/fungus.h"
+
+namespace fungusdb {
+
+/// The paper's "old-fashioned decay function": a fixed retention time.
+/// On each tick every tuple older than `retention` is discarded outright.
+/// Freshness degrades linearly with age in between, so dashboards can
+/// still rank tuples by remaining life.
+class RetentionFungus : public Fungus {
+ public:
+  explicit RetentionFungus(Duration retention);
+
+  std::string_view name() const override { return "retention"; }
+  void Tick(DecayContext& ctx) override;
+  std::string Describe() const override;
+
+  Duration retention() const { return retention_; }
+
+ private:
+  Duration retention_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_FUNGUS_RETENTION_FUNGUS_H_

@@ -1,0 +1,81 @@
+#include "fungus/rot_analysis.h"
+
+#include <algorithm>
+
+namespace fungusdb {
+
+RotStructure AnalyzeRot(const Table& table) {
+  RotStructure out;
+  const uint64_t total = table.total_appended();
+  uint64_t run = 0;
+  for (RowId row = 0; row < total; ++row) {
+    const bool contained = table.Contains(row);
+    const bool live = contained && table.IsLive(row);
+    if (live) {
+      ++out.live_tuples;
+      if (run > 0) {
+        out.spot_lengths.push_back(run);
+        run = 0;
+      }
+    } else {
+      if (contained) {
+        ++out.dead_tuples;
+      } else {
+        ++out.reclaimed_tuples;
+      }
+      ++run;
+    }
+  }
+  if (run > 0) out.spot_lengths.push_back(run);
+  std::sort(out.spot_lengths.begin(), out.spot_lengths.end());
+  out.num_spots = out.spot_lengths.size();
+  if (out.num_spots > 0) {
+    out.max_spot = out.spot_lengths.back();
+    uint64_t sum = 0;
+    for (uint64_t len : out.spot_lengths) sum += len;
+    out.mean_spot =
+        static_cast<double>(sum) / static_cast<double>(out.num_spots);
+  }
+  return out;
+}
+
+std::vector<uint64_t> FreshnessHistogram(const Table& table,
+                                         size_t buckets) {
+  std::vector<uint64_t> hist(buckets, 0);
+  if (buckets == 0) return hist;
+  table.ForEachLive([&](RowId row) {
+    const double f = table.Freshness(row);
+    size_t bucket = static_cast<size_t>(f * static_cast<double>(buckets));
+    if (bucket >= buckets) bucket = buckets - 1;
+    ++hist[bucket];
+  });
+  return hist;
+}
+
+std::string RenderTimeAxis(const Table& table, size_t width) {
+  const uint64_t total = table.total_appended();
+  if (total == 0 || width == 0) return std::string(width, ' ');
+  std::string strip;
+  strip.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    const uint64_t begin = total * i / width;
+    uint64_t end = total * (i + 1) / width;
+    if (end == begin) end = begin + 1;
+    uint64_t live = 0;
+    for (RowId row = begin; row < end && row < total; ++row) {
+      if (table.IsLive(row)) ++live;
+    }
+    const double frac =
+        static_cast<double>(live) / static_cast<double>(end - begin);
+    if (frac >= 0.95) {
+      strip.push_back('#');
+    } else if (frac <= 0.05) {
+      strip.push_back('.');
+    } else {
+      strip.push_back(static_cast<char>('1' + static_cast<int>(frac * 8)));
+    }
+  }
+  return strip;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,44 @@
+#ifndef FUNGUSDB_FUNGUS_ROT_ANALYSIS_H_
+#define FUNGUSDB_FUNGUS_ROT_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace fungusdb {
+
+/// Structure of the dead regions on a table's time axis — how
+/// "Blue-Cheese-like" the decay pattern is. Used by experiments F2/F5 to
+/// contrast EGI's contiguous rotting spots with uniform random decay.
+struct RotStructure {
+  uint64_t live_tuples = 0;
+  uint64_t dead_tuples = 0;       // tombstoned but not yet reclaimed
+  uint64_t reclaimed_tuples = 0;  // rows whose segment has been freed
+  uint64_t num_spots = 0;         // maximal runs of consecutive dead rows
+  uint64_t max_spot = 0;          // length of the longest run
+  double mean_spot = 0.0;
+  /// Spot lengths, ascending (reclaimed ranges merge into their
+  /// surrounding spots since they are dead by definition).
+  std::vector<uint64_t> spot_lengths;
+};
+
+/// Scans [first appended row, last appended row] and measures the dead
+/// runs. O(total_appended) — intended for experiment checkpoints, not
+/// hot paths.
+RotStructure AnalyzeRot(const Table& table);
+
+/// Freshness histogram over live tuples with `buckets` equal-width bins
+/// on [0, 1]; result[i] counts freshness in [i/buckets, (i+1)/buckets).
+/// Freshness exactly 1.0 lands in the last bucket.
+std::vector<uint64_t> FreshnessHistogram(const Table& table, size_t buckets);
+
+/// One-character-per-range ASCII strip of the time axis ('#' mostly
+/// live, '.' mostly dead, digits in between) — the Blue-Cheese view used
+/// by examples/blue_cheese.cpp.
+std::string RenderTimeAxis(const Table& table, size_t width);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_FUNGUS_ROT_ANALYSIS_H_

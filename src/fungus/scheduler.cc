@@ -1,0 +1,89 @@
+#include "fungus/scheduler.h"
+
+#include <algorithm>
+
+namespace fungusdb {
+
+Result<DecayScheduler::AttachmentId> DecayScheduler::Attach(
+    Table* table, std::unique_ptr<Fungus> fungus, Duration period,
+    Timestamp start_time) {
+  if (table == nullptr) return Status::InvalidArgument("table is null");
+  if (fungus == nullptr) return Status::InvalidArgument("fungus is null");
+  if (period <= 0) {
+    return Status::InvalidArgument("decay period must be positive");
+  }
+  Attachment a;
+  a.table = table;
+  a.fungus = std::move(fungus);
+  a.period = period;
+  a.next_tick = start_time + period;
+  a.active = true;
+  attachments_.push_back(std::move(a));
+  return attachments_.size() - 1;
+}
+
+Status DecayScheduler::Detach(AttachmentId id) {
+  if (id >= attachments_.size() || !attachments_[id].active) {
+    return Status::NotFound("no attachment " + std::to_string(id));
+  }
+  attachments_[id].active = false;
+  attachments_[id].fungus.reset();
+  return Status::OK();
+}
+
+void DecayScheduler::AddDeathObserver(DeathObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
+  uint64_t ticks = 0;
+  while (true) {
+    // Earliest due attachment; ties resolve by attachment order.
+    Attachment* due = nullptr;
+    for (Attachment& a : attachments_) {
+      if (!a.active || a.next_tick > now) continue;
+      if (due == nullptr || a.next_tick < due->next_tick) due = &a;
+    }
+    if (due == nullptr) break;
+
+    const Timestamp tick_time = due->next_tick;
+    DecayContext ctx(due->table, tick_time);
+    due->fungus->Tick(ctx);
+    due->next_tick += due->period;
+    ++due->stats.ticks;
+    due->stats.decay += ctx.stats();
+    ++ticks;
+
+    if (!ctx.killed().empty()) {
+      for (const DeathObserver& obs : observers_) {
+        obs(*due->table, ctx.killed(), tick_time);
+      }
+    }
+    due->table->ReclaimDeadSegments();
+
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter("decay.ticks");
+      metrics_->IncrementCounter("decay.tuples_touched",
+                                 ctx.stats().tuples_touched);
+      metrics_->IncrementCounter("decay.tuples_killed",
+                                 ctx.stats().tuples_killed);
+      metrics_->IncrementCounter("decay.seeds_planted",
+                                 ctx.stats().seeds_planted);
+    }
+  }
+  return ticks;
+}
+
+DecayScheduler::AttachmentStats DecayScheduler::StatsFor(
+    AttachmentId id) const {
+  if (id >= attachments_.size()) return AttachmentStats{};
+  return attachments_[id].stats;
+}
+
+size_t DecayScheduler::num_attachments() const {
+  return static_cast<size_t>(
+      std::count_if(attachments_.begin(), attachments_.end(),
+                    [](const Attachment& a) { return a.active; }));
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,88 @@
+#ifndef FUNGUSDB_FUNGUS_SCHEDULER_H_
+#define FUNGUSDB_FUNGUS_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "fungus/fungus.h"
+
+namespace fungusdb {
+
+/// The paper's periodic clock: "The extent of table R decays with a
+/// periodic clock of T seconds using a data fungus F until it has
+/// completely disappeared."
+///
+/// The scheduler owns (table, fungus, period) attachments and replays the
+/// due ticks, in global time order, whenever AdvanceTo() moves the clock
+/// forward. Death observers fire after each tick with the tuples that
+/// died in it — their attribute values are still readable (tombstoned,
+/// not yet reclaimed), which is the hook the Kitchen uses to cook rotting
+/// tuples into summaries before reclamation frees them.
+class DecayScheduler {
+ public:
+  using AttachmentId = size_t;
+
+  /// (table, rows that died this tick, tick time).
+  using DeathObserver =
+      std::function<void(Table&, const std::vector<RowId>&, Timestamp)>;
+
+  /// Per-attachment cumulative statistics.
+  struct AttachmentStats {
+    uint64_t ticks = 0;
+    DecayStats decay;
+  };
+
+  DecayScheduler() = default;
+
+  DecayScheduler(const DecayScheduler&) = delete;
+  DecayScheduler& operator=(const DecayScheduler&) = delete;
+
+  /// Attaches `fungus` to `table` with clock period `period` (> 0).
+  /// The first tick fires at start_time + period. `table` must outlive
+  /// the scheduler.
+  Result<AttachmentId> Attach(Table* table, std::unique_ptr<Fungus> fungus,
+                              Duration period, Timestamp start_time);
+
+  /// Removes an attachment; its fungus is destroyed.
+  Status Detach(AttachmentId id);
+
+  /// Registers an observer called after every tick that killed tuples.
+  void AddDeathObserver(DeathObserver observer);
+
+  /// Runs every tick due at or before `now`, in chronological order
+  /// across attachments, then reclaims fully-dead segments. Returns the
+  /// number of ticks executed.
+  uint64_t AdvanceTo(Timestamp now);
+
+  /// Stats for an attachment (zeroed if detached/unknown).
+  AttachmentStats StatsFor(AttachmentId id) const;
+
+  size_t num_attachments() const;
+
+  /// Optional sink for scheduler counters ("decay.ticks",
+  /// "decay.tuples_killed", ...). Not owned.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ private:
+  struct Attachment {
+    Table* table = nullptr;
+    std::unique_ptr<Fungus> fungus;
+    Duration period = 0;
+    Timestamp next_tick = 0;
+    AttachmentStats stats;
+    bool active = false;
+  };
+
+  std::vector<Attachment> attachments_;
+  std::vector<DeathObserver> observers_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_FUNGUS_SCHEDULER_H_

@@ -1,0 +1,43 @@
+#include "fungus/sliding_window_fungus.h"
+
+#include <cassert>
+#include <vector>
+
+namespace fungusdb {
+
+SlidingWindowFungus::SlidingWindowFungus(uint64_t max_rows)
+    : max_rows_(max_rows) {
+  assert(max_rows > 0);
+}
+
+void SlidingWindowFungus::Tick(DecayContext& ctx) {
+  Table& table = ctx.table();
+  const uint64_t live = table.live_rows();
+  // Evict the oldest surplus tuples.
+  if (live > max_rows_) {
+    uint64_t surplus = live - max_rows_;
+    std::optional<RowId> cursor = table.OldestLive();
+    while (surplus > 0 && cursor.has_value()) {
+      const RowId victim = *cursor;
+      cursor = table.NextLive(victim);
+      ctx.Kill(victim);
+      --surplus;
+    }
+  }
+  // Freshness = fraction of the window still ahead of this tuple.
+  const uint64_t in_window = table.live_rows();
+  if (in_window == 0) return;
+  uint64_t position = 0;  // 0 = oldest in window
+  table.ForEachLive([&](RowId row) {
+    const double f = static_cast<double>(position + 1) /
+                     static_cast<double>(in_window);
+    ctx.SetFreshness(row, f);
+    ++position;
+  });
+}
+
+std::string SlidingWindowFungus::Describe() const {
+  return "sliding_window(max_rows=" + std::to_string(max_rows_) + ")";
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,31 @@
+#ifndef FUNGUSDB_FUNGUS_SLIDING_WINDOW_FUNGUS_H_
+#define FUNGUSDB_FUNGUS_SLIDING_WINDOW_FUNGUS_H_
+
+#include <string>
+
+#include "fungus/fungus.h"
+
+namespace fungusdb {
+
+/// Count-based sliding window, the streaming-systems baseline the paper
+/// nods to ("fundamental to streaming database systems"): keep only the
+/// newest `max_rows` tuples; each tick evicts the oldest surplus.
+/// Freshness reflects position in the window (newest = 1.0, about to be
+/// evicted = near 0).
+class SlidingWindowFungus : public Fungus {
+ public:
+  explicit SlidingWindowFungus(uint64_t max_rows);
+
+  std::string_view name() const override { return "sliding_window"; }
+  void Tick(DecayContext& ctx) override;
+  std::string Describe() const override;
+
+  uint64_t max_rows() const { return max_rows_; }
+
+ private:
+  uint64_t max_rows_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_FUNGUS_SLIDING_WINDOW_FUNGUS_H_

@@ -1,0 +1,139 @@
+#ifndef FUNGUSDB_PERSIST_JOURNAL_H_
+#define FUNGUSDB_PERSIST_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace fungusdb {
+
+/// One logical operation in the journal. The journal records the
+/// *inputs* to the database (DDL, inserts, time advances, SQL), not
+/// physical mutations: decay is deterministic given the attached fungi,
+/// so replaying the same inputs through the same configuration
+/// reproduces the same state. Fungi and cook specs are code — the
+/// application re-attaches them (same parameters, same order) before
+/// replay, exactly as after a snapshot restore.
+struct JournalEntry {
+  enum class Kind : uint8_t {
+    kCreateTable = 1,
+    kDropTable = 2,
+    kInsert = 3,
+    kAdvanceTime = 4,
+    kSql = 5,
+  };
+
+  Kind kind = Kind::kInsert;
+  std::string table_name;         // kCreateTable / kDropTable / kInsert
+  Schema schema;                  // kCreateTable
+  TableOptions table_options;     // kCreateTable
+  std::vector<Value> values;      // kInsert
+  Duration advance = 0;           // kAdvanceTime
+  std::string sql;                // kSql
+};
+
+/// Append-only journal file. Each entry is length-prefixed and
+/// checksummed (FNV-1a over the payload), so a torn tail write is
+/// detected and replay stops cleanly at the last intact entry.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending (created if absent).
+  static Result<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path);
+
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  Status Append(const JournalEntry& entry);
+
+  /// Flushes buffered entries to the OS.
+  Status Sync();
+
+  uint64_t entries_written() const { return entries_written_; }
+
+ private:
+  explicit JournalWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  uint64_t entries_written_ = 0;
+};
+
+/// Reads a journal back; stops at end-of-file or at the first corrupt
+/// entry (reported through truncated()).
+class JournalReader {
+ public:
+  static Result<std::unique_ptr<JournalReader>> Open(
+      const std::string& path);
+
+  ~JournalReader();
+
+  JournalReader(const JournalReader&) = delete;
+  JournalReader& operator=(const JournalReader&) = delete;
+
+  /// Next entry, or nullopt at the end of the intact prefix.
+  std::optional<JournalEntry> Next();
+
+  /// True when reading stopped because of a torn/corrupt tail rather
+  /// than a clean end of file.
+  bool truncated() const { return truncated_; }
+
+ private:
+  explicit JournalReader(std::string data) : data_(std::move(data)) {}
+
+  std::string data_;
+  size_t pos_ = 0;
+  bool truncated_ = false;
+};
+
+/// A Database wrapper that records every mutating call into a journal
+/// before applying it. Read paths go straight through `db()`.
+///
+///   auto journaled = JournaledDatabase::Open(db_options, "ops.journal");
+///   journaled->CreateTable(...);   // logged + applied
+///   journaled->ExecuteSql("CONSUME SELECT ...");  // logged (mutates R)
+///
+/// Recovery: construct a fresh Database, re-attach fungi/cook specs,
+/// then ReplayJournal().
+class JournaledDatabase {
+ public:
+  static Result<std::unique_ptr<JournaledDatabase>> Open(
+      DatabaseOptions options, const std::string& journal_path);
+
+  Database& db() { return db_; }
+
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             TableOptions table_options = {});
+  Status DropTable(const std::string& name);
+  Result<RowId> Insert(const std::string& table_name,
+                       const std::vector<Value>& values);
+  Result<uint64_t> AdvanceTime(Duration d);
+  /// Executes SQL; consuming statements are journaled, observing
+  /// SELECTs are not (they do not change state).
+  Result<ResultSet> ExecuteSql(std::string_view sql);
+
+  Status Sync() { return journal_->Sync(); }
+
+ private:
+  JournaledDatabase(DatabaseOptions options,
+                    std::unique_ptr<JournalWriter> journal)
+      : db_(options), journal_(std::move(journal)) {}
+
+  Database db_;
+  std::unique_ptr<JournalWriter> journal_;
+};
+
+/// Replays a journal into `db` (which must already have the same fungi
+/// and cook specs attached that the original run used). Returns the
+/// number of entries applied; fails fast on the first entry the
+/// database rejects.
+Result<uint64_t> ReplayJournal(Database& db, const std::string& path);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_PERSIST_JOURNAL_H_

@@ -1,0 +1,157 @@
+#include "persist/snapshot.h"
+
+#include <fstream>
+
+#include "storage/value_serde.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'G', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+void SerializeTable(const Table& table, BufferWriter& out) {
+  out.WriteString(table.name());
+  WriteSchema(out, table.schema());
+  out.WriteU64(table.options().rows_per_segment);
+  out.WriteBool(table.options().track_access);
+  out.WriteU64(table.live_rows());
+  const size_t num_fields = table.schema().num_fields();
+  table.ForEachLive([&](RowId row) {
+    out.WriteI64(table.InsertTime(row).value());
+    out.WriteDouble(table.Freshness(row));
+    for (size_t c = 0; c < num_fields; ++c) {
+      WriteValue(out, table.GetValue(row, c).value());
+    }
+  });
+}
+
+Result<Table> DeserializeTable(BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(std::string name, in.ReadString());
+  FUNGUSDB_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
+  TableOptions options;
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t rows_per_segment, in.ReadU64());
+  if (rows_per_segment == 0 || rows_per_segment > (1u << 26)) {
+    return Status::ParseError("implausible rows_per_segment");
+  }
+  options.rows_per_segment = rows_per_segment;
+  FUNGUSDB_ASSIGN_OR_RETURN(options.track_access, in.ReadBool());
+
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t rows, in.ReadU64());
+  Table table(std::move(name), std::move(schema), options);
+  const size_t num_fields = table.schema().num_fields();
+  for (uint64_t r = 0; r < rows; ++r) {
+    FUNGUSDB_ASSIGN_OR_RETURN(int64_t ts, in.ReadI64());
+    FUNGUSDB_ASSIGN_OR_RETURN(double freshness, in.ReadDouble());
+    if (!(freshness > 0.0) || freshness > 1.0) {
+      return Status::ParseError("snapshot row with non-live freshness");
+    }
+    std::vector<Value> values;
+    values.reserve(num_fields);
+    for (size_t c = 0; c < num_fields; ++c) {
+      FUNGUSDB_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+      values.push_back(std::move(v));
+    }
+    FUNGUSDB_ASSIGN_OR_RETURN(RowId row, table.Append(values, ts));
+    FUNGUSDB_RETURN_IF_ERROR(table.SetFreshness(row, freshness));
+  }
+  return table;
+}
+
+void SerializeDatabase(Database& db, BufferWriter& out) {
+  out.WriteString(std::string_view(kMagic, sizeof(kMagic)));
+  out.WriteU32(kVersion);
+  out.WriteI64(db.Now());
+  out.WriteDouble(db.options().cellar_eviction_threshold);
+  out.WriteBool(db.options().record_access);
+  const std::vector<std::string> names = db.TableNames();
+  out.WriteU64(names.size());
+  for (const std::string& name : names) {
+    SerializeTable(*db.GetTable(name).value(), out);
+  }
+  db.cellar().Serialize(out);
+}
+
+Result<std::unique_ptr<Database>> DeserializeDatabase(BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(std::string magic, in.ReadString());
+  if (magic != std::string_view(kMagic, sizeof(kMagic))) {
+    return Status::ParseError("not a FungusDB snapshot (bad magic)");
+  }
+  FUNGUSDB_ASSIGN_OR_RETURN(uint32_t version, in.ReadU32());
+  if (version != kVersion) {
+    return Status::ParseError("unsupported snapshot version " +
+                              std::to_string(version));
+  }
+  DatabaseOptions options;
+  FUNGUSDB_ASSIGN_OR_RETURN(options.start_time, in.ReadI64());
+  FUNGUSDB_ASSIGN_OR_RETURN(options.cellar_eviction_threshold,
+                            in.ReadDouble());
+  FUNGUSDB_ASSIGN_OR_RETURN(options.record_access, in.ReadBool());
+  auto db = std::make_unique<Database>(options);
+
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t num_tables, in.ReadU64());
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(Table loaded, DeserializeTable(in));
+    FUNGUSDB_ASSIGN_OR_RETURN(
+        Table * created,
+        db->CreateTable(loaded.name(), loaded.schema(), loaded.options()));
+    // Move the loaded contents into the database-owned table by
+    // replaying its live rows (Table is move-only but the database owns
+    // its tables; replay keeps the ownership story simple).
+    Status replay_status;
+    loaded.ForEachLive([&](RowId row) {
+      if (!replay_status.ok()) return;
+      std::vector<Value> values;
+      values.reserve(loaded.schema().num_fields());
+      for (size_t c = 0; c < loaded.schema().num_fields(); ++c) {
+        values.push_back(loaded.GetValue(row, c).value());
+      }
+      Result<RowId> appended =
+          created->Append(values, loaded.InsertTime(row).value());
+      if (!appended.ok()) {
+        replay_status = appended.status();
+        return;
+      }
+      replay_status =
+          created->SetFreshness(*appended, loaded.Freshness(row));
+    });
+    FUNGUSDB_RETURN_IF_ERROR(replay_status);
+  }
+  FUNGUSDB_RETURN_IF_ERROR(db->cellar().DeserializeInto(in));
+  if (!in.exhausted()) {
+    return Status::ParseError("trailing bytes after snapshot");
+  }
+  return db;
+}
+
+Status SaveDatabaseSnapshot(Database& db, const std::string& path) {
+  BufferWriter out;
+  SerializeDatabase(db, out);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  file.write(out.buffer().data(),
+             static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> LoadDatabaseSnapshot(
+    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  BufferReader reader(data);
+  return DeserializeDatabase(reader);
+}
+
+}  // namespace fungusdb

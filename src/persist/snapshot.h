@@ -1,0 +1,42 @@
+#ifndef FUNGUSDB_PERSIST_SNAPSHOT_H_
+#define FUNGUSDB_PERSIST_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/buffer_io.h"
+#include "common/result.h"
+#include "core/database.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+
+/// Appends a table snapshot: schema, options, and every *live* tuple
+/// with its insertion time and freshness. Snapshots compact: tombstoned
+/// and reclaimed tuples are not written, row ids are reassigned densely
+/// on load, and per-tuple access counters reset. Fungus state (e.g.
+/// EGI's infection set) is never part of a snapshot — fungi are code,
+/// re-attached by the application after restore.
+void SerializeTable(const Table& table, BufferWriter& out);
+
+/// Restores a table written by SerializeTable().
+Result<Table> DeserializeTable(BufferReader& in);
+
+/// Saves the whole database — virtual clock, every table, and the
+/// cellar (summaries with their decay state) — to `path`. The format is
+/// versioned ("FGDB", version 1) and restore is all-or-nothing.
+Status SaveDatabaseSnapshot(Database& db, const std::string& path);
+
+/// Loads a snapshot written by SaveDatabaseSnapshot(). The returned
+/// database has the saved virtual time and data, but no fungi and no
+/// cook specs — re-attach those before advancing time.
+Result<std::unique_ptr<Database>> LoadDatabaseSnapshot(
+    const std::string& path);
+
+/// In-memory variants (used by the file functions and by tests).
+void SerializeDatabase(Database& db, BufferWriter& out);
+Result<std::unique_ptr<Database>> DeserializeDatabase(BufferReader& in);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_PERSIST_SNAPSHOT_H_

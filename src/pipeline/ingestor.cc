@@ -1,0 +1,47 @@
+#include "pipeline/ingestor.h"
+
+#include <vector>
+
+namespace fungusdb {
+
+Ingestor::Ingestor(const Clock* clock, Kitchen* kitchen)
+    : clock_(clock), kitchen_(kitchen) {}
+
+Result<uint64_t> Ingestor::IngestBatch(RecordSource& source, Table& table,
+                                       uint64_t max_records) {
+  std::vector<RowId> appended;
+  for (uint64_t i = 0; i < max_records; ++i) {
+    std::optional<std::vector<Value>> record = source.Next();
+    if (!record.has_value()) break;
+    FUNGUSDB_ASSIGN_OR_RETURN(RowId row,
+                              table.Append(*record, clock_->Now()));
+    appended.push_back(row);
+  }
+  if (kitchen_ != nullptr && !appended.empty()) {
+    kitchen_->Cook(CookTrigger::kOnIngest, table, appended, clock_->Now());
+  }
+  total_ingested_ += appended.size();
+  return static_cast<uint64_t>(appended.size());
+}
+
+Result<uint64_t> Ingestor::IngestPaced(RecordSource& source, Table& table,
+                                       uint64_t max_records,
+                                       VirtualClock& vclock,
+                                       Duration inter_arrival) {
+  std::vector<RowId> appended;
+  for (uint64_t i = 0; i < max_records; ++i) {
+    std::optional<std::vector<Value>> record = source.Next();
+    if (!record.has_value()) break;
+    vclock.Advance(inter_arrival);
+    FUNGUSDB_ASSIGN_OR_RETURN(RowId row,
+                              table.Append(*record, vclock.Now()));
+    appended.push_back(row);
+  }
+  if (kitchen_ != nullptr && !appended.empty()) {
+    kitchen_->Cook(CookTrigger::kOnIngest, table, appended, vclock.Now());
+  }
+  total_ingested_ += appended.size();
+  return static_cast<uint64_t>(appended.size());
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,48 @@
+#ifndef FUNGUSDB_PIPELINE_INGESTOR_H_
+#define FUNGUSDB_PIPELINE_INGESTOR_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "pipeline/kitchen.h"
+#include "pipeline/source.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+
+/// Moves records from a source into a table, stamping each tuple with
+/// the current (virtual) time and optionally cooking it on the way in
+/// (the paper's "cook it into useful information a.s.a.p." policy).
+class Ingestor {
+ public:
+  /// `clock` is required; `kitchen` may be null (no ingest cooking).
+  /// Neither is owned.
+  Ingestor(const Clock* clock, Kitchen* kitchen);
+
+  Ingestor(const Ingestor&) = delete;
+  Ingestor& operator=(const Ingestor&) = delete;
+
+  /// Appends up to `max_records` from `source` into `table`, all
+  /// stamped with clock->Now(). Returns the number ingested (less than
+  /// `max_records` when the source dries up).
+  Result<uint64_t> IngestBatch(RecordSource& source, Table& table,
+                               uint64_t max_records);
+
+  /// Like IngestBatch but advances `vclock` by `inter_arrival` before
+  /// every record — a paced stream on virtual time.
+  Result<uint64_t> IngestPaced(RecordSource& source, Table& table,
+                               uint64_t max_records, VirtualClock& vclock,
+                               Duration inter_arrival);
+
+  uint64_t total_ingested() const { return total_ingested_; }
+
+ private:
+  const Clock* clock_;
+  Kitchen* kitchen_;
+  uint64_t total_ingested_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_PIPELINE_INGESTOR_H_

@@ -1,0 +1,80 @@
+#include "pipeline/kitchen.h"
+
+#include "common/logging.h"
+
+namespace fungusdb {
+
+Kitchen::Kitchen(Cellar* cellar) : cellar_(cellar) {}
+
+Status Kitchen::AddSpec(CookSpec spec) {
+  if (spec.table_name.empty()) {
+    return Status::InvalidArgument("cook spec needs a table name");
+  }
+  if (spec.cellar_name.empty()) {
+    return Status::InvalidArgument("cook spec needs a cellar entry name");
+  }
+  if (spec.column.empty()) {
+    return Status::InvalidArgument("cook spec needs a column");
+  }
+  if (spec.group_by.empty()) {
+    if (spec.factory == nullptr) {
+      return Status::InvalidArgument(
+          "ungrouped cook spec needs a summary factory");
+    }
+    // The ungrouped path downcasts to ColumnSummary; verify the factory
+    // honours that contract once, up front.
+    std::unique_ptr<Summary> probe = spec.factory();
+    if (probe == nullptr || probe->kind() == "grouped_aggregate") {
+      return Status::InvalidArgument(
+          "ungrouped cook spec factory must produce a column summary");
+    }
+  }
+  specs_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+uint64_t Kitchen::Cook(CookTrigger trigger, Table& table,
+                       const std::vector<RowId>& rows, Timestamp now) {
+  uint64_t cooked = 0;
+  for (const CookSpec& spec : specs_) {
+    if (spec.trigger != trigger || spec.table_name != table.name()) continue;
+
+    if (!spec.group_by.empty()) {
+      auto shard = std::make_unique<GroupedAggregate>();
+      for (RowId row : rows) {
+        Result<Value> key = table.GetValueByName(row, spec.group_by);
+        Result<Value> value = table.GetValueByName(row, spec.column);
+        if (!key.ok() || !value.ok()) continue;  // row already reclaimed
+        shard->Observe(*key, *value);
+        ++cooked;
+      }
+      Status merged = cellar_->MergeInto(spec.cellar_name, std::move(shard),
+                                         spec.half_life, now);
+      if (!merged.ok()) {
+        FUNGUSDB_LOG(Warning)
+            << "kitchen: merge into '" << spec.cellar_name
+            << "' failed: " << merged.ToString();
+      }
+      continue;
+    }
+
+    std::unique_ptr<Summary> shard = spec.factory();
+    auto* column_summary = static_cast<ColumnSummary*>(shard.get());
+    for (RowId row : rows) {
+      Result<Value> value = table.GetValueByName(row, spec.column);
+      if (!value.ok()) continue;  // row already reclaimed
+      column_summary->Observe(*value);
+      ++cooked;
+    }
+    Status merged = cellar_->MergeInto(spec.cellar_name, std::move(shard),
+                                       spec.half_life, now);
+    if (!merged.ok()) {
+      FUNGUSDB_LOG(Warning) << "kitchen: merge into '" << spec.cellar_name
+                            << "' failed: " << merged.ToString();
+    }
+  }
+  rows_cooked_ += cooked;
+  return cooked;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,90 @@
+#ifndef FUNGUSDB_PIPELINE_KITCHEN_H_
+#define FUNGUSDB_PIPELINE_KITCHEN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "summary/cellar.h"
+#include "summary/grouped_aggregate.h"
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// When a cooking rule fires.
+enum class CookTrigger {
+  /// As tuples enter R — "cook it into useful information a.s.a.p.",
+  /// the ingestion-pipeline policy.
+  kOnIngest,
+
+  /// As tuples leave R — killed by a fungus or consumed by a Law-2
+  /// query. Their values are still readable (tombstoned, pre-reclaim);
+  /// this is "turn rotting portions into summaries for later
+  /// consumption".
+  kOnRot,
+};
+
+/// One cooking rule: which tuples (table + trigger), what to distill
+/// (a column, optionally grouped by another column), into which cellar
+/// entry, and how fast the cooked knowledge itself decays.
+struct CookSpec {
+  std::string table_name;
+  CookTrigger trigger = CookTrigger::kOnRot;
+
+  /// Cellar entry the distillate merges into.
+  std::string cellar_name;
+
+  /// Column whose values are fed to the summary. May be a system
+  /// column (`__ts`, `__freshness`).
+  std::string column;
+
+  /// When non-empty, cook a GroupedAggregate of `column` keyed by this
+  /// column; `factory` is ignored.
+  std::string group_by;
+
+  /// Creates an empty summary shard for one batch (must be a
+  /// ColumnSummary unless group_by is set).
+  std::function<std::unique_ptr<Summary>()> factory;
+
+  /// Half-life of the cellar entry; <= 0 keeps it forever.
+  Duration half_life = 0;
+};
+
+/// Applies cooking rules to batches of tuples and merges the distillates
+/// into the cellar. Wired by the Database as a DecayScheduler death
+/// observer, a QueryEngine consume observer, and the Ingestor's
+/// post-append hook.
+class Kitchen {
+ public:
+  /// `cellar` must outlive the kitchen.
+  explicit Kitchen(Cellar* cellar);
+
+  Kitchen(const Kitchen&) = delete;
+  Kitchen& operator=(const Kitchen&) = delete;
+
+  /// Validates and registers a rule.
+  Status AddSpec(CookSpec spec);
+
+  size_t num_specs() const { return specs_.size(); }
+
+  /// Applies every matching rule with the given trigger to `rows` of
+  /// `table`. Rows must still have readable attribute values.
+  /// Returns the number of (rule, row) pairs cooked.
+  uint64_t Cook(CookTrigger trigger, Table& table,
+                const std::vector<RowId>& rows, Timestamp now);
+
+  uint64_t rows_cooked() const { return rows_cooked_; }
+
+ private:
+  Cellar* cellar_;
+  std::vector<CookSpec> specs_;
+  uint64_t rows_cooked_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_PIPELINE_KITCHEN_H_

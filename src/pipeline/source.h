@@ -1,0 +1,55 @@
+#ifndef FUNGUSDB_PIPELINE_SOURCE_H_
+#define FUNGUSDB_PIPELINE_SOURCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace fungusdb {
+
+/// A stream of records to ingest — the front of the paper's "data
+/// ingestion pipeline". Implementations are the synthetic workload
+/// generators in src/workload (IoT sensors, clickstream, ticks) and the
+/// fixture sources used in tests.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  RecordSource(const RecordSource&) = delete;
+  RecordSource& operator=(const RecordSource&) = delete;
+
+  /// Schema every produced record conforms to.
+  virtual const Schema& schema() const = 0;
+
+  /// Produces the next record, or nullopt when the source is exhausted.
+  /// Generators are typically unbounded.
+  virtual std::optional<std::vector<Value>> Next() = 0;
+
+ protected:
+  RecordSource() = default;
+};
+
+/// In-memory source over a fixed vector of rows (tests, examples).
+class VectorSource : public RecordSource {
+ public:
+  VectorSource(Schema schema, std::vector<std::vector<Value>> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const override { return schema_; }
+
+  std::optional<std::vector<Value>> Next() override {
+    if (next_ >= rows_.size()) return std::nullopt;
+    return rows_[next_++];
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+  size_t next_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_PIPELINE_SOURCE_H_

@@ -1,0 +1,495 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "query/binder.h"
+#include "query/evaluator.h"
+
+namespace fungusdb {
+namespace {
+
+/// Accumulator for one aggregate select item within one group.
+struct AggAccumulator {
+  uint64_t count = 0;
+  int64_t sum_i = 0;
+  double sum_d = 0.0;
+  // Freshness-weighted state (FCOUNT/FSUM/FAVG): each observation
+  // contributes its tuple's current freshness instead of 1.
+  double weighted_count = 0.0;
+  double weighted_sum = 0.0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  Status Observe(const Value& v, double freshness) {
+    if (v.is_null()) return Status::OK();
+    ++count;
+    weighted_count += freshness;
+    if (IsNumeric(v.type())) {
+      FUNGUSDB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+      sum_d += d;
+      weighted_sum += freshness * d;
+      if (v.type() == DataType::kInt64) sum_i += v.AsInt64();
+    }
+    if (!min.has_value()) {
+      min = v;
+      max = v;
+    } else {
+      FUNGUSDB_ASSIGN_OR_RETURN(int cmp_min, v.Compare(*min));
+      if (cmp_min < 0) min = v;
+      FUNGUSDB_ASSIGN_OR_RETURN(int cmp_max, v.Compare(*max));
+      if (cmp_max > 0) max = v;
+    }
+    return Status::OK();
+  }
+
+  Value Finalize(AggFn fn, std::optional<DataType> result_type) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::Int64(static_cast<int64_t>(count));
+      case AggFn::kSum:
+        if (count == 0) return Value::Null();
+        if (result_type == DataType::kInt64) return Value::Int64(sum_i);
+        return Value::Float64(sum_d);
+      case AggFn::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Float64(sum_d / static_cast<double>(count));
+      case AggFn::kMin:
+        return min.value_or(Value::Null());
+      case AggFn::kMax:
+        return max.value_or(Value::Null());
+      case AggFn::kFCount:
+        return Value::Float64(weighted_count);
+      case AggFn::kFSum:
+        if (count == 0) return Value::Null();
+        return Value::Float64(weighted_sum);
+      case AggFn::kFAvg:
+        if (count == 0 || weighted_count == 0.0) return Value::Null();
+        return Value::Float64(weighted_sum / weighted_count);
+    }
+    return Value::Null();
+  }
+};
+
+/// Fast-path predicate: `numeric_column <cmp> numeric_literal`. The
+/// generic evaluator resolves the row id back to a segment and boxes a
+/// Value per cell; this form is common enough (point lookups, range
+/// scans, retention cutoffs) to deserve a typed scan over the segments.
+struct FastPredicate {
+  ColumnSource source = ColumnSource::kUser;
+  size_t col = 0;
+  DataType col_type = DataType::kInt64;
+  BinaryOp op = BinaryOp::kEq;
+  double rhs = 0.0;
+
+  bool Matches(double lhs) const {
+    switch (op) {
+      case BinaryOp::kEq:
+        return lhs == rhs;
+      case BinaryOp::kNe:
+        return lhs != rhs;
+      case BinaryOp::kLt:
+        return lhs < rhs;
+      case BinaryOp::kLe:
+        return lhs <= rhs;
+      case BinaryOp::kGt:
+        return lhs > rhs;
+      default:
+        return lhs >= rhs;
+    }
+  }
+};
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<FastPredicate> TryCompileFastPredicate(
+    const BoundExpr& expr) {
+  if (expr.kind != Expr::Kind::kBinary || !IsComparison(expr.binary_op)) {
+    return std::nullopt;
+  }
+  const BoundExpr& lhs = expr.children[0];
+  const BoundExpr& rhs = expr.children[1];
+  if (lhs.kind != Expr::Kind::kColumnRef ||
+      rhs.kind != Expr::Kind::kLiteral || rhs.literal.is_null()) {
+    return std::nullopt;
+  }
+  if (!lhs.result_type.has_value() || !IsNumeric(*lhs.result_type) ||
+      !IsNumeric(rhs.literal.type())) {
+    return std::nullopt;
+  }
+  FastPredicate fast;
+  fast.source = lhs.col_source;
+  fast.col = lhs.col_index;
+  fast.col_type = *lhs.result_type;
+  fast.op = expr.binary_op;
+  fast.rhs = rhs.literal.ToDouble().value();
+  return fast;
+}
+
+/// Scans one segment with the compiled predicate, appending matches.
+void ScanSegmentFast(const Segment& seg, const FastPredicate& fast,
+                     std::vector<RowId>& matched, uint64_t& scanned) {
+  const size_t n = seg.num_rows();
+  const Column* column =
+      fast.source == ColumnSource::kUser ? &seg.column(fast.col) : nullptr;
+  for (size_t off = 0; off < n; ++off) {
+    if (!seg.IsLive(off)) continue;
+    ++scanned;
+    double lhs = 0.0;
+    switch (fast.source) {
+      case ColumnSource::kTimestamp:
+        lhs = static_cast<double>(seg.InsertTime(off));
+        break;
+      case ColumnSource::kFreshness:
+        lhs = seg.Freshness(off);
+        break;
+      case ColumnSource::kUser: {
+        if (column->IsNull(off)) continue;  // null comparison -> excluded
+        switch (fast.col_type) {
+          case DataType::kInt64:
+            lhs = static_cast<double>(
+                static_cast<const Int64Column*>(column)->at(off));
+            break;
+          case DataType::kFloat64:
+            lhs = static_cast<const Float64Column*>(column)->at(off);
+            break;
+          default:  // kTimestamp
+            lhs = static_cast<double>(
+                static_cast<const TimestampColumn*>(column)->at(off));
+            break;
+        }
+        break;
+      }
+    }
+    if (fast.Matches(lhs)) matched.push_back(seg.first_row() + off);
+  }
+}
+
+/// Name shown for a select item without an alias.
+std::string ItemName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind() == Expr::Kind::kColumnRef) {
+    return item.expr->column_name();
+  }
+  return item.expr->ToString();
+}
+
+/// Composite group key with a non-printable separator.
+std::string GroupKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key += v.is_null() ? "\x01" : v.ToString();
+    key += '\x1F';
+  }
+  return key;
+}
+
+Status SortRows(ResultSet& result, const OrderBy& order) {
+  const int col = result.FindColumn(order.column);
+  if (col < 0) {
+    return Status::NotFound("ORDER BY column '" + order.column +
+                            "' is not in the select list");
+  }
+  Status sort_status;
+  std::stable_sort(
+      result.rows.begin(), result.rows.end(),
+      [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+        const Value& va = a[static_cast<size_t>(col)];
+        const Value& vb = b[static_cast<size_t>(col)];
+        // Nulls sort last regardless of direction.
+        if (va.is_null() || vb.is_null()) return !va.is_null();
+        Result<int> cmp = va.Compare(vb);
+        if (!cmp.ok()) {
+          if (sort_status.ok()) sort_status = cmp.status();
+          return false;
+        }
+        return order.descending ? *cmp > 0 : *cmp < 0;
+      });
+  return sort_status;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(QueryEngineOptions options) : options_(options) {}
+
+void QueryEngine::AddConsumeObserver(ConsumeObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
+                                       Timestamp now) {
+  const Schema& schema = table.schema();
+
+  // --- Analyze the select list. ---
+  bool has_aggregate = !query.group_by.empty();
+  for (const SelectItem& item : query.items) {
+    if (item.expr->ContainsAggregate()) has_aggregate = true;
+  }
+  if (has_aggregate && query.items.empty()) {
+    return Status::InvalidArgument(
+        "SELECT * cannot be combined with aggregation");
+  }
+
+  // Bind WHERE.
+  std::optional<BoundExpr> where;
+  if (query.where != nullptr) {
+    if (query.where->ContainsAggregate()) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    FUNGUSDB_ASSIGN_OR_RETURN(BoundExpr bound, Bind(*query.where, schema));
+    if (bound.result_type.has_value() &&
+        bound.result_type != DataType::kBool) {
+      return Status::TypeMismatch("WHERE must be a boolean expression");
+    }
+    where = std::move(bound);
+  }
+
+  // Bind the select list.
+  struct BoundItem {
+    std::string name;
+    BoundExpr expr;
+  };
+  std::vector<BoundItem> items;
+  for (const SelectItem& item : query.items) {
+    FUNGUSDB_ASSIGN_OR_RETURN(BoundExpr bound, Bind(*item.expr, schema));
+    items.push_back({ItemName(item), std::move(bound)});
+  }
+
+  // A select item "covers" a GROUP BY entry when the entry names its
+  // alias (enabling GROUP BY over computed expressions such as
+  // time_bucket(__ts, ...)) or, for bare column refs, the column.
+  auto covers = [](const BoundItem& item, const std::string& entry) {
+    if (item.expr.is_aggregate()) return false;
+    if (item.name == entry) return true;
+    return item.expr.kind == Expr::Kind::kColumnRef &&
+           item.expr.col_name == entry;
+  };
+
+  // Aggregate-query shape checks: bare expressions must be grouped on.
+  if (has_aggregate) {
+    for (const BoundItem& item : items) {
+      if (item.expr.is_aggregate()) continue;
+      bool grouped = false;
+      for (const std::string& entry : query.group_by) {
+        if (covers(item, entry)) grouped = true;
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "non-aggregate select item '" + item.name +
+            "' must be a GROUP BY column");
+      }
+    }
+  }
+
+  // Bind GROUP BY entries: a select-list alias wins over a table column
+  // of the same name.
+  std::vector<BoundExpr> group_exprs;
+  for (const std::string& entry : query.group_by) {
+    const BoundItem* aliased = nullptr;
+    for (const BoundItem& item : items) {
+      if (!item.expr.is_aggregate() && item.name == entry) {
+        aliased = &item;
+        break;
+      }
+    }
+    if (aliased != nullptr) {
+      group_exprs.push_back(aliased->expr);
+    } else {
+      FUNGUSDB_ASSIGN_OR_RETURN(BoundExpr bound,
+                                Bind(*Expr::Column(entry), schema));
+      group_exprs.push_back(std::move(bound));
+    }
+  }
+
+  // --- Scan & filter. ---
+  ResultSet result;
+  std::vector<RowId> matched;
+  std::optional<FastPredicate> fast;
+  if (where.has_value()) fast = TryCompileFastPredicate(*where);
+  if (fast.has_value()) {
+    // Typed scan: read column vectors directly, no per-row id
+    // resolution and no Value boxing.
+    table.ForEachLiveSegment([&](const Segment& seg) {
+      ScanSegmentFast(seg, *fast, matched, result.stats.rows_scanned);
+    });
+  } else {
+    Status scan_status;
+    table.ForEachLive([&](RowId row) {
+      if (!scan_status.ok()) return;
+      ++result.stats.rows_scanned;
+      if (where.has_value()) {
+        Result<bool> pass = EvalPredicate(*where, table, row);
+        if (!pass.ok()) {
+          scan_status = pass.status();
+          return;
+        }
+        if (!*pass) return;
+      }
+      matched.push_back(row);
+    });
+    FUNGUSDB_RETURN_IF_ERROR(scan_status);
+  }
+  result.stats.rows_matched = matched.size();
+
+  if (options_.record_access && table.options().track_access) {
+    for (RowId row : matched) table.RecordAccess(row);
+  }
+
+  // --- Project / aggregate. ---
+  if (!has_aggregate) {
+    if (query.items.empty()) {
+      // SELECT *: all user columns in schema order.
+      for (const Field& f : schema.fields()) {
+        result.column_names.push_back(f.name);
+      }
+      result.rows.reserve(matched.size());
+      for (RowId row : matched) {
+        std::vector<Value> out_row;
+        out_row.reserve(schema.num_fields());
+        for (size_t c = 0; c < schema.num_fields(); ++c) {
+          FUNGUSDB_ASSIGN_OR_RETURN(Value v, table.GetValue(row, c));
+          out_row.push_back(std::move(v));
+        }
+        result.rows.push_back(std::move(out_row));
+      }
+    } else {
+      for (const BoundItem& item : items) {
+        result.column_names.push_back(item.name);
+      }
+      result.rows.reserve(matched.size());
+      for (RowId row : matched) {
+        std::vector<Value> out_row;
+        out_row.reserve(items.size());
+        for (const BoundItem& item : items) {
+          FUNGUSDB_ASSIGN_OR_RETURN(Value v,
+                                    EvalScalar(item.expr, table, row));
+          out_row.push_back(std::move(v));
+        }
+        result.rows.push_back(std::move(out_row));
+      }
+    }
+  } else {
+    for (const BoundItem& item : items) {
+      result.column_names.push_back(item.name);
+    }
+    struct Group {
+      std::vector<Value> key_values;          // one per group_by column
+      std::vector<AggAccumulator> accumulators;  // one per aggregate item
+    };
+    std::map<std::string, Group> groups;
+    const size_t num_aggs = items.size();
+
+    for (RowId row : matched) {
+      std::vector<Value> key_values;
+      key_values.reserve(group_exprs.size());
+      for (const BoundExpr& g : group_exprs) {
+        FUNGUSDB_ASSIGN_OR_RETURN(Value v, EvalScalar(g, table, row));
+        key_values.push_back(std::move(v));
+      }
+      auto [it, inserted] =
+          groups.try_emplace(GroupKey(key_values));
+      if (inserted) {
+        it->second.key_values = key_values;
+        it->second.accumulators.resize(num_aggs);
+      }
+      Group& group = it->second;
+      const double freshness = table.Freshness(row);
+      for (size_t i = 0; i < items.size(); ++i) {
+        const BoundExpr& e = items[i].expr;
+        if (!e.is_aggregate()) continue;
+        if (e.agg_is_star()) {
+          FUNGUSDB_RETURN_IF_ERROR(
+              group.accumulators[i].Observe(Value::Int64(1), freshness));
+        } else {
+          FUNGUSDB_ASSIGN_OR_RETURN(Value v,
+                                    EvalScalar(e.children[0], table, row));
+          FUNGUSDB_RETURN_IF_ERROR(
+              group.accumulators[i].Observe(v, freshness));
+        }
+      }
+    }
+
+    // Global aggregation over an empty input still yields one row.
+    if (groups.empty() && query.group_by.empty()) {
+      Group empty;
+      empty.accumulators.resize(num_aggs);
+      groups.emplace("", std::move(empty));
+    }
+
+    for (const auto& [key, group] : groups) {
+      std::vector<Value> out_row;
+      out_row.reserve(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        const BoundExpr& e = items[i].expr;
+        if (e.is_aggregate()) {
+          out_row.push_back(
+              group.accumulators[i].Finalize(e.agg_fn, e.result_type));
+        } else {
+          // A grouped item: find its position among group_by entries.
+          size_t pos = 0;
+          for (size_t g = 0; g < query.group_by.size(); ++g) {
+            if (covers(items[i], query.group_by[g])) pos = g;
+          }
+          out_row.push_back(group.key_values[pos]);
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+  }
+
+  // --- DISTINCT / ORDER BY / LIMIT. ---
+  if (query.distinct) {
+    // Collapse duplicate output rows, keeping first occurrences in
+    // order. Keys render through Value::ToString (nulls distinct from
+    // every non-null, equal to each other).
+    std::set<std::string> seen;
+    std::vector<std::vector<Value>> unique_rows;
+    for (std::vector<Value>& row : result.rows) {
+      std::string key;
+      for (const Value& v : row) {
+        key += v.is_null() ? "\x01" : v.ToString();
+        key += '\x1F';
+      }
+      if (seen.insert(std::move(key)).second) {
+        unique_rows.push_back(std::move(row));
+      }
+    }
+    result.rows = std::move(unique_rows);
+  }
+  if (query.order_by.has_value()) {
+    FUNGUSDB_RETURN_IF_ERROR(SortRows(result, *query.order_by));
+  }
+  if (query.limit.has_value() && result.rows.size() > *query.limit) {
+    result.rows.resize(*query.limit);
+  }
+
+  // --- Law 2: consume σ_P(R). ---
+  if (query.consuming && !matched.empty()) {
+    for (RowId row : matched) {
+      FUNGUSDB_RETURN_IF_ERROR(table.Kill(row));
+    }
+    result.stats.rows_consumed = matched.size();
+    for (const ConsumeObserver& obs : observers_) {
+      obs(table, matched, now);
+    }
+    table.ReclaimDeadSegments();
+  }
+
+  return result;
+}
+
+}  // namespace fungusdb

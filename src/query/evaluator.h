@@ -1,0 +1,25 @@
+#ifndef FUNGUSDB_QUERY_EVALUATOR_H_
+#define FUNGUSDB_QUERY_EVALUATOR_H_
+
+#include "common/result.h"
+#include "query/binder.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+
+/// Evaluates a bound scalar expression against one tuple. SQL null
+/// semantics: comparisons and arithmetic with a null operand yield null;
+/// AND/OR use three-valued logic; IS [NOT] NULL always yields a bool.
+/// Fails on aggregate nodes (those are folded by the engine) and on
+/// division by zero.
+Result<Value> EvalScalar(const BoundExpr& expr, const Table& table,
+                         RowId row);
+
+/// True iff the predicate evaluates to (non-null) true for the tuple —
+/// the WHERE acceptance rule.
+Result<bool> EvalPredicate(const BoundExpr& expr, const Table& table,
+                           RowId row);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_QUERY_EVALUATOR_H_

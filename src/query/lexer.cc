@@ -1,0 +1,140 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr std::string_view kKeywords[] = {
+    "SELECT", "CONSUME", "FROM",  "WHERE", "GROUP",  "BY",    "ORDER",
+    "LIMIT",  "AND",     "OR",    "NOT",   "IS",     "NULL",  "TRUE",
+    "FALSE",  "AS",      "ASC",   "DESC",  "BETWEEN", "DISTINCT"};
+
+bool IsKeywordWord(std::string_view upper) {
+  for (std::string_view kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (IsKeywordWord(upper)) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      if (i < n && input[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(input[i]))) {
+          return Status::ParseError("malformed exponent at offset " +
+                                    std::to_string(start));
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        std::string(input.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string payload;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            payload.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        payload.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(payload), start});
+      continue;
+    }
+    if (c == '*') {
+      tokens.push_back({TokenType::kStar, "*", start});
+      ++i;
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      const std::string_view two = input.substr(i, 2);
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+        tokens.push_back(
+            {TokenType::kOperator, two == "<>" ? "!=" : std::string(two),
+             start});
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string_view("=<>+-/%(),.").find(c) != std::string_view::npos) {
+      tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,43 @@
+#ifndef FUNGUSDB_QUERY_LEXER_H_
+#define FUNGUSDB_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fungusdb {
+
+enum class TokenType {
+  kKeyword,     // SELECT, FROM, WHERE, ... (uppercased in `text`)
+  kIdentifier,  // table / column names (case preserved)
+  kInteger,     // 42
+  kFloat,       // 3.14, 1e-3
+  kString,      // 'abc' (text holds the unquoted, unescaped payload)
+  kOperator,    // = != <> < <= > >= + - * / % ( ) , .
+  kStar,        // * (only when used as SELECT * / COUNT(*))
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Splits a statement into tokens. Keywords are recognized
+/// case-insensitively and normalized to upper case; `*` is emitted as
+/// kStar. Fails with ParseError on malformed literals or stray bytes.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_QUERY_LEXER_H_

@@ -1,0 +1,36 @@
+#include "query/query.h"
+
+namespace fungusdb {
+
+std::string Query::ToString() const {
+  std::string out;
+  if (consuming) out += "CONSUME ";
+  out += "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (items.empty()) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += items[i].expr->ToString();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  out += " FROM " + table_name;
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i];
+    }
+  }
+  if (order_by.has_value()) {
+    out += " ORDER BY " + order_by->column +
+           (order_by->descending ? " DESC" : " ASC");
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,46 @@
+#ifndef FUNGUSDB_QUERY_QUERY_H_
+#define FUNGUSDB_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+
+namespace fungusdb {
+
+/// One SELECT-list entry; `alias` may be empty (a name is derived from
+/// the expression).
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct OrderBy {
+  std::string column;  // output column name
+  bool descending = false;
+};
+
+/// The paper's A = Q(T, R, P): target expressions T (select list), the
+/// relation R (table_name), and predicate P (where). When `consuming` is
+/// true the query follows the second natural law — every tuple that
+/// entered the answer set is removed from R as part of execution.
+struct Query {
+  bool consuming = false;
+  /// SELECT DISTINCT: duplicate output rows are collapsed (after
+  /// projection/aggregation, before ORDER BY and LIMIT).
+  bool distinct = false;
+  std::vector<SelectItem> items;  // empty => SELECT *
+  std::string table_name;
+  ExprPtr where;  // null => all live tuples match
+  std::vector<std::string> group_by;
+  std::optional<OrderBy> order_by;
+  std::optional<uint64_t> limit;
+
+  /// Round-trippable SQL-ish rendering.
+  std::string ToString() const;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_QUERY_QUERY_H_

@@ -1,0 +1,53 @@
+#include "query/result_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fungusdb {
+
+int ResultSet::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (column_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  // Compute column widths over the header plus the printed rows.
+  const size_t printed = std::min(max_rows, rows.size());
+  std::vector<size_t> widths(column_names.size());
+  std::vector<std::vector<std::string>> cells(printed);
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    widths[c] = column_names[c].size();
+  }
+  for (size_t r = 0; r < printed; ++r) {
+    cells[r].reserve(column_names.size());
+    for (size_t c = 0; c < column_names.size(); ++c) {
+      cells[r].push_back(rows[r][c].ToString());
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& fields) {
+    os << "|";
+    for (size_t c = 0; c < fields.size(); ++c) {
+      os << " " << fields[c]
+         << std::string(widths[c] - fields[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(column_names);
+  os << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (size_t r = 0; r < printed; ++r) emit_row(cells[r]);
+  if (rows.size() > printed) {
+    os << "... (" << rows.size() - printed << " more rows)\n";
+  }
+  os << "(" << rows.size() << " rows)\n";
+  return os.str();
+}
+
+}  // namespace fungusdb

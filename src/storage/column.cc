@@ -1,0 +1,21 @@
+#include "storage/column.h"
+
+namespace fungusdb {
+
+std::unique_ptr<Column> MakeColumn(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return std::make_unique<Int64Column>();
+    case DataType::kFloat64:
+      return std::make_unique<Float64Column>();
+    case DataType::kString:
+      return std::make_unique<StringColumn>();
+    case DataType::kBool:
+      return std::make_unique<BoolColumn>();
+    case DataType::kTimestamp:
+      return std::make_unique<TimestampColumn>();
+  }
+  return nullptr;
+}
+
+}  // namespace fungusdb

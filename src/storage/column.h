@@ -1,0 +1,200 @@
+#ifndef FUNGUSDB_STORAGE_COLUMN_H_
+#define FUNGUSDB_STORAGE_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/datatype.h"
+#include "storage/value.h"
+
+namespace fungusdb {
+
+/// Append-only typed column with a validity bitmap. One Column per field
+/// per segment. Access by position is bounds-checked only in debug
+/// builds; callers (Segment) own the invariant that positions are valid.
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  virtual DataType type() const = 0;
+  virtual size_t size() const = 0;
+
+  /// Appends a value; must be null (on nullable columns) or of the
+  /// column's type — the Segment validates before calling.
+  virtual void Append(const Value& value) = 0;
+
+  /// Cell as a dynamic Value (null if invalid).
+  virtual Value GetValue(size_t pos) const = 0;
+
+  virtual bool IsNull(size_t pos) const = 0;
+
+  /// Heap bytes held by this column.
+  virtual size_t MemoryUsage() const = 0;
+
+ protected:
+  Column() = default;
+};
+
+namespace internal_column {
+
+/// Maps a storage C++ type to its DataType tag and Value conversions.
+template <typename T>
+struct ColumnTraits;
+
+template <>
+struct ColumnTraits<int64_t> {
+  static constexpr DataType kType = DataType::kInt64;
+  static Value Wrap(int64_t v) { return Value::Int64(v); }
+  static int64_t Unwrap(const Value& v) { return v.AsInt64(); }
+};
+
+template <>
+struct ColumnTraits<double> {
+  static constexpr DataType kType = DataType::kFloat64;
+  static Value Wrap(double v) { return Value::Float64(v); }
+  static double Unwrap(const Value& v) { return v.AsFloat64(); }
+};
+
+template <>
+struct ColumnTraits<std::string> {
+  static constexpr DataType kType = DataType::kString;
+  static Value Wrap(std::string v) { return Value::String(std::move(v)); }
+  static std::string Unwrap(const Value& v) { return v.AsString(); }
+};
+
+template <>
+struct ColumnTraits<bool> {
+  static constexpr DataType kType = DataType::kBool;
+  static Value Wrap(bool v) { return Value::Bool(v); }
+  static bool Unwrap(const Value& v) { return v.AsBool(); }
+};
+
+}  // namespace internal_column
+
+/// Concrete column storing `T` contiguously. `TimestampColumn` is a
+/// distinct subclass because Timestamp aliases int64_t.
+template <typename T>
+class TypedColumn : public Column {
+ public:
+  TypedColumn() = default;
+
+  DataType type() const override {
+    return internal_column::ColumnTraits<T>::kType;
+  }
+  size_t size() const override { return data_.size(); }
+
+  void Append(const Value& value) override {
+    if (value.is_null()) {
+      data_.push_back(T{});
+      valid_.push_back(false);
+    } else {
+      data_.push_back(internal_column::ColumnTraits<T>::Unwrap(value));
+      valid_.push_back(true);
+    }
+  }
+
+  /// Typed fast-path append (non-null).
+  void AppendTyped(T v) {
+    data_.push_back(std::move(v));
+    valid_.push_back(true);
+  }
+
+  Value GetValue(size_t pos) const override {
+    assert(pos < data_.size());
+    if (!valid_[pos]) return Value::Null();
+    return internal_column::ColumnTraits<T>::Wrap(data_[pos]);
+  }
+
+  bool IsNull(size_t pos) const override {
+    assert(pos < valid_.size());
+    return !valid_[pos];
+  }
+
+  /// Raw typed access for vectorized evaluation; caller checks IsNull.
+  const T& at(size_t pos) const {
+    assert(pos < data_.size());
+    return data_[pos];
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+  size_t MemoryUsage() const override {
+    size_t bytes = data_.capacity() * sizeof(T) + valid_.capacity() / 8;
+    if constexpr (std::is_same_v<T, std::string>) {
+      for (const std::string& s : data_) bytes += s.capacity();
+    }
+    return bytes;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::vector<bool> valid_;
+};
+
+using Int64Column = TypedColumn<int64_t>;
+using Float64Column = TypedColumn<double>;
+using StringColumn = TypedColumn<std::string>;
+using BoolColumn = TypedColumn<bool>;
+
+/// Timestamp column: same layout as Int64Column, distinct DataType.
+class TimestampColumn : public Column {
+ public:
+  TimestampColumn() = default;
+
+  DataType type() const override { return DataType::kTimestamp; }
+  size_t size() const override { return data_.size(); }
+
+  void Append(const Value& value) override {
+    if (value.is_null()) {
+      data_.push_back(0);
+      valid_.push_back(false);
+    } else {
+      data_.push_back(value.AsTimestamp());
+      valid_.push_back(true);
+    }
+  }
+
+  void AppendTyped(Timestamp t) {
+    data_.push_back(t);
+    valid_.push_back(true);
+  }
+
+  Value GetValue(size_t pos) const override {
+    assert(pos < data_.size());
+    if (!valid_[pos]) return Value::Null();
+    return Value::TimestampVal(data_[pos]);
+  }
+
+  bool IsNull(size_t pos) const override {
+    assert(pos < valid_.size());
+    return !valid_[pos];
+  }
+
+  Timestamp at(size_t pos) const {
+    assert(pos < data_.size());
+    return data_[pos];
+  }
+
+  size_t MemoryUsage() const override {
+    return data_.capacity() * sizeof(Timestamp) + valid_.capacity() / 8;
+  }
+
+ private:
+  std::vector<Timestamp> data_;
+  std::vector<bool> valid_;
+};
+
+/// Creates an empty column of the given type.
+std::unique_ptr<Column> MakeColumn(DataType type);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_STORAGE_COLUMN_H_

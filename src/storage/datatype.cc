@@ -1,0 +1,26 @@
+#include "storage/datatype.h"
+
+namespace fungusdb {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kFloat64 ||
+         type == DataType::kTimestamp;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,25 @@
+#ifndef FUNGUSDB_STORAGE_DATATYPE_H_
+#define FUNGUSDB_STORAGE_DATATYPE_H_
+
+#include <string_view>
+
+namespace fungusdb {
+
+/// Column data types supported by the storage engine.
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,
+  kBool,
+  kTimestamp,
+};
+
+/// Canonical lowercase name ("int64", "float64", ...).
+std::string_view DataTypeName(DataType type);
+
+/// True for types with a total numeric order usable in range predicates.
+bool IsNumeric(DataType type);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_STORAGE_DATATYPE_H_

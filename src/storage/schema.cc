@@ -1,0 +1,51 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+namespace fungusdb {
+
+std::string Field::ToString() const {
+  std::string out = name;
+  out += " ";
+  out += DataTypeName(type);
+  if (nullable) out += " null";
+  return out;
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("field name must not be empty");
+    }
+    if (f.name.rfind("__", 0) == 0) {
+      return Status::InvalidArgument("field name '" + f.name +
+                                     "' uses the reserved '__' prefix");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate field name '" + f.name + "'");
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,75 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fungusdb {
+
+Segment::Segment(const Schema& schema, uint64_t first_row, size_t capacity,
+                 bool track_access)
+    : first_row_(first_row), capacity_(capacity), track_access_(track_access) {
+  columns_.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    columns_.push_back(MakeColumn(f.type));
+  }
+  ts_.reserve(capacity);
+  freshness_.reserve(capacity);
+  alive_.reserve(capacity);
+  if (track_access_) access_.reserve(capacity);
+}
+
+void Segment::Append(const std::vector<Value>& values, Timestamp now) {
+  assert(!full());
+  assert(values.size() == columns_.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i]->Append(values[i]);
+  }
+  ts_.push_back(now);
+  freshness_.push_back(1.0);
+  alive_.push_back(1);
+  if (track_access_) access_.push_back(0);
+  ++live_count_;
+}
+
+bool Segment::SetFreshness(size_t off, double f) {
+  assert(off < num_rows());
+  if (!alive_[off]) return false;
+  f = std::clamp(f, 0.0, 1.0);
+  freshness_[off] = f;
+  if (f <= 0.0) {
+    alive_[off] = 0;
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+bool Segment::Kill(size_t off) {
+  assert(off < num_rows());
+  if (!alive_[off]) return false;
+  alive_[off] = 0;
+  freshness_[off] = 0.0;
+  --live_count_;
+  return true;
+}
+
+void Segment::RecordAccess(size_t off) {
+  if (track_access_ && off < access_.size()) ++access_[off];
+}
+
+uint32_t Segment::AccessCount(size_t off) const {
+  if (!track_access_ || off >= access_.size()) return 0;
+  return access_[off];
+}
+
+size_t Segment::MemoryUsage() const {
+  size_t bytes = sizeof(Segment);
+  for (const auto& col : columns_) bytes += col->MemoryUsage();
+  bytes += ts_.capacity() * sizeof(Timestamp);
+  bytes += freshness_.capacity() * sizeof(double);
+  bytes += alive_.capacity() * sizeof(uint8_t);
+  bytes += access_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace fungusdb

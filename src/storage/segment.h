@@ -1,0 +1,79 @@
+#ifndef FUNGUSDB_STORAGE_SEGMENT_H_
+#define FUNGUSDB_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace fungusdb {
+
+/// A fixed-capacity, append-only run of consecutive tuples. Tuples are
+/// stored in insertion order, so offset order *is* the paper's time axis.
+/// Alongside the user columns each segment holds the two system vectors:
+/// insertion timestamps (`t`) and freshness (`f`), plus a liveness flag
+/// (freshness 0 == dead == tombstoned) and an optional access counter.
+///
+/// Segments are the unit of space reclamation: when every tuple in a full
+/// segment has died, the Table frees the whole segment — the paper's
+/// "removing complete insertion ranges".
+class Segment {
+ public:
+  Segment(const Schema& schema, uint64_t first_row, size_t capacity,
+          bool track_access);
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  uint64_t first_row() const { return first_row_; }
+  size_t capacity() const { return capacity_; }
+  size_t num_rows() const { return ts_.size(); }
+  bool full() const { return num_rows() == capacity_; }
+  size_t live_count() const { return live_count_; }
+
+  /// Appends an already-validated row with freshness 1.0.
+  /// Requires !full().
+  void Append(const std::vector<Value>& values, Timestamp now);
+
+  bool IsLive(size_t off) const { return alive_[off] != 0; }
+  double Freshness(size_t off) const { return freshness_[off]; }
+
+  /// Sets freshness; clamps into [0, 1] and kills the tuple at 0.
+  /// Returns true when this call killed the tuple.
+  bool SetFreshness(size_t off, double f);
+
+  /// Tombstones the tuple (idempotent). Returns true if it was live.
+  bool Kill(size_t off);
+
+  Timestamp InsertTime(size_t off) const { return ts_.at(off); }
+
+  Value GetValue(size_t off, size_t col) const {
+    return columns_[col]->GetValue(off);
+  }
+
+  const Column& column(size_t col) const { return *columns_[col]; }
+
+  void RecordAccess(size_t off);
+  uint32_t AccessCount(size_t off) const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  uint64_t first_row_;
+  size_t capacity_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::vector<Timestamp> ts_;
+  std::vector<double> freshness_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint32_t> access_;  // empty unless track_access
+  bool track_access_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_STORAGE_SEGMENT_H_

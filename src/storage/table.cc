@@ -1,0 +1,267 @@
+#include "storage/table.h"
+
+#include <cassert>
+
+namespace fungusdb {
+
+Table::Table(std::string name, Schema schema, TableOptions options)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(options) {
+  assert(options_.rows_per_segment > 0);
+}
+
+Result<RowId> Table::Append(const std::vector<Value>& values, Timestamp now) {
+  if (values.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " does not match " +
+        "schema arity " + std::to_string(schema_.num_fields()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Field& f = schema_.field(i);
+    if (values[i].is_null()) {
+      if (!f.nullable) {
+        return Status::InvalidArgument("null value for non-nullable field '" +
+                                       f.name + "'");
+      }
+    } else if (values[i].type() != f.type) {
+      return Status::TypeMismatch(
+          "value of type " + std::string(DataTypeName(values[i].type())) +
+          " for field '" + f.name + "' of type " +
+          std::string(DataTypeName(f.type)));
+    }
+  }
+
+  const RowId row = next_row_;
+  const uint64_t seg_no = row / options_.rows_per_segment;
+  auto it = segments_.find(seg_no);
+  if (it == segments_.end()) {
+    it = segments_
+             .emplace(seg_no, std::make_unique<Segment>(
+                                  schema_, seg_no * options_.rows_per_segment,
+                                  options_.rows_per_segment,
+                                  options_.track_access))
+             .first;
+  }
+  it->second->Append(values, now);
+  ++next_row_;
+  ++live_rows_;
+  return row;
+}
+
+Segment* Table::FindSegment(RowId row, size_t* offset) const {
+  if (row >= next_row_) return nullptr;
+  const uint64_t seg_no = row / options_.rows_per_segment;
+  auto it = segments_.find(seg_no);
+  if (it == segments_.end()) return nullptr;
+  const size_t off = row - it->second->first_row();
+  if (off >= it->second->num_rows()) return nullptr;
+  *offset = off;
+  return it->second.get();
+}
+
+bool Table::Contains(RowId row) const {
+  size_t off;
+  return FindSegment(row, &off) != nullptr;
+}
+
+bool Table::IsLive(RowId row) const {
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  return seg != nullptr && seg->IsLive(off);
+}
+
+double Table::Freshness(RowId row) const {
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  return seg == nullptr ? 0.0 : seg->Freshness(off);
+}
+
+Status Table::SetFreshness(RowId row, double f) {
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  if (seg == nullptr) {
+    return Status::NotFound("row " + std::to_string(row) + " not present");
+  }
+  if (!seg->IsLive(off)) {
+    return Status::FailedPrecondition("row " + std::to_string(row) +
+                                      " is already dead");
+  }
+  if (seg->SetFreshness(off, f)) {
+    --live_rows_;
+    ++rows_killed_;
+  }
+  return Status::OK();
+}
+
+Status Table::DecayFreshness(RowId row, double delta) {
+  if (delta < 0.0) {
+    return Status::InvalidArgument("decay delta must be >= 0");
+  }
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  if (seg == nullptr) {
+    return Status::NotFound("row " + std::to_string(row) + " not present");
+  }
+  if (!seg->IsLive(off)) {
+    return Status::FailedPrecondition("row " + std::to_string(row) +
+                                      " is already dead");
+  }
+  if (seg->SetFreshness(off, seg->Freshness(off) - delta)) {
+    --live_rows_;
+    ++rows_killed_;
+  }
+  return Status::OK();
+}
+
+Status Table::Kill(RowId row) {
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  if (seg == nullptr) {
+    return Status::NotFound("row " + std::to_string(row) + " not present");
+  }
+  if (seg->Kill(off)) {
+    --live_rows_;
+    ++rows_killed_;
+  }
+  return Status::OK();
+}
+
+Result<Timestamp> Table::InsertTime(RowId row) const {
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  if (seg == nullptr) {
+    return Status::NotFound("row " + std::to_string(row) + " not present");
+  }
+  return seg->InsertTime(off);
+}
+
+Result<Value> Table::GetValue(RowId row, size_t col) const {
+  if (col >= schema_.num_fields()) {
+    return Status::OutOfRange("column index " + std::to_string(col) +
+                              " out of range");
+  }
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  if (seg == nullptr) {
+    return Status::NotFound("row " + std::to_string(row) + " not present");
+  }
+  return seg->GetValue(off, col);
+}
+
+Result<Value> Table::GetValueByName(RowId row,
+                                    const std::string& name) const {
+  if (name == kTimestampColumnName) {
+    FUNGUSDB_ASSIGN_OR_RETURN(Timestamp t, InsertTime(row));
+    return Value::TimestampVal(t);
+  }
+  if (name == kFreshnessColumnName) {
+    if (!Contains(row)) {
+      return Status::NotFound("row " + std::to_string(row) + " not present");
+    }
+    return Value::Float64(Freshness(row));
+  }
+  auto idx = schema_.FindField(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return GetValue(row, *idx);
+}
+
+std::optional<RowId> Table::OldestLive() const {
+  for (const auto& [seg_no, seg] : segments_) {
+    if (seg->live_count() == 0) continue;
+    const size_t n = seg->num_rows();
+    for (size_t off = 0; off < n; ++off) {
+      if (seg->IsLive(off)) return seg->first_row() + off;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RowId> Table::NewestLive() const {
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    const Segment& seg = *it->second;
+    if (seg.live_count() == 0) continue;
+    for (size_t off = seg.num_rows(); off > 0; --off) {
+      if (seg.IsLive(off - 1)) return seg.first_row() + off - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RowId> Table::PrevLive(RowId row) const {
+  if (row == 0 || next_row_ == 0) return std::nullopt;
+  RowId cursor = std::min<RowId>(row, next_row_) - 1;
+  // Walk segments in descending order starting at cursor's segment.
+  uint64_t seg_no = cursor / options_.rows_per_segment;
+  auto it = segments_.upper_bound(seg_no);
+  while (it != segments_.begin()) {
+    --it;
+    const Segment& seg = *it->second;
+    if (seg.live_count() > 0 && seg.first_row() <= cursor) {
+      size_t start =
+          std::min<uint64_t>(cursor - seg.first_row(), seg.num_rows() - 1);
+      for (size_t off = start + 1; off > 0; --off) {
+        if (seg.IsLive(off - 1)) return seg.first_row() + off - 1;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RowId> Table::NextLive(RowId row) const {
+  const RowId cursor = row + 1;
+  if (cursor >= next_row_) return std::nullopt;
+  const uint64_t seg_no = cursor / options_.rows_per_segment;
+  for (auto it = segments_.lower_bound(seg_no); it != segments_.end(); ++it) {
+    const Segment& seg = *it->second;
+    if (seg.live_count() == 0) continue;
+    const size_t n = seg.num_rows();
+    size_t off = cursor > seg.first_row() ? cursor - seg.first_row() : 0;
+    for (; off < n; ++off) {
+      if (seg.IsLive(off)) return seg.first_row() + off;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RowId> Table::LiveRows() const {
+  std::vector<RowId> out;
+  out.reserve(live_rows_);
+  ForEachLive([&out](RowId row) { out.push_back(row); });
+  return out;
+}
+
+void Table::RecordAccess(RowId row) {
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  if (seg != nullptr) seg->RecordAccess(off);
+}
+
+uint32_t Table::AccessCount(RowId row) const {
+  size_t off;
+  Segment* seg = FindSegment(row, &off);
+  return seg == nullptr ? 0 : seg->AccessCount(off);
+}
+
+uint64_t Table::ReclaimDeadSegments() {
+  uint64_t freed = 0;
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (it->second->full() && it->second->live_count() == 0) {
+      it = segments_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+size_t Table::MemoryUsage() const {
+  size_t bytes = sizeof(Table);
+  for (const auto& [seg_no, seg] : segments_) bytes += seg->MemoryUsage();
+  return bytes;
+}
+
+}  // namespace fungusdb

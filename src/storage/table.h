@@ -1,0 +1,163 @@
+#ifndef FUNGUSDB_STORAGE_TABLE_H_
+#define FUNGUSDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/segment.h"
+#include "storage/value.h"
+
+namespace fungusdb {
+
+/// Globally-unique, never-reused tuple identifier: the position of the
+/// tuple in the table's append sequence. Row ids are totally ordered by
+/// insertion time — the paper's time axis — so "direct neighbouring
+/// tuples" (EGI) are exactly adjacent row ids.
+using RowId = uint64_t;
+
+struct TableOptions {
+  /// Tuples per segment; segments are the unit of space reclamation.
+  size_t rows_per_segment = 4096;
+
+  /// Maintain a per-tuple access counter (needed by ImportanceFungus).
+  bool track_access = false;
+};
+
+/// The paper's relation R(t, f, A1..An): an append-only, insertion-ordered
+/// columnar table whose tuples carry an insertion timestamp `t` and a
+/// freshness `f` in (0, 1]. Fungi decrease freshness; a tuple whose
+/// freshness reaches 0 is discarded (tombstoned, and its segment freed
+/// once fully dead).
+///
+/// Not thread-safe; a Table belongs to one Database which is
+/// single-threaded by design.
+class Table {
+ public:
+  Table(std::string name, Schema schema, TableOptions options = {});
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const TableOptions& options() const { return options_; }
+
+  /// Appends one tuple with insertion time `now` and freshness 1.0.
+  /// Validates arity, types, and nullability against the schema.
+  Result<RowId> Append(const std::vector<Value>& values, Timestamp now);
+
+  /// Total tuples ever appended (== next RowId).
+  uint64_t total_appended() const { return next_row_; }
+
+  /// Currently live tuples — the extent of R.
+  uint64_t live_rows() const { return live_rows_; }
+
+  /// Tuples discarded so far (by fungi or consuming queries).
+  uint64_t rows_killed() const { return rows_killed_; }
+
+  /// True if the row id was appended and its segment still exists.
+  bool Contains(RowId row) const;
+
+  /// True if the tuple exists and has freshness > 0.
+  bool IsLive(RowId row) const;
+
+  /// Freshness in [0, 1]; 0 for dead or reclaimed tuples.
+  double Freshness(RowId row) const;
+
+  /// Sets freshness (clamped to [0, 1]); freshness 0 discards the tuple.
+  Status SetFreshness(RowId row, double f);
+
+  /// Decreases freshness by `delta` (>= 0); discards at 0.
+  Status DecayFreshness(RowId row, double delta);
+
+  /// Discards the tuple immediately (consuming queries, retention).
+  Status Kill(RowId row);
+
+  /// Insertion time `t`. Fails on reclaimed rows.
+  Result<Timestamp> InsertTime(RowId row) const;
+
+  /// Cell accessor for user column `col`. Works on live and dead (but
+  /// not reclaimed) tuples; fungi never alter attribute values.
+  Result<Value> GetValue(RowId row, size_t col) const;
+
+  /// Accessor by column name; also resolves `__ts` and `__freshness`.
+  Result<Value> GetValueByName(RowId row, const std::string& name) const;
+
+  /// Oldest / newest live tuple, if any.
+  std::optional<RowId> OldestLive() const;
+  std::optional<RowId> NewestLive() const;
+
+  /// Nearest live neighbour along the time axis, if any.
+  std::optional<RowId> PrevLive(RowId row) const;
+  std::optional<RowId> NextLive(RowId row) const;
+
+  /// Calls fn(RowId) for every live tuple in insertion order.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const auto& [seg_no, seg] : segments_) {
+      if (seg->live_count() == 0) continue;
+      const size_t n = seg->num_rows();
+      for (size_t off = 0; off < n; ++off) {
+        if (seg->IsLive(off)) fn(seg->first_row() + off);
+      }
+    }
+  }
+
+  /// Calls fn(const Segment&) for every segment holding at least one
+  /// live tuple, in insertion order. The fast scan path in the query
+  /// engine uses this to read typed columns directly instead of going
+  /// through per-row id resolution.
+  template <typename Fn>
+  void ForEachLiveSegment(Fn&& fn) const {
+    for (const auto& [seg_no, seg] : segments_) {
+      if (seg->live_count() == 0) continue;
+      fn(static_cast<const Segment&>(*seg));
+    }
+  }
+
+  /// Materializes the live row ids in insertion order.
+  std::vector<RowId> LiveRows() const;
+
+  /// Bumps the access counter (no-op unless options().track_access).
+  void RecordAccess(RowId row);
+  uint32_t AccessCount(RowId row) const;
+
+  /// Frees full segments with zero live tuples. Returns segments freed.
+  /// This is FungusDB's compaction: reclaimed rows stop counting toward
+  /// MemoryUsage() and Contains() becomes false for them.
+  uint64_t ReclaimDeadSegments();
+
+  /// Number of segments currently held (live or partially dead).
+  size_t num_segments() const { return segments_.size(); }
+
+  /// Heap bytes held by all current segments.
+  size_t MemoryUsage() const;
+
+ private:
+  /// Segment holding `row`, with its offset, or nullptr if reclaimed
+  /// or out of range.
+  Segment* FindSegment(RowId row, size_t* offset) const;
+
+  std::string name_;
+  Schema schema_;
+  TableOptions options_;
+  // Keyed by segment number (first_row / rows_per_segment); ordered, so
+  // iteration is insertion order and reclaimed ranges are simply absent.
+  std::map<uint64_t, std::unique_ptr<Segment>> segments_;
+  RowId next_row_ = 0;
+  uint64_t live_rows_ = 0;
+  uint64_t rows_killed_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_STORAGE_TABLE_H_

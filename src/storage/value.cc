@@ -1,0 +1,108 @@
+#include "storage/value.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace fungusdb {
+
+DataType Value::type() const {
+  assert(!is_null());
+  switch (data_.index()) {
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kFloat64;
+    case 3:
+      return DataType::kString;
+    case 4:
+      return DataType::kBool;
+    case 5:
+      return DataType::kTimestamp;
+    default:
+      break;
+  }
+  return DataType::kInt64;  // unreachable; keeps -Werror happy
+}
+
+Result<double> Value::ToDouble() const {
+  if (is_null()) return Status::TypeMismatch("null has no numeric value");
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(AsInt64());
+    case DataType::kFloat64:
+      return AsFloat64();
+    case DataType::kTimestamp:
+      return static_cast<double>(AsTimestamp());
+    default:
+      return Status::TypeMismatch("value of type " +
+                                  std::string(DataTypeName(type())) +
+                                  " is not numeric");
+  }
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    return Status::TypeMismatch("cannot compare null values");
+  }
+  const DataType a = type();
+  const DataType b = other.type();
+  if (IsNumeric(a) && IsNumeric(b)) {
+    const double x = ToDouble().value();
+    const double y = other.ToDouble().value();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a != b) {
+    return Status::TypeMismatch("cannot compare " +
+                                std::string(DataTypeName(a)) + " with " +
+                                std::string(DataTypeName(b)));
+  }
+  switch (a) {
+    case DataType::kString: {
+      const int cmp = AsString().compare(other.AsString());
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    case DataType::kBool:
+      return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+    default:
+      return Status::TypeMismatch("unsupported comparison");
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kFloat64:
+      return FormatDouble(AsFloat64(), 6);
+    case DataType::kString: {
+      // SQL-style quoting with '' escaping, so the rendering of a
+      // string literal is always re-parseable by the lexer.
+      std::string quoted = "'";
+      for (char c : AsString()) {
+        if (c == '\'') quoted += "''";
+        else quoted.push_back(c);
+      }
+      quoted += "'";
+      return quoted;
+    }
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kTimestamp:
+      return "ts:" + std::to_string(AsTimestamp());
+  }
+  return "?";
+}
+
+size_t Value::MemoryUsage() const {
+  size_t base = sizeof(Value);
+  if (!is_null() && type() == DataType::kString) {
+    base += AsString().capacity();
+  }
+  return base;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,114 @@
+#include "summary/bloom_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "summary/hashing.h"
+
+namespace fungusdb {
+
+BloomFilter::BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed)
+    : num_bits_(num_bits), num_hashes_(num_hashes), seed_(seed) {
+  assert(num_bits > 0 && num_hashes > 0);
+  words_.assign((num_bits_ + 63) / 64, 0);
+}
+
+BloomFilter BloomFilter::FromExpectedItems(uint64_t expected_items,
+                                           double false_positive_rate,
+                                           uint64_t seed) {
+  assert(expected_items > 0);
+  assert(false_positive_rate > 0.0 && false_positive_rate < 1.0);
+  const double ln2 = std::log(2.0);
+  const double bits = -static_cast<double>(expected_items) *
+                      std::log(false_positive_rate) / (ln2 * ln2);
+  const double hashes = bits / static_cast<double>(expected_items) * ln2;
+  return BloomFilter(std::max<size_t>(64, static_cast<size_t>(bits)),
+                     std::max<size_t>(1, static_cast<size_t>(
+                                             std::lround(hashes))),
+                     seed);
+}
+
+size_t BloomFilter::BitIndex(size_t probe, uint64_t hash) const {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xA5A5A5A55A5A5A5AULL) | 1;
+  return static_cast<size_t>((h1 + probe * h2) % num_bits_);
+}
+
+void BloomFilter::Observe(const Value& value) {
+  if (value.is_null()) return;
+  const uint64_t h = HashValue(value, seed_);
+  for (size_t probe = 0; probe < num_hashes_; ++probe) {
+    const size_t bit = BitIndex(probe, h);
+    words_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+  ++observations_;
+}
+
+bool BloomFilter::MayContain(const Value& value) const {
+  if (value.is_null()) return false;
+  const uint64_t h = HashValue(value, seed_);
+  for (size_t probe = 0; probe < num_hashes_; ++probe) {
+    const size_t bit = BitIndex(probe, h);
+    if ((words_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::Merge(const Summary& other) {
+  if (other.kind() != kind()) {
+    return Status::TypeMismatch("cannot merge bloom with " +
+                                std::string(other.kind()));
+  }
+  const auto& o = static_cast<const BloomFilter&>(other);
+  if (o.num_bits_ != num_bits_ || o.num_hashes_ != num_hashes_ ||
+      o.seed_ != seed_) {
+    return Status::InvalidArgument("bloom shapes differ");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  observations_ += o.observations_;
+  return Status::OK();
+}
+
+size_t BloomFilter::MemoryUsage() const {
+  return sizeof(BloomFilter) + words_.capacity() * sizeof(uint64_t);
+}
+
+void BloomFilter::Serialize(BufferWriter& out) const {
+  out.WriteU64(num_bits_);
+  out.WriteU64(num_hashes_);
+  out.WriteU64(seed_);
+  out.WriteU64(observations_);
+  for (uint64_t word : words_) out.WriteU64(word);
+}
+
+Result<std::unique_ptr<BloomFilter>> BloomFilter::Deserialize(
+    BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t num_bits, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t num_hashes, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t seed, in.ReadU64());
+  if (num_bits == 0 || num_bits > (1ull << 36) || num_hashes == 0 ||
+      num_hashes > 64) {
+    return Status::ParseError("implausible bloom shape");
+  }
+  auto bloom = std::make_unique<BloomFilter>(num_bits, num_hashes, seed);
+  FUNGUSDB_ASSIGN_OR_RETURN(bloom->observations_, in.ReadU64());
+  for (uint64_t& word : bloom->words_) {
+    FUNGUSDB_ASSIGN_OR_RETURN(word, in.ReadU64());
+  }
+  return bloom;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  const double k = static_cast<double>(num_hashes_);
+  const double n = static_cast<double>(observations_);
+  const double m = static_cast<double>(num_bits_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+std::string BloomFilter::Describe() const {
+  return "bloom(bits=" + std::to_string(num_bits_) +
+         ", k=" + std::to_string(num_hashes_) + ")";
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,55 @@
+#ifndef FUNGUSDB_SUMMARY_BLOOM_FILTER_H_
+#define FUNGUSDB_SUMMARY_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// Standard Bloom filter: set membership with no false negatives. Used
+/// as a cooked "was this key ever in the rotted region?" distillate.
+class BloomFilter : public ColumnSummary {
+ public:
+  /// `num_bits` bits of state, `num_hashes` probes per key.
+  BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed = 0xB100F);
+
+  /// Sized for `expected_items` at `false_positive_rate`.
+  static BloomFilter FromExpectedItems(uint64_t expected_items,
+                                       double false_positive_rate,
+                                       uint64_t seed = 0xB100F);
+
+  std::string_view kind() const override { return "bloom"; }
+  void Observe(const Value& value) override;
+  uint64_t observations() const override { return observations_; }
+  Status Merge(const Summary& other) override;
+  size_t MemoryUsage() const override;
+  std::string Describe() const override;
+  void Serialize(BufferWriter& out) const override;
+
+  static Result<std::unique_ptr<BloomFilter>> Deserialize(BufferReader& in);
+
+  /// False => definitely never observed. True => probably observed.
+  bool MayContain(const Value& value) const;
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_hashes() const { return num_hashes_; }
+
+  /// Current expected false-positive rate given the observed load.
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  size_t BitIndex(size_t probe, uint64_t hash) const;
+
+  size_t num_bits_;
+  size_t num_hashes_;
+  uint64_t seed_;
+  uint64_t observations_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_BLOOM_FILTER_H_

@@ -1,0 +1,150 @@
+#include "summary/cellar.h"
+
+#include <cmath>
+
+#include "summary/serialize.h"
+
+namespace fungusdb {
+
+Cellar::Cellar(double eviction_threshold)
+    : eviction_threshold_(eviction_threshold) {}
+
+Status Cellar::Put(std::string name, std::unique_ptr<Summary> summary,
+                   Duration half_life, Timestamp now) {
+  if (summary == nullptr) {
+    return Status::InvalidArgument("summary is null");
+  }
+  auto [it, inserted] = entries_.try_emplace(std::move(name));
+  if (!inserted) {
+    return Status::AlreadyExists("cellar entry '" + it->first +
+                                 "' already exists");
+  }
+  Entry& e = it->second;
+  e.summary = std::move(summary);
+  e.half_life = half_life;
+  e.stored_at = now;
+  e.last_decay = now;
+  e.freshness = 1.0;
+  return Status::OK();
+}
+
+Summary* Cellar::Find(const std::string& name) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.summary.get();
+}
+
+const Summary* Cellar::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.summary.get();
+}
+
+Status Cellar::MergeInto(const std::string& name,
+                         std::unique_ptr<Summary> summary,
+                         Duration half_life, Timestamp now) {
+  if (summary == nullptr) {
+    return Status::InvalidArgument("summary is null");
+  }
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Put(name, std::move(summary), half_life, now);
+  }
+  // Merging refreshes the entry: new knowledge arrived.
+  FUNGUSDB_RETURN_IF_ERROR(it->second.summary->Merge(*summary));
+  it->second.freshness = 1.0;
+  it->second.last_decay = now;
+  return Status::OK();
+}
+
+Status Cellar::Evict(const std::string& name) {
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("no cellar entry '" + name + "'");
+  }
+  return Status::OK();
+}
+
+uint64_t Cellar::AdvanceTo(Timestamp now) {
+  uint64_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    if (e.half_life > 0 && now > e.last_decay) {
+      const double halvings = static_cast<double>(now - e.last_decay) /
+                              static_cast<double>(e.half_life);
+      e.freshness *= std::pow(0.5, halvings);
+      e.last_decay = now;
+    }
+    if (e.half_life > 0 && e.freshness <= eviction_threshold_) {
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+Result<double> Cellar::FreshnessOf(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no cellar entry '" + name + "'");
+  }
+  return it->second.freshness;
+}
+
+size_t Cellar::MemoryUsage() const {
+  size_t bytes = sizeof(Cellar);
+  for (const auto& [name, entry] : entries_) {
+    bytes += name.capacity() + sizeof(Entry) +
+             entry.summary->MemoryUsage();
+  }
+  return bytes;
+}
+
+void Cellar::Serialize(BufferWriter& out) const {
+  out.WriteU64(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.WriteString(name);
+    out.WriteI64(entry.half_life);
+    out.WriteI64(entry.stored_at);
+    out.WriteI64(entry.last_decay);
+    out.WriteDouble(entry.freshness);
+    SerializeSummary(*entry.summary, out);
+  }
+}
+
+Status Cellar::DeserializeInto(BufferReader& in) {
+  if (!entries_.empty()) {
+    return Status::FailedPrecondition(
+        "cellar must be empty before restore");
+  }
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  std::map<std::string, Entry> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(std::string name, in.ReadString());
+    Entry entry;
+    FUNGUSDB_ASSIGN_OR_RETURN(entry.half_life, in.ReadI64());
+    FUNGUSDB_ASSIGN_OR_RETURN(entry.stored_at, in.ReadI64());
+    FUNGUSDB_ASSIGN_OR_RETURN(entry.last_decay, in.ReadI64());
+    FUNGUSDB_ASSIGN_OR_RETURN(entry.freshness, in.ReadDouble());
+    FUNGUSDB_ASSIGN_OR_RETURN(entry.summary, DeserializeSummary(in));
+    loaded.emplace(std::move(name), std::move(entry));
+  }
+  entries_ = std::move(loaded);
+  return Status::OK();
+}
+
+std::vector<Cellar::EntryInfo> Cellar::List() const {
+  std::vector<EntryInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    EntryInfo info;
+    info.name = name;
+    info.kind = std::string(entry.summary->kind());
+    info.freshness = entry.freshness;
+    info.observations = entry.summary->observations();
+    info.memory_bytes = entry.summary->MemoryUsage();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,93 @@
+#ifndef FUNGUSDB_SUMMARY_CELLAR_H_
+#define FUNGUSDB_SUMMARY_CELLAR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/buffer_io.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// The "new container subject to different data fungi" from the paper's
+/// second law: named summaries, each with its own (optional) exponential
+/// decay. A cellar entry's freshness starts at 1.0 and halves every
+/// `half_life`; at or below the eviction threshold the summary itself is
+/// discarded — cooked knowledge rots too, just more slowly than raw
+/// tuples.
+class Cellar {
+ public:
+  struct EntryInfo {
+    std::string name;
+    std::string kind;
+    double freshness = 1.0;
+    uint64_t observations = 0;
+    size_t memory_bytes = 0;
+  };
+
+  /// `eviction_threshold`: freshness at or below which entries are
+  /// dropped by AdvanceTo().
+  explicit Cellar(double eviction_threshold = 0.01);
+
+  Cellar(const Cellar&) = delete;
+  Cellar& operator=(const Cellar&) = delete;
+
+  /// Stores a summary under `name`. `half_life` <= 0 makes the entry
+  /// immortal. Fails with AlreadyExists on name collision.
+  Status Put(std::string name, std::unique_ptr<Summary> summary,
+             Duration half_life, Timestamp now);
+
+  /// Looks up an entry (nullptr when absent). The pointer stays valid
+  /// until the entry is evicted or the cellar is destroyed.
+  Summary* Find(const std::string& name);
+  const Summary* Find(const std::string& name) const;
+
+  /// Merges `summary` into the existing entry, or stores it when the
+  /// name is free.
+  Status MergeInto(const std::string& name,
+                   std::unique_ptr<Summary> summary, Duration half_life,
+                   Timestamp now);
+
+  /// Removes an entry.
+  Status Evict(const std::string& name);
+
+  /// Applies decay up to `now` and evicts entries whose freshness fell
+  /// to or below the threshold. Returns the number evicted.
+  uint64_t AdvanceTo(Timestamp now);
+
+  /// Current freshness of an entry; fails with NotFound when absent.
+  Result<double> FreshnessOf(const std::string& name) const;
+
+  size_t size() const { return entries_.size(); }
+  size_t MemoryUsage() const;
+
+  /// Name-sorted snapshot of the shelf.
+  std::vector<EntryInfo> List() const;
+
+  /// Appends every entry (decay state + serialized summary) to `out`.
+  void Serialize(BufferWriter& out) const;
+
+  /// Restores the entries written by Serialize() into this cellar
+  /// (which must be empty). Fails atomically on malformed input.
+  Status DeserializeInto(BufferReader& in);
+
+ private:
+  struct Entry {
+    std::unique_ptr<Summary> summary;
+    Duration half_life = 0;  // <= 0: immortal
+    Timestamp stored_at = 0;
+    Timestamp last_decay = 0;
+    double freshness = 1.0;
+  };
+
+  double eviction_threshold_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_CELLAR_H_

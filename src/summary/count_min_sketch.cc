@@ -1,0 +1,106 @@
+#include "summary/count_min_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "summary/hashing.h"
+
+namespace fungusdb {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  assert(width > 0 && depth > 0);
+  cells_.assign(width_ * depth_, 0);
+}
+
+CountMinSketch CountMinSketch::FromErrorBound(double epsilon, double delta,
+                                              uint64_t seed) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  assert(delta > 0.0 && delta < 1.0);
+  const size_t width =
+      static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon));
+  const size_t depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<size_t>(width, 1),
+                        std::max<size_t>(depth, 1), seed);
+}
+
+size_t CountMinSketch::CellIndex(size_t row, uint64_t hash) const {
+  // Derive per-row hashes from one 64-bit value via double hashing.
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xDEADBEEFCAFEF00DULL) | 1;
+  return row * width_ + static_cast<size_t>((h1 + row * h2) % width_);
+}
+
+void CountMinSketch::Observe(const Value& value) {
+  if (value.is_null()) return;
+  const uint64_t h = HashValue(value, seed_);
+  for (size_t row = 0; row < depth_; ++row) {
+    ++cells_[CellIndex(row, h)];
+  }
+  ++total_;
+}
+
+uint64_t CountMinSketch::EstimateCount(const Value& value) const {
+  if (value.is_null()) return 0;
+  const uint64_t h = HashValue(value, seed_);
+  uint64_t best = UINT64_MAX;
+  for (size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, cells_[CellIndex(row, h)]);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+Status CountMinSketch::Merge(const Summary& other) {
+  if (other.kind() != kind()) {
+    return Status::TypeMismatch("cannot merge count_min with " +
+                                std::string(other.kind()));
+  }
+  const auto& o = static_cast<const CountMinSketch&>(other);
+  if (o.width_ != width_ || o.depth_ != depth_ || o.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "count_min shapes differ (width/depth/seed)");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += o.cells_[i];
+  total_ += o.total_;
+  return Status::OK();
+}
+
+size_t CountMinSketch::MemoryUsage() const {
+  return sizeof(CountMinSketch) + cells_.capacity() * sizeof(uint64_t);
+}
+
+double CountMinSketch::Epsilon() const {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+void CountMinSketch::Serialize(BufferWriter& out) const {
+  out.WriteU64(width_);
+  out.WriteU64(depth_);
+  out.WriteU64(seed_);
+  out.WriteU64(total_);
+  for (uint64_t cell : cells_) out.WriteU64(cell);
+}
+
+Result<std::unique_ptr<CountMinSketch>> CountMinSketch::Deserialize(
+    BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t width, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t depth, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t seed, in.ReadU64());
+  if (width == 0 || depth == 0 || width * depth > (1u << 28)) {
+    return Status::ParseError("implausible count_min shape");
+  }
+  auto sketch = std::make_unique<CountMinSketch>(width, depth, seed);
+  FUNGUSDB_ASSIGN_OR_RETURN(sketch->total_, in.ReadU64());
+  for (uint64_t& cell : sketch->cells_) {
+    FUNGUSDB_ASSIGN_OR_RETURN(cell, in.ReadU64());
+  }
+  return sketch;
+}
+
+std::string CountMinSketch::Describe() const {
+  return "count_min(w=" + std::to_string(width_) +
+         ", d=" + std::to_string(depth_) + ")";
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,59 @@
+#ifndef FUNGUSDB_SUMMARY_COUNT_MIN_SKETCH_H_
+#define FUNGUSDB_SUMMARY_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// Count-Min sketch (Cormode & Muthukrishnan 2005): frequency estimates
+/// with one-sided error. With width w and depth d, the estimate for any
+/// item exceeds its true count by more than (e/w)·N with probability at
+/// most e^-d, where N is the total count folded in.
+class CountMinSketch : public ColumnSummary {
+ public:
+  /// `width` counters per row, `depth` independent hash rows.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed = 0xC0117);
+
+  /// Width/depth sized to guarantee error <= epsilon·N with probability
+  /// 1 - delta.
+  static CountMinSketch FromErrorBound(double epsilon, double delta,
+                                       uint64_t seed = 0xC0117);
+
+  std::string_view kind() const override { return "count_min"; }
+  void Observe(const Value& value) override;
+  uint64_t observations() const override { return total_; }
+  Status Merge(const Summary& other) override;
+  size_t MemoryUsage() const override;
+  std::string Describe() const override;
+  void Serialize(BufferWriter& out) const override;
+
+  /// Reconstructs a sketch written by Serialize().
+  static Result<std::unique_ptr<CountMinSketch>> Deserialize(
+      BufferReader& in);
+
+  /// Point frequency estimate (never underestimates).
+  uint64_t EstimateCount(const Value& value) const;
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  /// Guaranteed epsilon (= e / width).
+  double Epsilon() const;
+
+ private:
+  size_t CellIndex(size_t row, uint64_t hash) const;
+
+  size_t width_;
+  size_t depth_;
+  uint64_t seed_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cells_;  // depth_ rows of width_ counters
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_COUNT_MIN_SKETCH_H_

@@ -1,0 +1,108 @@
+#include "summary/grouped_aggregate.h"
+
+#include <algorithm>
+
+namespace fungusdb {
+
+void AggregateState::Observe(double x) {
+  if (count == 0) {
+    min = x;
+    max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  sum += x;
+}
+
+void AggregateState::Merge(const AggregateState& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+void GroupedAggregate::Observe(const Value& key, const Value& value) {
+  if (key.is_null() || value.is_null()) return;
+  Result<double> d = value.ToDouble();
+  if (!d.ok()) return;
+  groups_[key.ToString()].Observe(*d);
+  ++observations_;
+}
+
+Status GroupedAggregate::Merge(const Summary& other) {
+  if (other.kind() != kind()) {
+    return Status::TypeMismatch("cannot merge grouped_aggregate with " +
+                                std::string(other.kind()));
+  }
+  const auto& o = static_cast<const GroupedAggregate&>(other);
+  for (const auto& [key, state] : o.groups_) {
+    groups_[key].Merge(state);
+  }
+  observations_ += o.observations_;
+  return Status::OK();
+}
+
+size_t GroupedAggregate::MemoryUsage() const {
+  size_t bytes = sizeof(GroupedAggregate);
+  for (const auto& entry : groups_) {
+    // Key bytes + state + approximate red-black tree node overhead.
+    bytes += entry.first.capacity() + sizeof(AggregateState) + 48;
+  }
+  return bytes;
+}
+
+void GroupedAggregate::Serialize(BufferWriter& out) const {
+  out.WriteU64(observations_);
+  out.WriteU64(groups_.size());
+  for (const auto& [key, state] : groups_) {
+    out.WriteString(key);
+    out.WriteU64(state.count);
+    out.WriteDouble(state.sum);
+    out.WriteDouble(state.min);
+    out.WriteDouble(state.max);
+  }
+}
+
+Result<std::unique_ptr<GroupedAggregate>> GroupedAggregate::Deserialize(
+    BufferReader& in) {
+  auto agg = std::make_unique<GroupedAggregate>();
+  FUNGUSDB_ASSIGN_OR_RETURN(agg->observations_, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t groups, in.ReadU64());
+  for (uint64_t i = 0; i < groups; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    AggregateState state;
+    FUNGUSDB_ASSIGN_OR_RETURN(state.count, in.ReadU64());
+    FUNGUSDB_ASSIGN_OR_RETURN(state.sum, in.ReadDouble());
+    FUNGUSDB_ASSIGN_OR_RETURN(state.min, in.ReadDouble());
+    FUNGUSDB_ASSIGN_OR_RETURN(state.max, in.ReadDouble());
+    agg->groups_.emplace(std::move(key), state);
+  }
+  return agg;
+}
+
+Result<AggregateState> GroupedAggregate::GroupState(const Value& key) const {
+  if (key.is_null()) return Status::InvalidArgument("null group key");
+  auto it = groups_.find(key.ToString());
+  if (it == groups_.end()) {
+    return Status::NotFound("no group " + key.ToString());
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, AggregateState>>
+GroupedAggregate::Entries() const {
+  return {groups_.begin(), groups_.end()};
+}
+
+std::string GroupedAggregate::Describe() const {
+  return "grouped_aggregate(groups=" + std::to_string(groups_.size()) + ")";
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,61 @@
+#ifndef FUNGUSDB_SUMMARY_GROUPED_AGGREGATE_H_
+#define FUNGUSDB_SUMMARY_GROUPED_AGGREGATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// Per-group running aggregate state.
+struct AggregateState {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Observe(double x);
+  void Merge(const AggregateState& other);
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Exact grouped count/sum/min/max/mean over (group key, numeric value)
+/// pairs — the classical "cooking scheme": distilling detail rows into
+/// per-key rollups before the detail rots. Keys are rendered through
+/// Value::ToString() so any storage type can group.
+class GroupedAggregate : public Summary {
+ public:
+  GroupedAggregate() = default;
+
+  std::string_view kind() const override { return "grouped_aggregate"; }
+  uint64_t observations() const override { return observations_; }
+  Status Merge(const Summary& other) override;
+  size_t MemoryUsage() const override;
+  std::string Describe() const override;
+  void Serialize(BufferWriter& out) const override;
+
+  static Result<std::unique_ptr<GroupedAggregate>> Deserialize(
+      BufferReader& in);
+
+  /// Folds one (key, value) pair in. Null keys or values are skipped.
+  void Observe(const Value& key, const Value& value);
+
+  size_t num_groups() const { return groups_.size(); }
+
+  /// State for a key; fails with NotFound for unseen keys.
+  Result<AggregateState> GroupState(const Value& key) const;
+
+  /// (key string, state) pairs, key-sorted.
+  std::vector<std::pair<std::string, AggregateState>> Entries() const;
+
+ private:
+  uint64_t observations_ = 0;
+  std::map<std::string, AggregateState> groups_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_GROUPED_AGGREGATE_H_

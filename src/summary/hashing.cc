@@ -1,0 +1,52 @@
+#include "summary/hashing.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fungusdb {
+
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Hash64(uint64_t x, uint64_t seed) {
+  return Mix64(x ^ Mix64(seed ^ 0x9E3779B97F4A7C15ULL));
+}
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL ^ Mix64(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+uint64_t HashValue(const Value& value, uint64_t seed) {
+  assert(!value.is_null());
+  switch (value.type()) {
+    case DataType::kInt64:
+      return Hash64(static_cast<uint64_t>(value.AsInt64()), seed);
+    case DataType::kTimestamp:
+      return Hash64(static_cast<uint64_t>(value.AsTimestamp()), seed);
+    case DataType::kFloat64: {
+      double d = value.AsFloat64();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Hash64(bits, seed);
+    }
+    case DataType::kBool:
+      return Hash64(value.AsBool() ? 1 : 0, seed ^ 0xB001);
+    case DataType::kString: {
+      const std::string& s = value.AsString();
+      return HashBytes(s.data(), s.size(), seed);
+    }
+  }
+  return 0;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,28 @@
+#ifndef FUNGUSDB_SUMMARY_HASHING_H_
+#define FUNGUSDB_SUMMARY_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/value.h"
+
+namespace fungusdb {
+
+/// 64-bit avalanche mix (SplitMix64 finalizer). Good dispersion for
+/// integer keys.
+uint64_t Mix64(uint64_t x);
+
+/// Seeded hash of a 64-bit word.
+uint64_t Hash64(uint64_t x, uint64_t seed);
+
+/// Seeded FNV-1a-then-mixed hash of a byte string.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed);
+
+/// Seeded hash of a non-null Value. Int64 and Timestamp values with the
+/// same numeric payload hash identically; Float64 hashes its bit
+/// pattern (with -0.0 normalized to 0.0).
+uint64_t HashValue(const Value& value, uint64_t seed);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_HASHING_H_

@@ -1,0 +1,127 @@
+#include "summary/histogram_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fungusdb {
+
+HistogramSketch::HistogramSketch(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi) {
+  assert(hi > lo);
+  assert(buckets > 0);
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+double HistogramSketch::bucket_low(size_t i) const {
+  return lo_ + static_cast<double>(i) * bucket_width_;
+}
+
+double HistogramSketch::bucket_high(size_t i) const {
+  return lo_ + static_cast<double>(i + 1) * bucket_width_;
+}
+
+void HistogramSketch::Observe(const Value& value) {
+  if (value.is_null()) return;
+  Result<double> d = value.ToDouble();
+  if (!d.ok()) return;  // non-numeric values are silently skipped
+  double x = std::clamp(*d, lo_, std::nextafter(hi_, lo_));
+  size_t bucket = static_cast<size_t>((x - lo_) / bucket_width_);
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  ++counts_[bucket];
+  ++total_;
+}
+
+double HistogramSketch::EstimateRangeCount(double range_lo,
+                                           double range_hi) const {
+  if (range_hi <= range_lo) return 0.0;
+  double estimate = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = bucket_low(i);
+    const double b_hi = bucket_high(i);
+    const double overlap_lo = std::max(b_lo, range_lo);
+    const double overlap_hi = std::min(b_hi, range_hi);
+    if (overlap_hi <= overlap_lo) continue;
+    const double fraction = (overlap_hi - overlap_lo) / (b_hi - b_lo);
+    estimate += fraction * static_cast<double>(counts_[i]);
+  }
+  return estimate;
+}
+
+Result<double> HistogramSketch::EstimateQuantile(double q) const {
+  if (total_ == 0) return Status::FailedPrecondition("empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - seen) / static_cast<double>(counts_[i]);
+      return bucket_low(i) + frac * bucket_width_;
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+Result<double> HistogramSketch::EstimateMean() const {
+  if (total_ == 0) return Status::FailedPrecondition("empty histogram");
+  double sum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double mid = 0.5 * (bucket_low(i) + bucket_high(i));
+    sum += mid * static_cast<double>(counts_[i]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+Status HistogramSketch::Merge(const Summary& other) {
+  if (other.kind() != kind()) {
+    return Status::TypeMismatch("cannot merge histogram with " +
+                                std::string(other.kind()));
+  }
+  const auto& o = static_cast<const HistogramSketch&>(other);
+  if (o.lo_ != lo_ || o.hi_ != hi_ || o.counts_.size() != counts_.size()) {
+    return Status::InvalidArgument("histogram domains differ");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+  return Status::OK();
+}
+
+void HistogramSketch::Serialize(BufferWriter& out) const {
+  out.WriteDouble(lo_);
+  out.WriteDouble(hi_);
+  out.WriteU64(counts_.size());
+  out.WriteU64(total_);
+  for (uint64_t count : counts_) out.WriteU64(count);
+}
+
+Result<std::unique_ptr<HistogramSketch>> HistogramSketch::Deserialize(
+    BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(double lo, in.ReadDouble());
+  FUNGUSDB_ASSIGN_OR_RETURN(double hi, in.ReadDouble());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t buckets, in.ReadU64());
+  if (!(hi > lo) || buckets == 0 || buckets > (1u << 26)) {
+    return Status::ParseError("implausible histogram shape");
+  }
+  auto hist = std::make_unique<HistogramSketch>(lo, hi, buckets);
+  FUNGUSDB_ASSIGN_OR_RETURN(hist->total_, in.ReadU64());
+  for (uint64_t& count : hist->counts_) {
+    FUNGUSDB_ASSIGN_OR_RETURN(count, in.ReadU64());
+  }
+  return hist;
+}
+
+size_t HistogramSketch::MemoryUsage() const {
+  return sizeof(HistogramSketch) + counts_.capacity() * sizeof(uint64_t);
+}
+
+std::string HistogramSketch::Describe() const {
+  return "histogram([" + FormatDouble(lo_, 2) + ", " + FormatDouble(hi_, 2) +
+         "), b=" + std::to_string(counts_.size()) + ")";
+}
+
+}  // namespace fungusdb

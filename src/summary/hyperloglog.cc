@@ -1,0 +1,119 @@
+#include "summary/hyperloglog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "summary/hashing.h"
+
+namespace fungusdb {
+namespace {
+
+double AlphaFor(size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision, uint64_t seed)
+    : precision_(precision), seed_(seed) {
+  assert(precision >= 4 && precision <= 18);
+  registers_.assign(size_t{1} << precision_, 0);
+}
+
+void HyperLogLog::Observe(const Value& value) {
+  if (value.is_null()) return;
+  ++observations_;
+  const uint64_t h = HashValue(value, seed_);
+  const size_t index = static_cast<size_t>(h >> (64 - precision_));
+  const uint64_t rest = h << precision_;
+  // Rank = position of the leftmost 1 bit in the remaining bits, 1-based;
+  // all-zero rest gets the maximum rank.
+  const int zeros =
+      rest == 0 ? (64 - precision_) : __builtin_clzll(rest);
+  const uint8_t rank = static_cast<uint8_t>(
+      std::min(zeros + 1, 64 - precision_ + 1));
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double HyperLogLog::EstimateDistinct() const {
+  const size_t m = registers_.size();
+  double inverse_sum = 0.0;
+  size_t zero_registers = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zero_registers;
+  }
+  const double md = static_cast<double>(m);
+  double estimate = AlphaFor(m) * md * md / inverse_sum;
+  if (estimate <= 2.5 * md && zero_registers > 0) {
+    // Small-range correction: linear counting.
+    estimate = md * std::log(md / static_cast<double>(zero_registers));
+  }
+  return estimate;
+}
+
+Status HyperLogLog::Merge(const Summary& other) {
+  if (other.kind() != kind()) {
+    return Status::TypeMismatch("cannot merge hyperloglog with " +
+                                std::string(other.kind()));
+  }
+  const auto& o = static_cast<const HyperLogLog&>(other);
+  if (o.precision_ != precision_ || o.seed_ != seed_) {
+    return Status::InvalidArgument("hyperloglog shapes differ");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], o.registers_[i]);
+  }
+  observations_ += o.observations_;
+  return Status::OK();
+}
+
+size_t HyperLogLog::MemoryUsage() const {
+  return sizeof(HyperLogLog) + registers_.capacity();
+}
+
+double HyperLogLog::StandardError() const {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+void HyperLogLog::Serialize(BufferWriter& out) const {
+  out.WriteU32(static_cast<uint32_t>(precision_));
+  out.WriteU64(seed_);
+  out.WriteU64(observations_);
+  out.WriteString(std::string_view(
+      reinterpret_cast<const char*>(registers_.data()), registers_.size()));
+}
+
+Result<std::unique_ptr<HyperLogLog>> HyperLogLog::Deserialize(
+    BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(uint32_t precision, in.ReadU32());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t seed, in.ReadU64());
+  if (precision < 4 || precision > 18) {
+    return Status::ParseError("implausible hyperloglog precision");
+  }
+  auto hll = std::make_unique<HyperLogLog>(static_cast<int>(precision),
+                                           seed);
+  FUNGUSDB_ASSIGN_OR_RETURN(hll->observations_, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(std::string registers, in.ReadString());
+  if (registers.size() != hll->registers_.size()) {
+    return Status::ParseError("hyperloglog register block size mismatch");
+  }
+  std::copy(registers.begin(), registers.end(), hll->registers_.begin());
+  return hll;
+}
+
+std::string HyperLogLog::Describe() const {
+  return "hyperloglog(p=" + std::to_string(precision_) + ")";
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,48 @@
+#ifndef FUNGUSDB_SUMMARY_HYPERLOGLOG_H_
+#define FUNGUSDB_SUMMARY_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// HyperLogLog (Flajolet et al. 2007) distinct-count sketch with the
+/// standard small-range (linear counting) correction. With precision p
+/// it uses 2^p one-byte registers and has relative standard error
+/// ~1.04 / sqrt(2^p).
+class HyperLogLog : public ColumnSummary {
+ public:
+  /// `precision` in [4, 18].
+  explicit HyperLogLog(int precision, uint64_t seed = 0x1171u);
+
+  std::string_view kind() const override { return "hyperloglog"; }
+  void Observe(const Value& value) override;
+  uint64_t observations() const override { return observations_; }
+  Status Merge(const Summary& other) override;
+  size_t MemoryUsage() const override;
+  std::string Describe() const override;
+  void Serialize(BufferWriter& out) const override;
+
+  static Result<std::unique_ptr<HyperLogLog>> Deserialize(BufferReader& in);
+
+  /// Estimated number of distinct non-null values observed.
+  double EstimateDistinct() const;
+
+  int precision() const { return precision_; }
+
+  /// Theoretical relative standard error for this precision.
+  double StandardError() const;
+
+ private:
+  int precision_;
+  uint64_t seed_;
+  uint64_t observations_ = 0;
+  std::vector<uint8_t> registers_;  // 2^precision entries
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_HYPERLOGLOG_H_

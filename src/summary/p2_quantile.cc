@@ -1,0 +1,188 @@
+#include "summary/p2_quantile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fungusdb {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::Observe(const Value& value) {
+  if (value.is_null()) return;
+  Result<double> d = value.ToDouble();
+  if (!d.ok()) return;
+  ObserveDouble(*d);
+}
+
+void P2Quantile::ObserveDouble(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x and update extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers.
+  for (int i = 1; i <= 3; ++i) {
+    const double delta = desired_[i] - positions_[i];
+    const double ahead = positions_[i + 1] - positions_[i];
+    const double behind = positions_[i - 1] - positions_[i];
+    if ((delta >= 1.0 && ahead > 1.0) || (delta <= -1.0 && behind < -1.0)) {
+      const double direction = delta >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double np = positions_[i] + direction;
+      const double qp =
+          heights_[i] +
+          direction / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + direction) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - direction) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < qp && qp < heights_[i + 1]) {
+        heights_[i] = qp;
+      } else {
+        // Fall back to linear prediction.
+        const int j = i + static_cast<int>(direction);
+        heights_[i] += direction * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+Result<double> P2Quantile::Estimate() const {
+  if (count_ == 0) return Status::FailedPrecondition("no observations");
+  if (count_ < 5) {
+    // Exact small-sample quantile over the sorted prefix.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min<size_t>(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+Status P2Quantile::Merge(const Summary& other) {
+  if (other.kind() != kind()) {
+    return Status::TypeMismatch("cannot merge p2_quantile with " +
+                                std::string(other.kind()));
+  }
+  const auto& o = static_cast<const P2Quantile&>(other);
+  if (o.q_ != q_) {
+    return Status::InvalidArgument("p2_quantile targets differ");
+  }
+  if (o.count_ == 0) return Status::OK();
+  if (count_ == 0) {
+    CopyStateFrom(o);
+    return Status::OK();
+  }
+  // Approximate merge: weighted average of the two estimates, keeping
+  // the marker state of the larger side.
+  const double mine = Estimate().value();
+  const double theirs = o.Estimate().value();
+  const double total = static_cast<double>(count_ + o.count_);
+  const double blended = (mine * static_cast<double>(count_) +
+                          theirs * static_cast<double>(o.count_)) /
+                         total;
+  if (o.count_ > count_) {
+    const uint64_t my_count = count_;
+    CopyStateFrom(o);
+    count_ += my_count;
+  } else {
+    count_ += o.count_;
+  }
+  if (count_ >= 5) heights_[2] = blended;
+  return Status::OK();
+}
+
+void P2Quantile::Serialize(BufferWriter& out) const {
+  out.WriteDouble(q_);
+  out.WriteU64(count_);
+  for (int i = 0; i < 5; ++i) out.WriteDouble(heights_[i]);
+  for (int i = 0; i < 5; ++i) out.WriteDouble(positions_[i]);
+  for (int i = 0; i < 5; ++i) out.WriteDouble(desired_[i]);
+  for (int i = 0; i < 5; ++i) out.WriteDouble(increments_[i]);
+}
+
+Result<std::unique_ptr<P2Quantile>> P2Quantile::Deserialize(
+    BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(double q, in.ReadDouble());
+  if (!(q > 0.0 && q < 1.0)) {
+    return Status::ParseError("implausible p2 target quantile");
+  }
+  auto p2 = std::make_unique<P2Quantile>(q);
+  FUNGUSDB_ASSIGN_OR_RETURN(p2->count_, in.ReadU64());
+  for (int i = 0; i < 5; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(p2->heights_[i], in.ReadDouble());
+  }
+  for (int i = 0; i < 5; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(p2->positions_[i], in.ReadDouble());
+  }
+  for (int i = 0; i < 5; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(p2->desired_[i], in.ReadDouble());
+  }
+  for (int i = 0; i < 5; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(p2->increments_[i], in.ReadDouble());
+  }
+  return p2;
+}
+
+void P2Quantile::CopyStateFrom(const P2Quantile& o) {
+  q_ = o.q_;
+  count_ = o.count_;
+  std::copy(o.heights_, o.heights_ + 5, heights_);
+  std::copy(o.positions_, o.positions_ + 5, positions_);
+  std::copy(o.desired_, o.desired_ + 5, desired_);
+  std::copy(o.increments_, o.increments_ + 5, increments_);
+}
+
+std::string P2Quantile::Describe() const {
+  return "p2_quantile(q=" + FormatDouble(q_, 3) + ")";
+}
+
+}  // namespace fungusdb

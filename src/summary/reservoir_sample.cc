@@ -1,0 +1,125 @@
+#include "summary/reservoir_sample.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "storage/value_serde.h"
+
+namespace fungusdb {
+
+ReservoirSample::ReservoirSample(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  assert(capacity > 0);
+  sample_.reserve(capacity);
+}
+
+void ReservoirSample::Observe(const Value& value) {
+  if (value.is_null()) return;
+  ++observations_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  // Keep each of the n observations with probability capacity/n.
+  const uint64_t slot = rng_.NextBounded(observations_);
+  if (slot < capacity_) {
+    sample_[static_cast<size_t>(slot)] = value;
+  }
+}
+
+Status ReservoirSample::Merge(const Summary& other) {
+  if (other.kind() != kind()) {
+    return Status::TypeMismatch("cannot merge reservoir with " +
+                                std::string(other.kind()));
+  }
+  const auto& o = static_cast<const ReservoirSample&>(other);
+  // Weighted merge: keep each incoming element in proportion to the
+  // other reservoir's population so the union stays (approximately)
+  // uniform over both streams.
+  if (o.observations_ == 0) return Status::OK();
+  const double take_probability =
+      static_cast<double>(o.observations_) /
+      static_cast<double>(observations_ + o.observations_);
+  for (const Value& v : o.sample_) {
+    if (sample_.size() < capacity_) {
+      sample_.push_back(v);
+    } else if (rng_.NextBernoulli(take_probability)) {
+      sample_[static_cast<size_t>(rng_.NextBounded(capacity_))] = v;
+    }
+  }
+  observations_ += o.observations_;
+  return Status::OK();
+}
+
+size_t ReservoirSample::MemoryUsage() const {
+  size_t bytes = sizeof(ReservoirSample);
+  for (const Value& v : sample_) bytes += v.MemoryUsage();
+  bytes += (sample_.capacity() - sample_.size()) * sizeof(Value);
+  return bytes;
+}
+
+Result<double> ReservoirSample::EstimateMean() const {
+  if (sample_.empty()) {
+    return Status::FailedPrecondition("empty reservoir");
+  }
+  double sum = 0.0;
+  for (const Value& v : sample_) {
+    FUNGUSDB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+    sum += d;
+  }
+  return sum / static_cast<double>(sample_.size());
+}
+
+Result<double> ReservoirSample::EstimateQuantile(double q) const {
+  if (sample_.empty()) {
+    return Status::FailedPrecondition("empty reservoir");
+  }
+  std::vector<double> values;
+  values.reserve(sample_.size());
+  for (const Value& v : sample_) {
+    FUNGUSDB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+    values.push_back(d);
+  }
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+void ReservoirSample::Serialize(BufferWriter& out) const {
+  out.WriteU64(capacity_);
+  out.WriteU64(observations_);
+  out.WriteU64(sample_.size());
+  for (const Value& v : sample_) WriteValue(out, v);
+}
+
+Result<std::unique_ptr<ReservoirSample>> ReservoirSample::Deserialize(
+    BufferReader& in) {
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t capacity, in.ReadU64());
+  if (capacity == 0 || capacity > (1u << 26)) {
+    return Status::ParseError("implausible reservoir capacity");
+  }
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t observations, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t sample_size, in.ReadU64());
+  if (sample_size > capacity) {
+    return Status::ParseError("reservoir sample larger than capacity");
+  }
+  auto res = std::make_unique<ReservoirSample>(
+      capacity, /*seed=*/0x5A3317 ^ observations);
+  res->observations_ = observations;
+  for (uint64_t i = 0; i < sample_size; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+    res->sample_.push_back(std::move(v));
+  }
+  return res;
+}
+
+std::string ReservoirSample::Describe() const {
+  return "reservoir(k=" + std::to_string(capacity_) + ")";
+}
+
+}  // namespace fungusdb

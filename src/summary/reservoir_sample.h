@@ -1,0 +1,52 @@
+#ifndef FUNGUSDB_SUMMARY_RESERVOIR_SAMPLE_H_
+#define FUNGUSDB_SUMMARY_RESERVOIR_SAMPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// Uniform reservoir sample (Vitter's Algorithm R) of up to `capacity`
+/// values. The cooked form that keeps raw representatives — handy for
+/// "inspect them once before removal" style workflows and for estimating
+/// arbitrary statistics of rotted data.
+class ReservoirSample : public ColumnSummary {
+ public:
+  explicit ReservoirSample(size_t capacity, uint64_t seed = 0x5A3317);
+
+  std::string_view kind() const override { return "reservoir"; }
+  void Observe(const Value& value) override;
+  uint64_t observations() const override { return observations_; }
+  Status Merge(const Summary& other) override;
+  size_t MemoryUsage() const override;
+  std::string Describe() const override;
+  void Serialize(BufferWriter& out) const override;
+
+  /// The sampled values and counters are restored exactly; the PRNG
+  /// stream restarts from a seed derived from the observation count.
+  static Result<std::unique_ptr<ReservoirSample>> Deserialize(
+      BufferReader& in);
+
+  size_t capacity() const { return capacity_; }
+  const std::vector<Value>& sample() const { return sample_; }
+
+  /// Sample mean of numeric values; fails on empty or non-numeric data.
+  Result<double> EstimateMean() const;
+
+  /// Sample quantile (q in [0, 1]) of numeric values.
+  Result<double> EstimateQuantile(double q) const;
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t observations_ = 0;
+  std::vector<Value> sample_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_RESERVOIR_SAMPLE_H_

@@ -1,0 +1,22 @@
+#ifndef FUNGUSDB_SUMMARY_SERIALIZE_H_
+#define FUNGUSDB_SUMMARY_SERIALIZE_H_
+
+#include <memory>
+
+#include "common/buffer_io.h"
+#include "common/result.h"
+#include "summary/summary.h"
+
+namespace fungusdb {
+
+/// Writes `kind` as a length-prefixed string followed by the summary's
+/// own state, so DeserializeSummary() can dispatch.
+void SerializeSummary(const Summary& summary, BufferWriter& out);
+
+/// Reconstructs a summary written by SerializeSummary(). Fails with
+/// ParseError on unknown kinds and OutOfRange on truncation.
+Result<std::unique_ptr<Summary>> DeserializeSummary(BufferReader& in);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_SERIALIZE_H_

@@ -1,0 +1,125 @@
+#include "summary/table_stats.h"
+
+#include <memory>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "summary/hyperloglog.h"
+
+namespace fungusdb {
+namespace {
+
+/// Streaming accumulator shared by the per-column and whole-table paths.
+class StatsAccumulator {
+ public:
+  StatsAccumulator(std::string name, DataType type)
+      : hll_(12) {
+    stats_.name = std::move(name);
+    stats_.type = type;
+  }
+
+  void Observe(const Value& v) {
+    if (v.is_null()) {
+      ++stats_.nulls;
+      return;
+    }
+    ++stats_.live_values;
+    hll_.Observe(v);
+    if (!stats_.min.has_value()) {
+      stats_.min = v;
+      stats_.max = v;
+    } else {
+      Result<int> cmp_min = v.Compare(*stats_.min);
+      if (cmp_min.ok() && *cmp_min < 0) stats_.min = v;
+      Result<int> cmp_max = v.Compare(*stats_.max);
+      if (cmp_max.ok() && *cmp_max > 0) stats_.max = v;
+    }
+    Result<double> d = v.ToDouble();
+    if (d.ok()) {
+      sum_ += *d;
+      ++numeric_count_;
+    }
+  }
+
+  ColumnStats Finish() {
+    stats_.approx_distinct = hll_.EstimateDistinct();
+    if (numeric_count_ > 0) {
+      stats_.mean = sum_ / static_cast<double>(numeric_count_);
+    }
+    return std::move(stats_);
+  }
+
+ private:
+  ColumnStats stats_;
+  HyperLogLog hll_;
+  double sum_ = 0.0;
+  uint64_t numeric_count_ = 0;
+};
+
+}  // namespace
+
+std::string ColumnStats::ToString() const {
+  std::ostringstream os;
+  os << name << " (" << DataTypeName(type) << "): live=" << live_values
+     << " nulls=" << nulls;
+  if (min.has_value()) {
+    os << " min=" << min->ToString() << " max=" << max->ToString();
+  }
+  if (mean.has_value()) os << " mean=" << FormatDouble(*mean, 3);
+  os << " ~distinct=" << FormatDouble(approx_distinct, 0);
+  return os.str();
+}
+
+std::string TableStats::ToString() const {
+  std::ostringstream os;
+  os << "table " << table_name << ": " << live_rows << " live rows\n";
+  for (const ColumnStats& c : columns) {
+    os << "  " << c.ToString() << "\n";
+  }
+  return os.str();
+}
+
+Result<ColumnStats> ComputeColumnStats(const Table& table, size_t column) {
+  if (column >= table.schema().num_fields()) {
+    return Status::OutOfRange("column index " + std::to_string(column) +
+                              " out of range");
+  }
+  const Field& field = table.schema().field(column);
+  StatsAccumulator acc(field.name, field.type);
+  table.ForEachLive([&](RowId row) {
+    acc.Observe(table.GetValue(row, column).value());
+  });
+  return acc.Finish();
+}
+
+TableStats AnalyzeTable(const Table& table) {
+  TableStats out;
+  out.table_name = table.name();
+  out.live_rows = table.live_rows();
+
+  // Accumulators hold a HyperLogLog (non-movable Summary); keep them
+  // behind unique_ptr so the vector stays happy.
+  std::vector<std::unique_ptr<StatsAccumulator>> accumulators;
+  for (const Field& f : table.schema().fields()) {
+    accumulators.push_back(
+        std::make_unique<StatsAccumulator>(f.name, f.type));
+  }
+  StatsAccumulator ts_acc(kTimestampColumnName, DataType::kTimestamp);
+  StatsAccumulator freshness_acc(kFreshnessColumnName,
+                                 DataType::kFloat64);
+  table.ForEachLive([&](RowId row) {
+    for (size_t c = 0; c < accumulators.size(); ++c) {
+      accumulators[c]->Observe(table.GetValue(row, c).value());
+    }
+    ts_acc.Observe(Value::TimestampVal(table.InsertTime(row).value()));
+    freshness_acc.Observe(Value::Float64(table.Freshness(row)));
+  });
+  for (auto& acc : accumulators) {
+    out.columns.push_back(acc->Finish());
+  }
+  out.columns.push_back(ts_acc.Finish());
+  out.columns.push_back(freshness_acc.Finish());
+  return out;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,53 @@
+#ifndef FUNGUSDB_SUMMARY_TABLE_STATS_H_
+#define FUNGUSDB_SUMMARY_TABLE_STATS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+
+/// On-demand statistics for one column over the *live* extent.
+struct ColumnStats {
+  std::string name;
+  DataType type = DataType::kInt64;
+  uint64_t live_values = 0;  // non-null live cells
+  uint64_t nulls = 0;
+
+  /// Min/max over live non-null cells (strings compare
+  /// lexicographically); absent when every live cell is null.
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  /// Mean of numeric columns; absent otherwise.
+  std::optional<double> mean;
+
+  /// HyperLogLog(12) distinct estimate (~1% error).
+  double approx_distinct = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Full-table analysis: one ColumnStats per user column, plus the two
+/// system columns (`__ts`, `__freshness`) appended at the end. A single
+/// scan of the live extent; O(live_rows * columns).
+struct TableStats {
+  std::string table_name;
+  uint64_t live_rows = 0;
+  std::vector<ColumnStats> columns;
+
+  std::string ToString() const;
+};
+
+/// Analyzes one column by index (user columns only).
+Result<ColumnStats> ComputeColumnStats(const Table& table, size_t column);
+
+/// Analyzes every column including the system columns.
+TableStats AnalyzeTable(const Table& table);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_SUMMARY_TABLE_STATS_H_

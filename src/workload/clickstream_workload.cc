@@ -1,0 +1,38 @@
+#include "workload/clickstream_workload.h"
+
+#include <cassert>
+
+namespace fungusdb {
+
+ClickstreamWorkload::ClickstreamWorkload(Params params)
+    : params_(params),
+      rng_(params.seed),
+      user_dist_(params.num_users, params.user_skew),
+      url_dist_(params.num_urls, 0.7) {
+  assert(params_.num_users > 0);
+  schema_ = Schema::Make({{"user_id", DataType::kInt64, false},
+                          {"session_id", DataType::kInt64, false},
+                          {"url", DataType::kString, false},
+                          {"dwell_ms", DataType::kInt64, false}})
+                .value();
+  current_session_.assign(params_.num_users, 0);
+}
+
+std::optional<std::vector<Value>> ClickstreamWorkload::Next() {
+  const uint64_t user = user_dist_.Next(rng_);
+  int64_t& session = current_session_[user];
+  if (session == 0 || rng_.NextBernoulli(params_.session_end_probability)) {
+    session = next_session_id_++;
+  }
+  const uint64_t url = url_dist_.Next(rng_);
+  const int64_t dwell =
+      static_cast<int64_t>(rng_.NextExponential(1.0 / 8000.0));
+  return std::vector<Value>{
+      Value::Int64(static_cast<int64_t>(user)),
+      Value::Int64(session),
+      Value::String("/page/" + std::to_string(url)),
+      Value::Int64(dwell),
+  };
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,43 @@
+#ifndef FUNGUSDB_WORKLOAD_CLICKSTREAM_WORKLOAD_H_
+#define FUNGUSDB_WORKLOAD_CLICKSTREAM_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "pipeline/source.h"
+
+namespace fungusdb {
+
+/// Web event stream: (user_id int64, session_id int64, url string,
+/// dwell_ms int64). Users are drawn Zipfian (a few heavy users dominate,
+/// as in real traffic); each user's events share a session id that rolls
+/// over with probability `session_end_probability` — the substrate for
+/// the Law-2 sessionization example and experiment T3.
+class ClickstreamWorkload : public RecordSource {
+ public:
+  struct Params {
+    uint64_t num_users = 1000;
+    double user_skew = 0.9;  // Zipfian theta
+    double session_end_probability = 0.05;
+    uint64_t num_urls = 200;
+    uint64_t seed = 0xC11C;
+  };
+
+  explicit ClickstreamWorkload(Params params);
+
+  const Schema& schema() const override { return schema_; }
+  std::optional<std::vector<Value>> Next() override;
+
+ private:
+  Params params_;
+  Rng rng_;
+  Zipfian user_dist_;
+  Zipfian url_dist_;
+  Schema schema_;
+  std::vector<int64_t> current_session_;
+  int64_t next_session_id_ = 1;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_WORKLOAD_CLICKSTREAM_WORKLOAD_H_

@@ -1,0 +1,36 @@
+#include "workload/iot_workload.h"
+
+#include <cassert>
+
+namespace fungusdb {
+
+IotWorkload::IotWorkload(Params params)
+    : params_(params), rng_(params.seed) {
+  assert(params_.num_sensors > 0);
+  schema_ = Schema::Make({{"sensor_id", DataType::kInt64, false},
+                          {"temp", DataType::kFloat64, false},
+                          {"humidity", DataType::kFloat64, false},
+                          {"status", DataType::kString, false}})
+                .value();
+  sensor_temperature_.reserve(params_.num_sensors);
+  for (uint64_t i = 0; i < params_.num_sensors; ++i) {
+    sensor_temperature_.push_back(params_.base_temperature +
+                                  rng_.NextGaussian() * 3.0);
+  }
+}
+
+std::optional<std::vector<Value>> IotWorkload::Next() {
+  const uint64_t sensor = rng_.NextBounded(params_.num_sensors);
+  double& temp = sensor_temperature_[sensor];
+  temp += rng_.NextGaussian() * params_.walk_step;
+  const double humidity = 40.0 + 30.0 * rng_.NextDouble();
+  const bool fault = rng_.NextBernoulli(params_.fault_probability);
+  return std::vector<Value>{
+      Value::Int64(static_cast<int64_t>(sensor)),
+      Value::Float64(temp),
+      Value::Float64(humidity),
+      Value::String(fault ? "FAULT" : "OK"),
+  };
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,42 @@
+#ifndef FUNGUSDB_WORKLOAD_IOT_WORKLOAD_H_
+#define FUNGUSDB_WORKLOAD_IOT_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "pipeline/source.h"
+
+namespace fungusdb {
+
+/// Sensor-fleet telemetry: (sensor_id int64, temp float64,
+/// humidity float64, status string). Each sensor holds a random-walk
+/// temperature around its own baseline; ~0.5% of readings report a
+/// fault status. Deterministic given the seed.
+class IotWorkload : public RecordSource {
+ public:
+  struct Params {
+    uint64_t num_sensors = 100;
+    double base_temperature = 20.0;
+    double walk_step = 0.4;
+    double fault_probability = 0.005;
+    uint64_t seed = 0x107;
+  };
+
+  explicit IotWorkload(Params params);
+
+  const Schema& schema() const override { return schema_; }
+  std::optional<std::vector<Value>> Next() override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  Schema schema_;
+  std::vector<double> sensor_temperature_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_WORKLOAD_IOT_WORKLOAD_H_

@@ -1,0 +1,63 @@
+#include "workload/query_workload.h"
+
+namespace fungusdb {
+
+QueryWorkload::QueryWorkload(Params params)
+    : params_(params), rng_(params.seed) {}
+
+std::string_view QueryWorkload::ClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kPoint:
+      return "point";
+    case QueryClass::kValueRange:
+      return "value_range";
+    case QueryClass::kRecent:
+      return "recent";
+    case QueryClass::kHistorical:
+      return "historical";
+  }
+  return "?";
+}
+
+QueryWorkload::GeneratedQuery QueryWorkload::Next(Timestamp now) {
+  const double roll = rng_.NextDouble();
+  GeneratedQuery out;
+  out.query.table_name = params_.table_name;
+
+  if (roll < params_.point_fraction) {
+    out.query_class = QueryClass::kPoint;
+    const int64_t sensor =
+        static_cast<int64_t>(rng_.NextBounded(params_.num_sensors));
+    out.query.where = Eq(Col("sensor_id"), Lit(sensor));
+    return out;
+  }
+  if (roll < params_.point_fraction + params_.value_range_fraction) {
+    out.query_class = QueryClass::kValueRange;
+    const double lo = rng_.NextDouble(0.0, 30.0);
+    const double width = rng_.NextDouble(1.0, 8.0);
+    out.query.where =
+        And(Ge(Col("temp"), Lit(lo)), Le(Col("temp"), Lit(lo + width)));
+    return out;
+  }
+  if (roll < params_.point_fraction + params_.value_range_fraction +
+                 params_.recent_fraction) {
+    out.query_class = QueryClass::kRecent;
+    out.query.where = Ge(Col("__ts"), Lit(now - params_.recent_window));
+    return out;
+  }
+
+  out.query_class = QueryClass::kHistorical;
+  // A one-day aggregate window somewhere in the past `history_depth`.
+  const Duration offset = static_cast<Duration>(
+      rng_.NextDouble() * static_cast<double>(params_.history_depth));
+  const Timestamp window_end = now - offset;
+  const Timestamp window_start = window_end - kDay;
+  out.query.items.push_back({Expr::Aggregate(AggFn::kCount, nullptr), "n"});
+  out.query.items.push_back(
+      {Expr::Aggregate(AggFn::kAvg, Col("temp")), "avg_temp"});
+  out.query.where = And(Ge(Col("__ts"), Lit(window_start)),
+                        Lt(Col("__ts"), Lit(window_end)));
+  return out;
+}
+
+}  // namespace fungusdb

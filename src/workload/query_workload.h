@@ -1,0 +1,56 @@
+#ifndef FUNGUSDB_WORKLOAD_QUERY_WORKLOAD_H_
+#define FUNGUSDB_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "query/query.h"
+
+namespace fungusdb {
+
+/// Generates the read-side workload for experiments T2 and F4: a mix of
+/// point lookups, value-range scans, recent-window scans and historical
+/// aggregates against an IoT-schema table. Each generated query carries
+/// a class tag so recall can be reported per class.
+class QueryWorkload {
+ public:
+  enum class QueryClass {
+    kPoint,       // sensor_id = k
+    kValueRange,  // temp BETWEEN a AND b
+    kRecent,      // __ts within the last `recent_window`
+    kHistorical,  // aggregate over a window ending `history_depth` ago
+  };
+
+  struct Params {
+    std::string table_name = "readings";
+    uint64_t num_sensors = 100;
+    Duration recent_window = kHour;
+    Duration history_depth = 7 * kDay;
+    double point_fraction = 0.3;
+    double value_range_fraction = 0.3;
+    double recent_fraction = 0.2;  // remainder is historical
+    uint64_t seed = 0x9E37;
+  };
+
+  struct GeneratedQuery {
+    QueryClass query_class;
+    Query query;
+  };
+
+  explicit QueryWorkload(Params params);
+
+  /// Generates one query as of (virtual) time `now`.
+  GeneratedQuery Next(Timestamp now);
+
+  static std::string_view ClassName(QueryClass c);
+
+ private:
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,44 @@
+#include "workload/tick_workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace fungusdb {
+
+TickWorkload::TickWorkload(Params params)
+    : params_(params),
+      rng_(params.seed),
+      symbol_dist_(params.num_symbols, params.symbol_skew) {
+  assert(params_.num_symbols > 0);
+  schema_ = Schema::Make({{"symbol", DataType::kString, false},
+                          {"price", DataType::kFloat64, false},
+                          {"volume", DataType::kInt64, false}})
+                .value();
+  price_.reserve(params_.num_symbols);
+  for (uint64_t i = 0; i < params_.num_symbols; ++i) {
+    price_.push_back(20.0 + 200.0 * rng_.NextDouble());
+  }
+}
+
+std::string TickWorkload::SymbolName(uint64_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "SYM%03llu",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::optional<std::vector<Value>> TickWorkload::Next() {
+  const uint64_t symbol = symbol_dist_.Next(rng_);
+  double& price = price_[symbol];
+  price *= std::exp(rng_.NextGaussian() * params_.volatility);
+  const int64_t volume = 1 + static_cast<int64_t>(
+                                 rng_.NextExponential(1.0 / 500.0));
+  return std::vector<Value>{
+      Value::String(SymbolName(symbol)),
+      Value::Float64(price),
+      Value::Int64(volume),
+  };
+}
+
+}  // namespace fungusdb

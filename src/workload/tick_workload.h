@@ -1,0 +1,43 @@
+#ifndef FUNGUSDB_WORKLOAD_TICK_WORKLOAD_H_
+#define FUNGUSDB_WORKLOAD_TICK_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "pipeline/source.h"
+
+namespace fungusdb {
+
+/// Financial tick stream: (symbol string, price float64, volume int64).
+/// Prices follow independent geometric random walks per symbol; symbol
+/// popularity is Zipfian. Substrate for the sketch-accuracy experiment
+/// (F3) where frequency/distinct/quantile questions have known answers.
+class TickWorkload : public RecordSource {
+ public:
+  struct Params {
+    uint64_t num_symbols = 50;
+    double symbol_skew = 0.8;
+    double volatility = 0.002;
+    uint64_t seed = 0x71C4;
+  };
+
+  explicit TickWorkload(Params params);
+
+  const Schema& schema() const override { return schema_; }
+  std::optional<std::vector<Value>> Next() override;
+
+  /// Symbol name for an index ("SYM000"...).
+  static std::string SymbolName(uint64_t index);
+
+ private:
+  Params params_;
+  Rng rng_;
+  Zipfian symbol_dist_;
+  Schema schema_;
+  std::vector<double> price_;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_WORKLOAD_TICK_WORKLOAD_H_

@@ -1,0 +1,97 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(VirtualClockTest, StartsAtEpoch) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  VirtualClock offset(100);
+  EXPECT_EQ(offset.Now(), 100);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.Advance(kSecond);
+  clock.Advance(2 * kSecond);
+  EXPECT_EQ(clock.Now(), 3 * kSecond);
+}
+
+TEST(VirtualClockTest, AdvanceZeroIsNoop) {
+  VirtualClock clock(5);
+  clock.Advance(0);
+  EXPECT_EQ(clock.Now(), 5);
+}
+
+TEST(VirtualClockTest, SetTimeJumpsForward) {
+  VirtualClock clock;
+  clock.SetTime(kDay);
+  EXPECT_EQ(clock.Now(), kDay);
+}
+
+TEST(SystemClockTest, IsMonotonicNonDecreasing) {
+  SystemClock clock;
+  const Timestamp a = clock.Now();
+  const Timestamp b = clock.Now();
+  EXPECT_LE(a, b);
+  EXPECT_GE(a, 0);
+}
+
+TEST(DurationTest, UnitRatios) {
+  EXPECT_EQ(kMillisecond, 1000);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(FormatDurationTest, RendersCompactUnits) {
+  EXPECT_EQ(FormatDuration(0), "0us");
+  EXPECT_EQ(FormatDuration(kSecond), "1s");
+  EXPECT_EQ(FormatDuration(90 * kSecond), "1m30s");
+  EXPECT_EQ(FormatDuration(2 * kDay + 3 * kHour), "2d3h");
+  EXPECT_EQ(FormatDuration(450 * kMillisecond), "450ms");
+}
+
+TEST(FormatDurationTest, NegativeDurations) {
+  EXPECT_EQ(FormatDuration(-kSecond), "-1s");
+}
+
+TEST(FormatDurationTest, AtMostTwoComponents) {
+  // 1d 1h 1m 1s -> only the two most significant parts.
+  EXPECT_EQ(FormatDuration(kDay + kHour + kMinute + kSecond), "1d1h");
+}
+
+TEST(ParseDurationTest, SingleUnits) {
+  EXPECT_EQ(ParseDuration("5us").value(), 5);
+  EXPECT_EQ(ParseDuration("450ms").value(), 450 * kMillisecond);
+  EXPECT_EQ(ParseDuration("10s").value(), 10 * kSecond);
+  EXPECT_EQ(ParseDuration("90m").value(), 90 * kMinute);
+  EXPECT_EQ(ParseDuration("3h").value(), 3 * kHour);
+  EXPECT_EQ(ParseDuration("7d").value(), 7 * kDay);
+}
+
+TEST(ParseDurationTest, CompoundDurations) {
+  EXPECT_EQ(ParseDuration("2d3h").value(), 2 * kDay + 3 * kHour);
+  EXPECT_EQ(ParseDuration("1m30s").value(), 90 * kSecond);
+}
+
+TEST(ParseDurationTest, RoundTripsWithFormat) {
+  for (Duration d : {kSecond, 90 * kSecond, 2 * kDay + 3 * kHour,
+                     450 * kMillisecond}) {
+    EXPECT_EQ(ParseDuration(FormatDuration(d)).value(), d);
+  }
+}
+
+TEST(ParseDurationTest, MalformedInputsFail) {
+  EXPECT_FALSE(ParseDuration("").ok());
+  EXPECT_FALSE(ParseDuration("abc").ok());
+  EXPECT_FALSE(ParseDuration("5").ok());       // missing unit
+  EXPECT_FALSE(ParseDuration("5parsecs").ok());
+  EXPECT_FALSE(ParseDuration("h5").ok());
+}
+
+}  // namespace
+}  // namespace fungusdb

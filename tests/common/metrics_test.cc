@@ -1,0 +1,102 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(MetricsTest, CountersStartAtZero) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.GetCounter("absent"), 0);
+}
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry m;
+  m.IncrementCounter("rows");
+  m.IncrementCounter("rows", 9);
+  EXPECT_EQ(m.GetCounter("rows"), 10);
+}
+
+TEST(MetricsTest, GaugesOverwrite) {
+  MetricsRegistry m;
+  m.SetGauge("mem", 1.5);
+  m.SetGauge("mem", 2.5);
+  EXPECT_DOUBLE_EQ(m.GetGauge("mem"), 2.5);
+  EXPECT_DOUBLE_EQ(m.GetGauge("absent"), 0.0);
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  MetricsRegistry m;
+  m.IncrementCounter("a");
+  m.SetGauge("b", 1.0);
+  m.Histogram("c").Record(1);
+  m.Reset();
+  EXPECT_EQ(m.GetCounter("a"), 0);
+  EXPECT_DOUBLE_EQ(m.GetGauge("b"), 0.0);
+  EXPECT_EQ(m.FindHistogram("c"), nullptr);
+}
+
+TEST(MetricsTest, ReportContainsEntries) {
+  MetricsRegistry m;
+  m.IncrementCounter("x.count", 3);
+  m.SetGauge("y.gauge", 7.0);
+  const std::string report = m.Report();
+  EXPECT_NE(report.find("x.count = 3"), std::string::npos);
+  EXPECT_NE(report.find("y.gauge = 7"), std::string::npos);
+}
+
+TEST(HistogramMetricTest, EmptyHistogram) {
+  HistogramMetric h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramMetricTest, BasicStats) {
+  HistogramMetric h;
+  for (int64_t v : {1, 2, 3, 4, 5}) h.Record(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 15);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+}
+
+TEST(HistogramMetricTest, QuantilesAreOrdered) {
+  HistogramMetric h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const double p10 = h.Quantile(0.10);
+  const double p50 = h.Quantile(0.50);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p99, 500.0);
+  EXPECT_LE(h.Quantile(1.0), 1000.0 + 1e-9);
+}
+
+TEST(HistogramMetricTest, SingleValueQuantiles) {
+  HistogramMetric h;
+  h.Record(42);
+  EXPECT_NEAR(h.Quantile(0.5), 42.0, 42.0);  // within its bucket
+  EXPECT_EQ(h.max(), 42);
+}
+
+TEST(HistogramMetricTest, NegativeValuesClampToFirstBucket) {
+  HistogramMetric h;
+  h.Record(-10);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), -10);
+}
+
+TEST(HistogramMetricTest, ResetZeroes) {
+  HistogramMetric h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace fungusdb

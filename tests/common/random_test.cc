@@ -1,0 +1,182 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextIntHitsBothEndpoints) {
+  Rng rng(13);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000 && !(lo && hi); ++i) {
+    const int64_t v = rng.NextInt(0, 3);
+    if (v == 0) lo = true;
+    if (v == 3) hi = true;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsCentered) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(41);
+  Rng b = a.Split();
+  // The split stream should not replicate the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 sm(0);
+  const uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.Next(), first);
+  EXPECT_NE(sm.Next(), first);
+}
+
+TEST(ZipfianTest, ProducesValuesInRange) {
+  Rng rng(47);
+  Zipfian zipf(100, 0.9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfianTest, SkewFavorsLowRanks) {
+  Rng rng(53);
+  Zipfian zipf(1000, 0.9);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next(rng) < 10) ++low;
+  }
+  // Under theta=0.9 the top-10 of 1000 items draw far more than the
+  // uniform 1% of traffic.
+  EXPECT_GT(static_cast<double>(low) / n, 0.25);
+}
+
+TEST(ZipfianTest, ZeroThetaIsRoughlyUniform) {
+  Rng rng(59);
+  Zipfian zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,78 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("fungus");
+  EXPECT_EQ(r->size(), 6u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::OutOfRange("nope"); };
+  auto outer = [&]() -> Result<int> {
+    FUNGUSDB_ASSIGN_OR_RETURN(int v, fails());
+    return v + 1;
+  };
+  Result<int> r = outer();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto gives = []() -> Result<int> { return 10; };
+  auto outer = [&]() -> Result<int> {
+    FUNGUSDB_ASSIGN_OR_RETURN(int v, gives());
+    return v * 3;
+  };
+  Result<int> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 30);
+}
+
+TEST(ResultTest, CopyPreservesBothArms) {
+  Result<int> ok = 1;
+  Result<int> ok_copy = ok;
+  EXPECT_TRUE(ok_copy.ok());
+  Result<int> err = Status::Internal("e");
+  Result<int> err_copy = err;
+  EXPECT_FALSE(err_copy.ok());
+  EXPECT_EQ(err_copy.status().message(), "e");
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad knob");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::TypeMismatch("x").code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    FUNGUSDB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    FUNGUSDB_RETURN_IF_ERROR(succeeds());
+    return Status::NotFound("sentinel");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, StatusCodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kTypeMismatch), "TypeMismatch");
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,214 @@
+// End-to-end scenarios crossing every module: ingest -> decay -> cook ->
+// query, on virtual time.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "fungus/egi_fungus.h"
+#include "fungus/exponential_fungus.h"
+#include "fungus/retention_fungus.h"
+#include "summary/grouped_aggregate.h"
+#include "summary/histogram_sketch.h"
+#include "summary/hyperloglog.h"
+#include "workload/clickstream_workload.h"
+#include "workload/iot_workload.h"
+
+namespace fungusdb {
+namespace {
+
+TEST(IntegrationTest, IotPipelineWithRetentionStaysBounded) {
+  Database db;
+  TableOptions topts;
+  topts.rows_per_segment = 512;
+  ASSERT_TRUE(db.CreateTable("readings",
+                             IotWorkload(IotWorkload::Params{}).schema(),
+                             topts)
+                  .ok());
+  ASSERT_TRUE(db.AttachFungus(
+                    "readings",
+                    std::make_unique<RetentionFungus>(2 * kDay),
+                    /*period=*/kHour)
+                  .ok());
+  IotWorkload workload(IotWorkload::Params{});
+
+  uint64_t max_live = 0;
+  for (int day = 0; day < 10; ++day) {
+    ASSERT_TRUE(db.Ingest("readings", workload, 1000).ok());
+    ASSERT_TRUE(db.AdvanceTime(kDay).ok());
+    max_live = std::max(max_live, db.GetTable("readings").value()->live_rows());
+  }
+  Table* t = db.GetTable("readings").value();
+  // Steady state: at most ~2 days of data (2 batches of 1000), never the
+  // full 10k appended.
+  EXPECT_LE(t->live_rows(), 2000u);
+  EXPECT_EQ(t->total_appended(), 10000u);
+  EXPECT_LE(max_live, 3000u);
+}
+
+TEST(IntegrationTest, CookOnRotPreservesHistoricalAnswers) {
+  Database db;
+  Schema schema = Schema::Make({{"sensor", DataType::kInt64, false},
+                                {"temp", DataType::kFloat64, false}})
+                      .value();
+  ASSERT_TRUE(db.CreateTable("r", schema).ok());
+
+  // Cook dying tuples into a per-sensor aggregate and a temp histogram.
+  CookSpec grouped;
+  grouped.table_name = "r";
+  grouped.trigger = CookTrigger::kOnRot;
+  grouped.cellar_name = "per_sensor";
+  grouped.column = "temp";
+  grouped.group_by = "sensor";
+  ASSERT_TRUE(db.AddCookSpec(grouped).ok());
+
+  CookSpec hist;
+  hist.table_name = "r";
+  hist.trigger = CookTrigger::kOnRot;
+  hist.cellar_name = "temp_hist";
+  hist.column = "temp";
+  hist.factory = [] {
+    return std::make_unique<HistogramSketch>(0.0, 100.0, 20);
+  };
+  ASSERT_TRUE(db.AddCookSpec(hist).ok());
+
+  ASSERT_TRUE(db.AttachFungus("r",
+                              std::make_unique<RetentionFungus>(kHour),
+                              /*period=*/kHour)
+                  .ok());
+
+  // Two sensors, known temps.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Insert("r", {Value::Int64(i % 2),
+                                Value::Float64(i % 2 == 0 ? 20.0 : 60.0)})
+                    .ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime(3 * kHour).ok());
+
+  // Raw data fully rotted...
+  EXPECT_EQ(db.GetTable("r").value()->live_rows(), 0u);
+  // ...but the cooked knowledge answers historical questions.
+  auto* per_sensor =
+      static_cast<const GroupedAggregate*>(db.cellar().Find("per_sensor"));
+  ASSERT_NE(per_sensor, nullptr);
+  EXPECT_EQ(per_sensor->GroupState(Value::Int64(0)).value().count, 50u);
+  EXPECT_DOUBLE_EQ(per_sensor->GroupState(Value::Int64(1)).value().Mean(),
+                   60.0);
+  auto* temp_hist =
+      static_cast<const HistogramSketch*>(db.cellar().Find("temp_hist"));
+  ASSERT_NE(temp_hist, nullptr);
+  EXPECT_NEAR(temp_hist->EstimateRangeCount(0.0, 40.0), 50.0, 1e-6);
+}
+
+TEST(IntegrationTest, ClickstreamSessionizationViaConsumingQueries) {
+  Database db;
+  ClickstreamWorkload workload(ClickstreamWorkload::Params{});
+  ASSERT_TRUE(db.CreateTable("clicks", workload.schema()).ok());
+  ASSERT_TRUE(db.Ingest("clicks", workload, 2000).ok());
+
+  Table* t = db.GetTable("clicks").value();
+  const uint64_t total = t->live_rows();
+
+  // Repeatedly consume per-user slices; conservation must hold and the
+  // union of the answers must be exactly the original extent.
+  uint64_t consumed = 0;
+  for (int user = 0; user < 1000; user += 1) {
+    ResultSet rs = db.ExecuteSql("CONSUME SELECT user_id FROM clicks "
+                                 "WHERE user_id = " +
+                                 std::to_string(user))
+                       .value();
+    consumed += rs.stats.rows_consumed;
+    if (t->live_rows() == 0) break;
+  }
+  EXPECT_EQ(consumed, total);
+  EXPECT_EQ(t->live_rows(), 0u);
+}
+
+TEST(IntegrationTest, EgiKeepsAnswersApproximatelyCorrectWhileRotting) {
+  Database db;
+  Schema schema = Schema::Make({{"v", DataType::kInt64, false}}).value();
+  TableOptions topts;
+  topts.rows_per_segment = 128;
+  ASSERT_TRUE(db.CreateTable("r", schema, topts).ok());
+  EgiFungus::Params p;
+  p.seeds_per_tick = 2.0;
+  p.decay_step = 0.25;
+  ASSERT_TRUE(
+      db.AttachFungus("r", std::make_unique<EgiFungus>(p), kSecond).ok());
+
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db.Insert("r", {Value::Int64(i)}).ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime(60 * kSecond).ok());
+  Table* t = db.GetTable("r").value();
+  const uint64_t live = t->live_rows();
+  EXPECT_LT(live, 2000u);  // some rot happened
+  EXPECT_GT(live, 0u);     // but the cheese is still edible
+  // COUNT(*) agrees with live_rows: queries see exactly the live extent.
+  ResultSet rs = db.ExecuteSql("SELECT count(*) AS n FROM r").value();
+  EXPECT_EQ(static_cast<uint64_t>(rs.at(0, 0).AsInt64()), live);
+}
+
+TEST(IntegrationTest, CellarKnowledgeAlsoRots) {
+  Database db;
+  Schema schema = Schema::Make({{"v", DataType::kInt64, false}}).value();
+  ASSERT_TRUE(db.CreateTable("r", schema).ok());
+  CookSpec spec;
+  spec.table_name = "r";
+  spec.trigger = CookTrigger::kOnRot;
+  spec.cellar_name = "distinct_v";
+  spec.column = "v";
+  spec.half_life = kDay;  // cooked knowledge decays too
+  spec.factory = [] { return std::make_unique<HyperLogLog>(10); };
+  ASSERT_TRUE(db.AddCookSpec(spec).ok());
+  ASSERT_TRUE(db.AttachFungus("r",
+                              std::make_unique<RetentionFungus>(kHour),
+                              kHour)
+                  .ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Insert("r", {Value::Int64(i)}).ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime(2 * kHour).ok());
+  ASSERT_NE(db.cellar().Find("distinct_v"), nullptr);
+  // A week later the unrefreshed cellar entry has rotted away as well.
+  ASSERT_TRUE(db.AdvanceTime(7 * kDay).ok());
+  EXPECT_EQ(db.cellar().Find("distinct_v"), nullptr);
+}
+
+TEST(IntegrationTest, FullLifecycleHealthNarrative) {
+  // The paper's closing image: the database stays "in optimal health"
+  // when rot and cooking are balanced.
+  Database db;
+  IotWorkload workload(IotWorkload::Params{});
+  ASSERT_TRUE(db.CreateTable("readings", workload.schema()).ok());
+  ASSERT_TRUE(db.AttachFungus(
+                    "readings",
+                    std::make_unique<ExponentialFungus>(
+                        ExponentialFungus::FromHalfLife(12 * kHour)),
+                    kHour)
+                  .ok());
+  CookSpec spec;
+  spec.table_name = "readings";
+  spec.trigger = CookTrigger::kOnRot;
+  spec.cellar_name = "temp_hist";
+  spec.column = "temp";
+  spec.factory = [] {
+    return std::make_unique<HistogramSketch>(-50.0, 150.0, 40);
+  };
+  ASSERT_TRUE(db.AddCookSpec(spec).ok());
+
+  for (int day = 0; day < 5; ++day) {
+    ASSERT_TRUE(db.Ingest("readings", workload, 500).ok());
+    ASSERT_TRUE(db.AdvanceTime(kDay).ok());
+  }
+  HealthReport health = db.Health();
+  ASSERT_EQ(health.tables.size(), 1u);
+  // Decay keeps mean freshness strictly below 1 but above 0.
+  EXPECT_GT(health.tables[0].mean_freshness, 0.0);
+  EXPECT_LT(health.tables[0].mean_freshness, 1.0);
+  EXPECT_GT(health.rows_cooked, 0u);
+  EXPECT_EQ(health.cellar_entries, 1u);
+  EXPECT_GT(db.metrics().GetCounter("decay.ticks"), 0);
+}
+
+}  // namespace
+}  // namespace fungusdb

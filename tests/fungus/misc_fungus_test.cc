@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "fungus/composite_fungus.h"
+#include "fungus/importance_fungus.h"
+#include "fungus/random_blight_fungus.h"
+#include "fungus/retention_fungus.h"
+#include "fungus/rot_analysis.h"
+#include "fungus/sliding_window_fungus.h"
+
+namespace fungusdb {
+namespace {
+
+Schema OneColSchema() {
+  return Schema::Make({{"v", DataType::kInt64, false}}).value();
+}
+
+Table FilledTable(int rows, bool track_access = false) {
+  TableOptions opts;
+  opts.rows_per_segment = 64;
+  opts.track_access = track_access;
+  Table t("t", OneColSchema(), opts);
+  for (int i = 0; i < rows; ++i) {
+    t.Append({Value::Int64(i)}, i).value();
+  }
+  return t;
+}
+
+// --- SlidingWindowFungus ---
+
+TEST(SlidingWindowFungusTest, EnforcesMaxRows) {
+  Table t = FilledTable(100);
+  SlidingWindowFungus fungus(30);
+  DecayContext ctx(&t, 0);
+  fungus.Tick(ctx);
+  EXPECT_EQ(t.live_rows(), 30u);
+  // The survivors are the newest 30.
+  EXPECT_EQ(t.OldestLive().value(), 70u);
+}
+
+TEST(SlidingWindowFungusTest, UnderfullWindowUntouched) {
+  Table t = FilledTable(10);
+  SlidingWindowFungus fungus(30);
+  DecayContext ctx(&t, 0);
+  fungus.Tick(ctx);
+  EXPECT_EQ(t.live_rows(), 10u);
+}
+
+TEST(SlidingWindowFungusTest, FreshnessReflectsWindowPosition) {
+  Table t = FilledTable(4);
+  SlidingWindowFungus fungus(4);
+  DecayContext ctx(&t, 0);
+  fungus.Tick(ctx);
+  // Oldest gets 1/4, newest 4/4.
+  EXPECT_NEAR(t.Freshness(0), 0.25, 1e-9);
+  EXPECT_NEAR(t.Freshness(3), 1.0, 1e-9);
+}
+
+TEST(SlidingWindowFungusTest, Describe) {
+  SlidingWindowFungus fungus(500);
+  EXPECT_EQ(fungus.Describe(), "sliding_window(max_rows=500)");
+}
+
+// --- RandomBlightFungus ---
+
+TEST(RandomBlightFungusTest, DecaysRequestedNumberPerTick) {
+  Table t = FilledTable(1000);
+  RandomBlightFungus::Params p;
+  p.tuples_per_tick = 10;
+  p.decay_step = 1.0;  // kill on first touch
+  RandomBlightFungus fungus(p);
+  DecayContext ctx(&t, 0);
+  fungus.Tick(ctx);
+  // Each pick is distinct-with-high-probability; allow some overlap.
+  EXPECT_GE(ctx.stats().tuples_killed, 8u);
+  EXPECT_LE(ctx.stats().tuples_killed, 10u);
+}
+
+TEST(RandomBlightFungusTest, ProducesScatteredDeath) {
+  Table t = FilledTable(4000);
+  RandomBlightFungus::Params p;
+  p.tuples_per_tick = 8;
+  p.decay_step = 1.0;
+  RandomBlightFungus fungus(p);
+  for (int tick = 0; tick < 100; ++tick) {
+    DecayContext ctx(&t, tick);
+    fungus.Tick(ctx);
+  }
+  RotStructure rot = AnalyzeRot(t);
+  ASSERT_GT(rot.dead_tuples + rot.reclaimed_tuples, 400u);
+  // Scattered: mean spot length stays small (no epidemic clustering).
+  EXPECT_LT(rot.mean_spot, 3.0);
+}
+
+TEST(RandomBlightFungusTest, DeterministicGivenSeed) {
+  RandomBlightFungus::Params p;
+  p.tuples_per_tick = 5;
+  p.decay_step = 0.5;
+  Table t1 = FilledTable(300);
+  Table t2 = FilledTable(300);
+  RandomBlightFungus f1(p), f2(p);
+  for (int tick = 0; tick < 20; ++tick) {
+    DecayContext c1(&t1, tick), c2(&t2, tick);
+    f1.Tick(c1);
+    f2.Tick(c2);
+  }
+  EXPECT_EQ(t1.LiveRows(), t2.LiveRows());
+}
+
+// --- ImportanceFungus ---
+
+TEST(ImportanceFungusTest, UnaccessedTuplesDecayAtBaseRate) {
+  Table t = FilledTable(10, /*track_access=*/true);
+  ImportanceFungus::Params p;
+  p.decay_step = 0.2;
+  ImportanceFungus fungus(p);
+  DecayContext ctx(&t, 0);
+  fungus.Tick(ctx);
+  EXPECT_NEAR(t.Freshness(0), 0.8, 1e-9);
+}
+
+TEST(ImportanceFungusTest, AccessedTuplesDecaySlower) {
+  Table t = FilledTable(10, /*track_access=*/true);
+  for (int i = 0; i < 7; ++i) t.RecordAccess(3);
+  ImportanceFungus::Params p;
+  p.decay_step = 0.2;
+  p.access_weight = 1.0;
+  ImportanceFungus fungus(p);
+  DecayContext ctx(&t, 0);
+  fungus.Tick(ctx);
+  // 7 accesses: protection = 1 + log2(8) = 4 -> decay 0.05.
+  EXPECT_NEAR(t.Freshness(3), 0.95, 1e-9);
+  EXPECT_NEAR(t.Freshness(0), 0.8, 1e-9);
+}
+
+TEST(ImportanceFungusTest, ZeroWeightIgnoresAccesses) {
+  Table t = FilledTable(4, /*track_access=*/true);
+  t.RecordAccess(1);
+  ImportanceFungus::Params p;
+  p.decay_step = 0.1;
+  p.access_weight = 0.0;
+  ImportanceFungus fungus(p);
+  DecayContext ctx(&t, 0);
+  fungus.Tick(ctx);
+  EXPECT_NEAR(t.Freshness(0), t.Freshness(1), 1e-12);
+}
+
+// --- CompositeFungus ---
+
+TEST(CompositeFungusTest, AppliesChildrenInOrder) {
+  Table t = FilledTable(100);
+  std::vector<std::unique_ptr<Fungus>> children;
+  children.push_back(std::make_unique<SlidingWindowFungus>(50));
+  children.push_back(std::make_unique<RetentionFungus>(10));  // 10us
+  CompositeFungus fungus(std::move(children));
+  DecayContext ctx(&t, /*now=*/200);
+  fungus.Tick(ctx);
+  // The window keeps 50, then retention (10us, everything is older)
+  // wipes the rest.
+  EXPECT_EQ(t.live_rows(), 0u);
+}
+
+TEST(CompositeFungusTest, DescribeListsChildren) {
+  std::vector<std::unique_ptr<Fungus>> children;
+  children.push_back(std::make_unique<SlidingWindowFungus>(5));
+  children.push_back(std::make_unique<RetentionFungus>(kDay));
+  CompositeFungus fungus(std::move(children));
+  const std::string d = fungus.Describe();
+  EXPECT_NE(d.find("sliding_window"), std::string::npos);
+  EXPECT_NE(d.find("retention"), std::string::npos);
+  EXPECT_EQ(fungus.num_children(), 2u);
+}
+
+// --- DecayContext ---
+
+TEST(DecayContextTest, TracksKilledRows) {
+  Table t = FilledTable(5);
+  DecayContext ctx(&t, 0);
+  ctx.Decay(0, 1.0);
+  ctx.Kill(2);
+  ctx.SetFreshness(4, 0.0);
+  EXPECT_EQ(ctx.killed().size(), 3u);
+  EXPECT_EQ(ctx.stats().tuples_killed, 3u);
+  EXPECT_EQ(ctx.stats().tuples_touched, 3u);
+}
+
+TEST(DecayContextTest, IgnoresDeadRows) {
+  Table t = FilledTable(2);
+  ASSERT_TRUE(t.Kill(0).ok());
+  DecayContext ctx(&t, 0);
+  ctx.Decay(0, 0.5);
+  ctx.Kill(0);
+  ctx.SetFreshness(0, 0.5);
+  EXPECT_EQ(ctx.stats().tuples_touched, 0u);
+  EXPECT_TRUE(ctx.killed().empty());
+}
+
+TEST(DecayContextTest, PartialDecayDoesNotKill) {
+  Table t = FilledTable(1);
+  DecayContext ctx(&t, 0);
+  ctx.Decay(0, 0.3);
+  EXPECT_EQ(ctx.stats().tuples_touched, 1u);
+  EXPECT_EQ(ctx.stats().tuples_killed, 0u);
+  EXPECT_TRUE(t.IsLive(0));
+}
+
+}  // namespace
+}  // namespace fungusdb

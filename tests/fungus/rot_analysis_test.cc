@@ -1,0 +1,108 @@
+#include "fungus/rot_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+Schema OneColSchema() {
+  return Schema::Make({{"v", DataType::kInt64, false}}).value();
+}
+
+Table FilledTable(int rows, size_t rows_per_segment = 8) {
+  TableOptions opts;
+  opts.rows_per_segment = rows_per_segment;
+  Table t("t", OneColSchema(), opts);
+  for (int i = 0; i < rows; ++i) t.Append({Value::Int64(i)}, i).value();
+  return t;
+}
+
+TEST(AnalyzeRotTest, AllLive) {
+  Table t = FilledTable(10);
+  RotStructure rot = AnalyzeRot(t);
+  EXPECT_EQ(rot.live_tuples, 10u);
+  EXPECT_EQ(rot.dead_tuples, 0u);
+  EXPECT_EQ(rot.num_spots, 0u);
+}
+
+TEST(AnalyzeRotTest, SingleSpot) {
+  Table t = FilledTable(10);
+  for (RowId r : {3, 4, 5}) ASSERT_TRUE(t.Kill(r).ok());
+  RotStructure rot = AnalyzeRot(t);
+  EXPECT_EQ(rot.dead_tuples, 3u);
+  EXPECT_EQ(rot.num_spots, 1u);
+  EXPECT_EQ(rot.max_spot, 3u);
+  EXPECT_DOUBLE_EQ(rot.mean_spot, 3.0);
+}
+
+TEST(AnalyzeRotTest, MultipleSpotsAndEdges) {
+  Table t = FilledTable(10);
+  // Dead: 0, 1 | live 2..6 | dead 7 | live 8 | dead 9.
+  for (RowId r : {0, 1, 7, 9}) ASSERT_TRUE(t.Kill(r).ok());
+  RotStructure rot = AnalyzeRot(t);
+  EXPECT_EQ(rot.num_spots, 3u);
+  EXPECT_EQ(rot.max_spot, 2u);
+  ASSERT_EQ(rot.spot_lengths.size(), 3u);
+  EXPECT_EQ(rot.spot_lengths.front(), 1u);  // sorted ascending
+  EXPECT_EQ(rot.spot_lengths.back(), 2u);
+}
+
+TEST(AnalyzeRotTest, ReclaimedCountsAsDeadRun) {
+  Table t = FilledTable(24, /*rows_per_segment=*/8);
+  for (RowId r = 8; r < 16; ++r) ASSERT_TRUE(t.Kill(r).ok());
+  t.ReclaimDeadSegments();
+  RotStructure rot = AnalyzeRot(t);
+  EXPECT_EQ(rot.reclaimed_tuples, 8u);
+  EXPECT_EQ(rot.num_spots, 1u);
+  EXPECT_EQ(rot.max_spot, 8u);
+}
+
+TEST(AnalyzeRotTest, EmptyTable) {
+  Table t = FilledTable(0);
+  RotStructure rot = AnalyzeRot(t);
+  EXPECT_EQ(rot.live_tuples, 0u);
+  EXPECT_EQ(rot.num_spots, 0u);
+}
+
+TEST(FreshnessHistogramTest, BucketsFreshness) {
+  Table t = FilledTable(4);
+  ASSERT_TRUE(t.SetFreshness(0, 0.05).ok());
+  ASSERT_TRUE(t.SetFreshness(1, 0.55).ok());
+  ASSERT_TRUE(t.SetFreshness(2, 0.95).ok());
+  // Row 3 stays at 1.0 -> last bucket.
+  std::vector<uint64_t> hist = FreshnessHistogram(t, 10);
+  ASSERT_EQ(hist.size(), 10u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[5], 1u);
+  EXPECT_EQ(hist[9], 2u);  // 0.95 and 1.0
+}
+
+TEST(FreshnessHistogramTest, ExcludesDeadTuples) {
+  Table t = FilledTable(3);
+  ASSERT_TRUE(t.Kill(1).ok());
+  std::vector<uint64_t> hist = FreshnessHistogram(t, 4);
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(RenderTimeAxisTest, FullyLiveIsHashes) {
+  Table t = FilledTable(100);
+  EXPECT_EQ(RenderTimeAxis(t, 10), "##########");
+}
+
+TEST(RenderTimeAxisTest, DeadRangeShowsDots) {
+  Table t = FilledTable(100);
+  for (RowId r = 0; r < 50; ++r) ASSERT_TRUE(t.Kill(r).ok());
+  const std::string strip = RenderTimeAxis(t, 10);
+  EXPECT_EQ(strip.substr(0, 5), ".....");
+  EXPECT_EQ(strip.substr(5, 5), "#####");
+}
+
+TEST(RenderTimeAxisTest, EmptyTable) {
+  Table t = FilledTable(0);
+  EXPECT_EQ(RenderTimeAxis(t, 4).size(), 4u);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,95 @@
+#include "pipeline/ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include "summary/count_min_sketch.h"
+
+namespace fungusdb {
+namespace {
+
+Schema OneColSchema() {
+  return Schema::Make({{"v", DataType::kInt64, false}}).value();
+}
+
+std::vector<std::vector<Value>> MakeRows(int n) {
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < n; ++i) rows.push_back({Value::Int64(i)});
+  return rows;
+}
+
+TEST(VectorSourceTest, ProducesAllRowsThenDries) {
+  VectorSource source(OneColSchema(), MakeRows(3));
+  EXPECT_TRUE(source.Next().has_value());
+  EXPECT_TRUE(source.Next().has_value());
+  EXPECT_TRUE(source.Next().has_value());
+  EXPECT_FALSE(source.Next().has_value());
+}
+
+TEST(IngestorTest, IngestBatchStampsCurrentTime) {
+  VirtualClock clock(5000);
+  Ingestor ingestor(&clock, nullptr);
+  Table t("t", OneColSchema());
+  VectorSource source(OneColSchema(), MakeRows(4));
+  EXPECT_EQ(ingestor.IngestBatch(source, t, 10).value(), 4u);
+  EXPECT_EQ(t.live_rows(), 4u);
+  EXPECT_EQ(t.InsertTime(0).value(), 5000);
+  EXPECT_EQ(ingestor.total_ingested(), 4u);
+}
+
+TEST(IngestorTest, IngestBatchRespectsMax) {
+  VirtualClock clock;
+  Ingestor ingestor(&clock, nullptr);
+  Table t("t", OneColSchema());
+  VectorSource source(OneColSchema(), MakeRows(10));
+  EXPECT_EQ(ingestor.IngestBatch(source, t, 3).value(), 3u);
+  EXPECT_EQ(t.live_rows(), 3u);
+}
+
+TEST(IngestorTest, IngestPacedAdvancesClockPerRecord) {
+  VirtualClock clock;
+  Ingestor ingestor(&clock, nullptr);
+  Table t("t", OneColSchema());
+  VectorSource source(OneColSchema(), MakeRows(3));
+  EXPECT_EQ(
+      ingestor.IngestPaced(source, t, 3, clock, /*inter_arrival=*/kSecond)
+          .value(),
+      3u);
+  EXPECT_EQ(t.InsertTime(0).value(), kSecond);
+  EXPECT_EQ(t.InsertTime(2).value(), 3 * kSecond);
+  EXPECT_EQ(clock.Now(), 3 * kSecond);
+}
+
+TEST(IngestorTest, CookOnIngestFeedsKitchen) {
+  VirtualClock clock;
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  CookSpec spec;
+  spec.table_name = "t";
+  spec.trigger = CookTrigger::kOnIngest;
+  spec.cellar_name = "v_counts";
+  spec.column = "v";
+  spec.factory = [] { return std::make_unique<CountMinSketch>(64, 4); };
+  ASSERT_TRUE(kitchen.AddSpec(spec).ok());
+
+  Ingestor ingestor(&clock, &kitchen);
+  Table t("t", OneColSchema());
+  VectorSource source(OneColSchema(), MakeRows(5));
+  ASSERT_TRUE(ingestor.IngestBatch(source, t, 5).ok());
+  const Summary* cooked = cellar.Find("v_counts");
+  ASSERT_NE(cooked, nullptr);
+  EXPECT_EQ(cooked->observations(), 5u);
+  EXPECT_EQ(kitchen.rows_cooked(), 5u);
+}
+
+TEST(IngestorTest, TypeErrorsPropagate) {
+  VirtualClock clock;
+  Ingestor ingestor(&clock, nullptr);
+  Table t("t", OneColSchema());
+  Schema wrong =
+      Schema::Make({{"v", DataType::kString, false}}).value();
+  VectorSource source(wrong, {{Value::String("x")}});
+  EXPECT_FALSE(ingestor.IngestBatch(source, t, 1).ok());
+}
+
+}  // namespace
+}  // namespace fungusdb

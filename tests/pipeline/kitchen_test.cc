@@ -1,0 +1,168 @@
+#include "pipeline/kitchen.h"
+
+#include <gtest/gtest.h>
+
+#include "summary/count_min_sketch.h"
+#include "summary/histogram_sketch.h"
+
+namespace fungusdb {
+namespace {
+
+Schema EventSchema() {
+  return Schema::Make({{"key", DataType::kString, false},
+                       {"amount", DataType::kFloat64, false}})
+      .value();
+}
+
+CookSpec ColumnSpec(const std::string& table, const std::string& cellar,
+                    const std::string& column,
+                    CookTrigger trigger = CookTrigger::kOnRot) {
+  CookSpec spec;
+  spec.table_name = table;
+  spec.trigger = trigger;
+  spec.cellar_name = cellar;
+  spec.column = column;
+  spec.factory = [] { return std::make_unique<CountMinSketch>(64, 4); };
+  return spec;
+}
+
+TEST(KitchenTest, AddSpecValidation) {
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  CookSpec empty;
+  EXPECT_FALSE(kitchen.AddSpec(empty).ok());
+  CookSpec no_factory = ColumnSpec("t", "c", "key");
+  no_factory.factory = nullptr;
+  EXPECT_FALSE(kitchen.AddSpec(no_factory).ok());
+  EXPECT_TRUE(kitchen.AddSpec(ColumnSpec("t", "c", "key")).ok());
+  EXPECT_EQ(kitchen.num_specs(), 1u);
+}
+
+TEST(KitchenTest, RejectsGroupedFactoryForUngroupedSpec) {
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  CookSpec spec = ColumnSpec("t", "c", "key");
+  spec.factory = [] { return std::make_unique<GroupedAggregate>(); };
+  EXPECT_FALSE(kitchen.AddSpec(spec).ok());
+}
+
+TEST(KitchenTest, CooksMatchingRows) {
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  ASSERT_TRUE(kitchen.AddSpec(ColumnSpec("events", "keys", "key")).ok());
+
+  Table t("events", EventSchema());
+  std::vector<RowId> rows;
+  for (int i = 0; i < 4; ++i) {
+    rows.push_back(
+        t.Append({Value::String("k" + std::to_string(i % 2)),
+                  Value::Float64(i)},
+                 0)
+            .value());
+  }
+  EXPECT_EQ(kitchen.Cook(CookTrigger::kOnRot, t, rows, 10), 4u);
+  auto* sketch = static_cast<const CountMinSketch*>(cellar.Find("keys"));
+  ASSERT_NE(sketch, nullptr);
+  EXPECT_GE(sketch->EstimateCount(Value::String("k0")), 2u);
+}
+
+TEST(KitchenTest, TriggerAndTableFiltering) {
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  ASSERT_TRUE(kitchen
+                  .AddSpec(ColumnSpec("events", "rot", "key",
+                                      CookTrigger::kOnRot))
+                  .ok());
+  ASSERT_TRUE(kitchen
+                  .AddSpec(ColumnSpec("other", "other_rot", "key",
+                                      CookTrigger::kOnRot))
+                  .ok());
+
+  Table t("events", EventSchema());
+  std::vector<RowId> rows{
+      t.Append({Value::String("k"), Value::Float64(1)}, 0).value()};
+  // Wrong trigger: nothing cooked.
+  EXPECT_EQ(kitchen.Cook(CookTrigger::kOnIngest, t, rows, 0), 0u);
+  // Right trigger: only the matching table's spec fires.
+  EXPECT_EQ(kitchen.Cook(CookTrigger::kOnRot, t, rows, 0), 1u);
+  EXPECT_NE(cellar.Find("rot"), nullptr);
+  EXPECT_EQ(cellar.Find("other_rot"), nullptr);
+}
+
+TEST(KitchenTest, CooksDeadRowsBeforeReclaim) {
+  // The on-rot contract: tombstoned tuples still have readable values.
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  ASSERT_TRUE(kitchen.AddSpec(ColumnSpec("events", "keys", "key")).ok());
+  Table t("events", EventSchema());
+  const RowId row =
+      t.Append({Value::String("gone"), Value::Float64(1)}, 0).value();
+  ASSERT_TRUE(t.Kill(row).ok());
+  EXPECT_EQ(kitchen.Cook(CookTrigger::kOnRot, t, {row}, 0), 1u);
+  auto* sketch = static_cast<const CountMinSketch*>(cellar.Find("keys"));
+  EXPECT_GE(sketch->EstimateCount(Value::String("gone")), 1u);
+}
+
+TEST(KitchenTest, GroupedSpecBuildsGroupedAggregate) {
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  CookSpec spec;
+  spec.table_name = "events";
+  spec.trigger = CookTrigger::kOnRot;
+  spec.cellar_name = "per_key";
+  spec.column = "amount";
+  spec.group_by = "key";
+  ASSERT_TRUE(kitchen.AddSpec(spec).ok());
+
+  Table t("events", EventSchema());
+  std::vector<RowId> rows;
+  rows.push_back(
+      t.Append({Value::String("a"), Value::Float64(1.0)}, 0).value());
+  rows.push_back(
+      t.Append({Value::String("a"), Value::Float64(3.0)}, 0).value());
+  rows.push_back(
+      t.Append({Value::String("b"), Value::Float64(10.0)}, 0).value());
+  EXPECT_EQ(kitchen.Cook(CookTrigger::kOnRot, t, rows, 0), 3u);
+
+  auto* agg = static_cast<const GroupedAggregate*>(cellar.Find("per_key"));
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(agg->GroupState(Value::String("a")).value().Mean(), 2.0);
+}
+
+TEST(KitchenTest, SystemColumnsCookable) {
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  CookSpec spec;
+  spec.table_name = "events";
+  spec.cellar_name = "ts_hist";
+  spec.column = "__ts";
+  spec.factory = [] {
+    return std::make_unique<HistogramSketch>(0.0, 1000.0, 10);
+  };
+  ASSERT_TRUE(kitchen.AddSpec(spec).ok());
+  Table t("events", EventSchema());
+  std::vector<RowId> rows{
+      t.Append({Value::String("k"), Value::Float64(1)}, 500).value()};
+  EXPECT_EQ(kitchen.Cook(CookTrigger::kOnRot, t, rows, 600), 1u);
+  auto* hist = static_cast<const HistogramSketch*>(cellar.Find("ts_hist"));
+  EXPECT_EQ(hist->bucket_count(5), 1u);
+}
+
+TEST(KitchenTest, RepeatedCooksMergeIntoOneEntry) {
+  Cellar cellar;
+  Kitchen kitchen(&cellar);
+  ASSERT_TRUE(kitchen.AddSpec(ColumnSpec("events", "keys", "key")).ok());
+  Table t("events", EventSchema());
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<RowId> rows{
+        t.Append({Value::String("k"), Value::Float64(1)}, 0).value()};
+    kitchen.Cook(CookTrigger::kOnRot, t, rows, batch);
+  }
+  EXPECT_EQ(cellar.size(), 1u);
+  EXPECT_EQ(cellar.Find("keys")->observations(), 3u);
+  EXPECT_EQ(kitchen.rows_cooked(), 3u);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,149 @@
+#include "query/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace fungusdb {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({{"id", DataType::kInt64, false},
+                       {"temp", DataType::kFloat64, true},
+                       {"name", DataType::kString, false},
+                       {"ok", DataType::kBool, false}})
+      .value();
+}
+
+Result<BoundExpr> BindSql(const std::string& text) {
+  auto expr = ParseExpression(text);
+  if (!expr.ok()) return expr.status();
+  return Bind(**expr, TestSchema());
+}
+
+TEST(BinderTest, ResolvesUserColumns) {
+  BoundExpr b = BindSql("temp").value();
+  EXPECT_EQ(b.col_source, ColumnSource::kUser);
+  EXPECT_EQ(b.col_index, 1u);
+  EXPECT_EQ(b.result_type, DataType::kFloat64);
+}
+
+TEST(BinderTest, ResolvesSystemColumns) {
+  BoundExpr ts = BindSql("__ts").value();
+  EXPECT_EQ(ts.col_source, ColumnSource::kTimestamp);
+  EXPECT_EQ(ts.result_type, DataType::kTimestamp);
+  BoundExpr f = BindSql("__freshness").value();
+  EXPECT_EQ(f.col_source, ColumnSource::kFreshness);
+  EXPECT_EQ(f.result_type, DataType::kFloat64);
+}
+
+TEST(BinderTest, UnknownColumnFails) {
+  EXPECT_EQ(BindSql("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(BinderTest, ComparisonTypesToBool) {
+  BoundExpr b = BindSql("id >= 10").value();
+  EXPECT_EQ(b.result_type, DataType::kBool);
+}
+
+TEST(BinderTest, NumericCrossComparisonAllowed) {
+  EXPECT_TRUE(BindSql("temp > id").ok());
+  EXPECT_TRUE(BindSql("__ts > 100").ok());
+}
+
+TEST(BinderTest, IncomparableTypesRejected) {
+  EXPECT_EQ(BindSql("name > id").status().code(),
+            StatusCode::kTypeMismatch);
+  EXPECT_EQ(BindSql("ok = 'x'").status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(BinderTest, NullComparableWithAnything) {
+  EXPECT_TRUE(BindSql("name = NULL").ok());
+  EXPECT_TRUE(BindSql("id = NULL").ok());
+}
+
+TEST(BinderTest, LogicalOpsRequireBool) {
+  EXPECT_TRUE(BindSql("ok AND id > 1").ok());
+  EXPECT_EQ(BindSql("id AND ok").status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(BinderTest, ArithmeticTyping) {
+  EXPECT_EQ(BindSql("id + 1").value().result_type, DataType::kInt64);
+  EXPECT_EQ(BindSql("id + 1.5").value().result_type, DataType::kFloat64);
+  EXPECT_EQ(BindSql("temp * 2").value().result_type, DataType::kFloat64);
+  // Division always yields float64.
+  EXPECT_EQ(BindSql("id / 2").value().result_type, DataType::kFloat64);
+  EXPECT_EQ(BindSql("id % 3").value().result_type, DataType::kInt64);
+}
+
+TEST(BinderTest, ArithmeticRejectsNonNumeric) {
+  EXPECT_EQ(BindSql("name + 1").status().code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(BindSql("ok * 2").status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(BinderTest, ModRequiresIntegers) {
+  EXPECT_EQ(BindSql("temp % 2").status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(BinderTest, NotRequiresBool) {
+  EXPECT_TRUE(BindSql("NOT ok").ok());
+  EXPECT_EQ(BindSql("NOT id").status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(BinderTest, NegRequiresNumeric) {
+  EXPECT_EQ(BindSql("-id").value().result_type, DataType::kInt64);
+  EXPECT_EQ(BindSql("-temp").value().result_type, DataType::kFloat64);
+  EXPECT_FALSE(BindSql("-name").ok());
+}
+
+TEST(BinderTest, IsNullAlwaysBool) {
+  EXPECT_EQ(BindSql("temp IS NULL").value().result_type, DataType::kBool);
+  EXPECT_EQ(BindSql("name IS NOT NULL").value().result_type,
+            DataType::kBool);
+}
+
+TEST(BinderTest, AggregateTyping) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(Bind(*Expr::Aggregate(AggFn::kCount, nullptr), schema)
+                .value()
+                .result_type,
+            DataType::kInt64);
+  EXPECT_EQ(Bind(*Expr::Aggregate(AggFn::kSum, Col("id")), schema)
+                .value()
+                .result_type,
+            DataType::kInt64);
+  EXPECT_EQ(Bind(*Expr::Aggregate(AggFn::kSum, Col("temp")), schema)
+                .value()
+                .result_type,
+            DataType::kFloat64);
+  EXPECT_EQ(Bind(*Expr::Aggregate(AggFn::kAvg, Col("id")), schema)
+                .value()
+                .result_type,
+            DataType::kFloat64);
+  EXPECT_EQ(Bind(*Expr::Aggregate(AggFn::kMin, Col("name")), schema)
+                .value()
+                .result_type,
+            DataType::kString);
+}
+
+TEST(BinderTest, SumRequiresNumeric) {
+  EXPECT_FALSE(
+      Bind(*Expr::Aggregate(AggFn::kSum, Col("name")), TestSchema()).ok());
+}
+
+TEST(BinderTest, NestedAggregatesRejected) {
+  ExprPtr nested = Expr::Aggregate(
+      AggFn::kSum, Expr::Aggregate(AggFn::kCount, nullptr));
+  EXPECT_EQ(Bind(*nested, TestSchema()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BinderTest, UntypedNullLiteral) {
+  BoundExpr b = BindSql("NULL").value();
+  EXPECT_FALSE(b.result_type.has_value());
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,136 @@
+// Tests of the second natural law: "The extent of table R is replaced by
+// each query Q into the union of the answer set of Q and the reduced
+// extent of R."
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "query/engine.h"
+#include "query/parser.h"
+
+namespace fungusdb {
+namespace {
+
+class ConsumingTest : public ::testing::Test {
+ protected:
+  ConsumingTest()
+      : table_("events",
+               Schema::Make({{"user", DataType::kInt64, false},
+                             {"amount", DataType::kFloat64, false}})
+                   .value()) {
+    for (int i = 0; i < 20; ++i) {
+      table_
+          .Append({Value::Int64(i % 4), Value::Float64(i * 1.0)},
+                  /*now=*/i)
+          .value();
+    }
+  }
+
+  ResultSet Run(const std::string& sql) {
+    Query q = ParseQuery(sql).value();
+    return engine_.Execute(q, table_, /*now=*/100).value();
+  }
+
+  Table table_;
+  QueryEngine engine_;
+};
+
+TEST_F(ConsumingTest, ConsumedTuplesLeaveTheExtent) {
+  const uint64_t before = table_.live_rows();
+  ResultSet rs = Run("CONSUME SELECT * FROM events WHERE user = 0");
+  EXPECT_EQ(rs.num_rows(), 5u);
+  EXPECT_EQ(rs.stats.rows_consumed, 5u);
+  // Law 2 conservation: |R_before| = |R_after| + |A|.
+  EXPECT_EQ(table_.live_rows() + rs.stats.rows_consumed, before);
+}
+
+TEST_F(ConsumingTest, RepeatedConsumingQueriesNeverReturnDuplicates) {
+  std::multiset<double> seen;
+  for (int round = 0; round < 5; ++round) {
+    ResultSet rs = Run("CONSUME SELECT amount FROM events WHERE user = 1");
+    for (size_t r = 0; r < rs.num_rows(); ++r) {
+      const double amount = rs.at(r, 0).AsFloat64();
+      EXPECT_EQ(seen.count(amount), 0u)
+          << "tuple returned twice: " << amount;
+      seen.insert(amount);
+    }
+  }
+  EXPECT_EQ(seen.size(), 5u);  // exactly the user-1 tuples, once each
+  // Further rounds return nothing: the predicate's extent is consumed.
+  ResultSet rs = Run("CONSUME SELECT amount FROM events WHERE user = 1");
+  EXPECT_EQ(rs.num_rows(), 0u);
+}
+
+TEST_F(ConsumingTest, ObservingQueriesDoNotConsume) {
+  Run("SELECT * FROM events WHERE user = 2");
+  ResultSet again = Run("SELECT * FROM events WHERE user = 2");
+  EXPECT_EQ(again.num_rows(), 5u);
+  EXPECT_EQ(table_.live_rows(), 20u);
+}
+
+TEST_F(ConsumingTest, LimitRestrictsAnswerButConsumesWholeSigma) {
+  // Per the paper, ALL tuples satisfying P are discarded immediately;
+  // LIMIT only truncates what is returned.
+  ResultSet rs = Run("CONSUME SELECT * FROM events WHERE user = 3 LIMIT 2");
+  EXPECT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.stats.rows_consumed, 5u);
+  ResultSet after = Run("SELECT * FROM events WHERE user = 3");
+  EXPECT_EQ(after.num_rows(), 0u);
+}
+
+TEST_F(ConsumingTest, ConsumingAggregateDistillsAndDiscards) {
+  ResultSet rs = Run(
+      "CONSUME SELECT count(*) AS n, sum(amount) AS total FROM events "
+      "WHERE user = 0");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.at(0, 0).AsInt64(), 5);
+  // user 0 amounts: 0, 4, 8, 12, 16.
+  EXPECT_DOUBLE_EQ(rs.at(0, 1).AsFloat64(), 40.0);
+  EXPECT_EQ(table_.live_rows(), 15u);
+}
+
+TEST_F(ConsumingTest, ConsumeWithoutPredicateEmptiesTable) {
+  ResultSet rs = Run("CONSUME SELECT * FROM events");
+  EXPECT_EQ(rs.num_rows(), 20u);
+  EXPECT_EQ(table_.live_rows(), 0u);
+}
+
+TEST_F(ConsumingTest, ConsumeObserverSeesConsumedRowsWithValues) {
+  std::vector<double> observed;
+  engine_.AddConsumeObserver(
+      [&](Table& t, const std::vector<RowId>& rows, Timestamp now) {
+        EXPECT_EQ(now, 100);
+        for (RowId r : rows) {
+          observed.push_back(t.GetValue(r, 1).value().AsFloat64());
+        }
+      });
+  Run("CONSUME SELECT * FROM events WHERE user = 2");
+  ASSERT_EQ(observed.size(), 5u);
+  // user 2 amounts: 2, 6, 10, 14, 18.
+  EXPECT_DOUBLE_EQ(observed[0], 2.0);
+  EXPECT_DOUBLE_EQ(observed[4], 18.0);
+}
+
+TEST_F(ConsumingTest, EmptyMatchFiresNoObserver) {
+  int calls = 0;
+  engine_.AddConsumeObserver(
+      [&](Table&, const std::vector<RowId>&, Timestamp) { ++calls; });
+  Run("CONSUME SELECT * FROM events WHERE user = 99");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ConsumingTest, ConservationAcrossManyRounds) {
+  uint64_t consumed_total = 0;
+  const uint64_t appended = table_.total_appended();
+  for (int user = 0; user < 4; ++user) {
+    ResultSet rs = Run("CONSUME SELECT * FROM events WHERE user = " +
+                       std::to_string(user));
+    consumed_total += rs.stats.rows_consumed;
+    EXPECT_EQ(table_.live_rows() + consumed_total, appended);
+  }
+  EXPECT_EQ(table_.live_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace fungusdb

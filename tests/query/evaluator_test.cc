@@ -1,0 +1,147 @@
+#include "query/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace fungusdb {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest()
+      : table_("t", Schema::Make({{"id", DataType::kInt64, false},
+                                  {"temp", DataType::kFloat64, true},
+                                  {"name", DataType::kString, false},
+                                  {"ok", DataType::kBool, false}})
+                        .value()) {
+    row_ = table_
+               .Append({Value::Int64(10), Value::Float64(21.5),
+                        Value::String("alpha"), Value::Bool(true)},
+                       /*now=*/5000)
+               .value();
+    null_row_ = table_
+                    .Append({Value::Int64(20), Value::Null(),
+                             Value::String("beta"), Value::Bool(false)},
+                            /*now=*/6000)
+                    .value();
+  }
+
+  Value Eval(const std::string& text, RowId row) {
+    ExprPtr expr = ParseExpression(text).value();
+    BoundExpr bound = Bind(*expr, table_.schema()).value();
+    return EvalScalar(bound, table_, row).value();
+  }
+
+  bool Pred(const std::string& text, RowId row) {
+    ExprPtr expr = ParseExpression(text).value();
+    BoundExpr bound = Bind(*expr, table_.schema()).value();
+    return EvalPredicate(bound, table_, row).value();
+  }
+
+  Table table_;
+  RowId row_;
+  RowId null_row_;
+};
+
+TEST_F(EvaluatorTest, ColumnAccess) {
+  EXPECT_EQ(Eval("id", row_).AsInt64(), 10);
+  EXPECT_DOUBLE_EQ(Eval("temp", row_).AsFloat64(), 21.5);
+  EXPECT_EQ(Eval("name", row_).AsString(), "alpha");
+  EXPECT_TRUE(Eval("ok", row_).AsBool());
+}
+
+TEST_F(EvaluatorTest, SystemColumns) {
+  EXPECT_EQ(Eval("__ts", row_).AsTimestamp(), 5000);
+  EXPECT_DOUBLE_EQ(Eval("__freshness", row_).AsFloat64(), 1.0);
+}
+
+TEST_F(EvaluatorTest, Comparisons) {
+  EXPECT_TRUE(Eval("id = 10", row_).AsBool());
+  EXPECT_FALSE(Eval("id != 10", row_).AsBool());
+  EXPECT_TRUE(Eval("temp > 21", row_).AsBool());
+  EXPECT_TRUE(Eval("temp <= 21.5", row_).AsBool());
+  EXPECT_TRUE(Eval("name = 'alpha'", row_).AsBool());
+  EXPECT_TRUE(Eval("name < 'beta'", row_).AsBool());
+}
+
+TEST_F(EvaluatorTest, Arithmetic) {
+  EXPECT_EQ(Eval("id + 5", row_).AsInt64(), 15);
+  EXPECT_EQ(Eval("id - 15", row_).AsInt64(), -5);
+  EXPECT_EQ(Eval("id * 3", row_).AsInt64(), 30);
+  EXPECT_DOUBLE_EQ(Eval("id / 4", row_).AsFloat64(), 2.5);
+  EXPECT_EQ(Eval("id % 3", row_).AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(Eval("temp + 0.5", row_).AsFloat64(), 22.0);
+  EXPECT_EQ(Eval("-id", row_).AsInt64(), -10);
+}
+
+TEST_F(EvaluatorTest, DivisionByZeroIsError) {
+  ExprPtr expr = ParseExpression("id / 0").value();
+  BoundExpr bound = Bind(*expr, table_.schema()).value();
+  Result<Value> r = EvalScalar(bound, table_, row_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  ExprPtr mod = ParseExpression("id % 0").value();
+  BoundExpr bmod = Bind(*mod, table_.schema()).value();
+  EXPECT_FALSE(EvalScalar(bmod, table_, row_).ok());
+}
+
+TEST_F(EvaluatorTest, NullPropagationInComparisons) {
+  EXPECT_TRUE(Eval("temp > 5", null_row_).is_null());
+  EXPECT_TRUE(Eval("temp = NULL", null_row_).is_null());
+  EXPECT_TRUE(Eval("temp + 1", null_row_).is_null());
+}
+
+TEST_F(EvaluatorTest, ThreeValuedLogic) {
+  // null AND false = false; null AND true = null.
+  EXPECT_FALSE(Eval("temp > 5 AND id = 999", null_row_).AsBool());
+  EXPECT_TRUE(Eval("temp > 5 AND id = 20", null_row_).is_null());
+  // null OR true = true; null OR false = null.
+  EXPECT_TRUE(Eval("temp > 5 OR id = 20", null_row_).AsBool());
+  EXPECT_TRUE(Eval("temp > 5 OR id = 999", null_row_).is_null());
+  // NOT null = null.
+  EXPECT_TRUE(Eval("NOT (temp > 5)", null_row_).is_null());
+}
+
+TEST_F(EvaluatorTest, IsNullOperators) {
+  EXPECT_TRUE(Eval("temp IS NULL", null_row_).AsBool());
+  EXPECT_FALSE(Eval("temp IS NULL", row_).AsBool());
+  EXPECT_TRUE(Eval("temp IS NOT NULL", row_).AsBool());
+}
+
+TEST_F(EvaluatorTest, PredicateRejectsNullAsFalse) {
+  // WHERE acceptance: null predicates exclude the row.
+  EXPECT_FALSE(Pred("temp > 5", null_row_));
+  EXPECT_TRUE(Pred("temp > 5", row_));
+}
+
+TEST_F(EvaluatorTest, ShortCircuitSkipsErrorArm) {
+  // The right arm would divide by zero, but the left arm decides.
+  EXPECT_FALSE(Pred("id = 999 AND id / 0 > 1", row_));
+  EXPECT_TRUE(Pred("id = 10 OR id / 0 > 1", row_));
+}
+
+TEST_F(EvaluatorTest, BetweenWorksEndToEnd) {
+  EXPECT_TRUE(Pred("temp BETWEEN 21 AND 22", row_));
+  EXPECT_FALSE(Pred("temp BETWEEN 22 AND 30", row_));
+  // BETWEEN is inclusive on both ends.
+  EXPECT_TRUE(Pred("id BETWEEN 10 AND 10", row_));
+}
+
+TEST_F(EvaluatorTest, TimestampArithmetic) {
+  EXPECT_EQ(Eval("__ts + 100", row_).AsInt64(), 5100);
+  EXPECT_TRUE(Pred("__ts >= 5000", row_));
+  EXPECT_FALSE(Pred("__ts >= 5001", row_));
+}
+
+TEST_F(EvaluatorTest, AggregateNodeIsScalarError) {
+  BoundExpr bound =
+      Bind(*Expr::Aggregate(AggFn::kCount, nullptr), table_.schema())
+          .value();
+  Result<Value> r = EvalScalar(bound, table_, row_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,112 @@
+// Equivalence tests for the typed fast-scan path: every predicate shape
+// that qualifies for compilation must return exactly the same rows as a
+// semantically identical predicate forced through the generic
+// evaluator (by wrapping it so compilation is declined).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/engine.h"
+#include "query/parser.h"
+
+namespace fungusdb {
+namespace {
+
+class FastPathTest : public ::testing::Test {
+ protected:
+  FastPathTest()
+      : table_("t", Schema::Make({{"i", DataType::kInt64, false},
+                                  {"f", DataType::kFloat64, true},
+                                  {"s", DataType::kString, false}})
+                        .value()) {
+    Rng rng(404);
+    for (int n = 0; n < 500; ++n) {
+      Value f = rng.NextBernoulli(0.1)
+                    ? Value::Null()
+                    : Value::Float64(rng.NextDouble(-50.0, 50.0));
+      table_
+          .Append({Value::Int64(rng.NextInt(-100, 100)), f,
+                   Value::String("x")},
+                  /*now=*/n * 10)
+          .value();
+      if (rng.NextBernoulli(0.2)) {
+        FUNGUSDB_CHECK_OK(table_.SetFreshness(
+            static_cast<RowId>(n), rng.NextDouble(0.05, 0.9)));
+      }
+    }
+    // Some dead rows too.
+    for (RowId r = 100; r < 120; ++r) FUNGUSDB_CHECK_OK(table_.Kill(r));
+  }
+
+  std::vector<int64_t> Rows(const std::string& where) {
+    Query q = ParseQuery("SELECT i FROM t WHERE " + where).value();
+    ResultSet rs = engine_.Execute(q, table_, 0).value();
+    std::vector<int64_t> out;
+    for (size_t r = 0; r < rs.num_rows(); ++r) {
+      out.push_back(rs.at(r, 0).AsInt64());
+    }
+    return out;
+  }
+
+  void ExpectEquivalent(const std::string& fast_where,
+                        const std::string& generic_where) {
+    EXPECT_EQ(Rows(fast_where), Rows(generic_where))
+        << fast_where << " vs " << generic_where;
+  }
+
+  Table table_;
+  QueryEngine engine_;
+};
+
+TEST_F(FastPathTest, IntColumnComparisons) {
+  // `NOT NOT (...)` defeats compilation, forcing the generic path.
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    const std::string fast = std::string("i ") + op + " 13";
+    ExpectEquivalent(fast, "NOT NOT (" + fast + ")");
+  }
+}
+
+TEST_F(FastPathTest, FloatColumnWithNulls) {
+  ExpectEquivalent("f > 10.5", "NOT NOT (f > 10.5)");
+  ExpectEquivalent("f <= 0.0", "NOT NOT (f <= 0.0)");
+  // Nulls are excluded on both paths.
+  const auto rows = Rows("f >= -1000");
+  EXPECT_LT(rows.size(), 480u);  // some nulls existed
+}
+
+TEST_F(FastPathTest, SystemColumns) {
+  ExpectEquivalent("__ts >= 2500", "NOT NOT (__ts >= 2500)");
+  ExpectEquivalent("__freshness < 0.5", "NOT NOT (__freshness < 0.5)");
+}
+
+TEST_F(FastPathTest, CrossTypeLiteral) {
+  // int column vs float literal and vice versa.
+  ExpectEquivalent("i < 12.5", "NOT NOT (i < 12.5)");
+  ExpectEquivalent("f > 10", "NOT NOT (f > 10)");
+}
+
+TEST_F(FastPathTest, NonCompilableShapesStillWork) {
+  // These cannot compile (string column, column-vs-column, arithmetic,
+  // conjunctions) and must silently use the generic path.
+  EXPECT_EQ(Rows("s = 'x'").size(), table_.live_rows());
+  EXPECT_EQ(Rows("i < i + 1").size(), table_.live_rows());
+  EXPECT_FALSE(Rows("i > 0 AND f > 0").empty());
+}
+
+TEST_F(FastPathTest, StatsCountScannedRows) {
+  Query q = ParseQuery("SELECT i FROM t WHERE i > 1000000").value();
+  ResultSet rs = engine_.Execute(q, table_, 0).value();
+  EXPECT_EQ(rs.num_rows(), 0u);
+  EXPECT_EQ(rs.stats.rows_scanned, table_.live_rows());
+}
+
+TEST_F(FastPathTest, ConsumingQueriesUseFastPathToo) {
+  const uint64_t before = table_.live_rows();
+  Query q = ParseQuery("CONSUME SELECT i FROM t WHERE i = 13").value();
+  ResultSet rs = engine_.Execute(q, table_, 0).value();
+  EXPECT_EQ(table_.live_rows() + rs.stats.rows_consumed, before);
+  EXPECT_TRUE(Rows("i = 13").empty());
+}
+
+}  // namespace
+}  // namespace fungusdb

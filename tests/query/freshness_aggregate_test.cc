@@ -1,0 +1,106 @@
+// Tests for the freshness-weighted aggregates FCOUNT / FSUM / FAVG:
+// answers fade as the tuples that produced them rot.
+
+#include <gtest/gtest.h>
+
+#include "query/engine.h"
+#include "query/parser.h"
+
+namespace fungusdb {
+namespace {
+
+class FreshnessAggregateTest : public ::testing::Test {
+ protected:
+  FreshnessAggregateTest()
+      : table_("r", Schema::Make({{"grp", DataType::kInt64, false},
+                                  {"v", DataType::kFloat64, true}})
+                        .value()) {
+    // Four rows, freshness 1.0, 0.5, 0.25, and a null value at 1.0.
+    table_.Append({Value::Int64(0), Value::Float64(10.0)}, 0).value();
+    table_.Append({Value::Int64(0), Value::Float64(20.0)}, 0).value();
+    table_.Append({Value::Int64(1), Value::Float64(40.0)}, 0).value();
+    table_.Append({Value::Int64(1), Value::Null()}, 0).value();
+    EXPECT_TRUE(table_.SetFreshness(1, 0.5).ok());
+    EXPECT_TRUE(table_.SetFreshness(2, 0.25).ok());
+  }
+
+  ResultSet Run(const std::string& sql) {
+    Query q = ParseQuery(sql).value();
+    return engine_.Execute(q, table_, 0).value();
+  }
+
+  Table table_;
+  QueryEngine engine_;
+};
+
+TEST_F(FreshnessAggregateTest, FCountStarSumsFreshness) {
+  ResultSet rs = Run("SELECT fcount(*) AS fc FROM r");
+  // 1.0 + 0.5 + 0.25 + 1.0 = 2.75.
+  EXPECT_DOUBLE_EQ(rs.at(0, 0).AsFloat64(), 2.75);
+}
+
+TEST_F(FreshnessAggregateTest, FCountColumnSkipsNulls) {
+  ResultSet rs = Run("SELECT fcount(v) AS fc FROM r");
+  // The null-valued row contributes nothing: 1.0 + 0.5 + 0.25.
+  EXPECT_DOUBLE_EQ(rs.at(0, 0).AsFloat64(), 1.75);
+}
+
+TEST_F(FreshnessAggregateTest, FSumWeightsByFreshness) {
+  ResultSet rs = Run("SELECT fsum(v) AS fs FROM r");
+  // 1.0*10 + 0.5*20 + 0.25*40 = 30.
+  EXPECT_DOUBLE_EQ(rs.at(0, 0).AsFloat64(), 30.0);
+}
+
+TEST_F(FreshnessAggregateTest, FAvgIsWeightedMean) {
+  ResultSet rs = Run("SELECT favg(v) AS fa FROM r");
+  // 30 / 1.75.
+  EXPECT_NEAR(rs.at(0, 0).AsFloat64(), 30.0 / 1.75, 1e-12);
+}
+
+TEST_F(FreshnessAggregateTest, FullyFreshMatchesUnweighted) {
+  Table fresh("f",
+              Schema::Make({{"v", DataType::kFloat64, false}}).value());
+  fresh.Append({Value::Float64(3.0)}, 0).value();
+  fresh.Append({Value::Float64(5.0)}, 0).value();
+  QueryEngine engine;
+  Query q = ParseQuery(
+                "SELECT sum(v) AS s, fsum(v) AS fs, avg(v) AS a, "
+                "favg(v) AS fa FROM f")
+                .value();
+  ResultSet rs = engine.Execute(q, fresh, 0).value();
+  EXPECT_DOUBLE_EQ(rs.at(0, 0).AsFloat64(), rs.at(0, 1).AsFloat64());
+  EXPECT_DOUBLE_EQ(rs.at(0, 2).AsFloat64(), rs.at(0, 3).AsFloat64());
+}
+
+TEST_F(FreshnessAggregateTest, GroupByInteraction) {
+  ResultSet rs = Run(
+      "SELECT grp, fcount(*) AS fc FROM r GROUP BY grp ORDER BY grp");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(rs.at(0, 1).AsFloat64(), 1.5);   // grp 0: 1.0 + 0.5
+  EXPECT_DOUBLE_EQ(rs.at(1, 1).AsFloat64(), 1.25);  // grp 1: 0.25 + 1.0
+}
+
+TEST_F(FreshnessAggregateTest, EmptyInputYieldsNullFSum) {
+  ResultSet rs = Run("SELECT fsum(v) AS fs, fcount(*) AS fc FROM r "
+                     "WHERE grp = 99");
+  EXPECT_TRUE(rs.at(0, 0).is_null());
+  EXPECT_DOUBLE_EQ(rs.at(0, 1).AsFloat64(), 0.0);
+}
+
+TEST_F(FreshnessAggregateTest, ParserAcceptsAllThree) {
+  EXPECT_TRUE(ParseQuery("SELECT fcount(*), fsum(v), favg(v) FROM r").ok());
+  // FSUM(*) is meaningless.
+  EXPECT_FALSE(ParseQuery("SELECT fsum(*) FROM r").ok());
+}
+
+TEST_F(FreshnessAggregateTest, FSumRequiresNumericArgument) {
+  Table strings(
+      "s", Schema::Make({{"name", DataType::kString, false}}).value());
+  QueryEngine engine;
+  Query q = ParseQuery("SELECT fsum(name) FROM s").value();
+  EXPECT_EQ(engine.Execute(q, strings, 0).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace fungusdb

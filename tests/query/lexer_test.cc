@@ -1,0 +1,92 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(LexerTest, KeywordsNormalizedUpper) {
+  auto tokens = Tokenize("select From WHERE").value();
+  ASSERT_EQ(tokens.size(), 4u);  // incl. kEnd
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+  EXPECT_EQ(tokens[3].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersPreserveCase) {
+  auto tokens = Tokenize("MyTable __ts _x1").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "MyTable");
+  EXPECT_EQ(tokens[1].text, "__ts");
+  EXPECT_EQ(tokens[2].text, "_x1");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto tokens = Tokenize("42 3.14 1e3 2.5E-2 .5").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[4].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, StringLiteralsUnquoted) {
+  auto tokens = Tokenize("'hello world'").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+}
+
+TEST(LexerTest, EscapedQuoteInString) {
+  auto tokens = Tokenize("'it''s'").value();
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_EQ(Tokenize("'oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto tokens = Tokenize("= != <> <= >= < > + - / % ( ) ,").value();
+  EXPECT_TRUE(tokens[0].IsOperator("="));
+  EXPECT_TRUE(tokens[1].IsOperator("!="));
+  EXPECT_TRUE(tokens[2].IsOperator("!="));  // <> normalized
+  EXPECT_TRUE(tokens[3].IsOperator("<="));
+  EXPECT_TRUE(tokens[4].IsOperator(">="));
+  EXPECT_TRUE(tokens[5].IsOperator("<"));
+  EXPECT_TRUE(tokens[6].IsOperator(">"));
+}
+
+TEST(LexerTest, StarIsItsOwnToken) {
+  auto tokens = Tokenize("count(*)").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_TRUE(tokens[1].IsOperator("("));
+  EXPECT_EQ(tokens[2].type, TokenType::kStar);
+  EXPECT_TRUE(tokens[3].IsOperator(")"));
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  Result<std::vector<Token>> r = Tokenize("a @ b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, MalformedExponentFails) {
+  EXPECT_FALSE(Tokenize("1e+").ok());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto tokens = Tokenize("ab cd").value();
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("   ").value();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,101 @@
+// Robustness fuzzing: the lexer/parser/binder must never crash or hang
+// on arbitrary input — every malformed statement comes back as a
+// Status. Inputs are generated from a seeded pool of plausible token
+// fragments (the interesting failure surface) plus raw random bytes.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/binder.h"
+#include "query/parser.h"
+
+namespace fungusdb {
+namespace {
+
+const char* kFragments[] = {
+    "SELECT", "CONSUME", "FROM",   "WHERE",  "GROUP",  "BY",
+    "ORDER",  "LIMIT",   "AND",    "OR",     "NOT",    "BETWEEN",
+    "IS",     "NULL",    "AS",     "count",  "sum",    "avg",
+    "fsum",   "time_bucket",       "(",      ")",      ",",
+    "*",      "+",       "-",      "/",      "%",      "=",
+    "!=",     "<",       "<=",     ">",      ">=",     "<>",
+    "1",      "3.14",    "1e9",    "'str'",  "''",     "'it''s'",
+    "t",      "__ts",    "__freshness",      "col",    "x1",
+};
+
+std::string RandomSoup(Rng& rng, uint64_t max_parts) {
+  std::string out;
+  const uint64_t parts = 1 + rng.NextBounded(max_parts);
+  for (uint64_t i = 0; i < parts; ++i) {
+    out += kFragments[rng.NextBounded(std::size(kFragments))];
+    out += ' ';
+  }
+  return out;
+}
+
+std::string RandomStatement(Rng& rng) {
+  // Half the inputs are pure soup; half are anchored in a SELECT
+  // skeleton so a useful fraction parses and exercises the round-trip
+  // and binder paths.
+  if (rng.NextBernoulli(0.5)) return RandomSoup(rng, 20);
+  std::string out;
+  if (rng.NextBernoulli(0.3)) out += "CONSUME ";
+  out += "SELECT " + RandomSoup(rng, 5) + " FROM t ";
+  if (rng.NextBernoulli(0.5)) out += "WHERE " + RandomSoup(rng, 6);
+  return out;
+}
+
+std::string RandomBytes(Rng& rng) {
+  std::string out;
+  const uint64_t len = rng.NextBounded(64);
+  for (uint64_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, FragmentSoupNeverCrashes) {
+  Rng rng(GetParam());
+  Schema schema = Schema::Make({{"col", DataType::kInt64, false},
+                                {"x1", DataType::kFloat64, true},
+                                {"t", DataType::kString, false}})
+                      .value();
+  int parsed_ok = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string sql = RandomStatement(rng);
+    Result<Query> query = ParseQuery(sql);
+    if (!query.ok()) continue;
+    ++parsed_ok;
+    // Whatever parses must also bind without crashing.
+    if (query->where != nullptr) {
+      (void)Bind(*query->where, schema);
+    }
+    for (const SelectItem& item : query->items) {
+      (void)Bind(*item.expr, schema);
+    }
+    // And re-parse its own rendering (printer/parser agreement).
+    Result<Query> reparsed = ParseQuery(query->ToString());
+    EXPECT_TRUE(reparsed.ok()) << query->ToString();
+  }
+  // The soup forms some valid statements on every seed; if it never
+  // did, the round-trip half of this test would be vacuous.
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST_P(ParserFuzzTest, RawBytesNeverCrash) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 2000; ++i) {
+    (void)ParseQuery(RandomBytes(rng));
+    (void)ParseExpression(RandomBytes(rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace fungusdb

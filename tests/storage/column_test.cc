@@ -1,0 +1,84 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(ColumnTest, FactoryProducesMatchingType) {
+  for (DataType t : {DataType::kInt64, DataType::kFloat64, DataType::kString,
+                     DataType::kBool, DataType::kTimestamp}) {
+    std::unique_ptr<Column> col = MakeColumn(t);
+    ASSERT_NE(col, nullptr);
+    EXPECT_EQ(col->type(), t);
+    EXPECT_EQ(col->size(), 0u);
+  }
+}
+
+TEST(ColumnTest, Int64AppendAndGet) {
+  Int64Column col;
+  col.Append(Value::Int64(5));
+  col.AppendTyped(7);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.GetValue(0).AsInt64(), 5);
+  EXPECT_EQ(col.at(1), 7);
+  EXPECT_FALSE(col.IsNull(0));
+}
+
+TEST(ColumnTest, NullsTracked) {
+  Float64Column col;
+  col.Append(Value::Null());
+  col.Append(Value::Float64(2.5));
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_TRUE(col.GetValue(0).is_null());
+  EXPECT_FALSE(col.IsNull(1));
+  EXPECT_DOUBLE_EQ(col.GetValue(1).AsFloat64(), 2.5);
+}
+
+TEST(ColumnTest, StringColumnStoresPayload) {
+  StringColumn col;
+  col.Append(Value::String("hello"));
+  col.AppendTyped("world");
+  EXPECT_EQ(col.GetValue(0).AsString(), "hello");
+  EXPECT_EQ(col.at(1), "world");
+}
+
+TEST(ColumnTest, BoolColumn) {
+  BoolColumn col;
+  col.Append(Value::Bool(true));
+  col.Append(Value::Bool(false));
+  EXPECT_TRUE(col.GetValue(0).AsBool());
+  EXPECT_FALSE(col.GetValue(1).AsBool());
+}
+
+TEST(ColumnTest, TimestampColumnRoundTrips) {
+  TimestampColumn col;
+  col.Append(Value::TimestampVal(123456));
+  col.AppendTyped(789);
+  EXPECT_EQ(col.GetValue(0).AsTimestamp(), 123456);
+  EXPECT_EQ(col.GetValue(0).type(), DataType::kTimestamp);
+  EXPECT_EQ(col.at(1), 789);
+}
+
+TEST(ColumnTest, TimestampColumnNulls) {
+  TimestampColumn col;
+  col.Append(Value::Null());
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_TRUE(col.GetValue(0).is_null());
+}
+
+TEST(ColumnTest, MemoryUsageGrowsWithData) {
+  Int64Column col;
+  const size_t empty = col.MemoryUsage();
+  for (int i = 0; i < 10000; ++i) col.AppendTyped(i);
+  EXPECT_GT(col.MemoryUsage(), empty + 10000 * sizeof(int64_t) / 2);
+}
+
+TEST(ColumnTest, StringMemoryIncludesPayloads) {
+  StringColumn col;
+  col.AppendTyped(std::string(4096, 'x'));
+  EXPECT_GE(col.MemoryUsage(), 4096u);
+}
+
+}  // namespace
+}  // namespace fungusdb

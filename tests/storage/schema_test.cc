@@ -1,0 +1,66 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(SchemaTest, MakeValid) {
+  Result<Schema> schema = Schema::Make({{"a", DataType::kInt64, false},
+                                        {"b", DataType::kString, true}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_fields(), 2u);
+  EXPECT_EQ(schema->field(0).name, "a");
+  EXPECT_TRUE(schema->field(1).nullable);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Make({{"", DataType::kInt64, false}}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  Result<Schema> schema = Schema::Make(
+      {{"a", DataType::kInt64, false}, {"a", DataType::kString, false}});
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsReservedPrefix) {
+  EXPECT_FALSE(Schema::Make({{"__ts", DataType::kInt64, false}}).ok());
+  EXPECT_FALSE(Schema::Make({{"__anything", DataType::kInt64, false}}).ok());
+  // A single underscore is fine.
+  EXPECT_TRUE(Schema::Make({{"_private", DataType::kInt64, false}}).ok());
+}
+
+TEST(SchemaTest, FindField) {
+  Schema schema = Schema::Make({{"x", DataType::kInt64, false},
+                                {"y", DataType::kFloat64, false}})
+                      .value();
+  EXPECT_EQ(schema.FindField("x"), 0u);
+  EXPECT_EQ(schema.FindField("y"), 1u);
+  EXPECT_FALSE(schema.FindField("z").has_value());
+}
+
+TEST(SchemaTest, EqualsComparesFields) {
+  Schema a = Schema::Make({{"x", DataType::kInt64, false}}).value();
+  Schema b = Schema::Make({{"x", DataType::kInt64, false}}).value();
+  Schema c = Schema::Make({{"x", DataType::kFloat64, false}}).value();
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(SchemaTest, ToStringRendering) {
+  Schema schema = Schema::Make({{"a", DataType::kInt64, false},
+                                {"b", DataType::kString, true}})
+                      .value();
+  EXPECT_EQ(schema.ToString(), "(a int64, b string null)");
+}
+
+TEST(SchemaTest, EmptySchemaAllowed) {
+  Result<Schema> schema = Schema::Make({});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_fields(), 0u);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,93 @@
+#include "storage/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema::Make({{"id", DataType::kInt64, false},
+                       {"name", DataType::kString, true}})
+      .value();
+}
+
+TEST(SegmentTest, AppendFillsToCapacity) {
+  Segment seg(TwoColSchema(), /*first_row=*/0, /*capacity=*/3,
+              /*track_access=*/false);
+  EXPECT_FALSE(seg.full());
+  for (int i = 0; i < 3; ++i) {
+    seg.Append({Value::Int64(i), Value::String("r")}, /*now=*/i * 10);
+  }
+  EXPECT_TRUE(seg.full());
+  EXPECT_EQ(seg.num_rows(), 3u);
+  EXPECT_EQ(seg.live_count(), 3u);
+}
+
+TEST(SegmentTest, NewTuplesHaveFullFreshness) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  seg.Append({Value::Int64(1), Value::Null()}, 5);
+  EXPECT_TRUE(seg.IsLive(0));
+  EXPECT_DOUBLE_EQ(seg.Freshness(0), 1.0);
+  EXPECT_EQ(seg.InsertTime(0), 5);
+}
+
+TEST(SegmentTest, SetFreshnessClampsAndKills) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  seg.Append({Value::Int64(1), Value::Null()}, 0);
+  EXPECT_FALSE(seg.SetFreshness(0, 0.5));
+  EXPECT_DOUBLE_EQ(seg.Freshness(0), 0.5);
+  EXPECT_FALSE(seg.SetFreshness(0, 1.7));  // clamped to 1.0
+  EXPECT_DOUBLE_EQ(seg.Freshness(0), 1.0);
+  EXPECT_TRUE(seg.SetFreshness(0, -0.2));  // clamped to 0 -> dead
+  EXPECT_FALSE(seg.IsLive(0));
+  EXPECT_DOUBLE_EQ(seg.Freshness(0), 0.0);
+  EXPECT_EQ(seg.live_count(), 0u);
+}
+
+TEST(SegmentTest, SetFreshnessOnDeadIsNoop) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  seg.Append({Value::Int64(1), Value::Null()}, 0);
+  seg.Kill(0);
+  EXPECT_FALSE(seg.SetFreshness(0, 0.8));
+  EXPECT_DOUBLE_EQ(seg.Freshness(0), 0.0);
+}
+
+TEST(SegmentTest, KillIsIdempotent) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  seg.Append({Value::Int64(1), Value::Null()}, 0);
+  EXPECT_TRUE(seg.Kill(0));
+  EXPECT_FALSE(seg.Kill(0));
+  EXPECT_EQ(seg.live_count(), 0u);
+}
+
+TEST(SegmentTest, DeadTupleValuesRemainReadable) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  seg.Append({Value::Int64(9), Value::String("keep")}, 0);
+  seg.Kill(0);
+  EXPECT_EQ(seg.GetValue(0, 0).AsInt64(), 9);
+  EXPECT_EQ(seg.GetValue(0, 1).AsString(), "keep");
+}
+
+TEST(SegmentTest, AccessCountingWhenEnabled) {
+  Segment seg(TwoColSchema(), 0, 4, /*track_access=*/true);
+  seg.Append({Value::Int64(1), Value::Null()}, 0);
+  EXPECT_EQ(seg.AccessCount(0), 0u);
+  seg.RecordAccess(0);
+  seg.RecordAccess(0);
+  EXPECT_EQ(seg.AccessCount(0), 2u);
+}
+
+TEST(SegmentTest, AccessCountingDisabledByDefault) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  seg.Append({Value::Int64(1), Value::Null()}, 0);
+  seg.RecordAccess(0);
+  EXPECT_EQ(seg.AccessCount(0), 0u);
+}
+
+TEST(SegmentTest, FirstRowOffset) {
+  Segment seg(TwoColSchema(), 4096, 4096, false);
+  EXPECT_EQ(seg.first_row(), 4096u);
+}
+
+}  // namespace
+}  // namespace fungusdb

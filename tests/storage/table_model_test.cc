@@ -1,0 +1,175 @@
+// Model-based randomized test: a Table is driven with a random stream
+// of operations while a trivially-correct reference model (std::map) is
+// kept in lockstep. After every step the two must agree on liveness,
+// freshness, values, counters, neighbour navigation and iteration
+// order. Parameterized over seeds; each seed runs a few thousand ops.
+
+#include <map>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+namespace {
+
+struct ModelRow {
+  int64_t value = 0;
+  Timestamp ts = 0;
+  double freshness = 1.0;
+  bool alive = true;
+  bool reclaimed = false;
+};
+
+class TableModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TableModelTest, RandomOpsAgreeWithReferenceModel) {
+  Rng rng(GetParam());
+  TableOptions opts;
+  opts.rows_per_segment = 1 + rng.NextBounded(12);  // stress segmenting
+  Table table("t",
+              Schema::Make({{"v", DataType::kInt64, false}}).value(),
+              opts);
+  std::map<RowId, ModelRow> model;
+  Timestamp now = 0;
+  int64_t next_value = 0;
+
+  const int kSteps = 3000;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t op = rng.NextBounded(100);
+    if (op < 40) {
+      // Append.
+      now += 1 + static_cast<Timestamp>(rng.NextBounded(5));
+      const RowId row =
+          table.Append({Value::Int64(next_value)}, now).value();
+      ModelRow m;
+      m.value = next_value;
+      m.ts = now;
+      model[row] = m;
+      ++next_value;
+    } else if (op < 60 && !model.empty()) {
+      // Kill a random known row.
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      const Status status = table.Kill(it->first);
+      if (it->second.reclaimed) {
+        EXPECT_EQ(status.code(), StatusCode::kNotFound);
+      } else {
+        EXPECT_TRUE(status.ok());
+        it->second.alive = false;
+        it->second.freshness = 0.0;
+      }
+    } else if (op < 80 && !model.empty()) {
+      // Decay a random known row.
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      const double delta = rng.NextDouble(0.0, 0.6);
+      const Status status = table.DecayFreshness(it->first, delta);
+      if (it->second.reclaimed) {
+        EXPECT_EQ(status.code(), StatusCode::kNotFound);
+      } else if (!it->second.alive) {
+        EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+      } else {
+        EXPECT_TRUE(status.ok());
+        it->second.freshness -= delta;
+        if (it->second.freshness <= 0.0) {
+          it->second.freshness = 0.0;
+          it->second.alive = false;
+        }
+      }
+    } else if (op < 90 && !model.empty()) {
+      // SetFreshness on a random known row.
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      const double f = rng.NextDouble(-0.2, 1.2);
+      const Status status = table.SetFreshness(it->first, f);
+      if (it->second.reclaimed) {
+        EXPECT_EQ(status.code(), StatusCode::kNotFound);
+      } else if (!it->second.alive) {
+        EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+      } else {
+        EXPECT_TRUE(status.ok());
+        const double clamped = std::clamp(f, 0.0, 1.0);
+        it->second.freshness = clamped;
+        if (clamped <= 0.0) it->second.alive = false;
+      }
+    } else {
+      // Reclaim: mark fully-dead full segments as reclaimed in the
+      // model using the same rule the table applies.
+      table.ReclaimDeadSegments();
+      const size_t per_seg = opts.rows_per_segment;
+      for (auto& [row, m] : model) {
+        if (m.reclaimed) continue;
+        const uint64_t seg_start = row / per_seg * per_seg;
+        bool full_and_dead = true;
+        for (uint64_t r = seg_start; r < seg_start + per_seg; ++r) {
+          auto other = model.find(r);
+          if (other == model.end() ||
+              (other->second.alive && !other->second.reclaimed)) {
+            full_and_dead = false;
+            break;
+          }
+        }
+        if (full_and_dead) m.reclaimed = true;
+      }
+    }
+
+    // --- Full agreement check every few steps; spot checks otherwise.
+    const bool full_check = step % 50 == 0 || step == kSteps - 1;
+    uint64_t model_live = 0;
+    std::vector<RowId> model_live_rows;
+    for (const auto& [row, m] : model) {
+      if (m.alive && !m.reclaimed) {
+        ++model_live;
+        model_live_rows.push_back(row);
+      }
+      if (!full_check && rng.NextBounded(10) != 0) continue;
+      EXPECT_EQ(table.IsLive(row), m.alive && !m.reclaimed) << row;
+      if (m.reclaimed) {
+        EXPECT_FALSE(table.Contains(row)) << row;
+      } else {
+        EXPECT_NEAR(table.Freshness(row), m.freshness, 1e-9) << row;
+        EXPECT_EQ(table.GetValue(row, 0).value().AsInt64(), m.value)
+            << row;
+        EXPECT_EQ(table.InsertTime(row).value(), m.ts) << row;
+      }
+    }
+    EXPECT_EQ(table.live_rows(), model_live);
+    EXPECT_EQ(table.live_rows() + table.rows_killed(),
+              table.total_appended());
+    if (full_check) {
+      EXPECT_EQ(table.LiveRows(), model_live_rows);
+      if (!model_live_rows.empty()) {
+        EXPECT_EQ(table.OldestLive().value(), model_live_rows.front());
+        EXPECT_EQ(table.NewestLive().value(), model_live_rows.back());
+        // Neighbour navigation agrees at a random pivot.
+        const RowId pivot = model_live_rows[rng.NextBounded(
+            model_live_rows.size())];
+        auto it = std::find(model_live_rows.begin(),
+                            model_live_rows.end(), pivot);
+        std::optional<RowId> expected_prev =
+            it == model_live_rows.begin()
+                ? std::nullopt
+                : std::optional<RowId>(*(it - 1));
+        std::optional<RowId> expected_next =
+            it + 1 == model_live_rows.end()
+                ? std::nullopt
+                : std::optional<RowId>(*(it + 1));
+        EXPECT_EQ(table.PrevLive(pivot), expected_prev);
+        EXPECT_EQ(table.NextLive(pivot), expected_next);
+      } else {
+        EXPECT_FALSE(table.OldestLive().has_value());
+        EXPECT_FALSE(table.NewestLive().has_value());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableModelTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace fungusdb

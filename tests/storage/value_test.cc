@@ -1,0 +1,113 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(ValueTest, NullValue) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "null");
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int64(42).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Float64(1.5).type(), DataType::kFloat64);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::TimestampVal(10).type(), DataType::kTimestamp);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int64(-7).AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(Value::Float64(2.25).AsFloat64(), 2.25);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::TimestampVal(99).AsTimestamp(), 99);
+}
+
+TEST(ValueTest, TimestampIsDistinctFromInt64) {
+  EXPECT_NE(Value::TimestampVal(5).type(), Value::Int64(5).type());
+  EXPECT_FALSE(Value::TimestampVal(5).Equals(Value::Int64(5)));
+}
+
+TEST(ValueTest, EqualsDeep) {
+  EXPECT_TRUE(Value::Int64(1).Equals(Value::Int64(1)));
+  EXPECT_FALSE(Value::Int64(1).Equals(Value::Int64(2)));
+  EXPECT_TRUE(Value::String("a").Equals(Value::String("a")));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int64(0)));
+}
+
+TEST(ValueTest, ToDoubleNumericTypes) {
+  EXPECT_DOUBLE_EQ(Value::Int64(3).ToDouble().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Float64(2.5).ToDouble().value(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::TimestampVal(7).ToDouble().value(), 7.0);
+}
+
+TEST(ValueTest, ToDoubleRejectsNonNumeric) {
+  EXPECT_FALSE(Value::String("x").ToDouble().ok());
+  EXPECT_FALSE(Value::Bool(true).ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_EQ(Value::Int64(1).Compare(Value::Int64(2)).value(), -1);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Int64(2)).value(), 0);
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Int64(2)).value(), 1);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("b")).value(), -1);
+  EXPECT_EQ(Value::Bool(false).Compare(Value::Bool(true)).value(), -1);
+}
+
+TEST(ValueTest, CompareCrossNumeric) {
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Float64(2.0)).value(), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Float64(2.5)).value(), -1);
+  EXPECT_EQ(Value::TimestampVal(10).Compare(Value::Int64(5)).value(), 1);
+}
+
+TEST(ValueTest, CompareRejectsNullAndMixed) {
+  EXPECT_FALSE(Value::Null().Compare(Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::Int64(1).Compare(Value::Null()).ok());
+  EXPECT_FALSE(Value::String("a").Compare(Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::Bool(true).Compare(Value::String("t")).ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::TimestampVal(3).ToString(), "ts:3");
+}
+
+TEST(ValueTest, ToStringEscapesEmbeddedQuotes) {
+  // Found by the parser fuzzer: the rendering must be re-parseable.
+  EXPECT_EQ(Value::String("it's").ToString(), "'it''s'");
+  EXPECT_EQ(Value::String("''").ToString(), "''''''");
+}
+
+TEST(ValueTest, MemoryUsageCountsStringPayload) {
+  const Value small = Value::Int64(1);
+  const Value big = Value::String(std::string(1000, 'x'));
+  EXPECT_GT(big.MemoryUsage(), small.MemoryUsage() + 900);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeName(DataType::kFloat64), "float64");
+  EXPECT_EQ(DataTypeName(DataType::kString), "string");
+  EXPECT_EQ(DataTypeName(DataType::kBool), "bool");
+  EXPECT_EQ(DataTypeName(DataType::kTimestamp), "timestamp");
+}
+
+TEST(DataTypeTest, NumericPredicate) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kFloat64));
+  EXPECT_TRUE(IsNumeric(DataType::kTimestamp));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+  EXPECT_FALSE(IsNumeric(DataType::kBool));
+}
+
+}  // namespace
+}  // namespace fungusdb

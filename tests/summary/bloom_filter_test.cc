@@ -1,0 +1,72 @@
+#include "summary/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(4096, 4);
+  for (int i = 0; i < 200; ++i) bloom.Observe(Value::Int64(i));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(bloom.MayContain(Value::Int64(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, MostUnseenKeysRejected) {
+  BloomFilter bloom = BloomFilter::FromExpectedItems(1000, 0.01);
+  for (int i = 0; i < 1000; ++i) bloom.Observe(Value::Int64(i));
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    if (bloom.MayContain(Value::Int64(1000000 + i))) ++false_positives;
+  }
+  EXPECT_LT(static_cast<double>(false_positives) / probes, 0.03);
+}
+
+TEST(BloomFilterTest, EmptyRejectsEverything) {
+  BloomFilter bloom(1024, 3);
+  EXPECT_FALSE(bloom.MayContain(Value::Int64(1)));
+  EXPECT_FALSE(bloom.MayContain(Value::String("x")));
+}
+
+TEST(BloomFilterTest, NullNeverContained) {
+  BloomFilter bloom(64, 2);
+  bloom.Observe(Value::Null());
+  EXPECT_FALSE(bloom.MayContain(Value::Null()));
+  EXPECT_EQ(bloom.observations(), 0u);
+}
+
+TEST(BloomFilterTest, MergeIsUnion) {
+  BloomFilter a(2048, 4), b(2048, 4);
+  a.Observe(Value::Int64(1));
+  b.Observe(Value::Int64(2));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_TRUE(a.MayContain(Value::Int64(1)));
+  EXPECT_TRUE(a.MayContain(Value::Int64(2)));
+  EXPECT_EQ(a.observations(), 2u);
+}
+
+TEST(BloomFilterTest, MergeRejectsShapeMismatch) {
+  BloomFilter a(2048, 4), b(1024, 4);
+  EXPECT_FALSE(a.Merge(b).ok());
+  BloomFilter c(2048, 3);
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(BloomFilterTest, EstimatedFprGrowsWithLoad) {
+  BloomFilter bloom(1024, 4);
+  const double empty_fpr = bloom.EstimatedFalsePositiveRate();
+  for (int i = 0; i < 500; ++i) bloom.Observe(Value::Int64(i));
+  EXPECT_GT(bloom.EstimatedFalsePositiveRate(), empty_fpr);
+}
+
+TEST(BloomFilterTest, FromExpectedItemsRespectsTarget) {
+  BloomFilter bloom = BloomFilter::FromExpectedItems(10000, 0.001);
+  // ~14.4 bits/key at 0.1% -> at least 100k bits.
+  EXPECT_GT(bloom.num_bits(), 100000u);
+  EXPECT_GE(bloom.num_hashes(), 7u);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,110 @@
+#include "summary/cellar.h"
+
+#include <gtest/gtest.h>
+
+#include "summary/count_min_sketch.h"
+#include "summary/hyperloglog.h"
+
+namespace fungusdb {
+namespace {
+
+std::unique_ptr<CountMinSketch> SmallSketch() {
+  return std::make_unique<CountMinSketch>(64, 4);
+}
+
+TEST(CellarTest, PutAndFind) {
+  Cellar cellar;
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), /*half_life=*/0, 0).ok());
+  EXPECT_NE(cellar.Find("s"), nullptr);
+  EXPECT_EQ(cellar.Find("absent"), nullptr);
+  EXPECT_EQ(cellar.size(), 1u);
+}
+
+TEST(CellarTest, PutRejectsDuplicatesAndNull) {
+  Cellar cellar;
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), 0, 0).ok());
+  EXPECT_EQ(cellar.Put("s", SmallSketch(), 0, 0).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(cellar.Put("t", nullptr, 0, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CellarTest, MergeIntoCreatesOrMerges) {
+  Cellar cellar;
+  auto shard1 = SmallSketch();
+  shard1->Observe(Value::Int64(1));
+  ASSERT_TRUE(cellar.MergeInto("s", std::move(shard1), 0, 0).ok());
+  auto shard2 = SmallSketch();
+  shard2->Observe(Value::Int64(1));
+  ASSERT_TRUE(cellar.MergeInto("s", std::move(shard2), 0, 10).ok());
+  auto* merged = static_cast<const CountMinSketch*>(cellar.Find("s"));
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->observations(), 2u);
+}
+
+TEST(CellarTest, MergeIntoRejectsKindMismatch) {
+  Cellar cellar;
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), 0, 0).ok());
+  Status s = cellar.MergeInto("s", std::make_unique<HyperLogLog>(8), 0, 0);
+  EXPECT_EQ(s.code(), StatusCode::kTypeMismatch);
+}
+
+TEST(CellarTest, ImmortalEntriesNeverDecay) {
+  Cellar cellar;
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), /*half_life=*/0, 0).ok());
+  EXPECT_EQ(cellar.AdvanceTo(100 * kDay), 0u);
+  EXPECT_DOUBLE_EQ(cellar.FreshnessOf("s").value(), 1.0);
+}
+
+TEST(CellarTest, EntriesDecayWithHalfLife) {
+  Cellar cellar;
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), /*half_life=*/kHour, 0).ok());
+  cellar.AdvanceTo(kHour);
+  EXPECT_NEAR(cellar.FreshnessOf("s").value(), 0.5, 1e-9);
+  cellar.AdvanceTo(2 * kHour);
+  EXPECT_NEAR(cellar.FreshnessOf("s").value(), 0.25, 1e-9);
+}
+
+TEST(CellarTest, EvictionAtThreshold) {
+  Cellar cellar(/*eviction_threshold=*/0.1);
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), kHour, 0).ok());
+  // After 4 half-lives freshness is 0.0625 <= 0.1 -> evicted.
+  EXPECT_EQ(cellar.AdvanceTo(4 * kHour), 1u);
+  EXPECT_EQ(cellar.Find("s"), nullptr);
+  EXPECT_EQ(cellar.FreshnessOf("s").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CellarTest, MergeRefreshesFreshness) {
+  Cellar cellar;
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), kHour, 0).ok());
+  cellar.AdvanceTo(kHour);
+  EXPECT_NEAR(cellar.FreshnessOf("s").value(), 0.5, 1e-9);
+  // New knowledge arrives: the entry is fresh again.
+  ASSERT_TRUE(cellar.MergeInto("s", SmallSketch(), kHour, kHour).ok());
+  EXPECT_DOUBLE_EQ(cellar.FreshnessOf("s").value(), 1.0);
+}
+
+TEST(CellarTest, EvictByName) {
+  Cellar cellar;
+  ASSERT_TRUE(cellar.Put("s", SmallSketch(), 0, 0).ok());
+  ASSERT_TRUE(cellar.Evict("s").ok());
+  EXPECT_EQ(cellar.Evict("s").code(), StatusCode::kNotFound);
+}
+
+TEST(CellarTest, ListReportsEntries) {
+  Cellar cellar;
+  auto sketch = SmallSketch();
+  sketch->Observe(Value::Int64(1));
+  ASSERT_TRUE(cellar.Put("a", std::move(sketch), 0, 0).ok());
+  ASSERT_TRUE(cellar.Put("b", std::make_unique<HyperLogLog>(8), 0, 0).ok());
+  const auto list = cellar.List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].name, "a");
+  EXPECT_EQ(list[0].kind, "count_min");
+  EXPECT_EQ(list[0].observations, 1u);
+  EXPECT_EQ(list[1].kind, "hyperloglog");
+  EXPECT_GT(cellar.MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,107 @@
+#include "summary/count_min_sketch.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fungusdb {
+namespace {
+
+TEST(CountMinSketchTest, NeverUnderestimates) {
+  CountMinSketch sketch(256, 4);
+  Rng rng(1);
+  std::map<int64_t, uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextBounded(200));
+    sketch.Observe(Value::Int64(key));
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.EstimateCount(Value::Int64(key)), count);
+  }
+}
+
+TEST(CountMinSketchTest, ErrorWithinBound) {
+  CountMinSketch sketch = CountMinSketch::FromErrorBound(0.01, 0.01);
+  Rng rng(2);
+  std::map<int64_t, uint64_t> truth;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextBounded(500));
+    sketch.Observe(Value::Int64(key));
+    ++truth[key];
+  }
+  // All estimates within eps*N of truth (the e^-d failure probability at
+  // depth >= 5 makes a violation across 500 keys vanishingly unlikely).
+  const double bound = sketch.Epsilon() * n;
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    const uint64_t est = sketch.EstimateCount(Value::Int64(key));
+    if (static_cast<double>(est - count) > bound) ++violations;
+  }
+  EXPECT_LE(violations, 2);
+}
+
+TEST(CountMinSketchTest, UnseenKeysUsuallyZeroOnSparseSketch) {
+  CountMinSketch sketch(1024, 4);
+  for (int i = 0; i < 10; ++i) sketch.Observe(Value::Int64(i));
+  EXPECT_LE(sketch.EstimateCount(Value::Int64(999999)), 1u);
+}
+
+TEST(CountMinSketchTest, NullsIgnored) {
+  CountMinSketch sketch(64, 2);
+  sketch.Observe(Value::Null());
+  EXPECT_EQ(sketch.observations(), 0u);
+}
+
+TEST(CountMinSketchTest, StringKeys) {
+  CountMinSketch sketch(128, 4);
+  for (int i = 0; i < 7; ++i) sketch.Observe(Value::String("alpha"));
+  sketch.Observe(Value::String("beta"));
+  EXPECT_GE(sketch.EstimateCount(Value::String("alpha")), 7u);
+  EXPECT_LE(sketch.EstimateCount(Value::String("beta")), 8u);
+}
+
+TEST(CountMinSketchTest, MergeAddsCounts) {
+  CountMinSketch a(128, 4, /*seed=*/9);
+  CountMinSketch b(128, 4, /*seed=*/9);
+  for (int i = 0; i < 5; ++i) a.Observe(Value::Int64(1));
+  for (int i = 0; i < 3; ++i) b.Observe(Value::Int64(1));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_GE(a.EstimateCount(Value::Int64(1)), 8u);
+  EXPECT_EQ(a.observations(), 8u);
+}
+
+TEST(CountMinSketchTest, MergeRejectsShapeMismatch) {
+  CountMinSketch a(128, 4);
+  CountMinSketch b(64, 4);
+  EXPECT_EQ(a.Merge(b).code(), StatusCode::kInvalidArgument);
+  CountMinSketch c(128, 4, /*seed=*/1);
+  CountMinSketch d(128, 4, /*seed=*/2);
+  EXPECT_FALSE(c.Merge(d).ok());
+}
+
+TEST(CountMinSketchTest, MergeRejectsOtherKinds) {
+  CountMinSketch a(128, 4);
+  CountMinSketch b(128, 4);
+  EXPECT_TRUE(a.Merge(b).ok());
+  // Kind mismatch is exercised in cellar tests with other summary types.
+}
+
+TEST(CountMinSketchTest, FromErrorBoundShapesSensibly) {
+  CountMinSketch s = CountMinSketch::FromErrorBound(0.001, 0.01);
+  EXPECT_GE(s.width(), 2718u);
+  EXPECT_GE(s.depth(), 5u);
+  EXPECT_LE(s.Epsilon(), 0.001);
+}
+
+TEST(CountMinSketchTest, MemoryScalesWithShape) {
+  CountMinSketch small(64, 2);
+  CountMinSketch big(4096, 8);
+  EXPECT_GT(big.MemoryUsage(), small.MemoryUsage() * 10);
+}
+
+}  // namespace
+}  // namespace fungusdb

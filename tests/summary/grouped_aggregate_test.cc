@@ -1,0 +1,103 @@
+#include "summary/grouped_aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(AggregateStateTest, TracksAllStats) {
+  AggregateState s;
+  s.Observe(3.0);
+  s.Observe(1.0);
+  s.Observe(5.0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 9.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+}
+
+TEST(AggregateStateTest, MergeCombines) {
+  AggregateState a, b;
+  a.Observe(1.0);
+  b.Observe(10.0);
+  b.Observe(-2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.min, -2.0);
+  EXPECT_DOUBLE_EQ(a.max, 10.0);
+}
+
+TEST(AggregateStateTest, MergeWithEmptySides) {
+  AggregateState a, empty;
+  a.Observe(4.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count, 1u);
+  AggregateState c;
+  c.Merge(a);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_DOUBLE_EQ(c.min, 4.0);
+}
+
+TEST(GroupedAggregateTest, GroupsByKey) {
+  GroupedAggregate agg;
+  agg.Observe(Value::String("a"), Value::Float64(1.0));
+  agg.Observe(Value::String("a"), Value::Float64(3.0));
+  agg.Observe(Value::String("b"), Value::Float64(10.0));
+  EXPECT_EQ(agg.num_groups(), 2u);
+  const AggregateState a = agg.GroupState(Value::String("a")).value();
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  const AggregateState b = agg.GroupState(Value::String("b")).value();
+  EXPECT_DOUBLE_EQ(b.sum, 10.0);
+}
+
+TEST(GroupedAggregateTest, IntKeysWork) {
+  GroupedAggregate agg;
+  agg.Observe(Value::Int64(7), Value::Int64(100));
+  EXPECT_EQ(agg.GroupState(Value::Int64(7)).value().count, 1u);
+}
+
+TEST(GroupedAggregateTest, UnknownKeyFails) {
+  GroupedAggregate agg;
+  EXPECT_EQ(agg.GroupState(Value::String("nope")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(agg.GroupState(Value::Null()).ok());
+}
+
+TEST(GroupedAggregateTest, NullsSkipped) {
+  GroupedAggregate agg;
+  agg.Observe(Value::Null(), Value::Float64(1.0));
+  agg.Observe(Value::String("k"), Value::Null());
+  EXPECT_EQ(agg.observations(), 0u);
+  EXPECT_EQ(agg.num_groups(), 0u);
+}
+
+TEST(GroupedAggregateTest, NonNumericValuesSkipped) {
+  GroupedAggregate agg;
+  agg.Observe(Value::String("k"), Value::String("v"));
+  EXPECT_EQ(agg.observations(), 0u);
+}
+
+TEST(GroupedAggregateTest, EntriesAreKeySorted) {
+  GroupedAggregate agg;
+  agg.Observe(Value::String("z"), Value::Int64(1));
+  agg.Observe(Value::String("a"), Value::Int64(2));
+  const auto entries = agg.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries[0].first, entries[1].first);
+}
+
+TEST(GroupedAggregateTest, MergeUnionsGroups) {
+  GroupedAggregate a, b;
+  a.Observe(Value::String("x"), Value::Float64(1.0));
+  b.Observe(Value::String("x"), Value::Float64(3.0));
+  b.Observe(Value::String("y"), Value::Float64(5.0));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(a.GroupState(Value::String("x")).value().Mean(), 2.0);
+  EXPECT_EQ(a.observations(), 3u);
+}
+
+}  // namespace
+}  // namespace fungusdb

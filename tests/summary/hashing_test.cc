@@ -1,0 +1,53 @@
+#include "summary/hashing.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(HashingTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashingTest, Hash64SeedMatters) {
+  EXPECT_NE(Hash64(42, 1), Hash64(42, 2));
+  EXPECT_EQ(Hash64(42, 1), Hash64(42, 1));
+}
+
+TEST(HashingTest, HashBytesMatchesContent) {
+  const std::string a = "fungus";
+  const std::string b = "fungus";
+  const std::string c = "fungos";
+  EXPECT_EQ(HashBytes(a.data(), a.size(), 7),
+            HashBytes(b.data(), b.size(), 7));
+  EXPECT_NE(HashBytes(a.data(), a.size(), 7),
+            HashBytes(c.data(), c.size(), 7));
+}
+
+TEST(HashingTest, HashValueTypes) {
+  EXPECT_EQ(HashValue(Value::Int64(5), 1), HashValue(Value::Int64(5), 1));
+  EXPECT_NE(HashValue(Value::Int64(5), 1), HashValue(Value::Int64(6), 1));
+  EXPECT_EQ(HashValue(Value::String("x"), 1),
+            HashValue(Value::String("x"), 1));
+  // Int64 and Timestamp with the same payload hash identically (doc'd).
+  EXPECT_EQ(HashValue(Value::Int64(5), 1),
+            HashValue(Value::TimestampVal(5), 1));
+}
+
+TEST(HashingTest, NegativeZeroNormalized) {
+  EXPECT_EQ(HashValue(Value::Float64(0.0), 3),
+            HashValue(Value::Float64(-0.0), 3));
+}
+
+TEST(HashingTest, BoolsHashDistinctly) {
+  EXPECT_NE(HashValue(Value::Bool(true), 1),
+            HashValue(Value::Bool(false), 1));
+}
+
+}  // namespace
+}  // namespace fungusdb

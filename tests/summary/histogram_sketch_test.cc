@@ -1,0 +1,108 @@
+#include "summary/histogram_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fungusdb {
+namespace {
+
+TEST(HistogramSketchTest, BucketBoundaries) {
+  HistogramSketch h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(9), 9.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(9), 10.0);
+}
+
+TEST(HistogramSketchTest, ObservationsLandInRightBuckets) {
+  HistogramSketch h(0.0, 10.0, 10);
+  h.Observe(Value::Float64(0.5));
+  h.Observe(Value::Float64(5.5));
+  h.Observe(Value::Int64(9));
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.observations(), 3u);
+}
+
+TEST(HistogramSketchTest, OutOfDomainClampsToEdges) {
+  HistogramSketch h(0.0, 10.0, 10);
+  h.Observe(Value::Float64(-5.0));
+  h.Observe(Value::Float64(100.0));
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(HistogramSketchTest, NullsAndNonNumericSkipped) {
+  HistogramSketch h(0.0, 1.0, 2);
+  h.Observe(Value::Null());
+  h.Observe(Value::String("x"));
+  EXPECT_EQ(h.observations(), 0u);
+}
+
+TEST(HistogramSketchTest, RangeCountExactOnBucketBoundaries) {
+  HistogramSketch h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(Value::Float64(static_cast<double>(i % 10) + 0.5));
+  }
+  EXPECT_NEAR(h.EstimateRangeCount(0.0, 10.0), 100.0, 1e-9);
+  EXPECT_NEAR(h.EstimateRangeCount(0.0, 5.0), 50.0, 1e-9);
+  EXPECT_NEAR(h.EstimateRangeCount(3.0, 4.0), 10.0, 1e-9);
+}
+
+TEST(HistogramSketchTest, PartialBucketInterpolation) {
+  HistogramSketch h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Observe(Value::Float64(4.5));
+  // Half of bucket [4,5) overlaps [4, 4.5).
+  EXPECT_NEAR(h.EstimateRangeCount(4.0, 4.5), 5.0, 1e-9);
+}
+
+TEST(HistogramSketchTest, EmptyRangeCountIsZero) {
+  HistogramSketch h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(5.0, 2.0), 0.0);
+}
+
+TEST(HistogramSketchTest, QuantileOnUniformData) {
+  HistogramSketch h(0.0, 100.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    h.Observe(Value::Float64(rng.NextDouble() * 100.0));
+  }
+  EXPECT_NEAR(h.EstimateQuantile(0.5).value(), 50.0, 3.0);
+  EXPECT_NEAR(h.EstimateQuantile(0.9).value(), 90.0, 3.0);
+}
+
+TEST(HistogramSketchTest, QuantileFailsOnEmpty) {
+  HistogramSketch h(0.0, 1.0, 4);
+  EXPECT_FALSE(h.EstimateQuantile(0.5).ok());
+  EXPECT_FALSE(h.EstimateMean().ok());
+}
+
+TEST(HistogramSketchTest, MeanUsesMidpoints) {
+  HistogramSketch h(0.0, 10.0, 10);
+  h.Observe(Value::Float64(2.2));  // bucket [2,3) midpoint 2.5
+  h.Observe(Value::Float64(7.9));  // bucket [7,8) midpoint 7.5
+  EXPECT_NEAR(h.EstimateMean().value(), 5.0, 1e-9);
+}
+
+TEST(HistogramSketchTest, MergeAddsCounts) {
+  HistogramSketch a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.Observe(Value::Float64(1.0));
+  b.Observe(Value::Float64(1.0));
+  b.Observe(Value::Float64(8.0));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.observations(), 3u);
+  EXPECT_EQ(a.bucket_count(1), 2u);
+}
+
+TEST(HistogramSketchTest, MergeRejectsDomainMismatch) {
+  HistogramSketch a(0.0, 10.0, 10), b(0.0, 20.0, 10);
+  EXPECT_FALSE(a.Merge(b).ok());
+  HistogramSketch c(0.0, 10.0, 20);
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+}  // namespace
+}  // namespace fungusdb

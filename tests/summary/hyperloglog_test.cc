@@ -1,0 +1,91 @@
+#include "summary/hyperloglog.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.EstimateDistinct(), 0.0, 1e-6);
+}
+
+TEST(HyperLogLogTest, SmallCardinalitiesExactish) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 50; ++i) hll.Observe(Value::Int64(i));
+  EXPECT_NEAR(hll.EstimateDistinct(), 50.0, 5.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 20; ++i) hll.Observe(Value::Int64(i));
+  }
+  EXPECT_NEAR(hll.EstimateDistinct(), 20.0, 3.0);
+  EXPECT_EQ(hll.observations(), 2000u);
+}
+
+class HyperLogLogPrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperLogLogPrecisionTest, ErrorWithinFourSigma) {
+  const int precision = GetParam();
+  HyperLogLog hll(precision);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hll.Observe(Value::Int64(i));
+  const double est = hll.EstimateDistinct();
+  const double rel_err = std::abs(est - n) / n;
+  EXPECT_LT(rel_err, 4.0 * hll.StandardError())
+      << "precision=" << precision << " est=" << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HyperLogLogPrecisionTest,
+                         ::testing::Values(8, 10, 12, 14));
+
+TEST(HyperLogLogTest, HigherPrecisionLowersTheoreticalError) {
+  HyperLogLog low(6), high(14);
+  EXPECT_GT(low.StandardError(), high.StandardError());
+}
+
+TEST(HyperLogLogTest, StringsCountedDistinctly) {
+  HyperLogLog hll(12);
+  hll.Observe(Value::String("a"));
+  hll.Observe(Value::String("b"));
+  hll.Observe(Value::String("a"));
+  EXPECT_NEAR(hll.EstimateDistinct(), 2.0, 0.5);
+}
+
+TEST(HyperLogLogTest, NullsIgnored) {
+  HyperLogLog hll(8);
+  hll.Observe(Value::Null());
+  EXPECT_EQ(hll.observations(), 0u);
+  EXPECT_NEAR(hll.EstimateDistinct(), 0.0, 1e-6);
+}
+
+TEST(HyperLogLogTest, MergeIsUnion) {
+  HyperLogLog a(12), b(12);
+  for (int i = 0; i < 1000; ++i) a.Observe(Value::Int64(i));
+  for (int i = 500; i < 1500; ++i) b.Observe(Value::Int64(i));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_NEAR(a.EstimateDistinct(), 1500.0, 150.0);
+}
+
+TEST(HyperLogLogTest, MergeIdempotentForSameData) {
+  HyperLogLog a(12), b(12);
+  for (int i = 0; i < 1000; ++i) {
+    a.Observe(Value::Int64(i));
+    b.Observe(Value::Int64(i));
+  }
+  const double before = a.EstimateDistinct();
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.EstimateDistinct(), before);
+}
+
+TEST(HyperLogLogTest, MergeRejectsDifferentPrecision) {
+  HyperLogLog a(10), b(12);
+  EXPECT_EQ(a.Merge(b).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,89 @@
+#include "summary/p2_quantile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fungusdb {
+namespace {
+
+TEST(P2QuantileTest, FailsBeforeObservations) {
+  P2Quantile q(0.5);
+  EXPECT_FALSE(q.Estimate().ok());
+}
+
+TEST(P2QuantileTest, SmallSampleIsExact) {
+  P2Quantile q(0.5);
+  q.Observe(Value::Float64(3.0));
+  q.Observe(Value::Float64(1.0));
+  q.Observe(Value::Float64(2.0));
+  EXPECT_NEAR(q.Estimate().value(), 2.0, 1e-9);
+}
+
+class P2TargetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2TargetTest, TracksUniformQuantile) {
+  const double target = GetParam();
+  P2Quantile q(target);
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    q.Observe(Value::Float64(rng.NextDouble() * 100.0));
+  }
+  EXPECT_NEAR(q.Estimate().value(), target * 100.0, 2.5) << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, P2TargetTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+TEST(P2QuantileTest, TracksGaussianMedian) {
+  P2Quantile q(0.5);
+  Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    q.Observe(Value::Float64(rng.NextGaussian() * 10.0 + 42.0));
+  }
+  EXPECT_NEAR(q.Estimate().value(), 42.0, 1.0);
+}
+
+TEST(P2QuantileTest, NullsAndStringsSkipped) {
+  P2Quantile q(0.5);
+  q.Observe(Value::Null());
+  q.Observe(Value::String("x"));
+  EXPECT_EQ(q.observations(), 0u);
+}
+
+TEST(P2QuantileTest, MergeBlendsSimilarStreams) {
+  P2Quantile a(0.5), b(0.5);
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    a.Observe(Value::Float64(rng.NextDouble() * 100.0));
+    b.Observe(Value::Float64(rng.NextDouble() * 100.0));
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.observations(), 40000u);
+  EXPECT_NEAR(a.Estimate().value(), 50.0, 5.0);
+}
+
+TEST(P2QuantileTest, MergeIntoEmptyCopiesState) {
+  P2Quantile a(0.5), b(0.5);
+  for (int i = 1; i <= 100; ++i) b.Observe(Value::Int64(i));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.observations(), 100u);
+  EXPECT_NEAR(a.Estimate().value(), 50.0, 10.0);
+}
+
+TEST(P2QuantileTest, MergeRejectsDifferentTargets) {
+  P2Quantile a(0.5), b(0.9);
+  EXPECT_EQ(a.Merge(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(P2QuantileTest, ConstantStreamConverges) {
+  P2Quantile q(0.75);
+  for (int i = 0; i < 1000; ++i) q.Observe(Value::Float64(7.0));
+  EXPECT_NEAR(q.Estimate().value(), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -1,0 +1,88 @@
+#include "summary/reservoir_sample.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+TEST(ReservoirSampleTest, KeepsEverythingBelowCapacity) {
+  ReservoirSample res(10);
+  for (int i = 0; i < 5; ++i) res.Observe(Value::Int64(i));
+  EXPECT_EQ(res.sample().size(), 5u);
+  EXPECT_EQ(res.observations(), 5u);
+}
+
+TEST(ReservoirSampleTest, CapsAtCapacity) {
+  ReservoirSample res(16);
+  for (int i = 0; i < 1000; ++i) res.Observe(Value::Int64(i));
+  EXPECT_EQ(res.sample().size(), 16u);
+  EXPECT_EQ(res.observations(), 1000u);
+}
+
+TEST(ReservoirSampleTest, SampleIsApproximatelyUniform) {
+  // Observe 0..999; the mean of a uniform sample should be near 499.5.
+  ReservoirSample res(200, /*seed=*/5);
+  for (int i = 0; i < 1000; ++i) res.Observe(Value::Int64(i));
+  EXPECT_NEAR(res.EstimateMean().value(), 499.5, 60.0);
+}
+
+TEST(ReservoirSampleTest, QuantileEstimates) {
+  ReservoirSample res(500, /*seed=*/7);
+  for (int i = 0; i < 10000; ++i) res.Observe(Value::Int64(i));
+  EXPECT_NEAR(res.EstimateQuantile(0.5).value(), 5000.0, 800.0);
+  EXPECT_NEAR(res.EstimateQuantile(0.9).value(), 9000.0, 800.0);
+  EXPECT_LE(res.EstimateQuantile(0.0).value(),
+            res.EstimateQuantile(1.0).value());
+}
+
+TEST(ReservoirSampleTest, EmptyEstimatesFail) {
+  ReservoirSample res(4);
+  EXPECT_FALSE(res.EstimateMean().ok());
+  EXPECT_FALSE(res.EstimateQuantile(0.5).ok());
+}
+
+TEST(ReservoirSampleTest, NullsIgnored) {
+  ReservoirSample res(4);
+  res.Observe(Value::Null());
+  EXPECT_EQ(res.observations(), 0u);
+}
+
+TEST(ReservoirSampleTest, NonNumericMeanFails) {
+  ReservoirSample res(4);
+  res.Observe(Value::String("a"));
+  EXPECT_FALSE(res.EstimateMean().ok());
+}
+
+TEST(ReservoirSampleTest, MergeCombinesStreams) {
+  ReservoirSample a(100, 1), b(100, 2);
+  for (int i = 0; i < 500; ++i) a.Observe(Value::Int64(0));
+  for (int i = 0; i < 500; ++i) b.Observe(Value::Int64(1000));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.observations(), 1000u);
+  // Roughly half the merged sample should come from each stream.
+  const double mean = a.EstimateMean().value();
+  EXPECT_GT(mean, 200.0);
+  EXPECT_LT(mean, 800.0);
+}
+
+TEST(ReservoirSampleTest, MergeEmptyIsNoop) {
+  ReservoirSample a(10), b(10);
+  a.Observe(Value::Int64(5));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.observations(), 1u);
+  EXPECT_EQ(a.sample().size(), 1u);
+}
+
+TEST(ReservoirSampleTest, DeterministicGivenSeed) {
+  auto run = [] {
+    ReservoirSample res(8, 42);
+    for (int i = 0; i < 100; ++i) res.Observe(Value::Int64(i));
+    std::vector<int64_t> out;
+    for (const Value& v : res.sample()) out.push_back(v.AsInt64());
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fungusdb

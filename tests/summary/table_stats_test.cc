@@ -1,0 +1,103 @@
+#include "summary/table_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fungusdb {
+namespace {
+
+Table MakeTable() {
+  Table t("m", Schema::Make({{"k", DataType::kInt64, false},
+                             {"v", DataType::kFloat64, true},
+                             {"s", DataType::kString, false}})
+                   .value());
+  // k: 0..9, v: 2*k with two nulls, s: "even"/"odd".
+  for (int i = 0; i < 10; ++i) {
+    Value v = (i == 3 || i == 7) ? Value::Null()
+                                 : Value::Float64(2.0 * i);
+    t.Append({Value::Int64(i), v,
+              Value::String(i % 2 == 0 ? "even" : "odd")},
+             /*now=*/i * 100)
+        .value();
+  }
+  return t;
+}
+
+TEST(ComputeColumnStatsTest, NumericColumn) {
+  Table t = MakeTable();
+  ColumnStats stats = ComputeColumnStats(t, 0).value();
+  EXPECT_EQ(stats.name, "k");
+  EXPECT_EQ(stats.live_values, 10u);
+  EXPECT_EQ(stats.nulls, 0u);
+  EXPECT_EQ(stats.min->AsInt64(), 0);
+  EXPECT_EQ(stats.max->AsInt64(), 9);
+  EXPECT_DOUBLE_EQ(*stats.mean, 4.5);
+  EXPECT_NEAR(stats.approx_distinct, 10.0, 1.0);
+}
+
+TEST(ComputeColumnStatsTest, NullsCounted) {
+  Table t = MakeTable();
+  ColumnStats stats = ComputeColumnStats(t, 1).value();
+  EXPECT_EQ(stats.live_values, 8u);
+  EXPECT_EQ(stats.nulls, 2u);
+  EXPECT_DOUBLE_EQ(stats.min->AsFloat64(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max->AsFloat64(), 18.0);
+}
+
+TEST(ComputeColumnStatsTest, StringColumnHasNoMean) {
+  Table t = MakeTable();
+  ColumnStats stats = ComputeColumnStats(t, 2).value();
+  EXPECT_FALSE(stats.mean.has_value());
+  EXPECT_EQ(stats.min->AsString(), "even");
+  EXPECT_EQ(stats.max->AsString(), "odd");
+  EXPECT_NEAR(stats.approx_distinct, 2.0, 0.5);
+}
+
+TEST(ComputeColumnStatsTest, OutOfRangeColumn) {
+  Table t = MakeTable();
+  EXPECT_EQ(ComputeColumnStats(t, 9).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ComputeColumnStatsTest, DeadRowsExcluded) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Kill(9).ok());  // removes k=9
+  ColumnStats stats = ComputeColumnStats(t, 0).value();
+  EXPECT_EQ(stats.live_values, 9u);
+  EXPECT_EQ(stats.max->AsInt64(), 8);
+}
+
+TEST(AnalyzeTableTest, CoversUserAndSystemColumns) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.SetFreshness(0, 0.5).ok());
+  TableStats stats = AnalyzeTable(t);
+  EXPECT_EQ(stats.table_name, "m");
+  EXPECT_EQ(stats.live_rows, 10u);
+  ASSERT_EQ(stats.columns.size(), 5u);  // 3 user + __ts + __freshness
+  EXPECT_EQ(stats.columns[3].name, "__ts");
+  EXPECT_EQ(stats.columns[3].min->AsTimestamp(), 0);
+  EXPECT_EQ(stats.columns[3].max->AsTimestamp(), 900);
+  EXPECT_EQ(stats.columns[4].name, "__freshness");
+  EXPECT_DOUBLE_EQ(stats.columns[4].min->AsFloat64(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.columns[4].max->AsFloat64(), 1.0);
+}
+
+TEST(AnalyzeTableTest, EmptyTable) {
+  Table t("e", Schema::Make({{"x", DataType::kInt64, false}}).value());
+  TableStats stats = AnalyzeTable(t);
+  EXPECT_EQ(stats.live_rows, 0u);
+  ASSERT_EQ(stats.columns.size(), 3u);
+  EXPECT_FALSE(stats.columns[0].min.has_value());
+  EXPECT_DOUBLE_EQ(stats.columns[0].approx_distinct, 0.0);
+}
+
+TEST(AnalyzeTableTest, ToStringMentionsEveryColumn) {
+  Table t = MakeTable();
+  const std::string text = AnalyzeTable(t).ToString();
+  for (const char* needle : {"k (int64)", "v (float64)", "s (string)",
+                             "__ts", "__freshness", "~distinct"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace fungusdb

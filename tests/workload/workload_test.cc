@@ -1,0 +1,129 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/clickstream_workload.h"
+#include "workload/iot_workload.h"
+#include "workload/query_workload.h"
+#include "workload/tick_workload.h"
+
+namespace fungusdb {
+namespace {
+
+TEST(IotWorkloadTest, SchemaShape) {
+  IotWorkload wl(IotWorkload::Params{});
+  EXPECT_EQ(wl.schema().num_fields(), 4u);
+  EXPECT_EQ(wl.schema().field(0).name, "sensor_id");
+  EXPECT_EQ(wl.schema().field(1).type, DataType::kFloat64);
+}
+
+TEST(IotWorkloadTest, RecordsConformToSchema) {
+  IotWorkload wl(IotWorkload::Params{});
+  for (int i = 0; i < 100; ++i) {
+    auto record = wl.Next();
+    ASSERT_TRUE(record.has_value());
+    ASSERT_EQ(record->size(), 4u);
+    EXPECT_EQ((*record)[0].type(), DataType::kInt64);
+    EXPECT_LT((*record)[0].AsInt64(), 100);
+    EXPECT_EQ((*record)[3].type(), DataType::kString);
+  }
+}
+
+TEST(IotWorkloadTest, DeterministicGivenSeed) {
+  IotWorkload::Params p;
+  p.seed = 99;
+  IotWorkload a(p), b(p);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE((*a.Next())[1].Equals((*b.Next())[1]));
+  }
+}
+
+TEST(IotWorkloadTest, FaultsAreRare) {
+  IotWorkload wl(IotWorkload::Params{});
+  int faults = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if ((*wl.Next())[3].AsString() == "FAULT") ++faults;
+  }
+  EXPECT_GT(faults, 0);
+  EXPECT_LT(faults, 200);  // ~0.5% expected
+}
+
+TEST(ClickstreamWorkloadTest, SessionsRollOver) {
+  ClickstreamWorkload::Params p;
+  p.num_users = 5;
+  p.session_end_probability = 0.5;
+  ClickstreamWorkload wl(p);
+  std::set<int64_t> sessions;
+  for (int i = 0; i < 500; ++i) {
+    sessions.insert((*wl.Next())[1].AsInt64());
+  }
+  EXPECT_GT(sessions.size(), 20u);
+}
+
+TEST(ClickstreamWorkloadTest, HeavyUsersDominate) {
+  ClickstreamWorkload::Params p;
+  p.num_users = 1000;
+  p.user_skew = 0.9;
+  ClickstreamWorkload wl(p);
+  int top_user_hits = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if ((*wl.Next())[0].AsInt64() < 10) ++top_user_hits;
+  }
+  EXPECT_GT(static_cast<double>(top_user_hits) / n, 0.2);
+}
+
+TEST(TickWorkloadTest, PricesStayPositive) {
+  TickWorkload wl(TickWorkload::Params{});
+  for (int i = 0; i < 2000; ++i) {
+    auto record = *wl.Next();
+    EXPECT_GT(record[1].AsFloat64(), 0.0);
+    EXPECT_GT(record[2].AsInt64(), 0);
+  }
+}
+
+TEST(TickWorkloadTest, SymbolNamesStable) {
+  EXPECT_EQ(TickWorkload::SymbolName(0), "SYM000");
+  EXPECT_EQ(TickWorkload::SymbolName(42), "SYM042");
+}
+
+TEST(QueryWorkloadTest, GeneratesAllClasses) {
+  QueryWorkload wl(QueryWorkload::Params{});
+  std::set<QueryWorkload::QueryClass> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(wl.Next(/*now=*/30 * kDay).query_class);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(QueryWorkloadTest, QueriesTargetConfiguredTable) {
+  QueryWorkload::Params p;
+  p.table_name = "mytable";
+  QueryWorkload wl(p);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(wl.Next(0).query.table_name, "mytable");
+  }
+}
+
+TEST(QueryWorkloadTest, HistoricalQueriesAreAggregates) {
+  QueryWorkload::Params p;
+  p.point_fraction = 0.0;
+  p.value_range_fraction = 0.0;
+  p.recent_fraction = 0.0;  // everything historical
+  QueryWorkload wl(p);
+  auto gen = wl.Next(/*now=*/30 * kDay);
+  EXPECT_EQ(gen.query_class, QueryWorkload::QueryClass::kHistorical);
+  EXPECT_EQ(gen.query.items.size(), 2u);
+  EXPECT_TRUE(gen.query.items[0].expr->ContainsAggregate());
+}
+
+TEST(QueryWorkloadTest, ClassNames) {
+  EXPECT_EQ(QueryWorkload::ClassName(QueryWorkload::QueryClass::kPoint),
+            "point");
+  EXPECT_EQ(
+      QueryWorkload::ClassName(QueryWorkload::QueryClass::kHistorical),
+      "historical");
+}
+
+}  // namespace
+}  // namespace fungusdb

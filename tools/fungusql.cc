@@ -1,0 +1,309 @@
+// fungusql — an interactive shell for FungusDB.
+//
+//   ./build/tools/fungusql
+//
+// SQL statements run against an in-memory database on a virtual clock;
+// meta commands (backslash-prefixed) manage tables, fungi, time, CSV
+// import/export, and snapshots. Type \help inside the shell.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/database.h"
+#include "fungus/egi_fungus.h"
+#include "fungus/exponential_fungus.h"
+#include "fungus/quota_fungus.h"
+#include "fungus/retention_fungus.h"
+#include "fungus/sliding_window_fungus.h"
+#include "persist/snapshot.h"
+#include "pipeline/csv.h"
+#include "summary/table_stats.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr const char* kHelp = R"(fungusql meta commands:
+  \help                                  this text
+  \tables                                list tables
+  \create <name> (<col> <type> [null], ...)   create a table
+                                         types: int64 float64 string bool timestamp
+  \attach <fungus> <table> <period> [arg]     attach a decay fungus
+         fungi: retention <dur> | exponential <half-life> | egi |
+                window <rows> | quota <bytes>
+  \advance <duration>                    advance virtual time (e.g. 2h, 1d3h)
+  \now                                   show virtual time
+  \health                                per-table health report
+  \analyze <table>                       per-column statistics
+  \cellar                                list cooked summaries
+  \import <table> <file.csv>             ingest a CSV file (header row)
+  \export <table> <file.csv>             write live rows as CSV
+  \save <file>                           snapshot the database
+  \load <file>                           replace the database from a snapshot
+  \quit                                  exit
+Anything else is executed as SQL, e.g.
+  SELECT count(*) FROM t
+  CONSUME SELECT * FROM t WHERE __freshness < 0.2
+)";
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::istringstream stream(line);
+  std::vector<std::string> out;
+  std::string token;
+  while (stream >> token) out.push_back(token);
+  return out;
+}
+
+Result<DataType> TypeByName(const std::string& name) {
+  for (DataType t : {DataType::kInt64, DataType::kFloat64,
+                     DataType::kString, DataType::kBool,
+                     DataType::kTimestamp}) {
+    if (name == DataTypeName(t)) return t;
+  }
+  return Status::ParseError("unknown type '" + name + "'");
+}
+
+/// Parses "(a int64, b float64 null, c string)".
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::string body = spec;
+  const size_t open = body.find('(');
+  const size_t close = body.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return Status::ParseError("expected (col type, ...)");
+  }
+  body = body.substr(open + 1, close - open - 1);
+  std::vector<Field> fields;
+  for (const std::string& part : Split(body, ',')) {
+    std::vector<std::string> words = Tokens(part);
+    if (words.size() < 2 || words.size() > 3) {
+      return Status::ParseError("bad column spec '" + part + "'");
+    }
+    Field f;
+    f.name = words[0];
+    FUNGUSDB_ASSIGN_OR_RETURN(f.type, TypeByName(ToLower(words[1])));
+    if (words.size() == 3) {
+      if (ToLower(words[2]) != "null") {
+        return Status::ParseError("expected 'null', got '" + words[2] +
+                                  "'");
+      }
+      f.nullable = true;
+    }
+    fields.push_back(std::move(f));
+  }
+  return Schema::Make(std::move(fields));
+}
+
+class Shell {
+ public:
+  Shell() : db_(std::make_unique<Database>()) {}
+
+  int Run() {
+    std::string line;
+    std::printf("FungusDB shell — \\help for commands, \\quit to exit\n");
+    while (true) {
+      std::printf("fungus> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      const std::string trimmed(StripWhitespace(line));
+      if (trimmed.empty()) continue;
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      Status status = trimmed[0] == '\\' ? RunMeta(trimmed)
+                                         : RunSql(trimmed);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      }
+    }
+    return 0;
+  }
+
+ private:
+  Status RunSql(const std::string& sql) {
+    FUNGUSDB_ASSIGN_OR_RETURN(ResultSet rs, db_->ExecuteSql(sql));
+    std::printf("%s", rs.ToString(40).c_str());
+    if (rs.stats.rows_consumed > 0) {
+      std::printf("consumed %llu tuples\n",
+                  static_cast<unsigned long long>(rs.stats.rows_consumed));
+    }
+    return Status::OK();
+  }
+
+  Status RunMeta(const std::string& line) {
+    const std::vector<std::string> args = Tokens(line);
+    const std::string& cmd = args[0];
+    if (cmd == "\\help") {
+      std::printf("%s", kHelp);
+      return Status::OK();
+    }
+    if (cmd == "\\tables") {
+      for (const std::string& name : db_->TableNames()) {
+        Table* t = db_->GetTable(name).value();
+        std::printf("  %s %s — %llu live rows\n", name.c_str(),
+                    t->schema().ToString().c_str(),
+                    static_cast<unsigned long long>(t->live_rows()));
+      }
+      return Status::OK();
+    }
+    if (cmd == "\\create") {
+      if (args.size() < 2) {
+        return Status::InvalidArgument("usage: \\create <name> (...)");
+      }
+      const size_t name_end = line.find(args[1]) + args[1].size();
+      FUNGUSDB_ASSIGN_OR_RETURN(Schema schema,
+                                ParseSchemaSpec(line.substr(name_end)));
+      FUNGUSDB_RETURN_IF_ERROR(
+          db_->CreateTable(args[1], std::move(schema)).status());
+      std::printf("created table %s\n", args[1].c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\attach") return Attach(args);
+    if (cmd == "\\advance") {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("usage: \\advance <duration>");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(Duration d, ParseDuration(args[1]));
+      FUNGUSDB_ASSIGN_OR_RETURN(uint64_t ticks, db_->AdvanceTime(d));
+      std::printf("advanced to t=%s (%llu decay ticks)\n",
+                  FormatDuration(db_->Now()).c_str(),
+                  static_cast<unsigned long long>(ticks));
+      return Status::OK();
+    }
+    if (cmd == "\\now") {
+      std::printf("t=%s\n", FormatDuration(db_->Now()).c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\health") {
+      std::printf("%s", db_->Health().ToString().c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\analyze") {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("usage: \\analyze <table>");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(args[1]));
+      std::printf("%s", AnalyzeTable(*table).ToString().c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\cellar") {
+      for (const Cellar::EntryInfo& e : db_->cellar().List()) {
+        std::printf("  %-24s %-18s freshness=%.3f obs=%llu %s\n",
+                    e.name.c_str(), e.kind.c_str(), e.freshness,
+                    static_cast<unsigned long long>(e.observations),
+                    FormatBytes(e.memory_bytes).c_str());
+      }
+      return Status::OK();
+    }
+    if (cmd == "\\import") {
+      if (args.size() != 3) {
+        return Status::InvalidArgument("usage: \\import <table> <file>");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(args[1]));
+      std::ifstream file(args[2]);
+      if (!file) return Status::NotFound("cannot open " + args[2]);
+      CsvSource source(&file, table->schema());
+      FUNGUSDB_ASSIGN_OR_RETURN(uint64_t n,
+                                db_->Ingest(args[1], source, UINT64_MAX));
+      FUNGUSDB_RETURN_IF_ERROR(source.status());
+      std::printf("imported %llu rows into %s\n",
+                  static_cast<unsigned long long>(n), args[1].c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\export") {
+      if (args.size() != 3) {
+        return Status::InvalidArgument("usage: \\export <table> <file>");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(args[1]));
+      std::ofstream file(args[2], std::ios::trunc);
+      if (!file) return Status::Internal("cannot open " + args[2]);
+      FUNGUSDB_RETURN_IF_ERROR(WriteCsv(*table, file));
+      std::printf("exported %llu rows\n",
+                  static_cast<unsigned long long>(table->live_rows()));
+      return Status::OK();
+    }
+    if (cmd == "\\save") {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("usage: \\save <file>");
+      }
+      FUNGUSDB_RETURN_IF_ERROR(SaveDatabaseSnapshot(*db_, args[1]));
+      std::printf("saved snapshot to %s\n", args[1].c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\load") {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("usage: \\load <file>");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(std::unique_ptr<Database> loaded,
+                                LoadDatabaseSnapshot(args[1]));
+      db_ = std::move(loaded);
+      std::printf("loaded snapshot (t=%s); re-attach fungi as needed\n",
+                  FormatDuration(db_->Now()).c_str());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("unknown command " + cmd +
+                                   " (try \\help)");
+  }
+
+  Status Attach(const std::vector<std::string>& args) {
+    if (args.size() < 4) {
+      return Status::InvalidArgument(
+          "usage: \\attach <fungus> <table> <period> [arg]");
+    }
+    const std::string& kind = args[1];
+    const std::string& table = args[2];
+    FUNGUSDB_ASSIGN_OR_RETURN(Duration period, ParseDuration(args[3]));
+    std::unique_ptr<Fungus> fungus;
+    if (kind == "retention") {
+      if (args.size() != 5) {
+        return Status::InvalidArgument("retention needs a duration arg");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(Duration retention,
+                                ParseDuration(args[4]));
+      fungus = std::make_unique<RetentionFungus>(retention);
+    } else if (kind == "exponential") {
+      if (args.size() != 5) {
+        return Status::InvalidArgument("exponential needs a half-life arg");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(Duration half_life,
+                                ParseDuration(args[4]));
+      fungus = std::make_unique<ExponentialFungus>(
+          ExponentialFungus::FromHalfLife(half_life, db_->Now()));
+    } else if (kind == "egi") {
+      fungus = std::make_unique<EgiFungus>(EgiFungus::Params{});
+    } else if (kind == "window") {
+      if (args.size() != 5) {
+        return Status::InvalidArgument("window needs a row-count arg");
+      }
+      fungus = std::make_unique<SlidingWindowFungus>(
+          std::strtoull(args[4].c_str(), nullptr, 10));
+    } else if (kind == "quota") {
+      if (args.size() != 5) {
+        return Status::InvalidArgument("quota needs a byte-count arg");
+      }
+      fungus = std::make_unique<QuotaFungus>(
+          std::strtoull(args[4].c_str(), nullptr, 10));
+    } else {
+      return Status::InvalidArgument("unknown fungus '" + kind + "'");
+    }
+    const std::string description = fungus->Describe();
+    FUNGUSDB_RETURN_IF_ERROR(
+        db_->AttachFungus(table, std::move(fungus), period).status());
+    std::printf("attached %s to %s every %s\n", description.c_str(),
+                table.c_str(), FormatDuration(period).c_str());
+    return Status::OK();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::Shell shell;
+  return shell.Run();
+}
