@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_freshness_distribution.dir/bench_f1_freshness_distribution.cc.o"
+  "CMakeFiles/bench_f1_freshness_distribution.dir/bench_f1_freshness_distribution.cc.o.d"
+  "bench_f1_freshness_distribution"
+  "bench_f1_freshness_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_freshness_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_rotting_spots.dir/bench_f2_rotting_spots.cc.o"
+  "CMakeFiles/bench_f2_rotting_spots.dir/bench_f2_rotting_spots.cc.o.d"
+  "bench_f2_rotting_spots"
+  "bench_f2_rotting_spots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_rotting_spots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

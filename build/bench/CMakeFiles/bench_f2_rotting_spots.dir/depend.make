@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f2_rotting_spots.
+# This may be replaced when dependencies are built.

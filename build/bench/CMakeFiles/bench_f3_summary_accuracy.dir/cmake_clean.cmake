@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_summary_accuracy.dir/bench_f3_summary_accuracy.cc.o"
+  "CMakeFiles/bench_f3_summary_accuracy.dir/bench_f3_summary_accuracy.cc.o.d"
+  "bench_f3_summary_accuracy"
+  "bench_f3_summary_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_summary_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_information_retention.dir/bench_f4_information_retention.cc.o"
+  "CMakeFiles/bench_f4_information_retention.dir/bench_f4_information_retention.cc.o.d"
+  "bench_f4_information_retention"
+  "bench_f4_information_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_information_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

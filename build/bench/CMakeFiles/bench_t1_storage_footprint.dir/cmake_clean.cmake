@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_storage_footprint.dir/bench_t1_storage_footprint.cc.o"
+  "CMakeFiles/bench_t1_storage_footprint.dir/bench_t1_storage_footprint.cc.o.d"
+  "bench_t1_storage_footprint"
+  "bench_t1_storage_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_storage_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

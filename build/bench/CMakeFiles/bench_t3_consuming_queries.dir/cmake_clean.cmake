@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_consuming_queries.dir/bench_t3_consuming_queries.cc.o"
+  "CMakeFiles/bench_t3_consuming_queries.dir/bench_t3_consuming_queries.cc.o.d"
+  "bench_t3_consuming_queries"
+  "bench_t3_consuming_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_consuming_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

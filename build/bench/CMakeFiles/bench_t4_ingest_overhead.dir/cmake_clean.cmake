@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_ingest_overhead.dir/bench_t4_ingest_overhead.cc.o"
+  "CMakeFiles/bench_t4_ingest_overhead.dir/bench_t4_ingest_overhead.cc.o.d"
+  "bench_t4_ingest_overhead"
+  "bench_t4_ingest_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_ingest_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

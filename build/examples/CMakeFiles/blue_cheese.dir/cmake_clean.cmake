@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blue_cheese.dir/blue_cheese.cpp.o"
+  "CMakeFiles/blue_cheese.dir/blue_cheese.cpp.o.d"
+  "blue_cheese"
+  "blue_cheese.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blue_cheese.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

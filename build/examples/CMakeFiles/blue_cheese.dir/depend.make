@@ -1,0 +1,2 @@
+# Empty dependencies file for blue_cheese.
+# This may be replaced when dependencies are built.

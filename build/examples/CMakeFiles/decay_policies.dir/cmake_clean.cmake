@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decay_policies.dir/decay_policies.cpp.o"
+  "CMakeFiles/decay_policies.dir/decay_policies.cpp.o.d"
+  "decay_policies"
+  "decay_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decay_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

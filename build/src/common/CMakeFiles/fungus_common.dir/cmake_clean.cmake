@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_common.dir/buffer_io.cc.o"
+  "CMakeFiles/fungus_common.dir/buffer_io.cc.o.d"
+  "CMakeFiles/fungus_common.dir/clock.cc.o"
+  "CMakeFiles/fungus_common.dir/clock.cc.o.d"
+  "CMakeFiles/fungus_common.dir/logging.cc.o"
+  "CMakeFiles/fungus_common.dir/logging.cc.o.d"
+  "CMakeFiles/fungus_common.dir/metrics.cc.o"
+  "CMakeFiles/fungus_common.dir/metrics.cc.o.d"
+  "CMakeFiles/fungus_common.dir/random.cc.o"
+  "CMakeFiles/fungus_common.dir/random.cc.o.d"
+  "CMakeFiles/fungus_common.dir/status.cc.o"
+  "CMakeFiles/fungus_common.dir/status.cc.o.d"
+  "CMakeFiles/fungus_common.dir/string_util.cc.o"
+  "CMakeFiles/fungus_common.dir/string_util.cc.o.d"
+  "libfungus_common.a"
+  "libfungus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

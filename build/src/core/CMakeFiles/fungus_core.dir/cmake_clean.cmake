@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_core.dir/database.cc.o"
+  "CMakeFiles/fungus_core.dir/database.cc.o.d"
+  "libfungus_core.a"
+  "libfungus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fungus/composite_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/composite_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/composite_fungus.cc.o.d"
+  "/root/repo/src/fungus/egi_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/egi_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/egi_fungus.cc.o.d"
+  "/root/repo/src/fungus/exponential_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/exponential_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/exponential_fungus.cc.o.d"
+  "/root/repo/src/fungus/fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/fungus.cc.o.d"
+  "/root/repo/src/fungus/importance_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/importance_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/importance_fungus.cc.o.d"
+  "/root/repo/src/fungus/quota_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/quota_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/quota_fungus.cc.o.d"
+  "/root/repo/src/fungus/random_blight_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/random_blight_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/random_blight_fungus.cc.o.d"
+  "/root/repo/src/fungus/retention_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/retention_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/retention_fungus.cc.o.d"
+  "/root/repo/src/fungus/rot_analysis.cc" "src/fungus/CMakeFiles/fungus_decay.dir/rot_analysis.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/rot_analysis.cc.o.d"
+  "/root/repo/src/fungus/scheduler.cc" "src/fungus/CMakeFiles/fungus_decay.dir/scheduler.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/scheduler.cc.o.d"
+  "/root/repo/src/fungus/semantic_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/semantic_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/semantic_fungus.cc.o.d"
+  "/root/repo/src/fungus/sliding_window_fungus.cc" "src/fungus/CMakeFiles/fungus_decay.dir/sliding_window_fungus.cc.o" "gcc" "src/fungus/CMakeFiles/fungus_decay.dir/sliding_window_fungus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/fungus_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fungus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fungus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_decay.dir/composite_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/composite_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/egi_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/egi_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/exponential_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/exponential_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/importance_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/importance_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/quota_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/quota_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/random_blight_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/random_blight_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/retention_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/retention_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/rot_analysis.cc.o"
+  "CMakeFiles/fungus_decay.dir/rot_analysis.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/scheduler.cc.o"
+  "CMakeFiles/fungus_decay.dir/scheduler.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/semantic_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/semantic_fungus.cc.o.d"
+  "CMakeFiles/fungus_decay.dir/sliding_window_fungus.cc.o"
+  "CMakeFiles/fungus_decay.dir/sliding_window_fungus.cc.o.d"
+  "libfungus_decay.a"
+  "libfungus_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_persist.dir/journal.cc.o"
+  "CMakeFiles/fungus_persist.dir/journal.cc.o.d"
+  "CMakeFiles/fungus_persist.dir/snapshot.cc.o"
+  "CMakeFiles/fungus_persist.dir/snapshot.cc.o.d"
+  "libfungus_persist.a"
+  "libfungus_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

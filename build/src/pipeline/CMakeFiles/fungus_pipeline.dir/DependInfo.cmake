@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/csv.cc" "src/pipeline/CMakeFiles/fungus_pipeline.dir/csv.cc.o" "gcc" "src/pipeline/CMakeFiles/fungus_pipeline.dir/csv.cc.o.d"
+  "/root/repo/src/pipeline/ingestor.cc" "src/pipeline/CMakeFiles/fungus_pipeline.dir/ingestor.cc.o" "gcc" "src/pipeline/CMakeFiles/fungus_pipeline.dir/ingestor.cc.o.d"
+  "/root/repo/src/pipeline/kitchen.cc" "src/pipeline/CMakeFiles/fungus_pipeline.dir/kitchen.cc.o" "gcc" "src/pipeline/CMakeFiles/fungus_pipeline.dir/kitchen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/fungus_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/fungus_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fungus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fungus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

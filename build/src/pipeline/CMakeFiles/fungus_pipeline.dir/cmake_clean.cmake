@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_pipeline.dir/csv.cc.o"
+  "CMakeFiles/fungus_pipeline.dir/csv.cc.o.d"
+  "CMakeFiles/fungus_pipeline.dir/ingestor.cc.o"
+  "CMakeFiles/fungus_pipeline.dir/ingestor.cc.o.d"
+  "CMakeFiles/fungus_pipeline.dir/kitchen.cc.o"
+  "CMakeFiles/fungus_pipeline.dir/kitchen.cc.o.d"
+  "libfungus_pipeline.a"
+  "libfungus_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/binder.cc" "src/query/CMakeFiles/fungus_query.dir/binder.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/binder.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/fungus_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/fungus_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/fungus_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/fungus_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/fungus_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/fungus_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/query.cc.o.d"
+  "/root/repo/src/query/result_set.cc" "src/query/CMakeFiles/fungus_query.dir/result_set.cc.o" "gcc" "src/query/CMakeFiles/fungus_query.dir/result_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/fungus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fungus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_query.dir/binder.cc.o"
+  "CMakeFiles/fungus_query.dir/binder.cc.o.d"
+  "CMakeFiles/fungus_query.dir/engine.cc.o"
+  "CMakeFiles/fungus_query.dir/engine.cc.o.d"
+  "CMakeFiles/fungus_query.dir/evaluator.cc.o"
+  "CMakeFiles/fungus_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/fungus_query.dir/expr.cc.o"
+  "CMakeFiles/fungus_query.dir/expr.cc.o.d"
+  "CMakeFiles/fungus_query.dir/lexer.cc.o"
+  "CMakeFiles/fungus_query.dir/lexer.cc.o.d"
+  "CMakeFiles/fungus_query.dir/parser.cc.o"
+  "CMakeFiles/fungus_query.dir/parser.cc.o.d"
+  "CMakeFiles/fungus_query.dir/query.cc.o"
+  "CMakeFiles/fungus_query.dir/query.cc.o.d"
+  "CMakeFiles/fungus_query.dir/result_set.cc.o"
+  "CMakeFiles/fungus_query.dir/result_set.cc.o.d"
+  "libfungus_query.a"
+  "libfungus_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

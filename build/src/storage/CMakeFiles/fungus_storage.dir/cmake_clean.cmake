@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_storage.dir/column.cc.o"
+  "CMakeFiles/fungus_storage.dir/column.cc.o.d"
+  "CMakeFiles/fungus_storage.dir/datatype.cc.o"
+  "CMakeFiles/fungus_storage.dir/datatype.cc.o.d"
+  "CMakeFiles/fungus_storage.dir/schema.cc.o"
+  "CMakeFiles/fungus_storage.dir/schema.cc.o.d"
+  "CMakeFiles/fungus_storage.dir/segment.cc.o"
+  "CMakeFiles/fungus_storage.dir/segment.cc.o.d"
+  "CMakeFiles/fungus_storage.dir/table.cc.o"
+  "CMakeFiles/fungus_storage.dir/table.cc.o.d"
+  "CMakeFiles/fungus_storage.dir/value.cc.o"
+  "CMakeFiles/fungus_storage.dir/value.cc.o.d"
+  "CMakeFiles/fungus_storage.dir/value_serde.cc.o"
+  "CMakeFiles/fungus_storage.dir/value_serde.cc.o.d"
+  "libfungus_storage.a"
+  "libfungus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

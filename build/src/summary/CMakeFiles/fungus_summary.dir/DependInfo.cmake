@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/summary/bloom_filter.cc" "src/summary/CMakeFiles/fungus_summary.dir/bloom_filter.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/summary/cellar.cc" "src/summary/CMakeFiles/fungus_summary.dir/cellar.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/cellar.cc.o.d"
+  "/root/repo/src/summary/count_min_sketch.cc" "src/summary/CMakeFiles/fungus_summary.dir/count_min_sketch.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/count_min_sketch.cc.o.d"
+  "/root/repo/src/summary/grouped_aggregate.cc" "src/summary/CMakeFiles/fungus_summary.dir/grouped_aggregate.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/grouped_aggregate.cc.o.d"
+  "/root/repo/src/summary/hashing.cc" "src/summary/CMakeFiles/fungus_summary.dir/hashing.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/hashing.cc.o.d"
+  "/root/repo/src/summary/histogram_sketch.cc" "src/summary/CMakeFiles/fungus_summary.dir/histogram_sketch.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/histogram_sketch.cc.o.d"
+  "/root/repo/src/summary/hyperloglog.cc" "src/summary/CMakeFiles/fungus_summary.dir/hyperloglog.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/summary/p2_quantile.cc" "src/summary/CMakeFiles/fungus_summary.dir/p2_quantile.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/p2_quantile.cc.o.d"
+  "/root/repo/src/summary/reservoir_sample.cc" "src/summary/CMakeFiles/fungus_summary.dir/reservoir_sample.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/reservoir_sample.cc.o.d"
+  "/root/repo/src/summary/serialize.cc" "src/summary/CMakeFiles/fungus_summary.dir/serialize.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/serialize.cc.o.d"
+  "/root/repo/src/summary/table_stats.cc" "src/summary/CMakeFiles/fungus_summary.dir/table_stats.cc.o" "gcc" "src/summary/CMakeFiles/fungus_summary.dir/table_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/fungus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fungus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_summary.dir/bloom_filter.cc.o"
+  "CMakeFiles/fungus_summary.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/cellar.cc.o"
+  "CMakeFiles/fungus_summary.dir/cellar.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/count_min_sketch.cc.o"
+  "CMakeFiles/fungus_summary.dir/count_min_sketch.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/grouped_aggregate.cc.o"
+  "CMakeFiles/fungus_summary.dir/grouped_aggregate.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/hashing.cc.o"
+  "CMakeFiles/fungus_summary.dir/hashing.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/histogram_sketch.cc.o"
+  "CMakeFiles/fungus_summary.dir/histogram_sketch.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/hyperloglog.cc.o"
+  "CMakeFiles/fungus_summary.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/p2_quantile.cc.o"
+  "CMakeFiles/fungus_summary.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/reservoir_sample.cc.o"
+  "CMakeFiles/fungus_summary.dir/reservoir_sample.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/serialize.cc.o"
+  "CMakeFiles/fungus_summary.dir/serialize.cc.o.d"
+  "CMakeFiles/fungus_summary.dir/table_stats.cc.o"
+  "CMakeFiles/fungus_summary.dir/table_stats.cc.o.d"
+  "libfungus_summary.a"
+  "libfungus_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfungus_summary.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/clickstream_workload.cc" "src/workload/CMakeFiles/fungus_workload.dir/clickstream_workload.cc.o" "gcc" "src/workload/CMakeFiles/fungus_workload.dir/clickstream_workload.cc.o.d"
+  "/root/repo/src/workload/iot_workload.cc" "src/workload/CMakeFiles/fungus_workload.dir/iot_workload.cc.o" "gcc" "src/workload/CMakeFiles/fungus_workload.dir/iot_workload.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/workload/CMakeFiles/fungus_workload.dir/query_workload.cc.o" "gcc" "src/workload/CMakeFiles/fungus_workload.dir/query_workload.cc.o.d"
+  "/root/repo/src/workload/tick_workload.cc" "src/workload/CMakeFiles/fungus_workload.dir/tick_workload.cc.o" "gcc" "src/workload/CMakeFiles/fungus_workload.dir/tick_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/fungus_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fungus_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fungus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/fungus_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fungus_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

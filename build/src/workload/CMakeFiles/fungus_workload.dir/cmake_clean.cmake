@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_workload.dir/clickstream_workload.cc.o"
+  "CMakeFiles/fungus_workload.dir/clickstream_workload.cc.o.d"
+  "CMakeFiles/fungus_workload.dir/iot_workload.cc.o"
+  "CMakeFiles/fungus_workload.dir/iot_workload.cc.o.d"
+  "CMakeFiles/fungus_workload.dir/query_workload.cc.o"
+  "CMakeFiles/fungus_workload.dir/query_workload.cc.o.d"
+  "CMakeFiles/fungus_workload.dir/tick_workload.cc.o"
+  "CMakeFiles/fungus_workload.dir/tick_workload.cc.o.d"
+  "libfungus_workload.a"
+  "libfungus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

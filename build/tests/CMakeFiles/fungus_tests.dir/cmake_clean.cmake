@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungus_tests.dir/fungus/egi_fungus_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/egi_fungus_test.cc.o.d"
+  "CMakeFiles/fungus_tests.dir/fungus/exponential_fungus_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/exponential_fungus_test.cc.o.d"
+  "CMakeFiles/fungus_tests.dir/fungus/fungus_property_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/fungus_property_test.cc.o.d"
+  "CMakeFiles/fungus_tests.dir/fungus/misc_fungus_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/misc_fungus_test.cc.o.d"
+  "CMakeFiles/fungus_tests.dir/fungus/retention_fungus_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/retention_fungus_test.cc.o.d"
+  "CMakeFiles/fungus_tests.dir/fungus/rot_analysis_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/rot_analysis_test.cc.o.d"
+  "CMakeFiles/fungus_tests.dir/fungus/scheduler_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/scheduler_test.cc.o.d"
+  "CMakeFiles/fungus_tests.dir/fungus/semantic_quota_fungus_test.cc.o"
+  "CMakeFiles/fungus_tests.dir/fungus/semantic_quota_fungus_test.cc.o.d"
+  "fungus_tests"
+  "fungus_tests.pdb"
+  "fungus_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungus_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

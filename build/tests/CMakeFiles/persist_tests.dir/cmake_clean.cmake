@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_tests.dir/persist/journal_test.cc.o"
+  "CMakeFiles/persist_tests.dir/persist/journal_test.cc.o.d"
+  "CMakeFiles/persist_tests.dir/persist/snapshot_test.cc.o"
+  "CMakeFiles/persist_tests.dir/persist/snapshot_test.cc.o.d"
+  "persist_tests"
+  "persist_tests.pdb"
+  "persist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_tests.dir/pipeline/csv_test.cc.o"
+  "CMakeFiles/pipeline_tests.dir/pipeline/csv_test.cc.o.d"
+  "CMakeFiles/pipeline_tests.dir/pipeline/ingestor_test.cc.o"
+  "CMakeFiles/pipeline_tests.dir/pipeline/ingestor_test.cc.o.d"
+  "CMakeFiles/pipeline_tests.dir/pipeline/kitchen_test.cc.o"
+  "CMakeFiles/pipeline_tests.dir/pipeline/kitchen_test.cc.o.d"
+  "pipeline_tests"
+  "pipeline_tests.pdb"
+  "pipeline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

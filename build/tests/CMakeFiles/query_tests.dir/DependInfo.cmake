@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/binder_test.cc" "tests/CMakeFiles/query_tests.dir/query/binder_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/binder_test.cc.o.d"
+  "/root/repo/tests/query/consuming_test.cc" "tests/CMakeFiles/query_tests.dir/query/consuming_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/consuming_test.cc.o.d"
+  "/root/repo/tests/query/engine_edge_test.cc" "tests/CMakeFiles/query_tests.dir/query/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/engine_edge_test.cc.o.d"
+  "/root/repo/tests/query/engine_test.cc" "tests/CMakeFiles/query_tests.dir/query/engine_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/engine_test.cc.o.d"
+  "/root/repo/tests/query/evaluator_test.cc" "tests/CMakeFiles/query_tests.dir/query/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/evaluator_test.cc.o.d"
+  "/root/repo/tests/query/fast_path_test.cc" "tests/CMakeFiles/query_tests.dir/query/fast_path_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/fast_path_test.cc.o.d"
+  "/root/repo/tests/query/freshness_aggregate_test.cc" "tests/CMakeFiles/query_tests.dir/query/freshness_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/freshness_aggregate_test.cc.o.d"
+  "/root/repo/tests/query/lexer_test.cc" "tests/CMakeFiles/query_tests.dir/query/lexer_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/lexer_test.cc.o.d"
+  "/root/repo/tests/query/parser_fuzz_test.cc" "tests/CMakeFiles/query_tests.dir/query/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/query/parser_test.cc" "tests/CMakeFiles/query_tests.dir/query/parser_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/parser_test.cc.o.d"
+  "/root/repo/tests/query/scalar_function_test.cc" "tests/CMakeFiles/query_tests.dir/query/scalar_function_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/scalar_function_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fungus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fungus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fungus/CMakeFiles/fungus_decay.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/fungus_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/fungus_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fungus_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fungus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fungus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tests.dir/query/binder_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/binder_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/consuming_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/consuming_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/engine_edge_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/engine_edge_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/engine_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/engine_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/evaluator_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/evaluator_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/fast_path_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/fast_path_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/freshness_aggregate_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/freshness_aggregate_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/lexer_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/lexer_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/parser_fuzz_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/parser_fuzz_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/parser_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/parser_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/scalar_function_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/scalar_function_test.cc.o.d"
+  "query_tests"
+  "query_tests.pdb"
+  "query_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage/column_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/column_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/schema_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/schema_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/segment_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/segment_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/table_model_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/table_model_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/table_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/table_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/value_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/value_test.cc.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

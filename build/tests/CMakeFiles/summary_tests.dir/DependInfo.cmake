@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/summary/bloom_filter_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/bloom_filter_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/bloom_filter_test.cc.o.d"
+  "/root/repo/tests/summary/cellar_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/cellar_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/cellar_test.cc.o.d"
+  "/root/repo/tests/summary/count_min_sketch_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/count_min_sketch_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/count_min_sketch_test.cc.o.d"
+  "/root/repo/tests/summary/grouped_aggregate_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/grouped_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/grouped_aggregate_test.cc.o.d"
+  "/root/repo/tests/summary/hashing_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/hashing_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/hashing_test.cc.o.d"
+  "/root/repo/tests/summary/histogram_sketch_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/histogram_sketch_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/histogram_sketch_test.cc.o.d"
+  "/root/repo/tests/summary/hyperloglog_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/hyperloglog_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/hyperloglog_test.cc.o.d"
+  "/root/repo/tests/summary/p2_quantile_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/p2_quantile_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/p2_quantile_test.cc.o.d"
+  "/root/repo/tests/summary/reservoir_sample_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/reservoir_sample_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/reservoir_sample_test.cc.o.d"
+  "/root/repo/tests/summary/table_stats_test.cc" "tests/CMakeFiles/summary_tests.dir/summary/table_stats_test.cc.o" "gcc" "tests/CMakeFiles/summary_tests.dir/summary/table_stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fungus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fungus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fungus/CMakeFiles/fungus_decay.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/fungus_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/fungus_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fungus_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fungus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fungus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_tests.dir/summary/bloom_filter_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/bloom_filter_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/cellar_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/cellar_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/count_min_sketch_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/count_min_sketch_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/grouped_aggregate_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/grouped_aggregate_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/hashing_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/hashing_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/histogram_sketch_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/histogram_sketch_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/hyperloglog_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/hyperloglog_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/p2_quantile_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/p2_quantile_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/reservoir_sample_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/reservoir_sample_test.cc.o.d"
+  "CMakeFiles/summary_tests.dir/summary/table_stats_test.cc.o"
+  "CMakeFiles/summary_tests.dir/summary/table_stats_test.cc.o.d"
+  "summary_tests"
+  "summary_tests.pdb"
+  "summary_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

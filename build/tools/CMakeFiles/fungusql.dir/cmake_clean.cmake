@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fungusql.dir/fungusql.cc.o"
+  "CMakeFiles/fungusql.dir/fungusql.cc.o.d"
+  "fungusql"
+  "fungusql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fungusql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

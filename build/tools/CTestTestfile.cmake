@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fungusql_smoke "sh" "-c" "printf '\\\\create t (a int64, b string)\\n\\\\attach retention t 1h 1d\\nSELECT count(*) AS n FROM t\\n\\\\analyze t\\n\\\\health\\n\\\\quit\\n' | /root/repo/build/tools/fungusql")
+set_tests_properties(fungusql_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "attached retention" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
