@@ -24,6 +24,7 @@ namespace {
 
 void Run() {
   bench::Banner("F1", "freshness distribution snapshots");
+  bench::JsonReport report("F1");
 
   struct Variant {
     std::string label;
@@ -57,6 +58,7 @@ void Run() {
       {"day", "fungus", "live", "f<=0.2", "0.2-0.4", "0.4-0.6", "0.6-0.8",
        "f>0.8", "mean_f"},
       10);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
   for (int day = 1; day <= 10; ++day) {
     for (Variant& v : variants) {
@@ -73,6 +75,7 @@ void Run() {
                         bench::Fmt(health.tables[0].mean_freshness, 3)});
     }
   }
+  report.Write();
 }
 
 }  // namespace

@@ -45,6 +45,7 @@ void Report(const std::string& label, const Table& t, int tick,
 
 void Run() {
   bench::Banner("F2", "rotting spots: EGI vs uniform random decay");
+  bench::JsonReport report("F2");
 
   Table egi_table = FilledTable();
   Table blight_table = FilledTable();
@@ -63,6 +64,7 @@ void Run() {
 
   bench::TablePrinter printer(
       {"tick", "fungus", "dead", "spots", "mean_spot", "max_spot"}, 12);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
   for (int tick = 1; tick <= kTicks; ++tick) {
     DecayContext ec(&egi_table, tick);
@@ -84,6 +86,7 @@ void Run() {
   std::printf("\nspot-length distribution after %d ticks\n", kTicks);
   bench::TablePrinter dist(
       {"fungus", "spots", "p50", "p90", "p99", "max"}, 10);
+  dist.MirrorTo(&report);
   dist.PrintHeader();
   for (const auto* pair :
        {&egi_table, &blight_table}) {
@@ -100,6 +103,7 @@ void Run() {
               static_cast<unsigned long long>(kRows / 72));
   std::printf("  egi:    %s\n", RenderTimeAxis(egi_table, 72).c_str());
   std::printf("  random: %s\n", RenderTimeAxis(blight_table, 72).c_str());
+  report.Write();
 }
 
 }  // namespace

@@ -30,6 +30,7 @@ constexpr int kEvents = 200000;
 
 void Run() {
   bench::Banner("F3", "summary accuracy vs space (cooking quality)");
+  bench::JsonReport report("F3");
 
   // Generate the stream once; keep exact ground truth.
   ClickstreamWorkload workload(ClickstreamWorkload::Params{});
@@ -60,6 +61,7 @@ void Run() {
       {"sketch", "params", "memory", "metric", "exact", "estimate",
        "rel_err"},
       13);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
 
   // Count-Min width sweep: top-URL frequency.
@@ -112,6 +114,7 @@ void Run() {
          "dwell_p50", bench::Fmt(exact_median, 0), bench::Fmt(est, 0),
          bench::Fmt(std::abs(est - exact_median) / exact_median, 4)});
   }
+  report.Write();
 }
 
 }  // namespace

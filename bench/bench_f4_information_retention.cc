@@ -41,6 +41,7 @@ uint64_t RowsOf(const ResultSet& rs) {
 
 void Run() {
   bench::Banner("F4", "information retention per fungus, equal budget");
+  bench::JsonReport report("F4");
 
   // Budget: ~4 days of data = 20k rows out of 80k appended.
   std::vector<Variant> variants;
@@ -126,6 +127,7 @@ void Run() {
                       const char* title) {
     bench::TablePrinter printer(
         {"fungus", "point", "value_range", "recent", "historical"}, 14);
+    printer.MirrorTo(&report);
     std::printf("\nrecall vs ghost — %s (1.00 = fully answerable)\n",
                 title);
     printer.PrintHeader();
@@ -166,6 +168,7 @@ void Run() {
   };
   evaluate(0xEC0, 100, "uniform query mix over all sensors");
   evaluate(0xEC1, 10, "hot-set mix (the sensors the workload reads)");
+  report.Write();
 }
 
 }  // namespace

@@ -32,11 +32,13 @@ Table FilledTable() {
 
 void Run() {
   bench::Banner("F5", "EGI sweep: seeds x spread x decay step");
+  bench::JsonReport report("F5");
 
   bench::TablePrinter printer({"seeds/tick", "spread", "step",
                                "half_life_ticks", "spots@half",
                                "max_spot@half"},
                               17);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
 
   for (double seeds : {0.5, 2.0, 8.0}) {
@@ -69,6 +71,7 @@ void Run() {
   }
   std::printf("\nexpected shape: spread>0 shortens half-life and grows "
               "max_spot; spread=0 leaves isolated pinpricks\n");
+  report.Write();
 }
 
 }  // namespace

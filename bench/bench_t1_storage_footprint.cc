@@ -37,6 +37,7 @@ struct Variant {
 
 void Run() {
   bench::Banner("T1", "storage footprint over 30 virtual days");
+  bench::JsonReport report("T1");
 
   std::vector<Variant> variants;
   auto add_variant = [&](const std::string& label,
@@ -79,6 +80,7 @@ void Run() {
 
   bench::TablePrinter printer({"day", "fungus", "live_rows", "appended",
                                "memory_MiB", "segments"});
+  printer.MirrorTo(&report);
   printer.PrintHeader();
   for (int day = 1; day <= kDays; ++day) {
     for (size_t i = 0; i < variants.size(); ++i) {
@@ -102,6 +104,7 @@ void Run() {
                 static_cast<unsigned long long>(t->live_rows()),
                 static_cast<unsigned long long>(t->total_appended()));
   }
+  report.Write();
 }
 
 }  // namespace

@@ -38,6 +38,7 @@ const char* kQueryLabels[] = {"scan_agg", "point", "range"};
 
 void Run() {
   bench::Banner("T2", "query latency vs table age");
+  bench::JsonReport report("T2");
 
   std::vector<Variant> variants;
   auto add_variant = [&](const std::string& label,
@@ -66,6 +67,7 @@ void Run() {
   bench::TablePrinter printer({"day", "fungus", "query", "live_rows",
                                "mean_us", "rows_scanned"},
                               13);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
   for (int day = 1; day <= kDays; ++day) {
     for (Variant& v : variants) {
@@ -89,6 +91,7 @@ void Run() {
       }
     }
   }
+  report.Write();
 }
 
 }  // namespace

@@ -24,6 +24,7 @@ constexpr int kRounds = 12;
 
 void Run() {
   bench::Banner("T3", "consuming queries shrink the extent, no duplicates");
+  bench::JsonReport report("T3");
 
   Database db;
   ClickstreamWorkload::Params wp;
@@ -41,6 +42,7 @@ void Run() {
   bench::TablePrinter printer({"round", "mode", "extent_before", "answer",
                                "consumed", "latency_us"},
                               15);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
 
   uint64_t consumed_total = 0;
@@ -95,6 +97,7 @@ void Run() {
   std::printf("\nobserving baseline rescanned %llu tuple-visits for the "
               "same answers (consuming visits each tuple once)\n",
               static_cast<unsigned long long>(rows_reread));
+  report.Write();
 }
 
 }  // namespace

@@ -45,10 +45,12 @@ double MeasureIngest(Duration decay_period, size_t rows_per_segment,
 
 void Run() {
   bench::Banner("T4", "ingest throughput under the decay clock");
+  bench::JsonReport report("T4");
 
   bench::TablePrinter printer({"decay_period", "segment_rows", "ticks",
                                "tuples_per_sec", "slowdown"},
                               15);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
 
   uint64_t ticks = 0;
@@ -76,6 +78,7 @@ void Run() {
                       bench::Fmt(rate, 0),
                       bench::Fmt(base / rate, 2) + "x"});
   }
+  report.Write();
 }
 
 }  // namespace

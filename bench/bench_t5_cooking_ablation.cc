@@ -169,10 +169,12 @@ double MedianError(Run& run) {
 
 void RunAll() {
   bench::Banner("T5", "cooking ablation: kitchen on vs off");
+  bench::JsonReport report("T5");
 
   bench::TablePrinter printer({"kitchen", "live_rows", "rows_cooked",
                                "count_err", "mean_temp_err", "p50_err"},
                               15);
+  printer.MirrorTo(&report);
   printer.PrintHeader();
   for (bool kitchen_on : {true, false}) {
     Run run = BuildRun(kitchen_on);
@@ -186,6 +188,7 @@ void RunAll() {
   }
   std::printf("\nexpected shape: kitchen=on errors near 0; kitchen=off "
               "loses the rotted 10 of 12 days\n");
+  report.Write();
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// Experiment T6 — shard-per-core scaling: morsel scans and decay ticks.
+//
+// Claim (PR 1, sharded kernel): with a table partitioned into shards,
+// scan throughput and decay-tick cost scale with the thread count while
+// decay outcomes stay byte-identical — the shard count fixes the
+// algorithm, threads only change the execution schedule.
+//
+// Setup: a 1M-row, 8-shard IoT table per thread count (1/2/4/8). Each
+// run measures (a) fast-path scan throughput over repeated range
+// queries, (b) wall-clock cost of 20 EGI decay ticks, and (c) a
+// checksum of the surviving (row, freshness) pairs. The checksum column
+// must be identical down the sweep; speedups depend on the host's
+// actual core count.
+
+#include <cstdint>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "fungus/egi_fungus.h"
+#include "summary/hashing.h"
+#include "workload/iot_workload.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr uint64_t kRows = 1000000;
+constexpr int kScanRepetitions = 10;
+constexpr int kDecayTicks = 20;
+
+const char* kScanQuery =
+    "SELECT count(*) AS n FROM readings WHERE temp > 21";
+
+/// Order-sensitive digest of the live extent: row ids and freshness
+/// bits, chained through the repo's 64-bit hash.
+uint64_t LiveChecksum(const Table& t) {
+  uint64_t h = 0;
+  t.ForEachLive([&](RowId row) {
+    const double f = t.Freshness(row);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(f));
+    __builtin_memcpy(&bits, &f, sizeof(bits));
+    const uint64_t pair[2] = {row, bits};
+    h = HashBytes(pair, sizeof(pair), /*seed=*/h);
+  });
+  return h;
+}
+
+void Run() {
+  bench::Banner("T6", "parallel scaling: morsel scans + sharded decay");
+  bench::JsonReport report("T6");
+
+  bench::TablePrinter printer({"threads", "scan_rows_per_s", "scan_speedup",
+                               "decay_ms", "decay_speedup", "live_rows",
+                               "checksum"},
+                              16);
+  printer.MirrorTo(&report);
+  printer.PrintHeader();
+
+  double base_scan = 0.0;
+  double base_decay = 0.0;
+  uint64_t base_checksum = 0;
+  bool checksums_agree = true;
+
+  for (size_t threads : {1, 2, 4, 8}) {
+    DatabaseOptions opts;
+    opts.num_threads = threads;
+    Database db(opts);
+    IotWorkload workload(IotWorkload::Params{});
+    TableOptions topts;
+    topts.rows_per_segment = 4096;  // ~244 morsels over 8 shards
+    topts.num_shards = 8;
+    db.CreateTable("readings", workload.schema(), topts).value();
+    db.Ingest("readings", workload, kRows).value();
+    Table* t = db.GetTable("readings").value();
+
+    // (a) Morsel-driven scan throughput.
+    db.ExecuteSql(kScanQuery).value();  // warm-up
+    uint64_t scanned = 0;
+    bench::Stopwatch scan_watch;
+    for (int rep = 0; rep < kScanRepetitions; ++rep) {
+      ResultSet rs = db.ExecuteSql(kScanQuery).value();
+      scanned += rs.stats.rows_scanned;
+    }
+    const double scan_rows_per_s =
+        static_cast<double>(scanned) / (scan_watch.ElapsedMicros() / 1e6);
+
+    // (b) Parallel decay ticks (EGI: the heaviest fungus — RNG seeding,
+    // cross-shard spread, per-row decay).
+    EgiFungus::Params p;
+    p.seeds_per_tick = 64.0;
+    p.decay_step = 0.08;
+    p.spread_probability = 0.9;
+    db.AttachFungus("readings", std::make_unique<EgiFungus>(p), kSecond)
+        .value();
+    bench::Stopwatch decay_watch;
+    db.AdvanceTime(kDecayTicks * kSecond).value();
+    const double decay_ms = decay_watch.ElapsedMicros() / 1000.0;
+
+    // (c) Outcome fingerprint — must match the single-thread run bit
+    // for bit.
+    const uint64_t checksum = LiveChecksum(*t);
+    if (threads == 1) {
+      base_scan = scan_rows_per_s;
+      base_decay = decay_ms;
+      base_checksum = checksum;
+    } else if (checksum != base_checksum) {
+      checksums_agree = false;
+    }
+
+    char checksum_hex[19];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(checksum));
+    printer.PrintRow(
+        {bench::Fmt(static_cast<uint64_t>(threads)),
+         bench::Fmt(scan_rows_per_s, 0),
+         bench::Fmt(scan_rows_per_s / base_scan, 2) + "x",
+         bench::Fmt(decay_ms, 1),
+         bench::Fmt(base_decay / decay_ms, 2) + "x",
+         bench::Fmt(t->live_rows()), checksum_hex});
+  }
+
+  std::printf("\ndecay outcomes %s across thread counts%s\n",
+              checksums_agree ? "IDENTICAL" : "DIVERGED",
+              checksums_agree ? "" : " — determinism contract violated!");
+  report.Write();
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::Run();
+  return 0;
+}

@@ -1,12 +1,92 @@
 #ifndef FUNGUSDB_BENCH_BENCH_UTIL_H_
 #define FUNGUSDB_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 namespace fungusdb::bench {
+
+/// Machine-readable result sink. Each experiment binary owns one report,
+/// mirrors its printed table rows into it (TablePrinter::MirrorTo), and
+/// writes `BENCH_<name>.json` at the end of the run so result tracking
+/// can diff runs without scraping the pretty-printed tables.
+///
+/// Rows are emitted as objects keyed by column name; numeric-looking
+/// cells become JSON numbers, everything else a string.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void AddRow(const std::vector<std::string>& columns,
+              const std::vector<std::string>& cells) {
+    std::string row = "    {";
+    const size_t n = std::min(columns.size(), cells.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) row += ", ";
+      row += '"' + Escape(columns[i]) + "\": ";
+      if (LooksNumeric(cells[i])) {
+        row += cells[i];
+      } else {
+        row += '"' + Escape(cells[i]) + '"';
+      }
+    }
+    row += '}';
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes `BENCH_<name>.json` into the current directory.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"" << Escape(name_) << "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    out.flush();
+    if (out) std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out += c;
+    }
+    return out;
+  }
+
+  /// Accepts plain decimal integers/floats (what Fmt produces); anything
+  /// else — including NaN/inf, which JSON lacks — stays a string.
+  static bool LooksNumeric(const std::string& s) {
+    if (s.empty()) return false;
+    size_t i = s[0] == '-' ? 1 : 0;
+    if (i == s.size()) return false;
+    bool digit = false, dot = false;
+    for (; i < s.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+        digit = true;
+      } else if (s[i] == '.' && !dot) {
+        dot = true;
+      } else {
+        return false;
+      }
+    }
+    return digit;
+  }
+
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 /// Fixed-width row printer for experiment tables. Every experiment
 /// binary prints a header banner, column names, then one line per row,
@@ -15,6 +95,9 @@ class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> columns, int width = 14)
       : columns_(std::move(columns)), width_(width) {}
+
+  /// Every subsequent PrintRow is also appended to `json` (not owned).
+  void MirrorTo(JsonReport* json) { json_ = json; }
 
   void PrintHeader() const {
     for (const std::string& c : columns_) {
@@ -33,11 +116,13 @@ class TablePrinter {
       std::printf("%-*s", width_, c.c_str());
     }
     std::printf("\n");
+    if (json_ != nullptr) json_->AddRow(columns_, cells);
   }
 
  private:
   std::vector<std::string> columns_;
   int width_;
+  JsonReport* json_ = nullptr;
 };
 
 inline void Banner(const std::string& id, const std::string& title) {

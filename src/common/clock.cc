@@ -6,7 +6,13 @@
 namespace fungusdb {
 
 std::string FormatDuration(Duration d) {
-  if (d < 0) return "-" + FormatDuration(-d);
+  if (d < 0) {
+    // Built via += rather than `"-" + ...` to dodge a GCC 12 -Wrestrict
+    // false positive on the inlined string insert (GCC PR 105651).
+    std::string negated = "-";
+    negated += FormatDuration(-d);
+    return negated;
+  }
   if (d == 0) return "0us";
   std::string out;
   struct Unit {

@@ -72,34 +72,47 @@ void HistogramMetric::Reset() {
 
 void MetricsRegistry::IncrementCounter(const std::string& name,
                                        int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 int64_t MetricsRegistry::GetCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
 double MetricsRegistry::GetGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+void MetricsRegistry::RecordHistogram(const std::string& name,
+                                      int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Record(value);
+}
+
 HistogramMetric& MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return histograms_[name];
 }
 
 const HistogramMetric* MetricsRegistry::FindHistogram(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {
     os << name << " = " << value << "\n";
@@ -116,6 +129,7 @@ std::string MetricsRegistry::Report() const {
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

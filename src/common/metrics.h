@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,8 +40,10 @@ class HistogramMetric {
 };
 
 /// Named counters, gauges and histograms owned by a Database (not global,
-/// so parallel tests never share state). All operations are not
-/// thread-safe; FungusDB is single-threaded per database by design.
+/// so parallel tests never share state). Thread-safe: counters, gauges
+/// and histogram recording may be hit from pool workers during parallel
+/// decay ticks and morsel scans; one mutex per registry is plenty at the
+/// current update rates (hot loops accumulate locally and flush once).
 class MetricsRegistry {
  public:
   void IncrementCounter(const std::string& name, int64_t delta = 1);
@@ -49,6 +52,13 @@ class MetricsRegistry {
   void SetGauge(const std::string& name, double value);
   double GetGauge(const std::string& name) const;
 
+  /// Records one observation under the registry lock — the only safe way
+  /// to feed a histogram from a pool worker.
+  void RecordHistogram(const std::string& name, int64_t value);
+
+  /// Coordinator-thread access to a histogram object. The reference
+  /// stays valid for the registry's lifetime, but Record() through it is
+  /// unsynchronized — concurrent writers must use RecordHistogram().
   HistogramMetric& Histogram(const std::string& name);
   const HistogramMetric* FindHistogram(const std::string& name) const;
 
@@ -58,6 +68,7 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, HistogramMetric> histograms_;

@@ -1,0 +1,68 @@
+#ifndef FUNGUSDB_COMMON_THREAD_POOL_H_
+#define FUNGUSDB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fungusdb {
+
+/// A small fixed-size worker pool for shard-parallel phases (decay ticks,
+/// morsel scans). The calling thread always participates in ParallelFor,
+/// so a pool of size N uses N-1 background workers; size <= 1 spawns no
+/// threads at all and every call runs inline — which is also the
+/// determinism baseline the parallel tests compare against.
+///
+/// FungusDB's parallel phases are structured fork/join: the single
+/// coordinator thread calls ParallelFor and blocks until every index has
+/// been processed. Work distribution is morsel-style (a shared atomic
+/// cursor), so uneven shards load-balance automatically, while all
+/// outputs are indexed by morsel so merge order never depends on which
+/// worker ran what.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread; the pool spawns
+  /// num_threads - 1 workers. 0 is clamped to 1 (fully inline).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Total execution width including the caller.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the
+  /// workers and the calling thread; returns after all n calls finished.
+  /// fn must not call back into the same pool (no nested forks) and must
+  /// not throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Microseconds the coordinator spent blocked waiting for stragglers
+  /// after finishing its own share, summed over all ParallelFor calls.
+  uint64_t barrier_wait_micros() const { return barrier_wait_micros_; }
+
+  /// Total ParallelFor indices dispatched (morsels + shard tasks).
+  uint64_t tasks_dispatched() const { return tasks_dispatched_; }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  uint64_t barrier_wait_micros_ = 0;
+  uint64_t tasks_dispatched_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_COMMON_THREAD_POOL_H_

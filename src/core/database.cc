@@ -2,19 +2,33 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "common/string_util.h"
 
 namespace fungusdb {
+namespace {
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
 
 Database::Database(DatabaseOptions options)
     : options_(options),
       clock_(options.start_time),
+      pool_(std::make_unique<ThreadPool>(
+          ResolveNumThreads(options.num_threads))),
       cellar_(options.cellar_eviction_threshold),
       kitchen_(&cellar_),
-      engine_(QueryEngineOptions{options.record_access}),
+      engine_(QueryEngineOptions{options.record_access, pool_.get(),
+                                 &metrics_}),
       ingestor_(&clock_, &kitchen_) {
   scheduler_.set_metrics(&metrics_);
+  scheduler_.set_thread_pool(pool_.get());
   // Rotting tuples (fungus kills) and consumed tuples (Law-2 queries)
   // both flow through the kitchen's on-rot rules.
   scheduler_.AddDeathObserver(

@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "fungus/fungus.h"
 #include "fungus/scheduler.h"
 #include "pipeline/ingestor.h"
@@ -31,6 +32,14 @@ struct DatabaseOptions {
 
   /// Bump access counters on query matches (feeds ImportanceFungus).
   bool record_access = true;
+
+  /// Execution threads for shard-parallel decay ticks and morsel-driven
+  /// scans (including the coordinating thread). 0 picks the hardware
+  /// concurrency. 1 runs everything inline — same results, one core:
+  /// parallel outcomes are deterministic in the thread count by
+  /// construction (they may depend on a table's num_shards, which is a
+  /// storage property, not an execution property).
+  size_t num_threads = 0;
 };
 
 /// Per-table health snapshot — the paper's "optimal health condition"
@@ -142,11 +151,15 @@ class Database {
   MetricsRegistry& metrics() { return metrics_; }
   DecayScheduler& scheduler() { return scheduler_; }
   VirtualClock& clock() { return clock_; }
+  ThreadPool& thread_pool() { return *pool_; }
 
  private:
   DatabaseOptions options_;
   VirtualClock clock_;
   MetricsRegistry metrics_;
+  // Declared before engine_/scheduler_ users; destroyed after them, so
+  // no parallel phase can outlive its pool.
+  std::unique_ptr<ThreadPool> pool_;
   Cellar cellar_;
   Kitchen kitchen_;
   DecayScheduler scheduler_;

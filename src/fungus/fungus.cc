@@ -1,6 +1,42 @@
 #include "fungus/fungus.h"
 
+#include <cassert>
+
 namespace fungusdb {
+
+ShardPlanContext::ShardPlanContext(const Table* table, uint32_t shard_id,
+                                   Timestamp now, uint64_t tick_index)
+    : table_(table),
+      shard_id_(shard_id),
+      now_(now),
+      tick_index_(tick_index) {}
+
+uint64_t ShardPlanContext::StreamSeed(uint64_t base_seed) const {
+  return SplitSeed(SplitSeed(base_seed, tick_index_), shard_id_);
+}
+
+void ShardPlanContext::Record(RowId row, ShardAction::Op op,
+                              double amount) {
+  assert(table_->ShardIdOf(row) == shard_id_ &&
+         "planned action targets a foreign shard");
+  // Rows dead at plan time stay untouched (matches DecayContext, which
+  // silently ignores dead rows). Liveness is stable during planning —
+  // nothing mutates the table until every planner passed the barrier.
+  if (!table_->shard(shard_id_).IsLive(row)) return;
+  plan_.actions.push_back(ShardAction{row, op, amount});
+}
+
+void ShardPlanContext::Decay(RowId row, double delta) {
+  Record(row, ShardAction::Op::kDecay, delta);
+}
+
+void ShardPlanContext::SetFreshness(RowId row, double f) {
+  Record(row, ShardAction::Op::kSet, f);
+}
+
+void ShardPlanContext::Kill(RowId row) {
+  Record(row, ShardAction::Op::kKill, 0.0);
+}
 
 DecayContext::DecayContext(Table* table, Timestamp now)
     : table_(table), now_(now) {}

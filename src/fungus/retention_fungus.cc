@@ -30,6 +30,29 @@ void RetentionFungus::Tick(DecayContext& ctx) {
   });
 }
 
+void RetentionFungus::PlanShard(ShardPlanContext& ctx) {
+  const Timestamp now = ctx.now();
+  const Shard& shard = ctx.shard();
+  for (const auto& [seg_no, seg] : shard.segments()) {
+    if (seg->live_count() == 0) continue;
+    const size_t n = seg->num_rows();
+    for (size_t off = 0; off < n; ++off) {
+      if (!seg->IsLive(off)) continue;
+      const RowId row = seg->first_row() + off;
+      const Duration age = now - seg->InsertTime(off);
+      if (age >= retention_) {
+        ctx.Kill(row);
+        continue;
+      }
+      const double f =
+          age <= 0 ? 1.0
+                   : 1.0 - static_cast<double>(age) /
+                               static_cast<double>(retention_);
+      ctx.SetFreshness(row, f);
+    }
+  }
+}
+
 std::string RetentionFungus::Describe() const {
   return "retention(" + FormatDuration(retention_) + ")";
 }

@@ -19,6 +19,12 @@ class RetentionFungus : public Fungus {
   void Tick(DecayContext& ctx) override;
   std::string Describe() const override;
 
+  /// Age-based decay is a pure per-row function of (now, insert time),
+  /// so shards plan independently with outcomes identical to the serial
+  /// Tick for any shard count.
+  bool SupportsShardedTick() const override { return true; }
+  void PlanShard(ShardPlanContext& ctx) override;
+
   Duration retention() const { return retention_; }
 
  private:

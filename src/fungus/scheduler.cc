@@ -35,6 +35,90 @@ void DecayScheduler::AddDeathObserver(DeathObserver observer) {
   observers_.push_back(std::move(observer));
 }
 
+std::vector<RowId> DecayScheduler::RunShardedTick(Attachment& a,
+                                                  Timestamp tick_time,
+                                                  DecayStats* tick_stats) {
+  Table& table = *a.table;
+  const size_t num_shards = table.num_shards();
+  const uint64_t tick_index = a.stats.ticks;
+  const uint64_t barrier_before =
+      pool_ != nullptr ? pool_->barrier_wait_micros() : 0;
+
+  a.fungus->BeginShardedTick(table, tick_time);
+
+  // Phase 1 — plan: read-only over the frozen table, one planner per
+  // shard, mutations recorded instead of applied.
+  std::vector<ShardPlan> plans(num_shards);
+  auto plan_one = [&](size_t s) {
+    ShardPlanContext ctx(&table, static_cast<uint32_t>(s), tick_time,
+                         tick_index);
+    a.fungus->PlanShard(ctx);
+    plans[s] = ctx.TakePlan();
+  };
+
+  // Phase 2 — apply: each worker owns exactly one shard, so all writes
+  // are disjoint; killed rows and stats accumulate per shard.
+  std::vector<std::vector<RowId>> killed(num_shards);
+  std::vector<DecayStats> stats(num_shards);
+  auto apply_one = [&](size_t s) {
+    Shard& shard = table.shard(s);
+    for (const ShardAction& action : plans[s].actions) {
+      if (!shard.IsLive(action.row)) continue;  // killed earlier this plan
+      ++stats[s].tuples_touched;
+      switch (action.op) {
+        case ShardAction::Op::kDecay:
+          shard.DecayFreshness(action.row, action.amount);
+          break;
+        case ShardAction::Op::kSet:
+          shard.SetFreshness(action.row, action.amount);
+          break;
+        case ShardAction::Op::kKill:
+          shard.Kill(action.row);
+          break;
+      }
+      if (!shard.IsLive(action.row)) {
+        killed[s].push_back(action.row);
+        ++stats[s].tuples_killed;
+      }
+    }
+    stats[s].seeds_planted = plans[s].seeds_planted;
+  };
+
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(num_shards, plan_one);
+    pool_->ParallelFor(num_shards, apply_one);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) plan_one(s);
+    for (size_t s = 0; s < num_shards; ++s) apply_one(s);
+  }
+
+  // Merge: death observers (and the Kitchen behind them) see one list
+  // per tick in insertion order, independent of shard/thread schedule.
+  std::vector<RowId> all_killed;
+  size_t total_killed = 0;
+  for (const auto& k : killed) total_killed += k.size();
+  all_killed.reserve(total_killed);
+  for (const auto& k : killed) {
+    all_killed.insert(all_killed.end(), k.begin(), k.end());
+  }
+  std::sort(all_killed.begin(), all_killed.end());
+  for (const DecayStats& s : stats) *tick_stats += s;
+
+  a.fungus->FinishShardedTick(table, all_killed);
+
+  if (metrics_ != nullptr) {
+    metrics_->IncrementCounter("fungusdb.parallel.shard_ticks",
+                               static_cast<int64_t>(num_shards));
+    if (pool_ != nullptr) {
+      metrics_->IncrementCounter(
+          "fungusdb.parallel.barrier_wait_us",
+          static_cast<int64_t>(pool_->barrier_wait_micros() -
+                               barrier_before));
+    }
+  }
+  return all_killed;
+}
+
 uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
   uint64_t ticks = 0;
   while (true) {
@@ -47,16 +131,25 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
     if (due == nullptr) break;
 
     const Timestamp tick_time = due->next_tick;
-    DecayContext ctx(due->table, tick_time);
-    due->fungus->Tick(ctx);
+    DecayStats tick_stats;
+    std::vector<RowId> tick_killed;
+    if (due->fungus->SupportsShardedTick() &&
+        due->table->num_shards() > 1) {
+      tick_killed = RunShardedTick(*due, tick_time, &tick_stats);
+    } else {
+      DecayContext ctx(due->table, tick_time);
+      due->fungus->Tick(ctx);
+      tick_stats = ctx.stats();
+      tick_killed = ctx.killed();
+    }
     due->next_tick += due->period;
     ++due->stats.ticks;
-    due->stats.decay += ctx.stats();
+    due->stats.decay += tick_stats;
     ++ticks;
 
-    if (!ctx.killed().empty()) {
+    if (!tick_killed.empty()) {
       for (const DeathObserver& obs : observers_) {
-        obs(*due->table, ctx.killed(), tick_time);
+        obs(*due->table, tick_killed, tick_time);
       }
     }
     due->table->ReclaimDeadSegments();
@@ -64,11 +157,11 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
     if (metrics_ != nullptr) {
       metrics_->IncrementCounter("decay.ticks");
       metrics_->IncrementCounter("decay.tuples_touched",
-                                 ctx.stats().tuples_touched);
+                                 tick_stats.tuples_touched);
       metrics_->IncrementCounter("decay.tuples_killed",
-                                 ctx.stats().tuples_killed);
+                                 tick_stats.tuples_killed);
       metrics_->IncrementCounter("decay.seeds_planted",
-                                 ctx.stats().seeds_planted);
+                                 tick_stats.seeds_planted);
     }
   }
   return ticks;

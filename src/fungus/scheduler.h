@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "fungus/fungus.h"
 
 namespace fungusdb {
@@ -65,8 +66,14 @@ class DecayScheduler {
   size_t num_attachments() const;
 
   /// Optional sink for scheduler counters ("decay.ticks",
-  /// "decay.tuples_killed", ...). Not owned.
+  /// "decay.tuples_killed", "fungusdb.parallel.*", ...). Not owned.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Optional worker pool for shard-parallel ticks. Not owned. Without a
+  /// pool (or with a single-thread pool) sharded ticks still run the
+  /// two-phase plan/apply pipeline, just inline — outcomes are identical
+  /// by construction, which is what the determinism tests assert.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
  private:
   struct Attachment {
@@ -78,9 +85,15 @@ class DecayScheduler {
     bool active = false;
   };
 
+  /// Runs one tick of `a` through the sharded plan/apply pipeline,
+  /// returning the tick's merged (RowId-sorted) death list.
+  std::vector<RowId> RunShardedTick(Attachment& a, Timestamp tick_time,
+                                    DecayStats* tick_stats);
+
   std::vector<Attachment> attachments_;
   std::vector<DeathObserver> observers_;
   MetricsRegistry* metrics_ = nullptr;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace fungusdb

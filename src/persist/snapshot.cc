@@ -8,7 +8,8 @@ namespace fungusdb {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'G', 'D', 'B'};
-constexpr uint32_t kVersion = 1;
+// Version 2 added TableOptions::num_shards (PR 1, sharded kernel).
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
@@ -17,6 +18,7 @@ void SerializeTable(const Table& table, BufferWriter& out) {
   WriteSchema(out, table.schema());
   out.WriteU64(table.options().rows_per_segment);
   out.WriteBool(table.options().track_access);
+  out.WriteU64(table.options().num_shards);
   out.WriteU64(table.live_rows());
   const size_t num_fields = table.schema().num_fields();
   table.ForEachLive([&](RowId row) {
@@ -38,6 +40,11 @@ Result<Table> DeserializeTable(BufferReader& in) {
   }
   options.rows_per_segment = rows_per_segment;
   FUNGUSDB_ASSIGN_OR_RETURN(options.track_access, in.ReadBool());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t num_shards, in.ReadU64());
+  if (num_shards == 0 || num_shards > (1u << 12)) {
+    return Status::ParseError("implausible num_shards");
+  }
+  options.num_shards = num_shards;
 
   FUNGUSDB_ASSIGN_OR_RETURN(uint64_t rows, in.ReadU64());
   Table table(std::move(name), std::move(schema), options);

@@ -322,10 +322,38 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
   if (where.has_value()) fast = TryCompileFastPredicate(*where);
   if (fast.has_value()) {
     // Typed scan: read column vectors directly, no per-row id
-    // resolution and no Value boxing.
-    table.ForEachLiveSegment([&](const Segment& seg) {
-      ScanSegmentFast(seg, *fast, matched, result.stats.rows_scanned);
-    });
+    // resolution and no Value boxing. With a pool and enough segments
+    // the scan is morsel-driven: each live segment is one morsel,
+    // workers claim morsels dynamically, and per-morsel outputs merge
+    // in segment order so `matched` is identical to the serial scan.
+    ThreadPool* pool = options_.pool;
+    const std::vector<const Segment*> segments = table.LiveSegments();
+    if (pool != nullptr && pool->num_threads() > 1 &&
+        segments.size() >= options_.parallel_scan_min_segments) {
+      std::vector<std::vector<RowId>> morsel_matched(segments.size());
+      std::vector<uint64_t> morsel_scanned(segments.size(), 0);
+      pool->ParallelFor(segments.size(), [&](size_t i) {
+        ScanSegmentFast(*segments[i], *fast, morsel_matched[i],
+                        morsel_scanned[i]);
+      });
+      size_t total = 0;
+      for (const auto& m : morsel_matched) total += m.size();
+      matched.reserve(total);
+      for (size_t i = 0; i < segments.size(); ++i) {
+        result.stats.rows_scanned += morsel_scanned[i];
+        matched.insert(matched.end(), morsel_matched[i].begin(),
+                       morsel_matched[i].end());
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->IncrementCounter(
+            "fungusdb.parallel.morsels_dispatched",
+            static_cast<int64_t>(segments.size()));
+      }
+    } else {
+      for (const Segment* seg : segments) {
+        ScanSegmentFast(*seg, *fast, matched, result.stats.rows_scanned);
+      }
+    }
   } else {
     Status scan_status;
     table.ForEachLive([&](RowId row) {

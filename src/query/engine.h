@@ -4,7 +4,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "query/query.h"
 #include "query/result_set.h"
 #include "storage/table.h"
@@ -15,6 +17,19 @@ struct QueryEngineOptions {
   /// Bump per-tuple access counters for matched tuples (feeds
   /// ImportanceFungus). No-op on tables without track_access.
   bool record_access = true;
+
+  /// Worker pool for morsel-driven parallel scans (not owned). With no
+  /// pool — or one execution thread — scans run serially; results are
+  /// byte-identical either way because morsel outputs merge in segment
+  /// order.
+  ThreadPool* pool = nullptr;
+
+  /// Sink for "fungusdb.parallel.*" counters (not owned).
+  MetricsRegistry* metrics = nullptr;
+
+  /// Minimum live segments before a scan fans out; tiny tables are not
+  /// worth the fork/join overhead.
+  size_t parallel_scan_min_segments = 8;
 };
 
 /// Executes select-from-where queries against decaying tables.

@@ -1,0 +1,128 @@
+#ifndef FUNGUSDB_STORAGE_SHARD_H_
+#define FUNGUSDB_STORAGE_SHARD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/segment.h"
+
+namespace fungusdb {
+
+using RowId = uint64_t;
+
+/// One partition of a Table along the time axis. Segments — each a
+/// contiguous insertion range — are dealt to shards round-robin by
+/// segment number, so every shard owns a set of disjoint time ranges
+/// spread evenly across the whole axis. That keeps temporally-biased
+/// work (EGI seeds old data hardest) balanced across shards instead of
+/// piling onto whichever shard holds the oldest range.
+///
+/// Threading contract: during a parallel phase each shard is mutated by
+/// at most one worker (the one that claimed it), and no thread reads
+/// another shard's state while any shard is being mutated. All
+/// table-level structure changes (Append, reclamation) happen on the
+/// coordinator thread between parallel phases. The shard itself
+/// therefore needs no locks.
+class Shard {
+ public:
+  Shard(uint32_t shard_id, size_t rows_per_segment)
+      : shard_id_(shard_id), rows_per_segment_(rows_per_segment) {}
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+  Shard(Shard&&) = default;
+  Shard& operator=(Shard&&) = default;
+
+  uint32_t shard_id() const { return shard_id_; }
+
+  /// Live tuples in this shard.
+  uint64_t live_rows() const { return live_rows_; }
+
+  /// Tuples of this shard discarded so far.
+  uint64_t rows_killed() const { return rows_killed_; }
+
+  size_t num_segments() const { return segments_.size(); }
+
+  /// Segment holding `row` with its in-segment offset, or nullptr if the
+  /// row was reclaimed, never appended, or routed to another shard.
+  Segment* FindSegment(RowId row, size_t* offset) const;
+
+  /// True if `row` belongs to this shard and is live.
+  bool IsLive(RowId row) const {
+    size_t off;
+    Segment* seg = FindSegment(row, &off);
+    return seg != nullptr && seg->IsLive(off);
+  }
+
+  /// Calls fn(RowId) for every live tuple of this shard in insertion
+  /// order.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const auto& [seg_no, seg] : segments_) {
+      if (seg->live_count() == 0) continue;
+      const size_t n = seg->num_rows();
+      for (size_t off = 0; off < n; ++off) {
+        if (seg->IsLive(off)) fn(seg->first_row() + off);
+      }
+    }
+  }
+
+  /// Segment for `seg_no`, creating it if absent (Append path).
+  Segment* GetOrCreateSegment(uint64_t seg_no, const Schema& schema,
+                              bool track_access);
+
+  /// Notes one appended row (Append goes through the segment directly).
+  void NoteAppend() { ++live_rows_; }
+
+  // --- Per-row mutators (update shard-local counters only). ---
+
+  /// Sets freshness (clamped to [0, 1]); 0 discards the tuple.
+  Status SetFreshness(RowId row, double f);
+
+  /// Decreases freshness by `delta` >= 0; discards at 0.
+  Status DecayFreshness(RowId row, double delta);
+
+  /// Discards the tuple immediately.
+  Status Kill(RowId row);
+
+  // --- Shard-local navigation along the time axis. ---
+
+  std::optional<RowId> OldestLive() const;
+  std::optional<RowId> NewestLive() const;
+
+  /// Nearest live row of THIS shard at or after / at or before `row`
+  /// (used by per-shard age-biased seed sampling).
+  std::optional<RowId> NextLiveInShard(RowId row) const;
+  std::optional<RowId> PrevLiveInShard(RowId row) const;
+
+  /// Frees full segments with zero live tuples. `removed` (optional)
+  /// receives the freed segment numbers so the table can drop them from
+  /// its routing map. Returns segments freed.
+  uint64_t ReclaimDeadSegments(std::vector<uint64_t>* removed);
+
+  /// Ordered (by segment number == time order) access for iteration,
+  /// persistence and tests.
+  const std::map<uint64_t, std::unique_ptr<Segment>>& segments() const {
+    return segments_;
+  }
+
+  size_t MemoryUsage() const;
+
+ private:
+  uint32_t shard_id_;
+  size_t rows_per_segment_;
+  // Keyed by global segment number; ordered, so shard iteration follows
+  // the time axis.
+  std::map<uint64_t, std::unique_ptr<Segment>> segments_;
+  uint64_t live_rows_ = 0;
+  uint64_t rows_killed_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_STORAGE_SHARD_H_

@@ -9,6 +9,12 @@ Table::Table(std::string name, Schema schema, TableOptions options)
       schema_(std::move(schema)),
       options_(options) {
   assert(options_.rows_per_segment > 0);
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.emplace_back(static_cast<uint32_t>(s),
+                         options_.rows_per_segment);
+  }
 }
 
 Result<RowId> Table::Append(const std::vector<Value>& values, Timestamp now) {
@@ -34,30 +40,37 @@ Result<RowId> Table::Append(const std::vector<Value>& values, Timestamp now) {
 
   const RowId row = next_row_;
   const uint64_t seg_no = row / options_.rows_per_segment;
-  auto it = segments_.find(seg_no);
-  if (it == segments_.end()) {
-    it = segments_
-             .emplace(seg_no, std::make_unique<Segment>(
-                                  schema_, seg_no * options_.rows_per_segment,
-                                  options_.rows_per_segment,
-                                  options_.track_access))
-             .first;
-  }
-  it->second->Append(values, now);
+  Shard& shard = ShardFor(row);
+  Segment* seg =
+      shard.GetOrCreateSegment(seg_no, schema_, options_.track_access);
+  segment_index_[seg_no] = seg;
+  seg->Append(values, now);
+  shard.NoteAppend();
   ++next_row_;
-  ++live_rows_;
   return row;
+}
+
+uint64_t Table::live_rows() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.live_rows();
+  return total;
+}
+
+uint64_t Table::rows_killed() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.rows_killed();
+  return total;
 }
 
 Segment* Table::FindSegment(RowId row, size_t* offset) const {
   if (row >= next_row_) return nullptr;
   const uint64_t seg_no = row / options_.rows_per_segment;
-  auto it = segments_.find(seg_no);
-  if (it == segments_.end()) return nullptr;
+  auto it = segment_index_.find(seg_no);
+  if (it == segment_index_.end()) return nullptr;
   const size_t off = row - it->second->first_row();
   if (off >= it->second->num_rows()) return nullptr;
   *offset = off;
-  return it->second.get();
+  return it->second;
 }
 
 bool Table::Contains(RowId row) const {
@@ -78,53 +91,24 @@ double Table::Freshness(RowId row) const {
 }
 
 Status Table::SetFreshness(RowId row, double f) {
-  size_t off;
-  Segment* seg = FindSegment(row, &off);
-  if (seg == nullptr) {
+  if (row >= next_row_) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
-  if (!seg->IsLive(off)) {
-    return Status::FailedPrecondition("row " + std::to_string(row) +
-                                      " is already dead");
-  }
-  if (seg->SetFreshness(off, f)) {
-    --live_rows_;
-    ++rows_killed_;
-  }
-  return Status::OK();
+  return ShardFor(row).SetFreshness(row, f);
 }
 
 Status Table::DecayFreshness(RowId row, double delta) {
-  if (delta < 0.0) {
-    return Status::InvalidArgument("decay delta must be >= 0");
-  }
-  size_t off;
-  Segment* seg = FindSegment(row, &off);
-  if (seg == nullptr) {
+  if (row >= next_row_) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
-  if (!seg->IsLive(off)) {
-    return Status::FailedPrecondition("row " + std::to_string(row) +
-                                      " is already dead");
-  }
-  if (seg->SetFreshness(off, seg->Freshness(off) - delta)) {
-    --live_rows_;
-    ++rows_killed_;
-  }
-  return Status::OK();
+  return ShardFor(row).DecayFreshness(row, delta);
 }
 
 Status Table::Kill(RowId row) {
-  size_t off;
-  Segment* seg = FindSegment(row, &off);
-  if (seg == nullptr) {
+  if (row >= next_row_) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
-  if (seg->Kill(off)) {
-    --live_rows_;
-    ++rows_killed_;
-  }
-  return Status::OK();
+  return ShardFor(row).Kill(row);
 }
 
 Result<Timestamp> Table::InsertTime(RowId row) const {
@@ -169,7 +153,7 @@ Result<Value> Table::GetValueByName(RowId row,
 }
 
 std::optional<RowId> Table::OldestLive() const {
-  for (const auto& [seg_no, seg] : segments_) {
+  for (const auto& [seg_no, seg] : segment_index_) {
     if (seg->live_count() == 0) continue;
     const size_t n = seg->num_rows();
     for (size_t off = 0; off < n; ++off) {
@@ -180,7 +164,8 @@ std::optional<RowId> Table::OldestLive() const {
 }
 
 std::optional<RowId> Table::NewestLive() const {
-  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+  for (auto it = segment_index_.rbegin(); it != segment_index_.rend();
+       ++it) {
     const Segment& seg = *it->second;
     if (seg.live_count() == 0) continue;
     for (size_t off = seg.num_rows(); off > 0; --off) {
@@ -195,8 +180,8 @@ std::optional<RowId> Table::PrevLive(RowId row) const {
   RowId cursor = std::min<RowId>(row, next_row_) - 1;
   // Walk segments in descending order starting at cursor's segment.
   uint64_t seg_no = cursor / options_.rows_per_segment;
-  auto it = segments_.upper_bound(seg_no);
-  while (it != segments_.begin()) {
+  auto it = segment_index_.upper_bound(seg_no);
+  while (it != segment_index_.begin()) {
     --it;
     const Segment& seg = *it->second;
     if (seg.live_count() > 0 && seg.first_row() <= cursor) {
@@ -214,7 +199,8 @@ std::optional<RowId> Table::NextLive(RowId row) const {
   const RowId cursor = row + 1;
   if (cursor >= next_row_) return std::nullopt;
   const uint64_t seg_no = cursor / options_.rows_per_segment;
-  for (auto it = segments_.lower_bound(seg_no); it != segments_.end(); ++it) {
+  for (auto it = segment_index_.lower_bound(seg_no);
+       it != segment_index_.end(); ++it) {
     const Segment& seg = *it->second;
     if (seg.live_count() == 0) continue;
     const size_t n = seg.num_rows();
@@ -226,9 +212,18 @@ std::optional<RowId> Table::NextLive(RowId row) const {
   return std::nullopt;
 }
 
+std::vector<const Segment*> Table::LiveSegments() const {
+  std::vector<const Segment*> out;
+  out.reserve(segment_index_.size());
+  for (const auto& [seg_no, seg] : segment_index_) {
+    if (seg->live_count() > 0) out.push_back(seg);
+  }
+  return out;
+}
+
 std::vector<RowId> Table::LiveRows() const {
   std::vector<RowId> out;
-  out.reserve(live_rows_);
+  out.reserve(live_rows());
   ForEachLive([&out](RowId row) { out.push_back(row); });
   return out;
 }
@@ -247,20 +242,18 @@ uint32_t Table::AccessCount(RowId row) const {
 
 uint64_t Table::ReclaimDeadSegments() {
   uint64_t freed = 0;
-  for (auto it = segments_.begin(); it != segments_.end();) {
-    if (it->second->full() && it->second->live_count() == 0) {
-      it = segments_.erase(it);
-      ++freed;
-    } else {
-      ++it;
-    }
+  std::vector<uint64_t> removed;
+  for (Shard& shard : shards_) {
+    removed.clear();
+    freed += shard.ReclaimDeadSegments(&removed);
+    for (uint64_t seg_no : removed) segment_index_.erase(seg_no);
   }
   return freed;
 }
 
 size_t Table::MemoryUsage() const {
   size_t bytes = sizeof(Table);
-  for (const auto& [seg_no, seg] : segments_) bytes += seg->MemoryUsage();
+  for (const Shard& shard : shards_) bytes += shard.MemoryUsage();
   return bytes;
 }
 

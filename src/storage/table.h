@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "storage/schema.h"
 #include "storage/segment.h"
+#include "storage/shard.h"
 #include "storage/value.h"
 
 namespace fungusdb {
@@ -28,6 +29,13 @@ struct TableOptions {
 
   /// Maintain a per-tuple access counter (needed by ImportanceFungus).
   bool track_access = false;
+
+  /// Partitions of the table along the time axis (segments are dealt to
+  /// shards round-robin by segment number). 1 keeps the classic
+  /// single-partition layout; > 1 enables shard-parallel decay ticks.
+  /// The shard count is a property of the table, NOT of the thread pool,
+  /// so decay outcomes never depend on how many threads execute them.
+  size_t num_shards = 1;
 };
 
 /// The paper's relation R(t, f, A1..An): an append-only, insertion-ordered
@@ -36,8 +44,16 @@ struct TableOptions {
 /// freshness reaches 0 is discarded (tombstoned, and its segment freed
 /// once fully dead).
 ///
-/// Not thread-safe; a Table belongs to one Database which is
-/// single-threaded by design.
+/// Storage is partitioned into `num_shards` Shards, each owning its
+/// segments and live/killed counts; the table keeps an ordered, non-owning
+/// segment map for RowId routing and global time-axis iteration.
+///
+/// Threading contract: structural mutations (Append, reclamation) and
+/// cross-shard reads are coordinator-thread-only. During a parallel decay
+/// phase, workers mutate disjoint shards through shard-scoped mutators
+/// and the coordinator stays out until the barrier. Aggregate counters
+/// (live_rows, rows_killed) are therefore summed over shards on demand
+/// instead of being maintained centrally.
 class Table {
  public:
   Table(std::string name, Schema schema, TableOptions options = {});
@@ -58,11 +74,11 @@ class Table {
   /// Total tuples ever appended (== next RowId).
   uint64_t total_appended() const { return next_row_; }
 
-  /// Currently live tuples — the extent of R.
-  uint64_t live_rows() const { return live_rows_; }
+  /// Currently live tuples — the extent of R (summed over shards).
+  uint64_t live_rows() const;
 
   /// Tuples discarded so far (by fungi or consuming queries).
-  uint64_t rows_killed() const { return rows_killed_; }
+  uint64_t rows_killed() const;
 
   /// True if the row id was appended and its segment still exists.
   bool Contains(RowId row) const;
@@ -103,7 +119,7 @@ class Table {
   /// Calls fn(RowId) for every live tuple in insertion order.
   template <typename Fn>
   void ForEachLive(Fn&& fn) const {
-    for (const auto& [seg_no, seg] : segments_) {
+    for (const auto& [seg_no, seg] : segment_index_) {
       if (seg->live_count() == 0) continue;
       const size_t n = seg->num_rows();
       for (size_t off = 0; off < n; ++off) {
@@ -118,11 +134,16 @@ class Table {
   /// through per-row id resolution.
   template <typename Fn>
   void ForEachLiveSegment(Fn&& fn) const {
-    for (const auto& [seg_no, seg] : segments_) {
+    for (const auto& [seg_no, seg] : segment_index_) {
       if (seg->live_count() == 0) continue;
       fn(static_cast<const Segment&>(*seg));
     }
   }
+
+  /// Segments with at least one live tuple, in insertion order — the
+  /// morsel list for parallel scans. Pointers stay valid until the next
+  /// structural mutation (Append / reclamation).
+  std::vector<const Segment*> LiveSegments() const;
 
   /// Materializes the live row ids in insertion order.
   std::vector<RowId> LiveRows() const;
@@ -137,7 +158,20 @@ class Table {
   uint64_t ReclaimDeadSegments();
 
   /// Number of segments currently held (live or partially dead).
-  size_t num_segments() const { return segments_.size(); }
+  size_t num_segments() const { return segment_index_.size(); }
+
+  // --- Sharding. ---
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard owning `row` (valid for any RowId, even reclaimed ones).
+  uint32_t ShardIdOf(RowId row) const {
+    return static_cast<uint32_t>((row / options_.rows_per_segment) %
+                                 shards_.size());
+  }
+
+  Shard& shard(size_t i) { return shards_[i]; }
+  const Shard& shard(size_t i) const { return shards_[i]; }
 
   /// Heap bytes held by all current segments.
   size_t MemoryUsage() const;
@@ -147,15 +181,19 @@ class Table {
   /// or out of range.
   Segment* FindSegment(RowId row, size_t* offset) const;
 
+  /// Shard owning `row`'s segment.
+  Shard& ShardFor(RowId row) { return shards_[ShardIdOf(row)]; }
+
   std::string name_;
   Schema schema_;
   TableOptions options_;
-  // Keyed by segment number (first_row / rows_per_segment); ordered, so
-  // iteration is insertion order and reclaimed ranges are simply absent.
-  std::map<uint64_t, std::unique_ptr<Segment>> segments_;
+  std::vector<Shard> shards_;
+  // Non-owning routing index keyed by segment number (first_row /
+  // rows_per_segment); ordered, so iteration is insertion order and
+  // reclaimed ranges are simply absent. Mutated only on the coordinator
+  // thread (Append / reclamation); parallel phases read it freely.
+  std::map<uint64_t, Segment*> segment_index_;
   RowId next_row_ = 0;
-  uint64_t live_rows_ = 0;
-  uint64_t rows_killed_ = 0;
 };
 
 }  // namespace fungusdb

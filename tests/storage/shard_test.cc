@@ -1,0 +1,140 @@
+#include "storage/shard.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace fungusdb {
+namespace {
+
+Schema OneColumnSchema() {
+  return Schema::Make({{"v", DataType::kInt64, false}}).value();
+}
+
+Table MakeShardedTable(size_t num_shards, size_t rows_per_segment = 4) {
+  TableOptions opts;
+  opts.rows_per_segment = rows_per_segment;
+  opts.num_shards = num_shards;
+  return Table("t", OneColumnSchema(), opts);
+}
+
+void Fill(Table& t, size_t rows) {
+  for (size_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(
+        t.Append({Value::Int64(static_cast<int64_t>(i))},
+                 static_cast<Timestamp>(i))
+            .ok());
+  }
+}
+
+TEST(ShardTest, SegmentsAreDealtRoundRobin) {
+  Table t = MakeShardedTable(/*num_shards=*/3, /*rows_per_segment=*/4);
+  Fill(t, 4 * 7);  // segments 0..6
+  ASSERT_EQ(t.num_shards(), 3u);
+  // seg_no % 3: shard 0 gets segments {0,3,6}, shard 1 {1,4}, shard 2
+  // {2,5}.
+  EXPECT_EQ(t.shard(0).num_segments(), 3u);
+  EXPECT_EQ(t.shard(1).num_segments(), 2u);
+  EXPECT_EQ(t.shard(2).num_segments(), 2u);
+  for (uint64_t row = 0; row < 28; ++row) {
+    EXPECT_EQ(t.ShardIdOf(row), (row / 4) % 3);
+  }
+}
+
+TEST(ShardTest, PerShardLiveCountsSumToTable) {
+  Table t = MakeShardedTable(4);
+  Fill(t, 64);
+  EXPECT_EQ(t.live_rows(), 64u);
+  uint64_t sum = 0;
+  for (size_t s = 0; s < t.num_shards(); ++s) {
+    sum += t.shard(s).live_rows();
+  }
+  EXPECT_EQ(sum, 64u);
+
+  // Kill a few rows; the owning shard's counter moves, the others don't.
+  const uint32_t owner = t.ShardIdOf(5);
+  const uint64_t before = t.shard(owner).live_rows();
+  ASSERT_TRUE(t.Kill(5).ok());
+  EXPECT_EQ(t.shard(owner).live_rows(), before - 1);
+  EXPECT_EQ(t.shard(owner).rows_killed(), 1u);
+  EXPECT_EQ(t.live_rows(), 63u);
+  EXPECT_EQ(t.rows_killed(), 1u);
+}
+
+TEST(ShardTest, ShardMutatorsMatchTableMutators) {
+  Table t = MakeShardedTable(2);
+  Fill(t, 8);
+  Shard& shard = t.shard(t.ShardIdOf(2));
+  ASSERT_TRUE(shard.SetFreshness(2, 0.5).ok());
+  EXPECT_DOUBLE_EQ(t.Freshness(2), 0.5);
+  ASSERT_TRUE(shard.DecayFreshness(2, 0.25).ok());
+  EXPECT_DOUBLE_EQ(t.Freshness(2), 0.25);
+  ASSERT_TRUE(shard.Kill(2).ok());
+  EXPECT_FALSE(t.IsLive(2));
+  // Foreign rows are invisible to a shard.
+  Shard& other = t.shard(1 - t.ShardIdOf(3));
+  EXPECT_FALSE(other.IsLive(3));
+  EXPECT_FALSE(other.SetFreshness(3, 0.1).ok());
+}
+
+TEST(ShardTest, ShardLocalNavigationSkipsForeignRows) {
+  // rows_per_segment=2, 2 shards: shard 0 owns rows {0,1,4,5,...},
+  // shard 1 owns {2,3,6,7,...}.
+  Table t = MakeShardedTable(2, /*rows_per_segment=*/2);
+  Fill(t, 8);
+  const Shard& s0 = t.shard(0);
+  EXPECT_EQ(s0.OldestLive().value(), 0u);
+  EXPECT_EQ(s0.NewestLive().value(), 5u);
+  // Next live row of shard 0 at/after 2 is 4 (rows 2,3 belong to shard 1).
+  EXPECT_EQ(s0.NextLiveInShard(2).value(), 4u);
+  EXPECT_EQ(s0.PrevLiveInShard(3).value(), 1u);
+  // Global navigation still sees every row.
+  EXPECT_EQ(t.NextLive(1).value(), 2u);
+  EXPECT_EQ(t.PrevLive(4).value(), 3u);
+}
+
+TEST(ShardTest, ReclaimRemovesSegmentFromShardAndIndex) {
+  Table t = MakeShardedTable(2, /*rows_per_segment=*/2);
+  Fill(t, 8);
+  // Kill all of segment 1 (rows 2,3) — owned by shard 1.
+  ASSERT_TRUE(t.Kill(2).ok());
+  ASSERT_TRUE(t.Kill(3).ok());
+  const size_t segs_before = t.num_segments();
+  EXPECT_EQ(t.ReclaimDeadSegments(), 1u);
+  EXPECT_EQ(t.num_segments(), segs_before - 1);
+  EXPECT_FALSE(t.Contains(2));
+  EXPECT_EQ(t.shard(1).num_segments(), 1u);
+  // Counters survive reclamation.
+  EXPECT_EQ(t.rows_killed(), 2u);
+  EXPECT_EQ(t.live_rows(), 6u);
+}
+
+TEST(ShardTest, SingleShardTableBehavesClassically) {
+  Table t = MakeShardedTable(1);
+  Fill(t, 10);
+  EXPECT_EQ(t.num_shards(), 1u);
+  for (uint64_t row = 0; row < 10; ++row) {
+    EXPECT_EQ(t.ShardIdOf(row), 0u);
+  }
+  EXPECT_EQ(t.shard(0).live_rows(), 10u);
+}
+
+TEST(ShardTest, LiveSegmentsListsInsertionOrder) {
+  Table t = MakeShardedTable(3, /*rows_per_segment=*/2);
+  Fill(t, 12);
+  ASSERT_TRUE(t.Kill(4).ok());
+  ASSERT_TRUE(t.Kill(5).ok());  // segment 2 fully dead (not reclaimed yet)
+  std::vector<const Segment*> segs = t.LiveSegments();
+  ASSERT_EQ(segs.size(), 5u);
+  uint64_t prev_first = 0;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(segs[i]->first_row(), prev_first);
+    }
+    prev_first = segs[i]->first_row();
+    EXPECT_GT(segs[i]->live_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fungusdb
