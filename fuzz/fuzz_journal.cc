@@ -1,0 +1,48 @@
+// Fuzz target: journal frame decoding + replay. Arbitrary bytes go
+// through the same path crash recovery uses: decode every intact frame,
+// then replay the decoded entries into a fresh database. Torn frames,
+// bad checksums and malformed payloads must all surface as a clean stop
+// or Status error, never as a crash.
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "persist/journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  std::unique_ptr<fungusdb::JournalReader> reader =
+      fungusdb::JournalReader::FromBytes(std::move(bytes));
+  fungusdb::Database db;
+  uint64_t entries = 0;
+  while (std::optional<fungusdb::JournalEntry> entry = reader->Next()) {
+    if (++entries > 4096) break;  // bound replay work per input
+    fungusdb::Status status;
+    switch (entry->kind) {
+      case fungusdb::JournalEntry::Kind::kCreateTable:
+        status = db.CreateTable(entry->table_name, entry->schema,
+                                entry->table_options)
+                     .status();
+        break;
+      case fungusdb::JournalEntry::Kind::kDropTable:
+        status = db.DropTable(entry->table_name);
+        break;
+      case fungusdb::JournalEntry::Kind::kInsert:
+        status = db.Insert(entry->table_name, entry->values).status();
+        break;
+      case fungusdb::JournalEntry::Kind::kAdvanceTime:
+        status = db.AdvanceTime(entry->advance).status();
+        break;
+      case fungusdb::JournalEntry::Kind::kSql:
+        status = db.ExecuteSql(entry->sql).status();
+        break;
+    }
+    // Entries the database rejects are fine (the fuzzer invents
+    // tables that do not exist); the point is that nothing crashes.
+    (void)status;
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fuzz target: SQL lexer + parser. Any byte sequence must either parse
+// into a Query or fail with a clean Status — never crash, hang, or trip
+// a sanitizer.
+
+#include <cstdint>
+#include <string_view>
+
+#include "query/lexer.h"
+#include "query/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 16)) return 0;  // longer inputs add no new paths
+  const std::string_view sql(reinterpret_cast<const char*>(data), size);
+
+  fungusdb::Result<std::vector<fungusdb::Token>> tokens =
+      fungusdb::Tokenize(sql);
+  fungusdb::Result<fungusdb::Query> query = fungusdb::ParseQuery(sql);
+  // A parse can only succeed on lexable input.
+  if (query.ok() && !tokens.ok()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// File-driver main for fuzz harnesses built without libFuzzer (gcc has
+// no -fsanitize=fuzzer). Feeds each argv file — or stdin when none —
+// to LLVMFuzzerTestOneInput, so harnesses still build and smoke-run on
+// every toolchain; mutation-based fuzzing needs the clang CI job.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunOne(const std::string& input, const char* label) {
+  const int rc = LLVMFuzzerTestOneInput(
+      reinterpret_cast<const uint8_t*>(input.data()), input.size());
+  std::printf("%s: %zu bytes -> %d\n", label, input.size(), rc);
+  return rc == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    const std::string input((std::istreambuf_iterator<char>(std::cin)),
+                            std::istreambuf_iterator<char>());
+    return RunOne(input, "<stdin>");
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      failures = 1;
+      continue;
+    }
+    const std::string input((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+    failures |= RunOne(input, argv[i]);
+  }
+  return failures;
+}

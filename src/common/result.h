@@ -15,8 +15,11 @@ namespace fungusdb {
 ///   Result<Table> r = OpenTable(name);
 ///   if (!r.ok()) return r.status();
 ///   Table& t = r.value();
+///
+/// [[nodiscard]] for the same reason Status is: an ignored Result is an
+/// ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : value_(std::move(value)) {}

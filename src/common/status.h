@@ -31,8 +31,11 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// Functions that can fail return `Status` (or `Result<T>` when they also
 /// produce a value). Callers must check before using dependent results;
-/// the FUNGUSDB_RETURN_IF_ERROR macro keeps propagation terse.
-class Status {
+/// the FUNGUSDB_RETURN_IF_ERROR macro keeps propagation terse. The class
+/// is [[nodiscard]]: silently dropping an error is a compile error, so a
+/// caller that truly wants to ignore one must say so in code (and the
+/// lint pass flags even that outside test code).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

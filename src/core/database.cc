@@ -1,6 +1,8 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -41,6 +43,11 @@ Database::Database(DatabaseOptions options)
         metrics_.IncrementCounter("query.rows_consumed",
                                   static_cast<int64_t>(rows.size()));
       });
+  const char* check_env = std::getenv("FUNGUSDB_CHECK_AFTER_TICK");
+  if (check_env != nullptr && *check_env != '\0' &&
+      std::string_view(check_env) != "0") {
+    EnableCheckAfterTick();
+  }
 }
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
@@ -157,6 +164,30 @@ Status Database::AddCookSpec(CookSpec spec) {
     return Status::NotFound("no table named '" + spec.table_name + "'");
   }
   return kitchen_.AddSpec(std::move(spec));
+}
+
+verify::Report Database::Fsck() const {
+  verify::InvariantChecker checker;
+  verify::Report report;
+  for (const auto& [name, table] : tables_) {
+    report.Merge(checker.CheckTable(*table));
+  }
+  report.Merge(checker.CheckCellar(cellar_));
+  return report;
+}
+
+void Database::EnableCheckAfterTick() {
+  scheduler_.set_post_tick_check([](Table& table, Timestamp tick_time) {
+    const verify::Report report =
+        verify::InvariantChecker().CheckTable(table);
+    if (report.ok()) return;
+    std::fprintf(stderr,
+                 "FUNGUSDB_CHECK_AFTER_TICK: invariant violation after "
+                 "tick at t=%lld\n%s",
+                 static_cast<long long>(tick_time),
+                 report.ToString().c_str());
+    std::abort();
+  });
 }
 
 HealthReport Database::Health() const {

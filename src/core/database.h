@@ -20,6 +20,7 @@
 #include "query/parser.h"
 #include "storage/table.h"
 #include "summary/cellar.h"
+#include "verify/invariant_checker.h"
 
 namespace fungusdb {
 
@@ -143,6 +144,20 @@ class Database {
   Cellar& cellar() { return cellar_; }
   const Cellar& cellar() const { return cellar_; }
   Kitchen& kitchen() { return kitchen_; }
+
+  // --- Verification. ---
+
+  /// Runs the invariant checker over every table plus the cellar and
+  /// returns the combined fsck report (empty violations == healthy).
+  /// Read-only; safe whenever no query or tick is in flight.
+  verify::Report Fsck() const;
+
+  /// Arms the scheduler's CHECK AFTER TICK hook: after every decay
+  /// tick the ticked table is fsck'd, and the process aborts with the
+  /// report on the first violation. A tripwire for tests and debug
+  /// runs — also armed by the FUNGUSDB_CHECK_AFTER_TICK environment
+  /// variable (any value but "0") at construction time.
+  void EnableCheckAfterTick();
 
   // --- Introspection. ---
 

@@ -45,7 +45,8 @@ void DecayContext::Decay(RowId row, double delta) {
   if (!table_->IsLive(row)) return;
   ++stats_.tuples_touched;
   const uint64_t killed_before = table_->rows_killed();
-  table_->DecayFreshness(row, delta);  // cannot fail for live rows
+  // Cannot fail for live rows; a failure means storage invariants broke.
+  FUNGUSDB_CHECK_OK(table_->DecayFreshness(row, delta));
   if (table_->rows_killed() > killed_before) {
     killed_.push_back(row);
     ++stats_.tuples_killed;
@@ -56,7 +57,7 @@ void DecayContext::SetFreshness(RowId row, double f) {
   if (!table_->IsLive(row)) return;
   ++stats_.tuples_touched;
   const uint64_t killed_before = table_->rows_killed();
-  table_->SetFreshness(row, f);
+  FUNGUSDB_CHECK_OK(table_->SetFreshness(row, f));
   if (table_->rows_killed() > killed_before) {
     killed_.push_back(row);
     ++stats_.tuples_killed;
@@ -66,7 +67,7 @@ void DecayContext::SetFreshness(RowId row, double f) {
 void DecayContext::Kill(RowId row) {
   if (!table_->IsLive(row)) return;
   ++stats_.tuples_touched;
-  table_->Kill(row);
+  FUNGUSDB_CHECK_OK(table_->Kill(row));
   killed_.push_back(row);
   ++stats_.tuples_killed;
 }

@@ -65,15 +65,17 @@ std::vector<RowId> DecayScheduler::RunShardedTick(Attachment& a,
     for (const ShardAction& action : plans[s].actions) {
       if (!shard.IsLive(action.row)) continue;  // killed earlier this plan
       ++stats[s].tuples_touched;
+      // Rows were checked live under this plan, so the shard mutators
+      // cannot fail; a failure means the planner saw a different table.
       switch (action.op) {
         case ShardAction::Op::kDecay:
-          shard.DecayFreshness(action.row, action.amount);
+          FUNGUSDB_CHECK_OK(shard.DecayFreshness(action.row, action.amount));
           break;
         case ShardAction::Op::kSet:
-          shard.SetFreshness(action.row, action.amount);
+          FUNGUSDB_CHECK_OK(shard.SetFreshness(action.row, action.amount));
           break;
         case ShardAction::Op::kKill:
-          shard.Kill(action.row);
+          FUNGUSDB_CHECK_OK(shard.Kill(action.row));
           break;
       }
       if (!shard.IsLive(action.row)) {
@@ -153,6 +155,7 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
       }
     }
     due->table->ReclaimDeadSegments();
+    if (post_tick_check_) post_tick_check_(*due->table, tick_time);
 
     if (metrics_ != nullptr) {
       metrics_->IncrementCounter("decay.ticks");

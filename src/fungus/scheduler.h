@@ -32,6 +32,13 @@ class DecayScheduler {
   using DeathObserver =
       std::function<void(Table&, const std::vector<RowId>&, Timestamp)>;
 
+  /// Debug hook run after every tick (post-reclamation) on the table
+  /// that ticked — the CHECK AFTER TICK tripwire. The hook decides what
+  /// to do about a violation (the one Database installs aborts with the
+  /// fsck report); the scheduler just guarantees the call happens while
+  /// no parallel phase is running.
+  using PostTickCheck = std::function<void(Table&, Timestamp)>;
+
   /// Per-attachment cumulative statistics.
   struct AttachmentStats {
     uint64_t ticks = 0;
@@ -75,6 +82,15 @@ class DecayScheduler {
   /// by construction, which is what the determinism tests assert.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Installs (or clears, with nullptr) the CHECK AFTER TICK hook.
+  void set_post_tick_check(PostTickCheck check) {
+    post_tick_check_ = std::move(check);
+  }
+
+  bool has_post_tick_check() const {
+    return static_cast<bool>(post_tick_check_);
+  }
+
  private:
   struct Attachment {
     Table* table = nullptr;
@@ -92,6 +108,7 @@ class DecayScheduler {
 
   std::vector<Attachment> attachments_;
   std::vector<DeathObserver> observers_;
+  PostTickCheck post_tick_check_;
   MetricsRegistry* metrics_ = nullptr;
   ThreadPool* pool_ = nullptr;
 };

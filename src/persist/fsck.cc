@@ -1,0 +1,208 @@
+#include "persist/fsck.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "persist/journal.h"
+#include "persist/snapshot.h"
+
+namespace fungusdb {
+namespace {
+
+verify::Violation Divergence(const std::string& table, int64_t ordinal,
+                             std::string detail) {
+  verify::Violation v;
+  v.invariant = "replay-divergence";
+  v.table = table;
+  v.row = ordinal;
+  v.detail = std::move(detail);
+  return v;
+}
+
+}  // namespace
+
+std::string JournalAudit::ToString() const {
+  std::ostringstream os;
+  os << "journal: " << entries << " intact entries (" << creates
+     << " create, " << drops << " drop, " << inserts << " insert, "
+     << advances << " advance, " << sql << " sql)";
+  if (truncated) os << " — TORN TAIL after intact prefix";
+  os << "\n";
+  return os.str();
+}
+
+Result<JournalAudit> AuditJournalFile(const std::string& path) {
+  FUNGUSDB_ASSIGN_OR_RETURN(std::unique_ptr<JournalReader> reader,
+                            JournalReader::Open(path));
+  JournalAudit audit;
+  while (std::optional<JournalEntry> entry = reader->Next()) {
+    ++audit.entries;
+    switch (entry->kind) {
+      case JournalEntry::Kind::kCreateTable: ++audit.creates; break;
+      case JournalEntry::Kind::kDropTable: ++audit.drops; break;
+      case JournalEntry::Kind::kInsert: ++audit.inserts; break;
+      case JournalEntry::Kind::kAdvanceTime: ++audit.advances; break;
+      case JournalEntry::Kind::kSql: ++audit.sql; break;
+    }
+  }
+  audit.truncated = reader->truncated();
+  return audit;
+}
+
+std::string SnapshotAudit::ToString() const {
+  std::ostringstream os;
+  os << "snapshot: " << tables << " table(s), " << live_rows
+     << " live row(s)\n"
+     << fsck.ToString();
+  return os.str();
+}
+
+Result<SnapshotAudit> AuditSnapshotFile(const std::string& path) {
+  FUNGUSDB_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            LoadDatabaseSnapshot(path));
+  SnapshotAudit audit;
+  audit.fsck = db->Fsck();
+  for (const std::string& name : db->TableNames()) {
+    ++audit.tables;
+    audit.live_rows += db->GetTable(name).value()->live_rows();
+  }
+  return audit;
+}
+
+verify::Report CompareDatabases(Database& expected, Database& actual) {
+  verify::Report report;
+  if (expected.Now() != actual.Now()) {
+    report.violations.push_back(Divergence(
+        "<clock>", -1,
+        "virtual time " + std::to_string(expected.Now()) + " vs " +
+            std::to_string(actual.Now())));
+  }
+  const std::vector<std::string> expected_names = expected.TableNames();
+  for (const std::string& name : actual.TableNames()) {
+    if (!expected.GetTable(name).ok()) {
+      report.violations.push_back(
+          Divergence(name, -1, "table exists only in the replayed state"));
+    }
+  }
+  for (const std::string& name : expected_names) {
+    ++report.tables_checked;
+    Table* a = expected.GetTable(name).value();
+    Result<Table*> b_result = actual.GetTable(name);
+    if (!b_result.ok()) {
+      report.violations.push_back(
+          Divergence(name, -1, "table missing from the replayed state"));
+      continue;
+    }
+    Table* b = b_result.value();
+    if (!a->schema().Equals(b->schema())) {
+      report.violations.push_back(Divergence(
+          name, -1,
+          "schema " + a->schema().ToString() + " vs " +
+              b->schema().ToString()));
+      continue;
+    }
+    const std::vector<RowId> rows_a = a->LiveRows();
+    const std::vector<RowId> rows_b = b->LiveRows();
+    if (rows_a.size() != rows_b.size()) {
+      report.violations.push_back(Divergence(
+          name, static_cast<int64_t>(std::min(rows_a.size(), rows_b.size())),
+          "live rows " + std::to_string(rows_a.size()) + " vs " +
+              std::to_string(rows_b.size()) +
+              " (first missing tuple at this ordinal)"));
+    }
+    const size_t common = std::min(rows_a.size(), rows_b.size());
+    const size_t num_fields = a->schema().num_fields();
+    for (size_t i = 0; i < common; ++i) {
+      ++report.rows_checked;
+      const RowId ra = rows_a[i];
+      const RowId rb = rows_b[i];
+      const Timestamp ta = a->InsertTime(ra).value();
+      const Timestamp tb = b->InsertTime(rb).value();
+      if (ta != tb) {
+        report.violations.push_back(Divergence(
+            name, static_cast<int64_t>(i),
+            "insert time " + std::to_string(ta) + " vs " +
+                std::to_string(tb)));
+        continue;
+      }
+      if (a->Freshness(ra) != b->Freshness(rb)) {
+        report.violations.push_back(Divergence(
+            name, static_cast<int64_t>(i),
+            "freshness " + FormatDouble(a->Freshness(ra), 6) + " vs " +
+                FormatDouble(b->Freshness(rb), 6)));
+        continue;
+      }
+      for (size_t c = 0; c < num_fields; ++c) {
+        const Value va = a->GetValue(ra, c).value();
+        const Value vb = b->GetValue(rb, c).value();
+        if (!va.Equals(vb)) {
+          verify::Violation v = Divergence(
+              name, static_cast<int64_t>(i),
+              "column value " + va.ToString() + " vs " + vb.ToString());
+          v.column = static_cast<int64_t>(c);
+          report.violations.push_back(std::move(v));
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Result<verify::Report> AuditReplayEquivalence(
+    const std::string& snapshot_path, const std::string& journal_path) {
+  FUNGUSDB_ASSIGN_OR_RETURN(std::unique_ptr<Database> from_snapshot,
+                            LoadDatabaseSnapshot(snapshot_path));
+  DatabaseOptions options = from_snapshot->options();
+  options.start_time = 0;  // the journal replays its own time advances
+  Database replayed(options);
+  FUNGUSDB_RETURN_IF_ERROR(
+      ReplayJournal(replayed, journal_path).status());
+  return CompareDatabases(*from_snapshot, replayed);
+}
+
+Status SeedFileCorruption(const std::string& path, FileCorruption kind,
+                          uint64_t param) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  switch (kind) {
+    case FileCorruption::kTruncateTail: {
+      if (param > data.size()) {
+        return Status::OutOfRange("cannot truncate " +
+                                  std::to_string(param) + " of " +
+                                  std::to_string(data.size()) + " bytes");
+      }
+      data.resize(data.size() - param);
+      break;
+    }
+    case FileCorruption::kFlipByte: {
+      if (param >= data.size()) {
+        return Status::OutOfRange("offset " + std::to_string(param) +
+                                  " beyond file of " +
+                                  std::to_string(data.size()) + " bytes");
+      }
+      data[param] = static_cast<char>(data[param] ^ 0xFF);
+      break;
+    }
+    case FileCorruption::kAppendGarbage: {
+      data.append(param, static_cast<char>(0xA5));
+      break;
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot rewrite '" + path + "'");
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace fungusdb

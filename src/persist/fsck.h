@@ -1,0 +1,86 @@
+#ifndef FUNGUSDB_PERSIST_FSCK_H_
+#define FUNGUSDB_PERSIST_FSCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "verify/invariant_checker.h"
+
+namespace fungusdb {
+
+/// On-disk auditing for snapshot and journal files — the back half of
+/// `funguscheck`. The in-memory invariant checker (verify/) trusts the
+/// structures it walks; these functions get a database *into* memory
+/// from untrusted bytes first (load / replay), then hand it to the
+/// checker, and report torn frames, checksum failures and divergence
+/// with the most precise coordinates available.
+
+/// What a journal file contained.
+struct JournalAudit {
+  uint64_t entries = 0;
+  uint64_t creates = 0;
+  uint64_t drops = 0;
+  uint64_t inserts = 0;
+  uint64_t advances = 0;
+  uint64_t sql = 0;
+  /// True when reading stopped at a torn or corrupt frame instead of a
+  /// clean end of file; `entries` counts the intact prefix.
+  bool truncated = false;
+
+  std::string ToString() const;
+};
+
+/// Reads every intact entry of a journal file. Fails only when the
+/// file cannot be opened — a corrupt tail is reported, not an error,
+/// because the journal format is designed to survive torn writes.
+Result<JournalAudit> AuditJournalFile(const std::string& path);
+
+/// What a snapshot file contained, plus the fsck report over the
+/// database it loads into.
+struct SnapshotAudit {
+  uint64_t tables = 0;
+  uint64_t live_rows = 0;
+  verify::Report fsck;
+
+  std::string ToString() const;
+};
+
+/// Loads a snapshot and runs the full invariant checker over the
+/// result. Fails when the snapshot cannot be loaded at all (bad magic,
+/// version, truncation, non-live freshness, trailing bytes).
+Result<SnapshotAudit> AuditSnapshotFile(const std::string& path);
+
+/// Compares two databases logically: same virtual time, same table
+/// set, and per table the same sequence of live tuples (insert time,
+/// freshness, every user column) in time-axis order. RowIds are NOT
+/// compared — snapshots densify them while journal replay reproduces
+/// the original ids, so the live sequence is the canonical form.
+/// Differences come back as `replay-divergence` violations whose `row`
+/// coordinate is the ordinal position in the live sequence.
+verify::Report CompareDatabases(Database& expected, Database& actual);
+
+/// The journal/snapshot divergence audit: loads `snapshot_path`,
+/// replays `journal_path` into a fresh database (same DatabaseOptions,
+/// no fungi — only valid for journals recorded without attached
+/// fungi), and compares the two. OK + empty report means the snapshot
+/// and the journal tell the same story.
+Result<verify::Report> AuditReplayEquivalence(
+    const std::string& snapshot_path, const std::string& journal_path);
+
+/// Ways to damage a file on purpose (corruption-recovery tests and the
+/// `funguscheck corrupt` subcommand).
+enum class FileCorruption {
+  kTruncateTail,    // drop the last `param` bytes
+  kFlipByte,        // XOR the byte at offset `param` with 0xFF
+  kAppendGarbage,   // append `param` bytes of 0xA5
+};
+
+/// Applies `kind` to the file in place. `param` as documented per kind.
+Status SeedFileCorruption(const std::string& path, FileCorruption kind,
+                          uint64_t param);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_PERSIST_FSCK_H_

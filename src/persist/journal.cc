@@ -53,6 +53,9 @@ Result<JournalEntry> DecodeEntry(std::string_view payload) {
       FUNGUSDB_ASSIGN_OR_RETURN(entry.table_name, in.ReadString());
       FUNGUSDB_ASSIGN_OR_RETURN(entry.schema, ReadSchema(in));
       FUNGUSDB_ASSIGN_OR_RETURN(uint64_t rows, in.ReadU64());
+      if (rows == 0 || rows > (1u << 24)) {
+        return Status::ParseError("implausible rows_per_segment");
+      }
       entry.table_options.rows_per_segment = rows;
       FUNGUSDB_ASSIGN_OR_RETURN(entry.table_options.track_access,
                                 in.ReadBool());
@@ -137,6 +140,11 @@ Result<std::unique_ptr<JournalReader>> JournalReader::Open(
   }
   std::string data((std::istreambuf_iterator<char>(file)),
                    std::istreambuf_iterator<char>());
+  return std::unique_ptr<JournalReader>(
+      new JournalReader(std::move(data)));
+}
+
+std::unique_ptr<JournalReader> JournalReader::FromBytes(std::string data) {
   return std::unique_ptr<JournalReader>(
       new JournalReader(std::move(data)));
 }

@@ -71,6 +71,10 @@ class JournalReader {
   static Result<std::unique_ptr<JournalReader>> Open(
       const std::string& path);
 
+  /// Reads from an in-memory byte string instead of a file (fuzz
+  /// harnesses and corruption tests).
+  static std::unique_ptr<JournalReader> FromBytes(std::string data);
+
   ~JournalReader();
 
   JournalReader(const JournalReader&) = delete;

@@ -62,7 +62,19 @@ class Segment {
 
   size_t MemoryUsage() const;
 
+  // --- Verification accessors (invariant checker only). ---
+
+  /// Raw system-vector lengths; each must equal num_rows(), and the
+  /// access vector must be empty unless tracking is on.
+  size_t freshness_vector_size() const { return freshness_.size(); }
+  size_t alive_vector_size() const { return alive_.size(); }
+  size_t access_vector_size() const { return access_.size(); }
+  bool tracks_access() const { return track_access_; }
+
  private:
+  // Seeds deliberate corruption for fsck tests (verify/corruptor.h).
+  friend class TestCorruptor;
+
   uint64_t first_row_;
   size_t capacity_;
   size_t live_count_ = 0;

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/status.h"
 #include "storage/segment.h"
@@ -80,15 +81,20 @@ class Shard {
   void NoteAppend() { ++live_rows_; }
 
   // --- Per-row mutators (update shard-local counters only). ---
+  //
+  // FUNGUS_REQUIRES_APPLY_PHASE: these mutate shard state without a
+  // lock, so they may only run on the coordinator thread or inside the
+  // apply phase of a parallel tick (one worker per shard). The lint
+  // pass enforces the caller allowlist.
 
   /// Sets freshness (clamped to [0, 1]); 0 discards the tuple.
-  Status SetFreshness(RowId row, double f);
+  FUNGUS_REQUIRES_APPLY_PHASE Status SetFreshness(RowId row, double f);
 
   /// Decreases freshness by `delta` >= 0; discards at 0.
-  Status DecayFreshness(RowId row, double delta);
+  FUNGUS_REQUIRES_APPLY_PHASE Status DecayFreshness(RowId row, double delta);
 
   /// Discards the tuple immediately.
-  Status Kill(RowId row);
+  FUNGUS_REQUIRES_APPLY_PHASE Status Kill(RowId row);
 
   // --- Shard-local navigation along the time axis. ---
 
@@ -114,6 +120,9 @@ class Shard {
   size_t MemoryUsage() const;
 
  private:
+  // Seeds deliberate corruption for fsck tests (verify/corruptor.h).
+  friend class TestCorruptor;
+
   uint32_t shard_id_;
   size_t rows_per_segment_;
   // Keyed by global segment number; ordered, so shard iteration follows

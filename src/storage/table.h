@@ -176,7 +176,18 @@ class Table {
   /// Heap bytes held by all current segments.
   size_t MemoryUsage() const;
 
+  /// Read-only view of the routing index, keyed by segment number. For
+  /// the invariant checker (cross-checked against shard ownership) and
+  /// other verification walkers; regular callers use the iteration
+  /// helpers above.
+  const std::map<uint64_t, Segment*>& segment_index() const {
+    return segment_index_;
+  }
+
  private:
+  // Seeds deliberate corruption for fsck tests (verify/corruptor.h).
+  friend class TestCorruptor;
+
   /// Segment holding `row`, with its offset, or nullptr if reclaimed
   /// or out of range.
   Segment* FindSegment(RowId row, size_t* offset) const;

@@ -1,0 +1,74 @@
+#include "verify/corruptor.h"
+
+#include <utility>
+
+namespace fungusdb {
+namespace {
+
+Status NoSuchRow(RowId row) {
+  return Status::NotFound("row " + std::to_string(row) + " not present");
+}
+
+Status NoSuchSegment(uint64_t seg_no) {
+  return Status::NotFound("segment " + std::to_string(seg_no) +
+                          " not present");
+}
+
+}  // namespace
+
+Status TestCorruptor::CorruptFreshness(Table& table, RowId row,
+                                       double raw) {
+  size_t off;
+  Segment* seg = table.FindSegment(row, &off);
+  if (seg == nullptr) return NoSuchRow(row);
+  if (!seg->IsLive(off)) {
+    return Status::FailedPrecondition(
+        "row " + std::to_string(row) + " is dead; corrupt a live one");
+  }
+  seg->freshness_[off] = raw;
+  return Status::OK();
+}
+
+Status TestCorruptor::ResurrectRow(Table& table, RowId row) {
+  size_t off;
+  Segment* seg = table.FindSegment(row, &off);
+  if (seg == nullptr) return NoSuchRow(row);
+  if (seg->IsLive(off)) {
+    return Status::FailedPrecondition(
+        "row " + std::to_string(row) + " is live; resurrect a dead one");
+  }
+  seg->alive_[off] = 1;  // freshness stays 0, counters stay stale
+  return Status::OK();
+}
+
+Status TestCorruptor::MisassignSegment(Table& table, uint64_t seg_no) {
+  if (table.num_shards() < 2) {
+    return Status::FailedPrecondition(
+        "misassignment needs num_shards > 1");
+  }
+  Shard& home = table.shards_[seg_no % table.num_shards()];
+  auto it = home.segments_.find(seg_no);
+  if (it == home.segments_.end()) return NoSuchSegment(seg_no);
+  Shard& wrong = table.shards_[(seg_no + 1) % table.num_shards()];
+  wrong.segments_.emplace(seg_no, std::move(it->second));
+  home.segments_.erase(it);
+  // The routing index still points at the same Segment object (its
+  // address did not change), exactly like a bookkeeping bug would
+  // leave it.
+  return Status::OK();
+}
+
+Status TestCorruptor::OverfillColumn(Table& table, uint64_t seg_no,
+                                     size_t col) {
+  auto it = table.segment_index_.find(seg_no);
+  if (it == table.segment_index_.end()) return NoSuchSegment(seg_no);
+  Segment& seg = *it->second;
+  if (col >= seg.columns_.size()) {
+    return Status::OutOfRange("column " + std::to_string(col) +
+                              " out of range");
+  }
+  seg.columns_[col]->Append(Value::Null());
+  return Status::OK();
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,40 @@
+#ifndef FUNGUSDB_VERIFY_CORRUPTOR_H_
+#define FUNGUSDB_VERIFY_CORRUPTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+
+/// Deliberately breaks storage invariants, bypassing every guard the
+/// normal mutators enforce. This is the seeder behind the fsck test
+/// fixtures and `funguscheck` demos: each method plants exactly the
+/// corruption one invariant-checker rule exists to catch, so tests can
+/// assert detection with precise coordinates. Friend of Table, Shard
+/// and Segment; never use it outside tests and verification tooling.
+class TestCorruptor {
+ public:
+  /// Writes `raw` straight into the freshness vector of a live row —
+  /// no clamping, no kill at zero. Caught by `freshness-range`.
+  static Status CorruptFreshness(Table& table, RowId row, double raw);
+
+  /// Flips a dead row's alive flag back on, leaving its freshness at 0
+  /// and all counters stale. Caught by `resurrected-row` (row-precise)
+  /// plus the live-count accounting rules.
+  static Status ResurrectRow(Table& table, RowId row);
+
+  /// Moves a segment out of its round-robin home shard into the next
+  /// shard. Requires num_shards > 1. Caught by `shard-round-robin` and
+  /// `routing-index`.
+  static Status MisassignSegment(Table& table, uint64_t seg_no);
+
+  /// Appends a phantom null cell to one user column so its length no
+  /// longer matches the segment's row count. Caught by `column-length`.
+  static Status OverfillColumn(Table& table, uint64_t seg_no, size_t col);
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_VERIFY_CORRUPTOR_H_

@@ -1,0 +1,393 @@
+#include "verify/invariant_checker.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fungusdb::verify {
+namespace {
+
+/// Collects violations with the cap applied once, so every check site
+/// stays one line.
+class Collector {
+ public:
+  Collector(Report* report, size_t cap) : report_(report), cap_(cap) {}
+
+  void Add(Violation v) {
+    if (report_->violations.size() >= cap_) {
+      report_->truncated = true;
+      return;
+    }
+    report_->violations.push_back(std::move(v));
+  }
+
+ private:
+  Report* report_;
+  size_t cap_;
+};
+
+Violation Make(std::string invariant, const std::string& table,
+               std::string detail, int64_t shard = -1,
+               int64_t segment = -1, int64_t row = -1,
+               int64_t column = -1) {
+  Violation v;
+  v.invariant = std::move(invariant);
+  v.table = table;
+  v.shard = shard;
+  v.segment = segment;
+  v.row = row;
+  v.column = column;
+  v.detail = std::move(detail);
+  return v;
+}
+
+}  // namespace
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << "table '" << table << "'";
+  if (shard >= 0) os << " shard " << shard;
+  if (segment >= 0) os << " segment " << segment;
+  if (row >= 0) os << " row " << row;
+  if (column >= 0) os << " column " << column;
+  os << ": " << invariant << ": " << detail;
+  return os.str();
+}
+
+void Report::Merge(Report other) {
+  tables_checked += other.tables_checked;
+  segments_checked += other.segments_checked;
+  rows_checked += other.rows_checked;
+  truncated = truncated || other.truncated;
+  violations.insert(violations.end(),
+                    std::make_move_iterator(other.violations.begin()),
+                    std::make_move_iterator(other.violations.end()));
+}
+
+std::string Report::ToString() const {
+  std::ostringstream os;
+  os << "fsck: " << tables_checked << " table(s), " << segments_checked
+     << " segment(s), " << rows_checked << " row(s) checked — ";
+  if (ok()) {
+    os << "no violations\n";
+    return os.str();
+  }
+  os << violations.size() << " violation(s)";
+  if (truncated) os << " (list truncated)";
+  os << "\n";
+  for (const Violation& v : violations) {
+    os << "  " << v.ToString() << "\n";
+  }
+  return os.str();
+}
+
+Status Report::ToStatus() const {
+  if (ok()) return Status::OK();
+  return Status::Internal(
+      "invariant check failed (" + std::to_string(violations.size()) +
+      (truncated ? "+" : "") + " violation(s)); first: " +
+      violations.front().ToString());
+}
+
+Report InvariantChecker::CheckTable(const Table& table) const {
+  Report report;
+  report.tables_checked = 1;
+  Collector out(&report, options_.max_violations);
+
+  const std::string& name = table.name();
+  const size_t num_shards = table.num_shards();
+  const size_t rows_per_segment = table.options().rows_per_segment;
+  const size_t num_fields = table.schema().num_fields();
+  const uint64_t total_appended = table.total_appended();
+
+  // --- Per-shard walk: ownership, segment structure, per-row state. ---
+  uint64_t counted_live_total = 0;
+  size_t counted_segments = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const Shard& shard = table.shard(s);
+    uint64_t shard_live_from_segments = 0;
+    for (const auto& [seg_no, seg_owner] : shard.segments()) {
+      const Segment& seg = *seg_owner;
+      ++report.segments_checked;
+      ++counted_segments;
+      const int64_t sno = static_cast<int64_t>(seg_no);
+      const size_t num_rows = seg.num_rows();
+      report.rows_checked += num_rows;
+
+      // shard-round-robin: segments are dealt round-robin by number.
+      if (seg_no % num_shards != s) {
+        out.Add(Make("shard-round-robin", name,
+                     "segment belongs to shard " +
+                         std::to_string(seg_no % num_shards) +
+                         " but is owned by shard " + std::to_string(s),
+                     static_cast<int64_t>(s), sno));
+      }
+      // segment-alignment: first_row derives from the segment number.
+      if (seg.first_row() != seg_no * rows_per_segment) {
+        out.Add(Make("segment-alignment", name,
+                     "first_row " + std::to_string(seg.first_row()) +
+                         " != seg_no * rows_per_segment " +
+                         std::to_string(seg_no * rows_per_segment),
+                     static_cast<int64_t>(s), sno));
+      }
+      // segment-capacity: fixed capacity, never overfilled.
+      if (seg.capacity() != rows_per_segment || num_rows > seg.capacity()) {
+        out.Add(Make("segment-capacity", name,
+                     "capacity " + std::to_string(seg.capacity()) +
+                         ", rows " + std::to_string(num_rows) +
+                         ", rows_per_segment " +
+                         std::to_string(rows_per_segment),
+                     static_cast<int64_t>(s), sno));
+      }
+      // append-bound: no segment may extend past the append cursor.
+      if (seg.first_row() + num_rows > total_appended) {
+        out.Add(Make("append-bound", name,
+                     "segment ends at row " +
+                         std::to_string(seg.first_row() + num_rows) +
+                         " but only " + std::to_string(total_appended) +
+                         " rows were ever appended",
+                     static_cast<int64_t>(s), sno));
+      }
+      // routing-index (forward): the table's index knows this segment.
+      auto idx = table.segment_index().find(seg_no);
+      if (idx == table.segment_index().end() || idx->second != &seg) {
+        out.Add(Make("routing-index", name,
+                     idx == table.segment_index().end()
+                         ? "segment missing from table routing index"
+                         : "routing index points at a different segment",
+                     static_cast<int64_t>(s), sno));
+      }
+      // system-vector-length: ts/freshness/alive move in lockstep.
+      if (seg.freshness_vector_size() != num_rows ||
+          seg.alive_vector_size() != num_rows) {
+        out.Add(Make("system-vector-length", name,
+                     "rows " + std::to_string(num_rows) + ", freshness " +
+                         std::to_string(seg.freshness_vector_size()) +
+                         ", alive " +
+                         std::to_string(seg.alive_vector_size()),
+                     static_cast<int64_t>(s), sno));
+      }
+      // access-tracking: counter vector present iff tracking is on.
+      const size_t expected_access =
+          table.options().track_access ? num_rows : 0;
+      if (seg.tracks_access() != table.options().track_access ||
+          seg.access_vector_size() != expected_access) {
+        out.Add(Make("access-tracking", name,
+                     "access vector has " +
+                         std::to_string(seg.access_vector_size()) +
+                         " entries, expected " +
+                         std::to_string(expected_access),
+                     static_cast<int64_t>(s), sno));
+      }
+      // column-length / column-type: every user column matches the
+      // schema and holds exactly one cell per row.
+      for (size_t c = 0; c < num_fields; ++c) {
+        const Column& col = seg.column(c);
+        if (col.size() != num_rows) {
+          out.Add(Make("column-length", name,
+                       "column has " + std::to_string(col.size()) +
+                           " cells for " + std::to_string(num_rows) +
+                           " rows",
+                       static_cast<int64_t>(s), sno, -1,
+                       static_cast<int64_t>(c)));
+        }
+        if (col.type() != table.schema().field(c).type) {
+          out.Add(Make("column-type", name,
+                       std::string("column type ") +
+                           std::string(DataTypeName(col.type())) +
+                           " != schema type " +
+                           std::string(DataTypeName(
+                               table.schema().field(c).type)),
+                       static_cast<int64_t>(s), sno, -1,
+                       static_cast<int64_t>(c)));
+        }
+      }
+      // Per-row: freshness range, liveness agreement, time ordering.
+      size_t recounted_live = 0;
+      Timestamp prev_ts = 0;
+      const size_t walkable =
+          std::min({num_rows, seg.freshness_vector_size(),
+                    seg.alive_vector_size()});
+      for (size_t off = 0; off < walkable; ++off) {
+        const RowId row = seg.first_row() + off;
+        const double f = seg.Freshness(off);
+        if (seg.IsLive(off)) {
+          ++recounted_live;
+          if (f == 0.0) {
+            out.Add(Make("resurrected-row", name,
+                         "row is flagged live but its freshness is 0 "
+                         "(dead tuple resurrected)",
+                         static_cast<int64_t>(s), sno,
+                         static_cast<int64_t>(row)));
+          } else if (f < 0.0 || f > 1.0) {
+            out.Add(Make("freshness-range", name,
+                         "live row has freshness " + FormatDouble(f, 6) +
+                             ", outside (0, 1]",
+                         static_cast<int64_t>(s), sno,
+                         static_cast<int64_t>(row)));
+          }
+        } else if (f != 0.0) {
+          out.Add(Make("dead-freshness-nonzero", name,
+                       "dead row has freshness " + FormatDouble(f, 6),
+                       static_cast<int64_t>(s), sno,
+                       static_cast<int64_t>(row)));
+        }
+        const Timestamp ts = seg.InsertTime(off);
+        if (off > 0 && ts < prev_ts) {
+          out.Add(Make("time-ordering", name,
+                       "insert time " + std::to_string(ts) +
+                           " precedes previous row's " +
+                           std::to_string(prev_ts),
+                       static_cast<int64_t>(s), sno,
+                       static_cast<int64_t>(row)));
+        }
+        prev_ts = ts;
+      }
+      // segment-live-count: the cached counter matches a recount.
+      if (recounted_live != seg.live_count()) {
+        out.Add(Make("segment-live-count", name,
+                     "live_count " + std::to_string(seg.live_count()) +
+                         " but " + std::to_string(recounted_live) +
+                         " rows are flagged live",
+                     static_cast<int64_t>(s), sno));
+      }
+      shard_live_from_segments += seg.live_count();
+    }
+    // shard-live-count: the shard counter matches its segments.
+    if (shard.live_rows() != shard_live_from_segments) {
+      out.Add(Make("shard-live-count", name,
+                   "shard live_rows " + std::to_string(shard.live_rows()) +
+                       " but segments hold " +
+                       std::to_string(shard_live_from_segments) +
+                       " live rows",
+                   static_cast<int64_t>(s)));
+    }
+    counted_live_total += shard.live_rows();
+  }
+
+  // routing-index (reverse): every index entry is owned by the shard
+  // the round-robin rule assigns it to, with pointer identity.
+  for (const auto& [seg_no, seg_ptr] : table.segment_index()) {
+    const size_t home = seg_no % num_shards;
+    const auto& home_segments = table.shard(home).segments();
+    auto it = home_segments.find(seg_no);
+    if (it == home_segments.end() || it->second.get() != seg_ptr) {
+      out.Add(Make("routing-index", name,
+                   it == home_segments.end()
+                       ? "indexed segment is absent from its home shard " +
+                             std::to_string(home)
+                       : "home shard owns a different segment object",
+                   static_cast<int64_t>(home),
+                   static_cast<int64_t>(seg_no)));
+    }
+  }
+  if (table.segment_index().size() != counted_segments) {
+    out.Add(Make("routing-index", name,
+                 "index has " +
+                     std::to_string(table.segment_index().size()) +
+                     " entries but shards own " +
+                     std::to_string(counted_segments) + " segments"));
+  }
+
+  // full-before-tail: only the newest surviving segment may be
+  // partially filled — earlier ones were full before a later one
+  // started, and partial segments are never reclaimed.
+  if (!table.segment_index().empty()) {
+    const uint64_t max_seg_no = table.segment_index().rbegin()->first;
+    for (const auto& [seg_no, seg] : table.segment_index()) {
+      if (seg_no != max_seg_no && !seg->full()) {
+        out.Add(Make("full-before-tail", name,
+                     "non-tail segment holds " +
+                         std::to_string(seg->num_rows()) + "/" +
+                         std::to_string(seg->capacity()) + " rows",
+                     static_cast<int64_t>(seg_no % num_shards),
+                     static_cast<int64_t>(seg_no)));
+      }
+    }
+  }
+
+  // time-ordering (across segments): the time axis is monotone over
+  // segment numbers.
+  Timestamp prev_last_ts = 0;
+  bool have_prev = false;
+  for (const auto& [seg_no, seg] : table.segment_index()) {
+    if (seg->num_rows() == 0) continue;
+    const Timestamp first_ts = seg->InsertTime(0);
+    if (have_prev && first_ts < prev_last_ts) {
+      out.Add(Make("time-ordering", name,
+                   "segment starts at t=" + std::to_string(first_ts) +
+                       " before previous segment's last t=" +
+                       std::to_string(prev_last_ts),
+                   static_cast<int64_t>(seg_no % num_shards),
+                   static_cast<int64_t>(seg_no)));
+    }
+    prev_last_ts = seg->InsertTime(seg->num_rows() - 1);
+    have_prev = true;
+  }
+
+  // row-accounting: every appended row is live or killed, exactly once.
+  uint64_t killed_total = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    killed_total += table.shard(s).rows_killed();
+  }
+  if (counted_live_total + killed_total != total_appended) {
+    out.Add(Make("row-accounting", name,
+                 "live " + std::to_string(counted_live_total) +
+                     " + killed " + std::to_string(killed_total) +
+                     " != appended " + std::to_string(total_appended)));
+  }
+
+  // live-iteration: ForEachLive yields exactly the live rows, in
+  // strictly increasing RowId order — dead rows are excluded from
+  // every live index.
+  uint64_t iterated = 0;
+  std::optional<RowId> first_live;
+  std::optional<RowId> last_live;
+  bool order_ok = true;
+  table.ForEachLive([&](RowId row) {
+    ++iterated;
+    if (!first_live.has_value()) first_live = row;
+    if (last_live.has_value() && row <= *last_live) order_ok = false;
+    last_live = row;
+    if (!table.IsLive(row)) {
+      out.Add(Make("live-iteration", name,
+                   "iteration yielded a row that IsLive() rejects", -1,
+                   static_cast<int64_t>(row / rows_per_segment),
+                   static_cast<int64_t>(row)));
+    }
+  });
+  if (!order_ok) {
+    out.Add(Make("live-iteration", name,
+                 "live iteration is not strictly increasing"));
+  }
+  if (iterated != table.live_rows()) {
+    out.Add(Make("live-iteration", name,
+                 "iteration yielded " + std::to_string(iterated) +
+                     " rows but live_rows() reports " +
+                     std::to_string(table.live_rows())));
+  }
+  // oldest-newest: the navigation endpoints agree with iteration.
+  if (table.OldestLive() != first_live || table.NewestLive() != last_live) {
+    out.Add(Make("oldest-newest", name,
+                 "OldestLive()/NewestLive() disagree with live iteration"));
+  }
+
+  return report;
+}
+
+Report InvariantChecker::CheckCellar(const Cellar& cellar) const {
+  Report report;
+  Collector out(&report, options_.max_violations);
+  for (const Cellar::EntryInfo& e : cellar.List()) {
+    if (!(e.freshness > 0.0) || e.freshness > 1.0) {
+      out.Add(Make("cellar-freshness", "<cellar:" + e.name + ">",
+                   "summary freshness " + FormatDouble(e.freshness, 6) +
+                       " outside (0, 1]"));
+    }
+  }
+  return report;
+}
+
+}  // namespace fungusdb::verify

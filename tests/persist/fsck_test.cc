@@ -1,0 +1,210 @@
+#include "persist/fsck.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "persist/journal.h"
+#include "persist/snapshot.h"
+#include "verify/corruptor.h"
+
+namespace fungusdb {
+namespace {
+
+Schema EventSchema() {
+  return Schema::Make({{"k", DataType::kInt64, false},
+                       {"v", DataType::kString, true}})
+      .value();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+uint64_t FileSize(const std::string& path) {
+  return static_cast<uint64_t>(std::filesystem::file_size(path));
+}
+
+class FsckTest : public ::testing::Test {
+ protected:
+  // Paths carry the test name: ctest runs each case as its own
+  // process, so shared names would race under -j.
+  void SetUp() override {
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    journal_path_ = TempPath(name + ".journal");
+    snapshot_path_ = TempPath(name + ".fgdb");
+  }
+
+  void TearDown() override {
+    std::remove(journal_path_.c_str());
+    std::remove(snapshot_path_.c_str());
+  }
+
+  /// Runs a scenario through the journaled facade (no fungi, so replay
+  /// is exactly equivalent) and snapshots the final state.
+  void WriteScenario() {
+    auto jdb = JournaledDatabase::Open({}, journal_path_).value();
+    jdb->CreateTable("t", EventSchema()).value();
+    for (int i = 0; i < 20; ++i) {
+      jdb->Insert("t", {Value::Int64(i), Value::String("r")}).value();
+      jdb->AdvanceTime(kMinute).value();
+    }
+    jdb->ExecuteSql("CONSUME SELECT * FROM t WHERE k < 5").value();
+    ASSERT_TRUE(jdb->Sync().ok());
+    ASSERT_TRUE(SaveDatabaseSnapshot(jdb->db(), snapshot_path_).ok());
+  }
+
+  std::string journal_path_;
+  std::string snapshot_path_;
+};
+
+TEST_F(FsckTest, JournalAuditCountsEntriesByKind) {
+  WriteScenario();
+  const JournalAudit audit = AuditJournalFile(journal_path_).value();
+  EXPECT_EQ(audit.creates, 1u);
+  EXPECT_EQ(audit.inserts, 20u);
+  EXPECT_EQ(audit.advances, 20u);
+  EXPECT_EQ(audit.sql, 1u);
+  EXPECT_EQ(audit.entries, 42u);
+  EXPECT_FALSE(audit.truncated);
+}
+
+TEST_F(FsckTest, TruncatedJournalRecoversIntactPrefix) {
+  WriteScenario();
+  // Drop 5 bytes: the last record is torn; everything before survives.
+  ASSERT_TRUE(SeedFileCorruption(journal_path_,
+                                 FileCorruption::kTruncateTail, 5)
+                  .ok());
+  const JournalAudit audit = AuditJournalFile(journal_path_).value();
+  EXPECT_TRUE(audit.truncated);
+  EXPECT_EQ(audit.entries, 41u);
+
+  // Replay still succeeds cleanly over the intact prefix — a torn tail
+  // is expected after a crash, not an error.
+  Database db;
+  EXPECT_EQ(ReplayJournal(db, journal_path_).value(), 41u);
+}
+
+TEST_F(FsckTest, BadChecksumStopsReplayCleanly) {
+  WriteScenario();
+  // Flip the last byte — payload of the final record no longer matches
+  // its checksum.
+  ASSERT_TRUE(SeedFileCorruption(journal_path_, FileCorruption::kFlipByte,
+                                 FileSize(journal_path_) - 1)
+                  .ok());
+  const JournalAudit audit = AuditJournalFile(journal_path_).value();
+  EXPECT_TRUE(audit.truncated);
+  EXPECT_EQ(audit.entries, 41u);
+  Database db;
+  EXPECT_EQ(ReplayJournal(db, journal_path_).value(), 41u);
+}
+
+TEST_F(FsckTest, GarbageTrailingBytesDetected) {
+  WriteScenario();
+  ASSERT_TRUE(SeedFileCorruption(journal_path_,
+                                 FileCorruption::kAppendGarbage, 64)
+                  .ok());
+  const JournalAudit audit = AuditJournalFile(journal_path_).value();
+  EXPECT_TRUE(audit.truncated);
+  EXPECT_EQ(audit.entries, 42u);  // every real entry still intact
+  Database db;
+  EXPECT_EQ(ReplayJournal(db, journal_path_).value(), 42u);
+}
+
+TEST_F(FsckTest, SnapshotAuditRunsInvariantChecker) {
+  WriteScenario();
+  const SnapshotAudit audit = AuditSnapshotFile(snapshot_path_).value();
+  EXPECT_EQ(audit.tables, 1u);
+  EXPECT_EQ(audit.live_rows, 15u);  // 20 inserted, 5 consumed
+  EXPECT_TRUE(audit.fsck.ok()) << audit.fsck.ToString();
+}
+
+TEST_F(FsckTest, CorruptSnapshotFailsWithCleanStatus) {
+  WriteScenario();
+  ASSERT_TRUE(SeedFileCorruption(snapshot_path_,
+                                 FileCorruption::kFlipByte, 10)
+                  .ok());
+  // A flipped byte must surface as a Status error from load, never a
+  // crash; any code is acceptable as long as the audit reports failure.
+  EXPECT_FALSE(AuditSnapshotFile(snapshot_path_).ok());
+}
+
+TEST_F(FsckTest, TruncatedSnapshotFailsWithCleanStatus) {
+  WriteScenario();
+  ASSERT_TRUE(SeedFileCorruption(snapshot_path_,
+                                 FileCorruption::kTruncateTail, 7)
+                  .ok());
+  EXPECT_FALSE(AuditSnapshotFile(snapshot_path_).ok());
+}
+
+TEST_F(FsckTest, ReplayEquivalenceHoldsForCleanPair) {
+  WriteScenario();
+  const verify::Report report =
+      AuditReplayEquivalence(snapshot_path_, journal_path_).value();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.tables_checked, 1u);
+  EXPECT_EQ(report.rows_checked, 15u);
+}
+
+TEST_F(FsckTest, ReplayDivergenceReportedWithOrdinal) {
+  WriteScenario();
+  // Journal one extra insert AFTER the snapshot was taken: replay now
+  // tells a longer story than the snapshot.
+  {
+    auto writer = JournalWriter::Open(journal_path_).value();
+    JournalEntry insert;
+    insert.kind = JournalEntry::Kind::kInsert;
+    insert.table_name = "t";
+    insert.values = {Value::Int64(99), Value::String("extra")};
+    ASSERT_TRUE(writer->Append(insert).ok());
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+  const verify::Report report =
+      AuditReplayEquivalence(snapshot_path_, journal_path_).value();
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const verify::Violation& v : report.violations) {
+    if (v.invariant == "replay-divergence" && v.table == "t" &&
+        v.row == 15) {
+      found = true;  // first divergent ordinal = the 16th live tuple
+    }
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+TEST_F(FsckTest, CompareDatabasesPinpointsChangedColumn) {
+  Database a, b;
+  a.CreateTable("t", EventSchema()).value();
+  b.CreateTable("t", EventSchema()).value();
+  a.Insert("t", {Value::Int64(1), Value::String("same")}).value();
+  b.Insert("t", {Value::Int64(1), Value::String("different")}).value();
+
+  const verify::Report report = CompareDatabases(a, b);
+  ASSERT_EQ(report.violations.size(), 1u) << report.ToString();
+  const verify::Violation& v = report.violations[0];
+  EXPECT_EQ(v.invariant, "replay-divergence");
+  EXPECT_EQ(v.table, "t");
+  EXPECT_EQ(v.row, 0);
+  EXPECT_EQ(v.column, 1);
+}
+
+TEST_F(FsckTest, JournalReaderFromBytesMatchesFileReader) {
+  WriteScenario();
+  std::string bytes;
+  {
+    std::ifstream in(journal_path_, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  auto reader = JournalReader::FromBytes(bytes);
+  uint64_t entries = 0;
+  while (reader->Next().has_value()) ++entries;
+  EXPECT_EQ(entries, 42u);
+  EXPECT_FALSE(reader->truncated());
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -22,8 +22,17 @@ std::string TempPath(const std::string& name) {
 
 class JournalTest : public ::testing::Test {
  protected:
+  // Path carries the test name: ctest runs each case as its own
+  // process, so a shared name would race under -j.
+  void SetUp() override {
+    path_ = TempPath(
+        std::string(::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name()) +
+        ".journal_test.log");
+  }
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = TempPath("journal_test.log");
+  std::string path_;
 };
 
 TEST_F(JournalTest, EntriesRoundTrip) {

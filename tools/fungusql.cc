@@ -39,6 +39,7 @@ constexpr const char* kHelp = R"(fungusql meta commands:
   \advance <duration>                    advance virtual time (e.g. 2h, 1d3h)
   \now                                   show virtual time
   \health                                per-table health report
+  \fsck                                  run the invariant checker
   \analyze <table>                       per-column statistics
   \cellar                                list cooked summaries
   \import <table> <file.csv>             ingest a CSV file (header row)
@@ -117,9 +118,12 @@ class Shell {
                                          : RunSql(trimmed);
       if (!status.ok()) {
         std::printf("error: %s\n", status.ToString().c_str());
+        // A failed statement makes the whole session fail, so scripted
+        // sessions (smoke tests, CI pipelines) can detect it.
+        exit_code_ = 1;
       }
     }
-    return 0;
+    return exit_code_;
   }
 
  private:
@@ -180,6 +184,11 @@ class Shell {
     if (cmd == "\\health") {
       std::printf("%s", db_->Health().ToString().c_str());
       return Status::OK();
+    }
+    if (cmd == "\\fsck") {
+      const verify::Report report = db_->Fsck();
+      std::printf("%s", report.ToString().c_str());
+      return report.ToStatus();
     }
     if (cmd == "\\analyze") {
       if (args.size() != 2) {
@@ -298,6 +307,7 @@ class Shell {
   }
 
   std::unique_ptr<Database> db_;
+  int exit_code_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""FungusDB project lint.
+
+Enforces the repo-specific rules that generic linters cannot:
+
+  nodiscard       src/common/status.h and src/common/result.h must keep
+                  the [[nodiscard]] attribute on Status / Result, so the
+                  compiler flags every silently-dropped error.
+  void-discard    no `(void)SomeCall(...)` escapes from [[nodiscard]];
+                  `(void)identifier;` for unused parameters stays legal.
+  naked-random    no std::rand / srand / time(nullptr) / random_device /
+                  mt19937 outside src/common/random.* — all randomness
+                  goes through the seeded, reproducible common/random.
+  apply-phase     shard-state mutators (Shard::SetFreshness /
+                  DecayFreshness / Kill, marked FUNGUS_REQUIRES_APPLY_PHASE
+                  in shard.h) may only be called from the apply phase:
+                  storage/table.cc (coordinator single-shard path),
+                  fungus/scheduler.cc (parallel apply), and
+                  verify/corruptor.cc (test-only corruption seeder).
+  marker          the FUNGUS_REQUIRES_APPLY_PHASE markers themselves
+                  must stay on the three Shard mutators.
+  no-suppression  no NOLINT / lint-off escapes inside src/.
+  hygiene         no tabs, no trailing whitespace, newline at EOF.
+
+Usage: tools/lint/fungus_lint.py [repo-root]
+Exits 0 when clean, 1 with one "file:line: rule: message" per finding.
+"""
+
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp"}
+
+APPLY_PHASE_ALLOWLIST = {
+    "src/storage/shard.h",       # the declarations themselves
+    "src/storage/table.cc",      # coordinator single-row path
+    "src/fungus/scheduler.cc",   # parallel apply phase
+    "src/verify/corruptor.cc",   # test-only corruption seeder
+}
+
+NAKED_RANDOM_ALLOWLIST = {
+    "src/common/random.h",
+    "src/common/random.cc",
+}
+
+SHARD_MUTATORS = ("SetFreshness", "DecayFreshness", "Kill")
+
+RE_VOID_DISCARD = re.compile(r"\(void\)\s*[\w:]+(?:\.|->|\()")
+RE_VOID_BARE = re.compile(r"\(void\)\s*\w+\s*;")
+RE_NAKED_RANDOM = re.compile(
+    r"(?:std::)?(?:\brand\s*\(|\bsrand\s*\(|\brandom_device\b"
+    r"|\bmt19937\b)|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+RE_SUPPRESSION = re.compile(r"NOLINT|fungus-lint-off")
+RE_SHARD_CALL = re.compile(
+    r"(?:\bShardFor\s*\([^)]*\)|\bshards?_?\s*\[[^\]]*\]"
+    r"|\bshards?\s*\([^)]*\)|\b[Ss]hard\w*)\s*\.\s*(?:%s)\s*\(" %
+    "|".join(SHARD_MUTATORS))
+
+
+def scrub(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so rules never fire on prose or test data."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(root, path, findings):
+    rel = path.relative_to(root).as_posix()
+    raw = path.read_text(encoding="utf-8")
+    code = scrub(raw)
+
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if RE_VOID_DISCARD.search(line) and not RE_VOID_BARE.search(line):
+            findings.append((rel, lineno, "void-discard",
+                             "(void)-discarded call defeats [[nodiscard]];"
+                             " handle the Status/Result or use"
+                             " FUNGUSDB_CHECK_OK"))
+        if (rel not in NAKED_RANDOM_ALLOWLIST
+                and RE_NAKED_RANDOM.search(line)):
+            findings.append((rel, lineno, "naked-random",
+                             "use common/random (seeded, reproducible)"
+                             " instead of ad-hoc randomness"))
+        if (rel.startswith("src/") and rel not in APPLY_PHASE_ALLOWLIST
+                and RE_SHARD_CALL.search(line)):
+            findings.append((rel, lineno, "apply-phase",
+                             "shard-state mutation outside the apply"
+                             " phase (see FUNGUS_REQUIRES_APPLY_PHASE"
+                             " in storage/shard.h)"))
+    # Suppressions live in comments, so they are matched on RAW text.
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        if rel.startswith("src/") and RE_SUPPRESSION.search(line):
+            findings.append((rel, lineno, "no-suppression",
+                             "lint suppressions are not allowed in src/"))
+        if "\t" in line:
+            findings.append((rel, lineno, "hygiene", "tab character"))
+        if line != line.rstrip():
+            findings.append((rel, lineno, "hygiene",
+                             "trailing whitespace"))
+    if raw and not raw.endswith("\n"):
+        findings.append((rel, len(raw.splitlines()), "hygiene",
+                         "missing newline at end of file"))
+
+
+def lint_nodiscard_presence(root, findings):
+    for rel, cls in (("src/common/status.h", "Status"),
+                     ("src/common/result.h", "Result")):
+        text = (root / rel).read_text(encoding="utf-8")
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, text):
+            findings.append((rel, 1, "nodiscard",
+                             "class %s must carry [[nodiscard]]" % cls))
+
+
+def lint_apply_phase_markers(root, findings):
+    text = scrub((root / "src/storage/shard.h").read_text(encoding="utf-8"))
+    for mutator in SHARD_MUTATORS:
+        # The marker must appear in the declaration, i.e. between the
+        # marker macro and the mutator name on the same declaration.
+        if not re.search(
+                r"FUNGUS_REQUIRES_APPLY_PHASE[\s\w\[\]]*\s" + mutator +
+                r"\s*\(", text):
+            findings.append(("src/storage/shard.h", 1, "marker",
+                             "Shard::%s lost its"
+                             " FUNGUS_REQUIRES_APPLY_PHASE marker" %
+                             mutator))
+
+
+def main():
+    # Default to the repo root (two levels above tools/lint/) so the
+    # linter works from any cwd; an explicit root can still be passed.
+    default_root = pathlib.Path(__file__).resolve().parent.parent.parent
+    root = pathlib.Path(
+        sys.argv[1]).resolve() if len(sys.argv) > 1 else default_root
+    findings = []
+    lint_nodiscard_presence(root, findings)
+    lint_apply_phase_markers(root, findings)
+    for top in ("src", "tools", "fuzz"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                lint_file(root, path, findings)
+
+    for rel, lineno, rule, message in findings:
+        print("%s:%d: %s: %s" % (rel, lineno, rule, message))
+    if findings:
+        print("fungus_lint: %d finding(s)" % len(findings))
+        return 1
+    print("fungus_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
