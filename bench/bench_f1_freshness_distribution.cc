@@ -65,11 +65,11 @@ void Run() {
       v.db->Ingest("r", *v.workload, 5000).value();
       v.db->AdvanceTime(kDay).value();
       if (day % 2 != 0) continue;
-      Table* t = v.db->GetTable("r").value();
-      std::vector<uint64_t> hist = FreshnessHistogram(*t, 5);
+      const TableHandle t = v.db->GetTable("r").value();
+      std::vector<uint64_t> hist = FreshnessHistogram(t.table(), 5);
       const HealthReport health = v.db->Health();
       printer.PrintRow({std::to_string(day), v.label,
-                        bench::Fmt(t->live_rows()), bench::Fmt(hist[0]),
+                        bench::Fmt(t.live_rows()), bench::Fmt(hist[0]),
                         bench::Fmt(hist[1]), bench::Fmt(hist[2]),
                         bench::Fmt(hist[3]), bench::Fmt(hist[4]),
                         bench::Fmt(health.tables[0].mean_freshness, 3)});

@@ -116,7 +116,7 @@ void Run() {
   for (Variant& v : variants) {
     std::printf("  %-12s %llu\n", v.label.c_str(),
                 static_cast<unsigned long long>(
-                    v.db->GetTable("readings").value()->live_rows()));
+                    v.db->GetTable("readings").value().live_rows()));
   }
 
   // Recall evaluation: identical query sequence on every variant. Two

@@ -1,0 +1,114 @@
+// Experiment SRV — fungusd front-end throughput vs client count.
+//
+// Claim (server PR): the sessionized front-end keeps the database
+// single-threaded (one executor) while N concurrent clients drive it
+// over TCP; throughput is bounded by the executor, so statements/sec
+// should hold roughly flat as the client count grows, with overload
+// answered as typed E:2002 refusals rather than latency collapse or
+// memory growth.
+//
+// Setup: per client count (1/4/16/64), a fresh in-process Server on an
+// ephemeral loopback port and one table. Each client thread runs a
+// 3:1 insert:select mix over its own connection, lockstep
+// request/response. Reported: wall-clock statements/sec, mean and p99
+// per-statement executor latency (from the server's own histogram),
+// and the count of overload refusals (0 at the default queue depth).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace fungusdb {
+namespace {
+
+constexpr int kStatementsPerClient = 200;
+constexpr int kClientCounts[] = {1, 4, 16, 64};
+
+void Run() {
+  bench::Banner("SRV", "server throughput: statements/sec vs client count");
+  bench::JsonReport report("server");
+
+  bench::TablePrinter printer({"clients", "statements", "seconds",
+                               "stmts_per_s", "latency_mean_us",
+                               "latency_p99_us", "overloaded"},
+                              16);
+  printer.MirrorTo(&report);
+  printer.PrintHeader();
+
+  for (const int num_clients : kClientCounts) {
+    server::ServerOptions options;
+    options.queue_capacity = 2 * static_cast<size_t>(num_clients) + 8;
+    auto srv = std::make_unique<server::Server>(
+        std::make_unique<Database>(), options);
+    FUNGUSDB_CHECK_OK(srv->Start());
+    FUNGUSDB_CHECK_OK(
+        srv->database()
+            .CreateTable("t", Schema::Parse("(a int64)").value())
+            .status());
+
+    std::mutex mu;
+    uint64_t completed = 0;
+    uint64_t overloaded = 0;
+
+    bench::Stopwatch clock;
+    std::vector<std::thread> clients;
+    clients.reserve(num_clients);
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        server::Client client =
+            server::Client::Connect("127.0.0.1", srv->port()).value();
+        uint64_t my_completed = 0;
+        uint64_t my_overloaded = 0;
+        for (int i = 0; i < kStatementsPerClient; ++i) {
+          const std::string statement =
+              i % 4 == 3 ? "SELECT count(*) AS n FROM t"
+                         : "\\insert t " + std::to_string(c * 1000 + i);
+          const Result<ResultSet> result = client.ExecuteOne(statement);
+          if (result.ok()) {
+            ++my_completed;
+          } else if (result.status().error_code() ==
+                     ErrorCode::kOverloaded) {
+            ++my_overloaded;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        completed += my_completed;
+        overloaded += my_overloaded;
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double seconds = clock.ElapsedMicros() / 1e6;
+
+    const HistogramMetric* latency = srv->database().metrics().FindHistogram(
+        "fungusdb.server.statement_latency_us");
+    const double mean_us = latency != nullptr ? latency->Mean() : 0.0;
+    const double p99_us =
+        latency != nullptr ? latency->Quantile(0.99) : 0.0;
+    srv->Stop();
+
+    const uint64_t total =
+        static_cast<uint64_t>(num_clients) * kStatementsPerClient;
+    printer.PrintRow({bench::Fmt(static_cast<uint64_t>(num_clients)),
+                      bench::Fmt(total), bench::Fmt(seconds, 3),
+                      bench::Fmt(completed / seconds, 0),
+                      bench::Fmt(mean_us, 1), bench::Fmt(p99_us, 1),
+                      bench::Fmt(overloaded)});
+  }
+
+  report.Write();
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main() {
+  fungusdb::Run();
+  return 0;
+}

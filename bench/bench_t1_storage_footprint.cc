@@ -88,21 +88,21 @@ void Run() {
       db.Ingest("readings", *workloads[i], kTuplesPerDay).value();
       db.AdvanceTime(kDay).value();
       if (day % 3 != 0) continue;
-      Table* t = db.GetTable("readings").value();
+      const TableHandle t = db.GetTable("readings").value();
       printer.PrintRow(
           {std::to_string(day), variants[i].label,
-           bench::Fmt(t->live_rows()), bench::Fmt(t->total_appended()),
-           bench::Fmt(static_cast<double>(t->MemoryUsage()) / (1 << 20)),
-           bench::Fmt(static_cast<uint64_t>(t->num_segments()))});
+           bench::Fmt(t.live_rows()), bench::Fmt(t.total_appended()),
+           bench::Fmt(static_cast<double>(t.memory_bytes()) / (1 << 20)),
+           bench::Fmt(static_cast<uint64_t>(t.num_segments()))});
     }
   }
 
   std::printf("\nsummary: final live rows (lower is a tighter fridge)\n");
   for (const Variant& v : variants) {
-    Table* t = v.db->GetTable("readings").value();
+    const TableHandle t = v.db->GetTable("readings").value();
     std::printf("  %-12s live=%llu of %llu appended\n", v.label.c_str(),
-                static_cast<unsigned long long>(t->live_rows()),
-                static_cast<unsigned long long>(t->total_appended()));
+                static_cast<unsigned long long>(t.live_rows()),
+                static_cast<unsigned long long>(t.total_appended()));
   }
   report.Write();
 }

@@ -74,7 +74,7 @@ void Run() {
       v.db->Ingest("readings", *v.workload, kTuplesPerDay).value();
       v.db->AdvanceTime(kDay).value();
       if (day % 5 != 0) continue;
-      Table* t = v.db->GetTable("readings").value();
+      const TableHandle t = v.db->GetTable("readings").value();
       for (size_t q = 0; q < std::size(kQueries); ++q) {
         // Warm-up run, then timed repetitions.
         v.db->ExecuteSql(kQueries[q]).value();
@@ -86,7 +86,7 @@ void Run() {
         }
         const double mean_us = watch.ElapsedMicros() / kRepetitions;
         printer.PrintRow({std::to_string(day), v.label, kQueryLabels[q],
-                          bench::Fmt(t->live_rows()),
+                          bench::Fmt(t.live_rows()),
                           bench::Fmt(mean_us, 1), bench::Fmt(scanned)});
       }
     }

@@ -34,7 +34,7 @@ void Run() {
   topts.rows_per_segment = 4096;
   db.CreateTable("clicks", workload.schema(), topts).value();
   db.Ingest("clicks", workload, kEvents).value();
-  Table* t = db.GetTable("clicks").value();
+  const TableHandle t = db.GetTable("clicks").value();
 
   // Duplicate detection across all rounds: (user, session, url, dwell)
   // is not unique, so track row identity via a consumed counter and the
@@ -46,10 +46,10 @@ void Run() {
   printer.PrintHeader();
 
   uint64_t consumed_total = 0;
-  const uint64_t appended = t->total_appended();
+  const uint64_t appended = t.total_appended();
   bool conservation_held = true;
   for (int round = 0; round < kRounds; ++round) {
-    const uint64_t before = t->live_rows();
+    const uint64_t before = t.live_rows();
     const std::string sql =
         "CONSUME SELECT user_id, dwell_ms FROM clicks WHERE user_id % " +
         std::to_string(kRounds) + " = " + std::to_string(round);
@@ -57,7 +57,7 @@ void Run() {
     ResultSet rs = db.ExecuteSql(sql).value();
     const double us = watch.ElapsedMicros();
     consumed_total += rs.stats.rows_consumed;
-    if (t->live_rows() + consumed_total != appended) {
+    if (t.live_rows() + consumed_total != appended) {
       conservation_held = false;
     }
     printer.PrintRow({std::to_string(round), "consume",
@@ -67,9 +67,9 @@ void Run() {
   }
 
   std::printf("\nconservation |R0| = |R| + consumed: %s (%llu = %llu + %llu)\n",
-              conservation_held && t->live_rows() == 0 ? "HELD" : "VIOLATED",
+              conservation_held && t.live_rows() == 0 ? "HELD" : "VIOLATED",
               static_cast<unsigned long long>(appended),
-              static_cast<unsigned long long>(t->live_rows()),
+              static_cast<unsigned long long>(t.live_rows()),
               static_cast<unsigned long long>(consumed_total));
 
   // Observing baseline: the same rounds never shrink the extent.
@@ -77,10 +77,10 @@ void Run() {
   ClickstreamWorkload workload2(wp);
   baseline.CreateTable("clicks", workload2.schema(), topts).value();
   baseline.Ingest("clicks", workload2, kEvents).value();
-  Table* bt = baseline.GetTable("clicks").value();
+  const TableHandle bt = baseline.GetTable("clicks").value();
   uint64_t rows_reread = 0;
   for (int round = 0; round < kRounds; ++round) {
-    const uint64_t before = bt->live_rows();
+    const uint64_t before = bt.live_rows();
     const std::string sql =
         "SELECT user_id, dwell_ms FROM clicks WHERE user_id % " +
         std::to_string(kRounds) + " = " + std::to_string(round);

@@ -156,9 +156,9 @@ double MedianError(Run& run) {
     // Kitchen off: best effort from live data via the avg as a proxy
     // is unfair; report the live-data median via sampling the table.
     std::vector<double> live;
-    Table* t = run.db->GetTable("readings").value();
-    t->ForEachLive([&](RowId row) {
-      live.push_back(t->GetValue(row, 1).value().AsFloat64());
+    const TableHandle t = run.db->GetTable("readings").value();
+    t.table().ForEachLive([&](RowId row) {
+      live.push_back(t.table().GetValue(row, 1).value().AsFloat64());
     });
     if (live.empty()) return 1.0;
     std::sort(live.begin(), live.end());
@@ -178,9 +178,9 @@ void RunAll() {
   printer.PrintHeader();
   for (bool kitchen_on : {true, false}) {
     Run run = BuildRun(kitchen_on);
-    Table* t = run.db->GetTable("readings").value();
+    const TableHandle t = run.db->GetTable("readings").value();
     printer.PrintRow({kitchen_on ? "on" : "off",
-                      bench::Fmt(t->live_rows()),
+                      bench::Fmt(t.live_rows()),
                       bench::Fmt(run.db->kitchen().rows_cooked()),
                       bench::Fmt(CountError(run), 4),
                       bench::Fmt(MeanTempError(run), 4),

@@ -72,7 +72,7 @@ void Run() {
     topts.num_shards = 8;
     db.CreateTable("readings", workload.schema(), topts).value();
     db.Ingest("readings", workload, kRows).value();
-    Table* t = db.GetTable("readings").value();
+    const TableHandle t = db.GetTable("readings").value();
 
     // (a) Morsel-driven scan throughput.
     db.ExecuteSql(kScanQuery).value();  // warm-up
@@ -99,7 +99,7 @@ void Run() {
 
     // (c) Outcome fingerprint — must match the single-thread run bit
     // for bit.
-    const uint64_t checksum = LiveChecksum(*t);
+    const uint64_t checksum = LiveChecksum(t.table());
     if (threads == 1) {
       base_scan = scan_rows_per_s;
       base_decay = decay_ms;
@@ -117,7 +117,7 @@ void Run() {
          bench::Fmt(scan_rows_per_s / base_scan, 2) + "x",
          bench::Fmt(decay_ms, 1),
          bench::Fmt(base_decay / decay_ms, 2) + "x",
-         bench::Fmt(t->live_rows()), checksum_hex});
+         bench::Fmt(t.live_rows()), checksum_hex});
   }
 
   std::printf("\ndecay outcomes %s across thread counts%s\n",

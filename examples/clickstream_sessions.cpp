@@ -46,7 +46,7 @@ int main() {
     total_consumed += consumed.stats.rows_consumed;
     std::printf("epoch %d: extent=%llu consumed=%llu\n", epoch,
                 static_cast<unsigned long long>(
-                    db.GetTable("clicks").value()->live_rows()),
+                    db.GetTable("clicks").value().live_rows()),
                 static_cast<unsigned long long>(
                     consumed.stats.rows_consumed));
   }
@@ -55,7 +55,7 @@ int main() {
               "tail (%llu clicks)\n",
               static_cast<unsigned long long>(total_consumed),
               static_cast<unsigned long long>(
-                  db.GetTable("clicks").value()->live_rows()));
+                  db.GetTable("clicks").value().live_rows()));
 
   const auto* rollup = static_cast<const GroupedAggregate*>(
       db.cellar().Find("per_user_dwell"));

@@ -63,11 +63,11 @@ int main() {
     db.AdvanceTime(kHour).value();
   }
 
-  Table* logs = db.GetTable("logs").value();
+  const TableHandle logs = db.GetTable("logs").value();
   std::printf("after 48h: %llu of %llu log lines survive, %s\n",
-              static_cast<unsigned long long>(logs->live_rows()),
-              static_cast<unsigned long long>(logs->total_appended()),
-              FormatBytes(logs->MemoryUsage()).c_str());
+              static_cast<unsigned long long>(logs.live_rows()),
+              static_cast<unsigned long long>(logs.total_appended()),
+              FormatBytes(logs.memory_bytes()).c_str());
 
   ResultSet by_level =
       db.ExecuteSql("SELECT level, count(*) AS n FROM logs "

@@ -64,23 +64,23 @@ int main() {
       .value();
   FUNGUSDB_CHECK_OK(live->Sync());
 
-  Table* t = live->db().GetTable("events").value();
+  const TableHandle t = live->db().GetTable("events").value();
   std::printf("live state:      t=%s live_rows=%llu\n",
               FormatDuration(live->db().Now()).c_str(),
-              static_cast<unsigned long long>(t->live_rows()));
+              static_cast<unsigned long long>(t.live_rows()));
 
   // --- Crash. Recover from the journal alone. ---
   Database recovered;
   AttachPolicies(recovered);
   const uint64_t applied =
       ReplayJournal(recovered, journal_path).value();
-  Table* rt = recovered.GetTable("events").value();
+  const TableHandle rt = recovered.GetTable("events").value();
   std::printf("journal replay:  t=%s live_rows=%llu (%llu entries)\n",
               FormatDuration(recovered.Now()).c_str(),
-              static_cast<unsigned long long>(rt->live_rows()),
+              static_cast<unsigned long long>(rt.live_rows()),
               static_cast<unsigned long long>(applied));
   std::printf("states match:    %s\n",
-              rt->LiveRows() == t->LiveRows() ? "YES" : "NO");
+              rt.table().LiveRows() == t.table().LiveRows() ? "YES" : "NO");
 
   // --- Or from the mid-flight snapshot. ---
   auto from_snapshot = LoadDatabaseSnapshot(snapshot_path).value();
@@ -88,7 +88,7 @@ int main() {
               "(re-attach fungi, then keep going)\n",
               FormatDuration(from_snapshot->Now()).c_str(),
               static_cast<unsigned long long>(
-                  from_snapshot->GetTable("events").value()->live_rows()));
+                  from_snapshot->GetTable("events").value().live_rows()));
 
   std::remove(journal_path.c_str());
   std::remove(snapshot_path.c_str());

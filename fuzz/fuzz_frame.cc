@@ -1,0 +1,67 @@
+// Fuzz target: the fungusd wire protocol. Arbitrary bytes hit the
+// frame-header and payload decoders; anything that decodes must
+// re-encode and decode again to the same thing (the codec is a
+// bijection on its valid range), and nothing may crash or hang —
+// these decoders face the network, the one input source the database
+// does not control.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/wire_format.h"
+
+using fungusdb::Result;
+using fungusdb::server::DecodeFrameHeader;
+using fungusdb::server::DecodeStatementRequest;
+using fungusdb::server::DecodeStatementResponse;
+using fungusdb::server::EncodeStatementRequest;
+using fungusdb::server::EncodeStatementResponse;
+using fungusdb::server::kFrameHeaderBytes;
+using fungusdb::server::StatementRequest;
+using fungusdb::server::StatementResponse;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  if (input.size() >= kFrameHeaderBytes) {
+    // Either outcome is fine; it only must not crash.
+    const auto header = DecodeFrameHeader(input.substr(0, kFrameHeaderBytes));
+    (void)header;
+  }
+
+  const Result<StatementRequest> request = DecodeStatementRequest(input);
+  if (request.ok()) {
+    const std::string encoded = EncodeStatementRequest(request.value());
+    const Result<StatementRequest> again = DecodeStatementRequest(encoded);
+    if (!again.ok() ||
+        again.value().request_id != request.value().request_id ||
+        again.value().deadline_micros != request.value().deadline_micros ||
+        again.value().statements != request.value().statements) {
+      __builtin_trap();
+    }
+  }
+
+  const Result<StatementResponse> response = DecodeStatementResponse(input);
+  if (response.ok()) {
+    const std::string encoded =
+        EncodeStatementResponse(response.value());
+    const Result<StatementResponse> again =
+        DecodeStatementResponse(encoded);
+    if (!again.ok() ||
+        again.value().request_id != response.value().request_id ||
+        again.value().results.size() != response.value().results.size()) {
+      __builtin_trap();
+    }
+    for (size_t i = 0; i < again.value().results.size(); ++i) {
+      const auto& a = response.value().results[i];
+      const auto& b = again.value().results[i];
+      if (a.ok() != b.ok()) __builtin_trap();
+      if (!a.ok() && a.status().error_code() != b.status().error_code()) {
+        __builtin_trap();
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_ERROR_CODE_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_ERROR_CODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fungusdb {
+
+/// Stable public error numbers for FungusDB. These values cross the
+/// wire protocol and appear in client-visible output ("E:1203
+/// TableNotFound"), so they are part of the public API: never renumber
+/// or reuse a value — add new codes at the end of their block instead.
+///
+/// Blocks:
+///   0          success
+///   1000-1099  invalid requests (bad arguments, bad state)
+///   1100-1199  statement / input parsing
+///   1200-1299  catalog lookups
+///   2000-2099  resource limits, backpressure, deadlines
+///   2100-2199  unsupported operations
+///   2200-2299  internal faults
+///   2300-2399  wire protocol / transport
+enum class ErrorCode : uint16_t {
+  kOk = 0,
+
+  kInvalidArgument = 1001,
+  kOutOfRange = 1002,
+  kFailedPrecondition = 1003,
+
+  kParseError = 1101,
+  kTypeMismatch = 1102,
+
+  kNotFound = 1201,
+  kAlreadyExists = 1202,
+  kTableNotFound = 1203,
+  kColumnNotFound = 1204,
+
+  kResourceExhausted = 2001,
+  kOverloaded = 2002,
+  kTimeout = 2003,
+  kShuttingDown = 2004,
+
+  kUnimplemented = 2101,
+
+  kInternal = 2201,
+  kDataCorruption = 2202,
+
+  kWireFormat = 2301,
+  kConnectionClosed = 2302,
+};
+
+/// Canonical name of an error code, e.g. "TableNotFound"; "Unknown" for
+/// values outside the enum (a newer peer may send codes we don't know).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Validates a raw wire value: known codes map to themselves, anything
+/// else collapses to kInternal so decoders never materialize an
+/// out-of-enum value.
+ErrorCode ErrorCodeFromWire(uint16_t raw);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_ERROR_CODE_H_

@@ -1,0 +1,54 @@
+#include "fungusdb/error_code.h"
+
+namespace fungusdb {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kOutOfRange:
+      return "OutOfRange";
+    case ErrorCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case ErrorCode::kParseError:
+      return "ParseError";
+    case ErrorCode::kTypeMismatch:
+      return "TypeMismatch";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kAlreadyExists:
+      return "AlreadyExists";
+    case ErrorCode::kTableNotFound:
+      return "TableNotFound";
+    case ErrorCode::kColumnNotFound:
+      return "ColumnNotFound";
+    case ErrorCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case ErrorCode::kOverloaded:
+      return "Overloaded";
+    case ErrorCode::kTimeout:
+      return "Timeout";
+    case ErrorCode::kShuttingDown:
+      return "ShuttingDown";
+    case ErrorCode::kUnimplemented:
+      return "Unimplemented";
+    case ErrorCode::kInternal:
+      return "Internal";
+    case ErrorCode::kDataCorruption:
+      return "DataCorruption";
+    case ErrorCode::kWireFormat:
+      return "WireFormat";
+    case ErrorCode::kConnectionClosed:
+      return "ConnectionClosed";
+  }
+  return "Unknown";
+}
+
+ErrorCode ErrorCodeFromWire(uint16_t raw) {
+  const ErrorCode code = static_cast<ErrorCode>(raw);
+  return ErrorCodeName(code) == "Unknown" ? ErrorCode::kInternal : code;
+}
+
+}  // namespace fungusdb

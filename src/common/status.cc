@@ -28,8 +28,82 @@ std::string_view StatusCodeName(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+ErrorCode ErrorCodeForStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return ErrorCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return ErrorCode::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return ErrorCode::kAlreadyExists;
+    case StatusCode::kOutOfRange:
+      return ErrorCode::kOutOfRange;
+    case StatusCode::kFailedPrecondition:
+      return ErrorCode::kFailedPrecondition;
+    case StatusCode::kUnimplemented:
+      return ErrorCode::kUnimplemented;
+    case StatusCode::kInternal:
+      return ErrorCode::kInternal;
+    case StatusCode::kParseError:
+      return ErrorCode::kParseError;
+    case StatusCode::kTypeMismatch:
+      return ErrorCode::kTypeMismatch;
+    case StatusCode::kResourceExhausted:
+      return ErrorCode::kResourceExhausted;
+    case StatusCode::kUnavailable:
+      return ErrorCode::kOverloaded;
+    case StatusCode::kDeadlineExceeded:
+      return ErrorCode::kTimeout;
+  }
+  return ErrorCode::kInternal;
+}
+
+StatusCode StatusCodeForErrorCode(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return StatusCode::kOk;
+    case ErrorCode::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case ErrorCode::kOutOfRange:
+      return StatusCode::kOutOfRange;
+    case ErrorCode::kFailedPrecondition:
+      return StatusCode::kFailedPrecondition;
+    case ErrorCode::kParseError:
+    case ErrorCode::kWireFormat:
+      return StatusCode::kParseError;
+    case ErrorCode::kTypeMismatch:
+      return StatusCode::kTypeMismatch;
+    case ErrorCode::kNotFound:
+    case ErrorCode::kTableNotFound:
+    case ErrorCode::kColumnNotFound:
+      return StatusCode::kNotFound;
+    case ErrorCode::kAlreadyExists:
+      return StatusCode::kAlreadyExists;
+    case ErrorCode::kResourceExhausted:
+      return StatusCode::kResourceExhausted;
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kShuttingDown:
+    case ErrorCode::kConnectionClosed:
+      return StatusCode::kUnavailable;
+    case ErrorCode::kTimeout:
+      return StatusCode::kDeadlineExceeded;
+    case ErrorCode::kUnimplemented:
+      return StatusCode::kUnimplemented;
+    case ErrorCode::kInternal:
+    case ErrorCode::kDataCorruption:
+      return StatusCode::kInternal;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {
@@ -37,6 +111,14 @@ std::string Status::ToString() const {
   std::string out(StatusCodeName(code_));
   out += ": ";
   out += message_;
+  return out;
+}
+
+std::string Status::ErrorLabel() const {
+  std::string out = "E:";
+  out += std::to_string(static_cast<uint16_t>(error_code_));
+  out += ' ';
+  out += ErrorCodeName(error_code_);
   return out;
 }
 

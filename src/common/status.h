@@ -6,6 +6,8 @@
 #include <string_view>
 #include <utility>
 
+#include "fungusdb/error_code.h"
+
 namespace fungusdb {
 
 /// Error category carried by a non-OK Status.
@@ -21,10 +23,22 @@ enum class StatusCode {
   kParseError,
   kTypeMismatch,
   kResourceExhausted,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical name of a status code, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
+
+/// Default public error number for an in-process category (e.g.
+/// kNotFound -> ErrorCode::kNotFound). Call sites that know a more
+/// specific code (TableNotFound, Overloaded, ...) pass it explicitly.
+ErrorCode ErrorCodeForStatusCode(StatusCode code);
+
+/// Coarse category for a public error number — how a client
+/// reconstructs a Status from the wire (e.g. kTableNotFound ->
+/// kNotFound).
+StatusCode StatusCodeForErrorCode(ErrorCode code);
 
 /// Value-semantic error type used throughout FungusDB instead of
 /// exceptions. An OK status carries no message and no allocation.
@@ -41,7 +55,16 @@ class [[nodiscard]] Status {
   Status() : code_(StatusCode::kOk) {}
 
   Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
+      : code_(code),
+        error_code_(ErrorCodeForStatusCode(code)),
+        message_(std::move(message)) {}
+
+  /// Carries a specific public error number alongside the category.
+  /// Used by call sites whose failure has a stable wire identity
+  /// (TableNotFound, Overloaded, Timeout, ...).
+  Status(StatusCode code, ErrorCode error_code, std::string message)
+      : code_(code), error_code_(error_code),
+        message_(std::move(message)) {}
 
   Status(const Status&) = default;
   Status& operator=(const Status&) = default;
@@ -79,21 +102,74 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  // Factories with a specific public error number.
+  static Status TableNotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, ErrorCode::kTableNotFound,
+                  std::move(msg));
+  }
+  static Status ColumnNotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, ErrorCode::kColumnNotFound,
+                  std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kUnavailable, ErrorCode::kOverloaded,
+                  std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, ErrorCode::kTimeout,
+                  std::move(msg));
+  }
+  static Status ShuttingDown(std::string msg) {
+    return Status(StatusCode::kUnavailable, ErrorCode::kShuttingDown,
+                  std::move(msg));
+  }
+  static Status WireFormat(std::string msg) {
+    return Status(StatusCode::kParseError, ErrorCode::kWireFormat,
+                  std::move(msg));
+  }
+  static Status ConnectionClosed(std::string msg) {
+    return Status(StatusCode::kUnavailable, ErrorCode::kConnectionClosed,
+                  std::move(msg));
+  }
+
+  /// Rebuilds the status a server sent over the wire: the category is
+  /// derived from the public error number.
+  static Status FromWire(ErrorCode error_code, std::string msg) {
+    return Status(StatusCodeForErrorCode(error_code), error_code,
+                  std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+
+  /// Stable public error number (ErrorCode::kOk for an OK status).
+  ErrorCode error_code() const { return error_code_; }
+
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// "E:<number> <ErrorCodeName>", e.g. "E:1203 TableNotFound" — the
+  /// client-facing rendering fungusql and fungusd prepend to messages.
+  std::string ErrorLabel() const;
+
  private:
   StatusCode code_;
+  ErrorCode error_code_ = ErrorCode::kOk;
   std::string message_;
 };
 
 inline bool operator==(const Status& a, const Status& b) {
-  return a.code() == b.code() && a.message() == b.message();
+  return a.code() == b.code() && a.error_code() == b.error_code() &&
+         a.message() == b.message();
 }
 
 std::ostream& operator<<(std::ostream& os, const Status& status);

@@ -50,8 +50,9 @@ Database::Database(DatabaseOptions options)
   }
 }
 
-Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
-                                     TableOptions table_options) {
+Result<TableHandle> Database::CreateTable(const std::string& name,
+                                          Schema schema,
+                                          TableOptions table_options) {
   if (name.empty()) {
     return Status::InvalidArgument("table name must not be empty");
   }
@@ -62,20 +63,25 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
       std::make_unique<Table>(name, std::move(schema), table_options);
   Table* raw = table.get();
   tables_.emplace(name, std::move(table));
-  return raw;
+  return TableHandle(raw);
 }
 
-Result<Table*> Database::GetTable(const std::string& name) {
+Result<TableHandle> Database::GetTable(const std::string& name) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(name));
+  return TableHandle(table);
+}
+
+Result<Table*> Database::GetTableInternal(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
-    return Status::NotFound("no table named '" + name + "'");
+    return Status::TableNotFound("no table named '" + name + "'");
   }
   return it->second.get();
 }
 
 Status Database::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) {
-    return Status::NotFound("no table named '" + name + "'");
+    return Status::TableNotFound("no table named '" + name + "'");
   }
   return Status::OK();
 }
@@ -90,7 +96,7 @@ std::vector<std::string> Database::TableNames() const {
 Result<DecayScheduler::AttachmentId> Database::AttachFungus(
     const std::string& table_name, std::unique_ptr<Fungus> fungus,
     Duration period) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
   return scheduler_.Attach(table, std::move(fungus), period, clock_.Now());
 }
 
@@ -108,7 +114,7 @@ Result<uint64_t> Database::AdvanceTime(Duration d) {
 
 Result<RowId> Database::Insert(const std::string& table_name,
                                const std::vector<Value>& values) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(RowId row, table->Append(values, clock_.Now()));
   metrics_.IncrementCounter("ingest.rows");
   return row;
@@ -117,7 +123,7 @@ Result<RowId> Database::Insert(const std::string& table_name,
 Result<uint64_t> Database::Ingest(const std::string& table_name,
                                   RecordSource& source,
                                   uint64_t max_records) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(
       uint64_t n, ingestor_.IngestBatch(source, *table, max_records));
   metrics_.IncrementCounter("ingest.rows", static_cast<int64_t>(n));
@@ -128,7 +134,7 @@ Result<uint64_t> Database::IngestPaced(const std::string& table_name,
                                        RecordSource& source,
                                        uint64_t max_records,
                                        Duration inter_arrival) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
   // Interleave decay with ingestion so fungi tick close to their due
   // times instead of replaying a long backlog after the batch.
   constexpr uint64_t kChunk = 256;
@@ -152,8 +158,24 @@ Result<ResultSet> Database::ExecuteSql(std::string_view sql) {
   return Execute(query);
 }
 
+std::vector<Result<ResultSet>> Database::ExecuteBatch(
+    std::span<const std::string_view> statements) {
+  std::vector<Result<ResultSet>> results;
+  results.reserve(statements.size());
+  for (std::string_view statement : statements) {
+    results.push_back(ExecuteSql(statement));
+  }
+  return results;
+}
+
+std::vector<Result<ResultSet>> Database::ExecuteBatch(
+    std::span<const std::string> statements) {
+  std::vector<std::string_view> views(statements.begin(), statements.end());
+  return ExecuteBatch(std::span<const std::string_view>(views));
+}
+
 Result<ResultSet> Database::Execute(const Query& query) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTable(query.table_name));
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(query.table_name));
   metrics_.IncrementCounter("query.executed");
   if (query.consuming) metrics_.IncrementCounter("query.consuming");
   return engine_.Execute(query, *table, clock_.Now());
@@ -161,7 +183,8 @@ Result<ResultSet> Database::Execute(const Query& query) {
 
 Status Database::AddCookSpec(CookSpec spec) {
   if (tables_.count(spec.table_name) == 0) {
-    return Status::NotFound("no table named '" + spec.table_name + "'");
+    return Status::TableNotFound("no table named '" + spec.table_name +
+                                 "'");
   }
   return kitchen_.AddSpec(std::move(spec));
 }

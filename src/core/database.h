@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/table_handle.h"
 #include "fungus/fungus.h"
 #include "fungus/scheduler.h"
 #include "pipeline/ingestor.h"
@@ -72,7 +74,7 @@ struct HealthReport {
 /// Typical use:
 ///
 ///   Database db;
-///   Table* t = db.CreateTable("readings", schema).value();
+///   TableHandle t = db.CreateTable("readings", schema).value();
 ///   db.AttachFungus("readings",
 ///                   std::make_unique<RetentionFungus>(7 * kDay),
 ///                   /*period=*/kHour).value();
@@ -90,11 +92,18 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   // --- Tables. ---
-  Result<Table*> CreateTable(const std::string& name, Schema schema,
-                             TableOptions table_options = {});
-  Result<Table*> GetTable(const std::string& name);
+  Result<TableHandle> CreateTable(const std::string& name, Schema schema,
+                                  TableOptions table_options = {});
+  Result<TableHandle> GetTable(const std::string& name);
   Status DropTable(const std::string& name);
   std::vector<std::string> TableNames() const;
+
+  /// DEPRECATED — escape hatch returning the mutable table. Kept for
+  /// tests and for in-process infrastructure that bypasses the facade
+  /// by design (persistence, verification). New code takes a
+  /// TableHandle from CreateTable/GetTable instead; this will go away
+  /// once the remaining callers migrate.
+  Result<Table*> GetTableInternal(const std::string& name);
 
   // --- Decay (the first natural law). ---
 
@@ -132,6 +141,15 @@ class Database {
 
   /// Parses and executes one statement of the FungusDB dialect.
   Result<ResultSet> ExecuteSql(std::string_view sql);
+
+  /// Executes a batch of statements in order, one Result per statement.
+  /// A failed statement does not stop the batch — later statements
+  /// still run. This is the server's pipelining primitive and the
+  /// engine behind multi-statement fungusql lines.
+  std::vector<Result<ResultSet>> ExecuteBatch(
+      std::span<const std::string_view> statements);
+  std::vector<Result<ResultSet>> ExecuteBatch(
+      std::span<const std::string> statements);
 
   /// Executes a programmatic query.
   Result<ResultSet> Execute(const Query& query);

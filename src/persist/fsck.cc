@@ -67,7 +67,7 @@ Result<SnapshotAudit> AuditSnapshotFile(const std::string& path) {
   audit.fsck = db->Fsck();
   for (const std::string& name : db->TableNames()) {
     ++audit.tables;
-    audit.live_rows += db->GetTable(name).value()->live_rows();
+    audit.live_rows += db->GetTable(name).value().live_rows();
   }
   return audit;
 }
@@ -89,8 +89,8 @@ verify::Report CompareDatabases(Database& expected, Database& actual) {
   }
   for (const std::string& name : expected_names) {
     ++report.tables_checked;
-    Table* a = expected.GetTable(name).value();
-    Result<Table*> b_result = actual.GetTable(name);
+    Table* a = expected.GetTableInternal(name).value();
+    Result<Table*> b_result = actual.GetTableInternal(name);
     if (!b_result.ok()) {
       report.violations.push_back(
           Divergence(name, -1, "table missing from the replayed state"));

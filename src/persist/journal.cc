@@ -193,10 +193,9 @@ Result<std::unique_ptr<JournaledDatabase>> JournaledDatabase::Open(
       new JournaledDatabase(options, std::move(journal)));
 }
 
-Result<Table*> JournaledDatabase::CreateTable(const std::string& name,
-                                              Schema schema,
-                                              TableOptions table_options) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table,
+Result<TableHandle> JournaledDatabase::CreateTable(
+    const std::string& name, Schema schema, TableOptions table_options) {
+  FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table,
                             db_.CreateTable(name, schema, table_options));
   JournalEntry entry;
   entry.kind = JournalEntry::Kind::kCreateTable;

@@ -111,8 +111,8 @@ class JournaledDatabase {
 
   Database& db() { return db_; }
 
-  Result<Table*> CreateTable(const std::string& name, Schema schema,
-                             TableOptions table_options = {});
+  Result<TableHandle> CreateTable(const std::string& name, Schema schema,
+                                  TableOptions table_options = {});
   Status DropTable(const std::string& name);
   Result<RowId> Insert(const std::string& table_name,
                        const std::vector<Value>& values);

@@ -76,7 +76,7 @@ void SerializeDatabase(Database& db, BufferWriter& out) {
   const std::vector<std::string> names = db.TableNames();
   out.WriteU64(names.size());
   for (const std::string& name : names) {
-    SerializeTable(*db.GetTable(name).value(), out);
+    SerializeTable(*db.GetTableInternal(name).value(), out);
   }
   db.cellar().Serialize(out);
 }
@@ -101,9 +101,11 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(BufferReader& in) {
   FUNGUSDB_ASSIGN_OR_RETURN(uint64_t num_tables, in.ReadU64());
   for (uint64_t i = 0; i < num_tables; ++i) {
     FUNGUSDB_ASSIGN_OR_RETURN(Table loaded, DeserializeTable(in));
-    FUNGUSDB_ASSIGN_OR_RETURN(
-        Table * created,
-        db->CreateTable(loaded.name(), loaded.schema(), loaded.options()));
+    FUNGUSDB_RETURN_IF_ERROR(
+        db->CreateTable(loaded.name(), loaded.schema(), loaded.options())
+            .status());
+    FUNGUSDB_ASSIGN_OR_RETURN(Table * created,
+                              db->GetTableInternal(loaded.name()));
     // Move the loaded contents into the database-owned table by
     // replaying its live rows (Table is move-only but the database owns
     // its tables; replay keeps the ownership story simple).

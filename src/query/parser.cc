@@ -403,4 +403,20 @@ Result<ExprPtr> ParseExpression(std::string_view text) {
   return parser.ParseBareExpression();
 }
 
+std::vector<std::string_view> SplitStatements(std::string_view script) {
+  std::vector<std::string_view> statements;
+  size_t start = 0;
+  bool in_string = false;
+  for (size_t i = 0; i <= script.size(); ++i) {
+    const bool at_end = i == script.size();
+    if (!at_end && script[i] == '\'') in_string = !in_string;
+    if (!at_end && (script[i] != ';' || in_string)) continue;
+    const std::string_view piece =
+        StripWhitespace(script.substr(start, i - start));
+    if (!piece.empty()) statements.push_back(piece);
+    start = i + 1;
+  }
+  return statements;
+}
+
 }  // namespace fungusdb

@@ -1,0 +1,68 @@
+#include "query/result_set_serde.h"
+
+#include "storage/value_serde.h"
+
+namespace fungusdb {
+namespace {
+
+// A decoded answer may not claim more columns than any sane query
+// produces; rows are bounded by the payload size itself (every row
+// costs at least one byte per column).
+constexpr uint64_t kMaxColumns = 1u << 16;
+
+}  // namespace
+
+void SerializeResultSet(const ResultSet& result, BufferWriter& out) {
+  out.WriteU32(static_cast<uint32_t>(result.column_names.size()));
+  for (const std::string& name : result.column_names) {
+    out.WriteString(name);
+  }
+  out.WriteU64(result.rows.size());
+  for (const std::vector<Value>& row : result.rows) {
+    for (const Value& value : row) WriteValue(out, value);
+  }
+  out.WriteU64(result.stats.rows_scanned);
+  out.WriteU64(result.stats.rows_matched);
+  out.WriteU64(result.stats.rows_consumed);
+}
+
+Result<ResultSet> DeserializeResultSet(BufferReader& in) {
+  ResultSet result;
+  FUNGUSDB_ASSIGN_OR_RETURN(uint32_t num_columns, in.ReadU32());
+  if (num_columns > kMaxColumns) {
+    return Status::WireFormat("result set claims " +
+                              std::to_string(num_columns) + " columns");
+  }
+  result.column_names.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    FUNGUSDB_ASSIGN_OR_RETURN(std::string name, in.ReadString());
+    result.column_names.push_back(std::move(name));
+  }
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t num_rows, in.ReadU64());
+  // Every encoded value is at least one tag byte, so a row count the
+  // remaining bytes cannot hold is corrupt — reject before reserving.
+  if (num_columns == 0 && num_rows != 0) {
+    return Status::WireFormat("result set has rows but no columns");
+  }
+  if (num_columns > 0 && num_rows > in.remaining() / num_columns) {
+    return Status::WireFormat("result set claims " +
+                              std::to_string(num_rows) +
+                              " rows but the payload is smaller");
+  }
+  result.rows.reserve(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      FUNGUSDB_ASSIGN_OR_RETURN(Value value, ReadValue(in));
+      row.push_back(std::move(value));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  FUNGUSDB_ASSIGN_OR_RETURN(result.stats.rows_scanned, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(result.stats.rows_matched, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(result.stats.rows_consumed, in.ReadU64());
+  return result;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,24 @@
+#ifndef FUNGUSDB_QUERY_RESULT_SET_SERDE_H_
+#define FUNGUSDB_QUERY_RESULT_SET_SERDE_H_
+
+#include "common/buffer_io.h"
+#include "common/result.h"
+#include "query/result_set.h"
+
+namespace fungusdb {
+
+/// Binary encoding of a query answer for the wire protocol: column
+/// names, row-major values (storage/value_serde encoding), and the
+/// execution statistics. The layout is covered by the frozen-format
+/// tests in tests/server/wire_format_test.cc — changing it requires a
+/// wire protocol version bump.
+void SerializeResultSet(const ResultSet& result, BufferWriter& out);
+
+/// Decodes a result set written by SerializeResultSet(). All reads are
+/// bounds-checked; truncation and absurd counts surface as Status
+/// errors, never as unbounded allocation.
+Result<ResultSet> DeserializeResultSet(BufferReader& in);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_QUERY_RESULT_SET_SERDE_H_

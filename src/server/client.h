@@ -1,0 +1,52 @@
+#ifndef FUNGUSDB_SERVER_CLIENT_H_
+#define FUNGUSDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "query/result_set.h"
+#include "server/socket.h"
+
+namespace fungusdb::server {
+
+/// Small blocking client for the fungusd wire protocol — one
+/// connection, strict request/response lockstep. Used by
+/// `fungusql --connect` and the server tests; NOT thread-safe (wrap one
+/// Client per thread, the server handles concurrency on its side).
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  /// Parses "host:port" (or ":port" / "port" for localhost).
+  static Result<Client> ConnectSpec(std::string_view spec);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Executes a batch of statements in order on the server; one Result
+  /// per statement (a failed statement does not stop the batch).
+  /// `deadline_micros` is the server-side budget (0 = none): statements
+  /// still queued past it come back as E:2003 Timeout.
+  Result<std::vector<Result<ResultSet>>> Execute(
+      const std::vector<std::string>& statements,
+      uint64_t deadline_micros = 0);
+
+  /// Single-statement convenience; unwraps the one result.
+  Result<ResultSet> ExecuteOne(std::string_view statement,
+                               uint64_t deadline_micros = 0);
+
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit Client(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  UniqueFd fd_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace fungusdb::server
+
+#endif  // FUNGUSDB_SERVER_CLIENT_H_

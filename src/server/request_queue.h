@@ -1,0 +1,98 @@
+#ifndef FUNGUSDB_SERVER_REQUEST_QUEUE_H_
+#define FUNGUSDB_SERVER_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace fungusdb::server {
+
+/// Bounded multi-producer single-consumer queue between the connection
+/// threads (producers) and the executor thread (consumer).
+///
+/// Backpressure is explicit: TryPush never blocks and never grows the
+/// queue past its capacity — a full queue is the caller's signal to
+/// answer kOverloaded. That is the server's whole admission-control
+/// story, so the failure mode under load is a typed error on the wire
+/// instead of unbounded memory growth or a silent drop.
+///
+/// Close() wakes the consumer; items already queued still drain (a
+/// request we accepted is a request we answer), and Pop returns
+/// nullopt only once the queue is both closed and empty.
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// False when the queue is full or closed — callers map both to a
+  /// typed refusal (kOverloaded / kShuttingDown).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > depth_high_water_) {
+        depth_high_water_ = items_.size();
+      }
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND
+  /// drained; nullopt means the consumer should exit.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission. Idempotent; queued items still drain.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Deepest the queue has ever been — exported as the
+  /// fungusdb.server.queue_depth_high_water gauge.
+  size_t depth_high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_high_water_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  size_t depth_high_water_ = 0;
+};
+
+}  // namespace fungusdb::server
+
+#endif  // FUNGUSDB_SERVER_REQUEST_QUEUE_H_

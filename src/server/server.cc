@@ -1,0 +1,370 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "persist/snapshot.h"
+#include "pipeline/csv.h"
+#include "storage/schema.h"
+
+namespace fungusdb::server {
+namespace {
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::istringstream stream(line);
+  std::vector<std::string> out;
+  std::string token;
+  while (stream >> token) out.push_back(token);
+  return out;
+}
+
+/// Meta-command output travels as an ordinary single-column ResultSet
+/// so the wire protocol has exactly one response shape.
+ResultSet TextResult(std::string column, std::string text) {
+  ResultSet rs;
+  rs.column_names.push_back(std::move(column));
+  rs.rows.push_back({Value::String(std::move(text))});
+  return rs;
+}
+
+}  // namespace
+
+Server::Server(std::unique_ptr<Database> db, ServerOptions options)
+    : db_(std::move(db)),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      latency_sketch_(/*lo=*/0.0, /*hi=*/1e7, /*buckets=*/64) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  FUNGUSDB_ASSIGN_OR_RETURN(listener_,
+                            ListenTcp(options_.host, options_.port));
+  FUNGUSDB_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
+  executor_ = std::thread([this] { ExecutorLoop(); });
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_ || !started_) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+
+  // 1. Stop the intake: unblock accept(), join the acceptor.
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. Close admission. Requests already admitted still drain — the
+  //    executor answers every one of them before exiting.
+  queue_.Close();
+  if (executor_.joinable()) executor_.join();
+
+  // 3. Every promise is now fulfilled, so connection threads are back
+  //    in (or heading to) ReadFrame; unblock them and join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::map<uint64_t, Connection>::node_type node;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      node = conns_.extract(conns_.begin());
+    }
+    if (node.mapped().thread.joinable()) node.mapped().thread.join();
+  }
+
+  listener_.Reset();
+  db_->metrics().SetGauge("fungusdb.server.connections_active", 0);
+  db_->metrics().SetGauge("fungusdb.server.queue_depth_high_water",
+                          static_cast<double>(queue_.depth_high_water()));
+
+  // 4. All threads are gone; the database is ours again. Persist it.
+  if (!options_.snapshot_path.empty()) {
+    const Status saved =
+        SaveDatabaseSnapshot(*db_, options_.snapshot_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "fungusd: snapshot on shutdown failed: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+}
+
+void Server::ReapFinishedConnections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->second.done) {
+        finished.push_back(std::move(it->second.thread));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : finished) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  MetricsRegistry& metrics = db_->metrics();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    UniqueFd conn(::accept(listener_.get(), nullptr, nullptr));
+    if (!conn.valid()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // EINTR / transient accept failure
+    }
+    metrics.IncrementCounter("fungusdb.server.connections_accepted");
+    ReapFinishedConnections();
+
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (conns_.size() >= options_.max_connections) {
+      // Admission control for connections: a clean immediate EOF (the
+      // UniqueFd destructor) — the client sees ConnectionClosed, not a
+      // hang. Request-level overload gets the typed kOverloaded answer.
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    Connection& slot = conns_[id];
+    slot.fd = conn.Release();
+    metrics.SetGauge("fungusdb.server.connections_active",
+                     static_cast<double>(conns_.size()));
+    const int fd = slot.fd;
+    slot.thread = std::thread([this, id, fd] { ServeConnection(id, fd); });
+  }
+}
+
+void Server::ServeConnection(uint64_t conn_id, int fd) {
+  UniqueFd owned(fd);
+  MetricsRegistry& metrics = db_->metrics();
+  while (true) {
+    Result<Frame> frame_or = ReadFrame(owned.get());
+    if (!frame_or.ok()) break;  // hangup or torn framing: drop
+    const Frame& frame = frame_or.value();
+    if (frame.header.type != FrameType::kStatementRequest) {
+      break;  // a client sending response frames is not speaking v1
+    }
+    Result<StatementRequest> request_or =
+        DecodeStatementRequest(frame.payload);
+    if (!request_or.ok()) {
+      // Framing was intact but the payload was not — answer with the
+      // decode error (request id unknown, so 0), then drop: the byte
+      // stream can no longer be trusted.
+      StatementResponse response;
+      response.results.push_back(request_or.status());
+      const Status answered =
+          WriteFrame(owned.get(), FrameType::kStatementResponse,
+                     EncodeStatementResponse(response));
+      (void)answered;  // best effort: the connection is dropped either way
+      break;
+    }
+    StatementRequest request = std::move(request_or).value();
+    metrics.IncrementCounter("fungusdb.server.requests_total");
+
+    PendingRequest pending;
+    // A budget too large for steady_clock arithmetic is no budget.
+    pending.has_deadline =
+        request.deadline_micros != 0 &&
+        request.deadline_micros <= static_cast<uint64_t>(INT64_MAX / 2);
+    pending.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            pending.has_deadline ? request.deadline_micros : 0);
+    const uint64_t request_id = request.request_id;
+    const size_t num_statements = request.statements.size();
+    pending.request = std::move(request);
+    std::future<std::vector<Result<ResultSet>>> reply =
+        pending.reply.get_future();
+
+    StatementResponse response;
+    response.request_id = request_id;
+    if (queue_.TryPush(std::move(pending))) {
+      response.results = reply.get();
+    } else {
+      // Typed refusal — never an OOM, never a silent drop.
+      const Status refusal =
+          queue_.closed()
+              ? Status::ShuttingDown("server is draining; retry elsewhere")
+              : Status::Overloaded("request queue is full; retry later");
+      metrics.IncrementCounter(queue_.closed()
+                                   ? "fungusdb.server.requests_shutdown"
+                                   : "fungusdb.server.requests_overloaded");
+      for (size_t i = 0; i < num_statements; ++i) {
+        response.results.push_back(refusal);
+      }
+    }
+    const Status sent = WriteFrame(owned.get(), FrameType::kStatementResponse,
+                                   EncodeStatementResponse(response));
+    if (!sent.ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.find(conn_id);
+  if (it != conns_.end()) {
+    it->second.done = true;
+    it->second.fd = -1;  // about to close; Stop() must not shut it down
+  }
+  size_t active = 0;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn.done) ++active;
+  }
+  metrics.SetGauge("fungusdb.server.connections_active",
+                   static_cast<double>(active));
+}
+
+void Server::ExecutorLoop() {
+  MetricsRegistry& metrics = db_->metrics();
+  while (std::optional<PendingRequest> item = queue_.Pop()) {
+    PendingRequest pending = std::move(*item);
+    metrics.SetGauge("fungusdb.server.queue_depth_high_water",
+                     static_cast<double>(queue_.depth_high_water()));
+    std::vector<Result<ResultSet>> results;
+    results.reserve(pending.request.statements.size());
+    bool timed_out = false;
+    for (const std::string& statement : pending.request.statements) {
+      // The deadline is re-checked per statement, so a long batch that
+      // blows its budget mid-way stops burning executor time.
+      if (pending.has_deadline &&
+          std::chrono::steady_clock::now() >= pending.deadline) {
+        if (!timed_out) {
+          metrics.IncrementCounter("fungusdb.server.requests_timeout");
+          timed_out = true;
+        }
+        results.push_back(
+            Status::Timeout("deadline exceeded before execution"));
+        continue;
+      }
+      const auto started = std::chrono::steady_clock::now();
+      results.push_back(ExecuteStatement(statement));
+      const auto micros =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      metrics.IncrementCounter("fungusdb.server.statements_total");
+      metrics.RecordHistogram("fungusdb.server.statement_latency_us",
+                              micros);
+      latency_sketch_.Observe(Value::Float64(static_cast<double>(micros)));
+    }
+    pending.reply.set_value(std::move(results));
+  }
+}
+
+Result<ResultSet> Server::ExecuteStatement(const std::string& statement) {
+  const std::string trimmed(StripWhitespace(statement));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty statement");
+  }
+  if (trimmed[0] == '\\') return ExecuteMeta(trimmed);
+  return db_->ExecuteSql(trimmed);
+}
+
+Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
+  const std::vector<std::string> args = Tokens(line);
+  const std::string& cmd = args[0];
+  if (cmd == "\\health") {
+    return TextResult("health", db_->Health().ToString());
+  }
+  if (cmd == "\\now") {
+    return TextResult("now", FormatDuration(db_->Now()));
+  }
+  if (cmd == "\\metrics") {
+    return TextResult("metrics", db_->metrics().Report() +
+                                     "fungusdb.server.statement_latency = " +
+                                     latency_sketch_.Describe() + "\n");
+  }
+  if (cmd == "\\fsck") {
+    const verify::Report report = db_->Fsck();
+    FUNGUSDB_RETURN_IF_ERROR(report.ToStatus());
+    return TextResult("fsck", report.ToString());
+  }
+  if (cmd == "\\tables") {
+    ResultSet rs;
+    rs.column_names = {"table", "schema", "live_rows"};
+    for (const std::string& name : db_->TableNames()) {
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle t, db_->GetTable(name));
+      rs.rows.push_back({Value::String(name),
+                         Value::String(t.schema().ToString()),
+                         Value::Int64(static_cast<int64_t>(t.live_rows()))});
+    }
+    return rs;
+  }
+  if (cmd == "\\advance") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: \\advance <duration>");
+    }
+    FUNGUSDB_ASSIGN_OR_RETURN(Duration d, ParseDuration(args[1]));
+    FUNGUSDB_ASSIGN_OR_RETURN(uint64_t ticks, db_->AdvanceTime(d));
+    ResultSet rs;
+    rs.column_names = {"now", "ticks"};
+    rs.rows.push_back({Value::String(FormatDuration(db_->Now())),
+                       Value::Int64(static_cast<int64_t>(ticks))});
+    return rs;
+  }
+  if (cmd == "\\create") {
+    if (args.size() < 3) {
+      return Status::InvalidArgument(
+          "usage: \\create <name> (<col> <type> [null], ...)");
+    }
+    // Search after the command token — the table name may be a
+    // substring of "\create" itself (e.g. a table called "c").
+    const size_t name_end =
+        line.find(args[1], cmd.size()) + args[1].size();
+    FUNGUSDB_ASSIGN_OR_RETURN(Schema schema,
+                              Schema::Parse(line.substr(name_end)));
+    FUNGUSDB_RETURN_IF_ERROR(
+        db_->CreateTable(args[1], std::move(schema)).status());
+    return TextResult("created", args[1]);
+  }
+  if (cmd == "\\insert") {
+    if (args.size() < 3) {
+      return Status::InvalidArgument(
+          "usage: \\insert <table> <csv fields>");
+    }
+    FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(args[1]));
+    const size_t name_end =
+        line.find(args[1], cmd.size()) + args[1].size();
+    const std::string csv(StripWhitespace(line.substr(name_end)));
+    const std::vector<std::string> fields = SplitCsvLine(csv, ',');
+    const Schema& schema = table.schema();
+    if (fields.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "expected " + std::to_string(schema.num_fields()) +
+          " fields, got " + std::to_string(fields.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const Field& field = schema.fields()[i];
+      FUNGUSDB_ASSIGN_OR_RETURN(
+          Value value,
+          ParseCsvField(fields[i], field.type, field.nullable));
+      values.push_back(std::move(value));
+    }
+    FUNGUSDB_ASSIGN_OR_RETURN(RowId row, db_->Insert(args[1], values));
+    ResultSet rs;
+    rs.column_names = {"row_id"};
+    rs.rows.push_back({Value::Int64(static_cast<int64_t>(row))});
+    return rs;
+  }
+  return Status::InvalidArgument(
+      "unknown server command " + cmd +
+      " (remote subset: \\health \\now \\metrics \\fsck \\tables "
+      "\\advance \\create \\insert)");
+}
+
+}  // namespace fungusdb::server

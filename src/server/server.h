@@ -1,0 +1,129 @@
+#ifndef FUNGUSDB_SERVER_SERVER_H_
+#define FUNGUSDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "server/request_queue.h"
+#include "server/socket.h"
+#include "server/wire_format.h"
+#include "summary/histogram_sketch.h"
+
+namespace fungusdb::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port().
+  uint16_t port = 0;
+  /// Requests admitted but not yet executed. A full queue answers
+  /// kOverloaded — the server's only backpressure mechanism, by design.
+  size_t queue_capacity = 128;
+  /// Simultaneous connections; excess connects are accepted and
+  /// immediately closed so clients see a clean EOF, not a hang.
+  size_t max_connections = 256;
+  /// When non-empty, Stop() snapshots the database here after draining
+  /// in-flight requests (the SIGTERM contract).
+  std::string snapshot_path;
+};
+
+/// fungusd's engine room: a TCP front-end over one Database.
+///
+/// Threading model — one connection thread per client decodes frames
+/// and pushes requests into a bounded MPSC queue; a SINGLE executor
+/// thread pops and runs them against the Database. The Database stays
+/// single-threaded exactly as its contract requires: between Start()
+/// and the end of Stop(), only the executor touches it. Connection
+/// threads block on a per-request future for the answer, which also
+/// serializes each connection's request/response exchange.
+///
+/// Overload answers E:2002 kOverloaded (typed, never a silent drop),
+/// expired deadlines answer E:2003 kTimeout, and a stopping server
+/// answers E:2004 kShuttingDown. Stop() drains every admitted request,
+/// then snapshots (if configured) — an accepted request is always
+/// answered.
+///
+/// Exported metrics (on the Database's registry, all prefixed
+/// fungusdb.server.): connections_accepted, connections_active,
+/// requests_total, requests_overloaded, requests_timeout,
+/// statements_total, queue_depth_high_water, statement_latency_us.
+class Server {
+ public:
+  /// Takes ownership of a (possibly pre-populated) database.
+  explicit Server(std::unique_ptr<Database> db, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + executor threads.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, drain the queue, join every
+  /// thread, then snapshot. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (valid after Start(), also with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// The owned database. Only safe to touch before Start() (seeding)
+  /// or after Stop() returns (inspection) — in between it belongs to
+  /// the executor thread.
+  Database& database() { return *db_; }
+
+ private:
+  struct PendingRequest {
+    StatementRequest request;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<std::vector<Result<ResultSet>>> reply;
+  };
+
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(uint64_t conn_id, int fd);
+  void ExecutorLoop();
+
+  /// Executor-thread only. Dispatches SQL vs the remote meta subset.
+  Result<ResultSet> ExecuteStatement(const std::string& statement);
+  Result<ResultSet> ExecuteMeta(const std::string& line);
+
+  /// Joins connections whose threads have finished (acceptor thread).
+  void ReapFinishedConnections();
+
+  std::unique_ptr<Database> db_;
+  ServerOptions options_;
+  RequestQueue<PendingRequest> queue_;
+  HistogramSketch latency_sketch_;
+
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::thread executor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+
+  std::mutex conns_mu_;
+  std::map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 0;
+};
+
+}  // namespace fungusdb::server
+
+#endif  // FUNGUSDB_SERVER_SERVER_H_

@@ -1,0 +1,175 @@
+#include "server/wire_format.h"
+
+#include "common/status.h"
+#include "query/result_set_serde.h"
+#include "server/socket.h"
+
+namespace fungusdb::server {
+namespace {
+
+// A request may not claim more statements than a payload of maximum
+// size could possibly hold (each statement costs at least a u64 length
+// prefix), and no single decoded count may trigger unbounded reserve.
+constexpr uint64_t kMaxStatementsPerRequest = 1u << 16;
+
+}  // namespace
+
+std::string EncodeStatementRequest(const StatementRequest& request) {
+  BufferWriter out;
+  out.WriteU64(request.request_id);
+  out.WriteU64(request.deadline_micros);
+  out.WriteU32(static_cast<uint32_t>(request.statements.size()));
+  for (const std::string& statement : request.statements) {
+    out.WriteString(statement);
+  }
+  return out.Release();
+}
+
+Result<StatementRequest> DecodeStatementRequest(std::string_view payload) {
+  BufferReader in(payload);
+  StatementRequest request;
+  FUNGUSDB_ASSIGN_OR_RETURN(request.request_id, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(request.deadline_micros, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint32_t count, in.ReadU32());
+  if (count > kMaxStatementsPerRequest) {
+    return Status::WireFormat("request claims " + std::to_string(count) +
+                              " statements");
+  }
+  request.statements.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(std::string statement, in.ReadString());
+    request.statements.push_back(std::move(statement));
+  }
+  if (!in.exhausted()) {
+    return Status::WireFormat("trailing bytes after statement request");
+  }
+  return request;
+}
+
+std::string EncodeStatementResponse(const StatementResponse& response) {
+  BufferWriter out;
+  out.WriteU64(response.request_id);
+  out.WriteU32(static_cast<uint32_t>(response.results.size()));
+  for (const Result<ResultSet>& result : response.results) {
+    if (result.ok()) {
+      out.WriteU8(1);
+      SerializeResultSet(result.value(), out);
+    } else {
+      out.WriteU8(0);
+      out.WriteU32(
+          static_cast<uint16_t>(result.status().error_code()));
+      out.WriteString(result.status().message());
+    }
+  }
+  return out.Release();
+}
+
+Result<StatementResponse> DecodeStatementResponse(
+    std::string_view payload) {
+  BufferReader in(payload);
+  StatementResponse response;
+  FUNGUSDB_ASSIGN_OR_RETURN(response.request_id, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint32_t count, in.ReadU32());
+  if (count > kMaxStatementsPerRequest) {
+    return Status::WireFormat("response claims " + std::to_string(count) +
+                              " results");
+  }
+  response.results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(uint8_t ok, in.ReadU8());
+    if (ok == 1) {
+      FUNGUSDB_ASSIGN_OR_RETURN(ResultSet result,
+                                DeserializeResultSet(in));
+      response.results.push_back(std::move(result));
+    } else if (ok == 0) {
+      FUNGUSDB_ASSIGN_OR_RETURN(uint32_t raw_code, in.ReadU32());
+      FUNGUSDB_ASSIGN_OR_RETURN(std::string message, in.ReadString());
+      if (raw_code > UINT16_MAX) {
+        return Status::WireFormat("error code out of range");
+      }
+      response.results.push_back(Status::FromWire(
+          ErrorCodeFromWire(static_cast<uint16_t>(raw_code)),
+          std::move(message)));
+    } else {
+      return Status::WireFormat("bad result discriminator " +
+                                std::to_string(ok));
+    }
+  }
+  if (!in.exhausted()) {
+    return Status::WireFormat("trailing bytes after statement response");
+  }
+  return response;
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  BufferWriter out;
+  out.WriteU32(kWireMagic);
+  out.WriteU32(static_cast<uint32_t>(kWireVersion) |
+               (static_cast<uint32_t>(type) << 16));
+  out.WriteU32(static_cast<uint32_t>(payload.size()));
+  std::string frame = out.Release();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes) {
+  if (bytes.size() != kFrameHeaderBytes) {
+    return Status::WireFormat("frame header must be " +
+                              std::to_string(kFrameHeaderBytes) +
+                              " bytes, got " +
+                              std::to_string(bytes.size()));
+  }
+  BufferReader in(bytes);
+  FUNGUSDB_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
+  if (magic != kWireMagic) {
+    return Status::WireFormat("bad magic (not a FungusDB peer?)");
+  }
+  FUNGUSDB_ASSIGN_OR_RETURN(uint32_t version_and_type, in.ReadU32());
+  FrameHeader header;
+  header.version = static_cast<uint16_t>(version_and_type & 0xffff);
+  if (header.version != kWireVersion) {
+    return Status::WireFormat("unsupported protocol version " +
+                              std::to_string(header.version));
+  }
+  const uint16_t raw_type =
+      static_cast<uint16_t>(version_and_type >> 16);
+  if (raw_type != static_cast<uint16_t>(FrameType::kStatementRequest) &&
+      raw_type != static_cast<uint16_t>(FrameType::kStatementResponse)) {
+    return Status::WireFormat("unknown frame type " +
+                              std::to_string(raw_type));
+  }
+  header.type = static_cast<FrameType>(raw_type);
+  FUNGUSDB_ASSIGN_OR_RETURN(header.payload_size, in.ReadU32());
+  if (header.payload_size > kMaxPayloadBytes) {
+    return Status::WireFormat("frame payload of " +
+                              std::to_string(header.payload_size) +
+                              " bytes exceeds the protocol maximum");
+  }
+  return header;
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::WireFormat("refusing to send oversized frame");
+  }
+  return WriteAll(fd, EncodeFrame(type, payload));
+}
+
+Result<Frame> ReadFrame(int fd) {
+  char header_bytes[kFrameHeaderBytes];
+  FUNGUSDB_RETURN_IF_ERROR(
+      ReadExact(fd, header_bytes, kFrameHeaderBytes));
+  Frame frame;
+  FUNGUSDB_ASSIGN_OR_RETURN(
+      frame.header,
+      DecodeFrameHeader(
+          std::string_view(header_bytes, kFrameHeaderBytes)));
+  frame.payload.resize(frame.header.payload_size);
+  if (frame.header.payload_size > 0) {
+    FUNGUSDB_RETURN_IF_ERROR(ReadExact(fd, frame.payload.data(),
+                                       frame.payload.size()));
+  }
+  return frame;
+}
+
+}  // namespace fungusdb::server

@@ -2,7 +2,21 @@
 
 #include <unordered_set>
 
+#include "common/string_util.h"
+
 namespace fungusdb {
+namespace {
+
+Result<DataType> DataTypeByName(std::string_view name) {
+  for (DataType t : {DataType::kInt64, DataType::kFloat64,
+                     DataType::kString, DataType::kBool,
+                     DataType::kTimestamp}) {
+    if (name == DataTypeName(t)) return t;
+  }
+  return Status::ParseError("unknown type '" + std::string(name) + "'");
+}
+
+}  // namespace
 
 std::string Field::ToString() const {
   std::string out = name;
@@ -29,6 +43,40 @@ Result<Schema> Schema::Make(std::vector<Field> fields) {
     }
   }
   return Schema(std::move(fields));
+}
+
+Result<Schema> Schema::Parse(std::string_view spec) {
+  const size_t open = spec.find('(');
+  const size_t close = spec.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return Status::ParseError("expected (col type [null], ...)");
+  }
+  const std::string_view body = spec.substr(open + 1, close - open - 1);
+  std::vector<Field> fields;
+  for (const std::string& part : Split(body, ',')) {
+    std::vector<std::string> words;
+    for (const std::string& word : Split(part, ' ')) {
+      const std::string_view stripped = StripWhitespace(word);
+      if (!stripped.empty()) words.emplace_back(stripped);
+    }
+    if (words.size() < 2 || words.size() > 3) {
+      return Status::ParseError("bad column spec '" +
+                                std::string(StripWhitespace(part)) + "'");
+    }
+    Field f;
+    f.name = words[0];
+    FUNGUSDB_ASSIGN_OR_RETURN(f.type, DataTypeByName(ToLower(words[1])));
+    if (words.size() == 3) {
+      if (ToLower(words[2]) != "null") {
+        return Status::ParseError("expected 'null', got '" + words[2] +
+                                  "'");
+      }
+      f.nullable = true;
+    }
+    fields.push_back(std::move(f));
+  }
+  return Make(std::move(fields));
 }
 
 std::optional<size_t> Schema::FindField(const std::string& name) const {

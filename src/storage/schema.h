@@ -34,6 +34,11 @@ class Schema {
   /// Validates field names: non-empty, unique, no `__` reserved prefix.
   static Result<Schema> Make(std::vector<Field> fields);
 
+  /// Parses the textual form ToString() produces — "(a int64, b
+  /// float64 null)" — used by fungusql \create and the wire \create
+  /// command. Whitespace-tolerant; fails with ParseError.
+  static Result<Schema> Parse(std::string_view spec);
+
   size_t num_fields() const { return fields_.size(); }
   const Field& field(size_t i) const { return fields_[i]; }
   const std::vector<Field>& fields() const { return fields_; }

@@ -66,5 +66,51 @@ TEST(StatusTest, StatusCodeNamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kTypeMismatch), "TypeMismatch");
 }
 
+TEST(ErrorCodeTest, NumericValuesAreAPublicContract) {
+  // These numbers travel the wire and appear in logs/scripts; changing
+  // one is a protocol break, so they are pinned here.
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kOk), 0);
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kInvalidArgument), 1001);
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kParseError), 1101);
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kTableNotFound), 1203);
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kOverloaded), 2002);
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kTimeout), 2003);
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kShuttingDown), 2004);
+  EXPECT_EQ(static_cast<uint16_t>(ErrorCode::kWireFormat), 2301);
+}
+
+TEST(ErrorCodeTest, EveryStatusCarriesACode) {
+  EXPECT_EQ(Status::OK().error_code(), ErrorCode::kOk);
+  EXPECT_EQ(Status::NotFound("x").error_code(), ErrorCode::kNotFound);
+  // Specific factories refine the generic category code.
+  const Status table = Status::TableNotFound("no table named 't'");
+  EXPECT_EQ(table.code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.error_code(), ErrorCode::kTableNotFound);
+  EXPECT_EQ(table.ErrorLabel(), "E:1203 TableNotFound");
+  EXPECT_EQ(Status::Overloaded("x").error_code(), ErrorCode::kOverloaded);
+  EXPECT_EQ(Status::Timeout("x").error_code(), ErrorCode::kTimeout);
+}
+
+TEST(ErrorCodeTest, WireRoundTripPreservesTheCode) {
+  const Status original = Status::Timeout("budget blown");
+  const Status decoded = Status::FromWire(
+      ErrorCodeFromWire(static_cast<uint16_t>(original.error_code())),
+      original.message());
+  EXPECT_EQ(decoded.error_code(), ErrorCode::kTimeout);
+  EXPECT_EQ(decoded.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded.message(), "budget blown");
+}
+
+TEST(ErrorCodeTest, UnknownWireCodeDegradesToInternal) {
+  EXPECT_EQ(ErrorCodeFromWire(12345), ErrorCode::kInternal);
+  EXPECT_EQ(ErrorCodeFromWire(0), ErrorCode::kOk);
+}
+
+TEST(ErrorCodeTest, NamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kTableNotFound), "TableNotFound");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOverloaded), "Overloaded");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kWireFormat), "WireFormat");
+}
+
 }  // namespace
 }  // namespace fungusdb

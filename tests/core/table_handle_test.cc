@@ -1,0 +1,121 @@
+#include "core/table_handle.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/database.h"
+#include "fungus/retention_fungus.h"
+
+namespace fungusdb {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema::Make({{"id", DataType::kInt64, false},
+                       {"note", DataType::kString, true}})
+      .value();
+}
+
+TEST(TableHandleTest, DefaultHandleIsInvalid) {
+  TableHandle handle;
+  EXPECT_FALSE(handle.valid());
+}
+
+TEST(TableHandleTest, CreateTableReturnsLiveHandle) {
+  Database db;
+  const TableHandle handle =
+      db.CreateTable("readings", TwoColumnSchema()).value();
+  ASSERT_TRUE(handle.valid());
+  EXPECT_EQ(handle.name(), "readings");
+  EXPECT_EQ(handle.schema().num_fields(), 2u);
+  EXPECT_EQ(handle.live_rows(), 0u);
+}
+
+TEST(TableHandleTest, GetTableReturnsSameUnderlyingTable) {
+  Database db;
+  FUNGUSDB_CHECK_OK(db.CreateTable("readings", TwoColumnSchema()).status());
+  const TableHandle handle = db.GetTable("readings").value();
+  ASSERT_TRUE(handle.valid());
+
+  FUNGUSDB_CHECK_OK(
+      db.Insert("readings", {Value::Int64(1), Value::String("spore")})
+          .status());
+  // The handle observes mutations made through the facade.
+  EXPECT_EQ(handle.live_rows(), 1u);
+  EXPECT_EQ(handle.total_appended(), 1u);
+}
+
+TEST(TableHandleTest, GetTableForMissingTableIsTypedError) {
+  Database db;
+  const Result<TableHandle> missing = db.GetTable("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().error_code(), ErrorCode::kTableNotFound);
+}
+
+TEST(TableHandleTest, StatisticsTrackDecay) {
+  Database db;
+  const TableHandle handle =
+      db.CreateTable("readings", TwoColumnSchema()).value();
+  FUNGUSDB_CHECK_OK(db.AttachFungus("readings",
+                                    std::make_unique<RetentionFungus>(kDay),
+                                    /*period=*/kHour)
+                        .status());
+  for (int64_t i = 0; i < 4; ++i) {
+    FUNGUSDB_CHECK_OK(
+        db.Insert("readings", {Value::Int64(i), Value::Null()}).status());
+  }
+  EXPECT_EQ(handle.live_rows(), 4u);
+  FUNGUSDB_CHECK_OK(db.AdvanceTime(3 * kDay).status());
+  EXPECT_EQ(handle.live_rows(), 0u);
+  EXPECT_EQ(handle.rows_killed(), 4u);
+  EXPECT_EQ(handle.total_appended(), 4u);
+}
+
+TEST(ExecuteBatchTest, OneResultPerStatementInOrder) {
+  Database db;
+  FUNGUSDB_CHECK_OK(db.CreateTable("t", TwoColumnSchema()).status());
+  FUNGUSDB_CHECK_OK(
+      db.Insert("t", {Value::Int64(7), Value::String("mycelium")}).status());
+
+  const std::vector<std::string> statements = {
+      "SELECT id FROM t",
+      "SELECT note FROM t WHERE id = 7",
+  };
+  const auto results = db.ExecuteBatch(statements);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_EQ(results[0]->rows.size(), 1u);
+  EXPECT_EQ(results[0]->rows[0][0].AsInt64(), 7);
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(results[1]->rows[0][0].AsString(), "mycelium");
+}
+
+TEST(ExecuteBatchTest, FailedStatementDoesNotStopTheBatch) {
+  Database db;
+  FUNGUSDB_CHECK_OK(db.CreateTable("t", TwoColumnSchema()).status());
+  FUNGUSDB_CHECK_OK(
+      db.Insert("t", {Value::Int64(1), Value::Null()}).status());
+
+  const std::vector<std::string> statements = {
+      "SELECT * FROM missing_table",   // kTableNotFound
+      "SELECT nonsense FROM",          // kParseError
+      "SELECT count(*) FROM t",        // still runs
+  };
+  const auto results = db.ExecuteBatch(statements);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status().error_code(), ErrorCode::kTableNotFound);
+  EXPECT_EQ(results[1].status().error_code(), ErrorCode::kParseError);
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_EQ(results[2]->rows[0][0].AsInt64(), 1);
+}
+
+TEST(ExecuteBatchTest, EmptyBatchYieldsNoResults) {
+  Database db;
+  const std::vector<std::string> statements;
+  EXPECT_TRUE(db.ExecuteBatch(statements).empty());
+}
+
+}  // namespace
+}  // namespace fungusdb

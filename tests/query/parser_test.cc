@@ -175,5 +175,29 @@ TEST(ParserTest, RoundTripThroughToString) {
   EXPECT_EQ(q1.ToString(), q2.ToString());
 }
 
+TEST(SplitStatementsTest, SplitsOnSemicolons) {
+  const auto statements =
+      SplitStatements("SELECT a FROM t; SELECT b FROM u;SELECT c FROM v");
+  ASSERT_EQ(statements.size(), 3u);
+  EXPECT_EQ(statements[0], "SELECT a FROM t");
+  EXPECT_EQ(statements[1], "SELECT b FROM u");
+  EXPECT_EQ(statements[2], "SELECT c FROM v");
+}
+
+TEST(SplitStatementsTest, IgnoresSemicolonsInsideStringLiterals) {
+  const auto statements =
+      SplitStatements("SELECT a FROM t WHERE s = 'x;y'; SELECT 1");
+  ASSERT_EQ(statements.size(), 2u);
+  EXPECT_EQ(statements[0], "SELECT a FROM t WHERE s = 'x;y'");
+}
+
+TEST(SplitStatementsTest, DropsEmptyFragments) {
+  EXPECT_TRUE(SplitStatements("").empty());
+  EXPECT_TRUE(SplitStatements(" ;; ; ").empty());
+  const auto statements = SplitStatements(";SELECT 1;");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0], "SELECT 1");
+}
+
 }  // namespace
 }  // namespace fungusdb

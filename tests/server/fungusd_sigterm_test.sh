@@ -1,0 +1,85 @@
+#!/bin/sh
+# End-to-end drain test for fungusd: boot on an ephemeral port, push
+# rows over the wire, SIGTERM the daemon, and verify that it (a) exits
+# zero, (b) wrote a snapshot, and (c) the snapshot holds every row that
+# was acknowledged before the signal.
+#
+#   tests/server/fungusd_sigterm_test.sh <build-dir>
+set -eu
+
+build_dir=${1:?usage: fungusd_sigterm_test.sh <build-dir>}
+fungusd=$build_dir/tools/fungusd
+fungusql=$build_dir/tools/fungusql
+funguscheck=$build_dir/tools/funguscheck
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$fungusd" --port 0 --port-file "$workdir/port" \
+  --snapshot "$workdir/fungus.snap" &
+daemon=$!
+
+tries=0
+while [ ! -s "$workdir/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "FAIL: fungusd never wrote its port file" >&2
+    kill "$daemon" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+port=$(cat "$workdir/port")
+
+printf '%s\n' \
+  '\create t (a int64, b string)' \
+  '\insert t 1,spore' \
+  '\insert t 2,hypha' \
+  '\insert t 3,mycelium' \
+  '\advance 1h' \
+  'SELECT count(*) AS n FROM t' \
+  '\quit' |
+  "$fungusql" --connect "127.0.0.1:$port" | tee "$workdir/session.log"
+
+grep -q '| 3 |' "$workdir/session.log" || {
+  echo "FAIL: expected 3 rows acknowledged before SIGTERM" >&2
+  exit 1
+}
+
+kill -TERM "$daemon"
+wait "$daemon" || {
+  echo "FAIL: fungusd exited non-zero after SIGTERM" >&2
+  exit 1
+}
+
+[ -s "$workdir/fungus.snap" ] || {
+  echo "FAIL: no snapshot written on shutdown" >&2
+  exit 1
+}
+
+# The snapshot must pass the invariant checker and hold the three rows.
+"$funguscheck" snapshot "$workdir/fungus.snap"
+
+# A restarted daemon serves the restored data.
+rm -f "$workdir/port"
+"$fungusd" --port 0 --port-file "$workdir/port" \
+  --snapshot "$workdir/fungus.snap" &
+daemon=$!
+tries=0
+while [ ! -s "$workdir/port" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "FAIL: restart stuck" >&2; exit 1; }
+  sleep 0.1
+done
+port=$(cat "$workdir/port")
+printf '%s\n' 'SELECT count(*) AS n FROM t' '\quit' |
+  "$fungusql" --connect "127.0.0.1:$port" | tee "$workdir/restart.log"
+kill -TERM "$daemon"
+wait "$daemon"
+
+grep -q '| 3 |' "$workdir/restart.log" || {
+  echo "FAIL: restarted daemon lost rows" >&2
+  exit 1
+}
+
+echo "PASS: fungusd drained, snapshotted, and restored 3 rows"

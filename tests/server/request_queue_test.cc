@@ -1,0 +1,116 @@
+#include "server/request_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace fungusdb::server {
+namespace {
+
+TEST(RequestQueueTest, FifoOrder) {
+  RequestQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+}
+
+TEST(RequestQueueTest, TryPushFailsWhenFull) {
+  RequestQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // bounded: the overload signal
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_TRUE(queue.TryPush(3));  // slot freed
+}
+
+TEST(RequestQueueTest, ZeroCapacityRefusesEverything) {
+  RequestQueue<int> queue(0);
+  EXPECT_FALSE(queue.TryPush(1));
+}
+
+TEST(RequestQueueTest, TryPushFailsAfterClose) {
+  RequestQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(2));
+}
+
+TEST(RequestQueueTest, DrainsAfterCloseThenSignalsExit) {
+  RequestQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  queue.Close();
+  // Admitted items survive Close — an accepted request is answered.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());  // stays terminal
+}
+
+TEST(RequestQueueTest, PopBlocksUntilPush) {
+  RequestQueue<int> queue(4);
+  int got = 0;
+  std::thread consumer([&] { got = queue.Pop().value(); });
+  EXPECT_TRUE(queue.TryPush(41));
+  consumer.join();
+  EXPECT_EQ(got, 41);
+}
+
+TEST(RequestQueueTest, CloseWakesBlockedConsumer) {
+  RequestQueue<int> queue(4);
+  bool exited = false;
+  std::thread consumer([&] {
+    while (queue.Pop().has_value()) {
+    }
+    exited = true;
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(exited);
+}
+
+TEST(RequestQueueTest, HighWaterTracksDeepestDepth) {
+  RequestQueue<int> queue(8);
+  EXPECT_EQ(queue.depth_high_water(), 0u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  (void)queue.Pop();
+  (void)queue.Pop();
+  EXPECT_TRUE(queue.TryPush(4));
+  EXPECT_EQ(queue.depth_high_water(), 3u);  // never shrinks
+}
+
+TEST(RequestQueueTest, ManyProducersOneConsumer) {
+  RequestQueue<int> queue(64);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!queue.TryPush(1)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  int popped = 0;
+  std::thread consumer([&] {
+    while (queue.Pop().has_value()) ++popped;
+  });
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(popped, kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace fungusdb::server

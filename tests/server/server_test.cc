@@ -1,0 +1,268 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fungus/retention_fungus.h"
+#include "persist/snapshot.h"
+#include "server/client.h"
+
+namespace fungusdb::server {
+namespace {
+
+Schema SharedSchema() {
+  return Schema::Make({{"a", DataType::kInt64, false}}).value();
+}
+
+std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+  auto server =
+      std::make_unique<Server>(std::make_unique<Database>(), options);
+  FUNGUSDB_CHECK_OK(server->Start());
+  return server;
+}
+
+Client ConnectTo(const Server& server) {
+  return Client::Connect("127.0.0.1", server.port()).value();
+}
+
+TEST(ServerTest, ServesSqlOverTheWire) {
+  std::unique_ptr<Server> server = StartServer();
+  FUNGUSDB_CHECK_OK(
+      server->database().CreateTable("t", SharedSchema()).status());
+  FUNGUSDB_CHECK_OK(
+      server->database().Insert("t", {Value::Int64(41)}).status());
+
+  Client client = ConnectTo(*server);
+  const ResultSet rs =
+      client.ExecuteOne("SELECT count(*) AS n FROM t").value();
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.at(0, 0).AsInt64(), 1);
+}
+
+TEST(ServerTest, ErrorsCarryStableCodesAcrossTheWire) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = ConnectTo(*server);
+
+  const Status missing =
+      client.ExecuteOne("SELECT * FROM nope").status();
+  EXPECT_EQ(missing.error_code(), ErrorCode::kTableNotFound);
+  EXPECT_EQ(missing.ErrorLabel(), "E:1203 TableNotFound");
+
+  const Status parse = client.ExecuteOne("SELEC oops").status();
+  EXPECT_EQ(parse.code(), StatusCode::kParseError);
+}
+
+TEST(ServerTest, MetaCommandsRunRemotely) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = ConnectTo(*server);
+
+  EXPECT_TRUE(client.ExecuteOne("\\create t (a int64, b string null)").ok());
+  const ResultSet inserted =
+      client.ExecuteOne("\\insert t 7,spore").value();
+  EXPECT_EQ(inserted.at(0, 0).AsInt64(), 0);  // first row id
+
+  const ResultSet tables = client.ExecuteOne("\\tables").value();
+  ASSERT_EQ(tables.num_rows(), 1u);
+  EXPECT_EQ(tables.at(0, 0).AsString(), "t");
+  EXPECT_EQ(tables.at(0, 2).AsInt64(), 1);
+
+  const ResultSet health = client.ExecuteOne("\\health").value();
+  EXPECT_NE(health.at(0, 0).AsString().find("table t"), std::string::npos);
+
+  EXPECT_TRUE(client.ExecuteOne("\\advance 2h").ok());
+  const ResultSet now = client.ExecuteOne("\\now").value();
+  EXPECT_EQ(now.at(0, 0).AsString(), "2h");
+
+  EXPECT_TRUE(client.ExecuteOne("\\fsck").ok());
+  const Status unknown = client.ExecuteOne("\\cellar").status();
+  EXPECT_EQ(unknown.error_code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ServerTest, BatchKeepsPerStatementResultsAligned) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = ConnectTo(*server);
+
+  const std::vector<Result<ResultSet>> results =
+      client
+          .Execute({"\\create t (a int64)", "SELECT * FROM nope",
+                    "\\insert t 5", "SELECT count(*) AS n FROM t"})
+          .value();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().error_code(), ErrorCode::kTableNotFound);
+  EXPECT_TRUE(results[2].ok());  // the batch continued past the failure
+  EXPECT_EQ(results[3].value().at(0, 0).AsInt64(), 1);
+}
+
+TEST(ServerTest, FullQueueAnswersTypedOverload) {
+  ServerOptions options;
+  options.queue_capacity = 0;  // every request finds the queue full
+  std::unique_ptr<Server> server = StartServer(options);
+  Client client = ConnectTo(*server);
+
+  const std::vector<Result<ResultSet>> results =
+      client.Execute({"SELECT 1", "\\now"}).value();
+  ASSERT_EQ(results.size(), 2u);  // one typed refusal per statement
+  for (const Result<ResultSet>& result : results) {
+    EXPECT_EQ(result.status().error_code(), ErrorCode::kOverloaded);
+  }
+  EXPECT_GE(server->database().metrics().GetCounter(
+                "fungusdb.server.requests_overloaded"),
+            1);
+}
+
+TEST(ServerTest, ExpiredDeadlineAnswersTypedTimeout) {
+  std::unique_ptr<Server> server = StartServer();
+  FUNGUSDB_CHECK_OK(
+      server->database().CreateTable("t", SharedSchema()).status());
+  Client client = ConnectTo(*server);
+
+  // A 1-microsecond budget cannot cover 64 statements; the deadline is
+  // re-checked before each one, so the tail must come back kTimeout.
+  const std::vector<std::string> statements(64, "SELECT count(*) FROM t");
+  const std::vector<Result<ResultSet>> results =
+      client.Execute(statements, /*deadline_micros=*/1).value();
+  ASSERT_EQ(results.size(), statements.size());
+  EXPECT_EQ(results.back().status().error_code(), ErrorCode::kTimeout);
+  EXPECT_GE(server->database().metrics().GetCounter(
+                "fungusdb.server.requests_timeout"),
+            1);
+}
+
+TEST(ServerTest, MalformedPayloadGetsWireFormatAnswer) {
+  std::unique_ptr<Server> server = StartServer();
+  UniqueFd fd = ConnectTcp("127.0.0.1", server->port()).value();
+  // A correctly framed request whose payload is garbage.
+  FUNGUSDB_CHECK_OK(
+      WriteFrame(fd.get(), FrameType::kStatementRequest, "not a request"));
+  const Frame frame = ReadFrame(fd.get()).value();
+  const StatementResponse response =
+      DecodeStatementResponse(frame.payload).value();
+  EXPECT_EQ(response.request_id, 0u);
+  ASSERT_EQ(response.results.size(), 1u);
+  EXPECT_FALSE(response.results[0].ok());
+  // The server then drops the connection: the stream is untrusted.
+  EXPECT_FALSE(ReadFrame(fd.get()).ok());
+}
+
+TEST(ServerTest, GarbageBytesDropTheConnection) {
+  std::unique_ptr<Server> server = StartServer();
+  UniqueFd fd = ConnectTcp("127.0.0.1", server->port()).value();
+  FUNGUSDB_CHECK_OK(WriteAll(fd.get(), std::string(64, 'Z')));
+  EXPECT_FALSE(ReadFrame(fd.get()).ok());
+
+  // And the server is still healthy for well-behaved clients.
+  Client client = ConnectTo(*server);
+  EXPECT_TRUE(client.ExecuteOne("\\now").ok());
+}
+
+TEST(ServerTest, StopDrainsThenSnapshots) {
+  const std::string path = ::testing::TempDir() + "/fungusd_stop.snap";
+  ServerOptions options;
+  options.snapshot_path = path;
+  std::unique_ptr<Server> server = StartServer(options);
+  Client client = ConnectTo(*server);
+  FUNGUSDB_CHECK_OK(client.ExecuteOne("\\create t (a int64)").status());
+  FUNGUSDB_CHECK_OK(client.ExecuteOne("\\insert t 11").status());
+  FUNGUSDB_CHECK_OK(client.ExecuteOne("\\insert t 12").status());
+  server->Stop();
+
+  // Everything acknowledged before Stop() is in the snapshot.
+  std::unique_ptr<Database> restored =
+      LoadDatabaseSnapshot(path).value();
+  EXPECT_EQ(restored->GetTable("t").value().live_rows(), 2u);
+
+  // The dead server answers nothing.
+  EXPECT_FALSE(client.ExecuteOne("\\now").ok());
+}
+
+// The acceptance smoke: 64 clients x 100 statements against one
+// shared table, with decay ticks interleaved. Every response must
+// arrive on the right connection (the client checks request ids), no
+// insert may be lost or duplicated (row ids are checked for global
+// uniqueness), and the database must pass Fsck() afterwards. Run
+// under TSan with FUNGUSDB_CHECK_AFTER_TICK=1 in CI's server job.
+TEST(ServerSmokeTest, SixtyFourClientsHundredStatements) {
+  constexpr int kClients = 64;
+  constexpr int kStatements = 100;
+
+  ServerOptions options;
+  options.queue_capacity = 2 * kClients;  // never overload: one
+                                          // outstanding request per client
+  std::unique_ptr<Server> server = StartServer(options);
+  Database& db = server->database();
+  FUNGUSDB_CHECK_OK(db.CreateTable("shared", SharedSchema()).status());
+  // A fungus that never kills anything, so every tick exercises the
+  // decay machinery (and CHECK AFTER TICK, when armed) without
+  // invalidating the row-count ledger.
+  FUNGUSDB_CHECK_OK(db.AttachFungus(
+                          "shared",
+                          std::make_unique<RetentionFungus>(365 * kDay),
+                          /*period=*/kSecond)
+                        .status());
+
+  std::mutex mu;
+  std::set<int64_t> row_ids;
+  std::vector<std::string> failures;
+  uint64_t inserts_acked = 0;
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Result<Client> client = Client::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        failures.push_back(client.status().ToString());
+        return;
+      }
+      for (int i = 0; i < kStatements; ++i) {
+        const bool tick = i % 10 == 9;
+        const std::string statement =
+            tick ? "\\advance 1s"
+                 : "\\insert shared " + std::to_string(c * 1000 + i);
+        Result<ResultSet> result = client.value().ExecuteOne(statement);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!result.ok()) {
+          failures.push_back(statement + ": " + result.status().ToString());
+          return;
+        }
+        if (!tick) {
+          ++inserts_acked;
+          const int64_t row_id = result.value().at(0, 0).AsInt64();
+          if (!row_ids.insert(row_id).second) {
+            failures.push_back("duplicate row id " +
+                               std::to_string(row_id));
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << " failures, first: " << failures[0];
+  EXPECT_EQ(inserts_acked, static_cast<uint64_t>(kClients) * 90);
+  EXPECT_EQ(row_ids.size(), inserts_acked);  // none lost, none duplicated
+
+  // One more client confirms the server-side ledger agrees.
+  Client auditor = ConnectTo(*server);
+  const ResultSet count =
+      auditor.ExecuteOne("SELECT count(*) AS n FROM shared").value();
+  EXPECT_EQ(static_cast<uint64_t>(count.at(0, 0).AsInt64()), inserts_acked);
+  EXPECT_TRUE(auditor.ExecuteOne("\\fsck").ok());
+
+  server->Stop();
+  EXPECT_TRUE(db.Fsck().violations.empty());
+  EXPECT_EQ(db.GetTable("shared").value().live_rows(), inserts_acked);
+}
+
+}  // namespace
+}  // namespace fungusdb::server

@@ -62,5 +62,36 @@ TEST(SchemaTest, EmptySchemaAllowed) {
   EXPECT_EQ(schema->num_fields(), 0u);
 }
 
+TEST(SchemaTest, ParseTextualForm) {
+  const Schema schema =
+      Schema::Parse("(a int64, b float64 null, c string)").value();
+  ASSERT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.fields()[0].name, "a");
+  EXPECT_EQ(schema.fields()[0].type, DataType::kInt64);
+  EXPECT_FALSE(schema.fields()[0].nullable);
+  EXPECT_EQ(schema.fields()[1].type, DataType::kFloat64);
+  EXPECT_TRUE(schema.fields()[1].nullable);
+  EXPECT_EQ(schema.fields()[2].type, DataType::kString);
+}
+
+TEST(SchemaTest, ParseRoundTripsToString) {
+  const Schema original =
+      Schema::Make({{"x", DataType::kInt64, false},
+                    {"y", DataType::kTimestamp, true},
+                    {"z", DataType::kBool, false}})
+          .value();
+  const Schema reparsed = Schema::Parse(original.ToString()).value();
+  EXPECT_TRUE(original.Equals(reparsed));
+}
+
+TEST(SchemaTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(Schema::Parse("").ok());
+  EXPECT_FALSE(Schema::Parse("a int64").ok());            // no parens
+  EXPECT_FALSE(Schema::Parse("(a)").ok());                // missing type
+  EXPECT_FALSE(Schema::Parse("(a int32)").ok());          // unknown type
+  EXPECT_FALSE(Schema::Parse("(a int64 maybe)").ok());    // not 'null'
+  EXPECT_FALSE(Schema::Parse("(a int64, a string)").ok());  // duplicate
+}
+
 }  // namespace
 }  // namespace fungusdb

@@ -9,7 +9,7 @@
 //   funguscheck corrupt <file> <kind> <n>    damage a file on purpose;
 //                                            kind: truncate | flip | garbage
 //   funguscheck mkcorpus <dir>               write fuzz seed corpora under
-//                                            <dir>/{query,journal,csv}
+//                                            <dir>/{query,journal,csv,frame}
 //
 // Exits 0 when the audited files are clean, 1 on any violation or torn
 // tail, 2 on usage errors or unreadable files.
@@ -23,6 +23,7 @@
 #include "core/database.h"
 #include "persist/fsck.h"
 #include "persist/journal.h"
+#include "server/wire_format.h"
 
 namespace fungusdb {
 namespace {
@@ -122,7 +123,7 @@ Status MakeCorpus(const std::string& dir) {
   namespace fs = std::filesystem;
   const fs::path root(dir);
   std::error_code ec;
-  for (const char* sub : {"query", "journal", "csv"}) {
+  for (const char* sub : {"query", "journal", "csv", "frame"}) {
     fs::create_directories(root / sub, ec);
     if (ec) return Status::Internal("cannot create " + (root / sub).string());
   }
@@ -182,7 +183,38 @@ Status MakeCorpus(const std::string& dir) {
     FUNGUSDB_RETURN_IF_ERROR(
         WriteFile(root / "csv" / ("c" + std::to_string(i++) + ".csv"), c));
   }
-  std::printf("wrote seed corpora under %s/{query,journal,csv}\n",
+
+  // Wire-protocol seeds for fuzz_frame: genuine payloads produced by
+  // the real codecs, so mutation starts from the valid region.
+  {
+    server::StatementRequest request;
+    request.request_id = 7;
+    request.deadline_micros = 250000;
+    request.statements = {"SELECT count(*) FROM t", "\\health"};
+    FUNGUSDB_RETURN_IF_ERROR(
+        WriteFile(root / "frame" / "request.bin",
+                  server::EncodeStatementRequest(request)));
+
+    server::StatementResponse response;
+    response.request_id = 7;
+    ResultSet rs;
+    rs.column_names = {"n"};
+    rs.rows.push_back({Value::Int64(42)});
+    rs.stats.rows_scanned = 42;
+    response.results.push_back(std::move(rs));
+    response.results.push_back(
+        Status::TableNotFound("no table named 't'"));
+    FUNGUSDB_RETURN_IF_ERROR(
+        WriteFile(root / "frame" / "response.bin",
+                  server::EncodeStatementResponse(response)));
+
+    FUNGUSDB_RETURN_IF_ERROR(
+        WriteFile(root / "frame" / "framed.bin",
+                  server::EncodeFrame(
+                      server::FrameType::kStatementRequest,
+                      server::EncodeStatementRequest(request))));
+  }
+  std::printf("wrote seed corpora under %s/{query,journal,csv,frame}\n",
               dir.c_str());
   return Status::OK();
 }

@@ -1,0 +1,128 @@
+// fungusd — the FungusDB network daemon.
+//
+//   ./build/tools/fungusd --port 7464 --snapshot /var/lib/fungus.snap
+//
+// Serves the FungusDB wire protocol (see src/server/wire_format.h) over
+// TCP. Clients connect with `fungusql --connect host:port` or the
+// Client library. SIGTERM/SIGINT drain every admitted request, then
+// snapshot (when --snapshot is given) and exit 0 — kill -TERM is the
+// supported way to stop a production fungusd.
+//
+// Flags:
+//   --host <addr>          bind address            (default 127.0.0.1)
+//   --port <n>             TCP port; 0 = ephemeral (default 7464)
+//   --port-file <path>     write the bound port here once listening
+//                          (for scripts using --port 0)
+//   --queue-capacity <n>   admitted-but-unexecuted request bound; a
+//                          full queue answers E:2002 Overloaded
+//   --max-connections <n>  simultaneous client connections
+//   --snapshot <path>      load at boot when present; saved on shutdown
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "persist/snapshot.h"
+#include "server/server.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host addr] [--port n] [--port-file path]\n"
+               "          [--queue-capacity n] [--max-connections n]\n"
+               "          [--snapshot path]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fungusdb::server::ServerOptions options;
+  options.port = 7464;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--host" && has_value) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--port-file" && has_value) {
+      port_file = argv[++i];
+    } else if (arg == "--queue-capacity" && has_value) {
+      options.queue_capacity =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--max-connections" && has_value) {
+      options.max_connections =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--snapshot" && has_value) {
+      options.snapshot_path = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Signals are handled synchronously via sigwait on the main thread;
+  // block them BEFORE any server thread exists so the mask is
+  // inherited and no worker ever takes the hit.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  std::unique_ptr<fungusdb::Database> db;
+  if (!options.snapshot_path.empty() &&
+      std::filesystem::exists(options.snapshot_path)) {
+    auto loaded = fungusdb::LoadDatabaseSnapshot(options.snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "fungusd: cannot load snapshot %s: %s\n",
+                   options.snapshot_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded).value();
+    std::fprintf(stderr, "fungusd: restored snapshot %s\n",
+                 options.snapshot_path.c_str());
+  } else {
+    db = std::make_unique<fungusdb::Database>();
+  }
+
+  const std::string snapshot_path = options.snapshot_path;
+  fungusdb::server::Server server(std::move(db), std::move(options));
+  const fungusdb::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "fungusd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "fungusd: listening on port %u\n", server.port());
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "fungusd: cannot write %s\n", port_file.c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+
+  int caught = 0;
+  sigwait(&signals, &caught);
+  std::fprintf(stderr, "fungusd: %s — draining\n", strsignal(caught));
+  server.Stop();
+  if (!snapshot_path.empty()) {
+    std::fprintf(stderr, "fungusd: snapshot saved to %s\n",
+                 snapshot_path.c_str());
+  }
+  std::fprintf(stderr, "fungusd: bye\n");
+  return 0;
+}

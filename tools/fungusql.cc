@@ -1,10 +1,17 @@
 // fungusql — an interactive shell for FungusDB.
 //
-//   ./build/tools/fungusql
+//   ./build/tools/fungusql                       # embedded database
+//   ./build/tools/fungusql --connect host:port   # talk to a fungusd
 //
 // SQL statements run against an in-memory database on a virtual clock;
 // meta commands (backslash-prefixed) manage tables, fungi, time, CSV
 // import/export, and snapshots. Type \help inside the shell.
+// Semicolons separate statements on one line; each gets its own result.
+//
+// With --connect, every line is shipped to the server instead (which
+// supports SQL plus the remote meta subset — \health \now \metrics
+// \fsck \tables \advance \create \insert). Errors print with their
+// stable code, e.g. `error: E:1203 TableNotFound: no table "t"`.
 
 #include <cstdio>
 #include <fstream>
@@ -23,6 +30,8 @@
 #include "fungus/sliding_window_fungus.h"
 #include "persist/snapshot.h"
 #include "pipeline/csv.h"
+#include "query/parser.h"
+#include "server/client.h"
 #include "summary/table_stats.h"
 
 namespace fungusdb {
@@ -33,6 +42,7 @@ constexpr const char* kHelp = R"(fungusql meta commands:
   \tables                                list tables
   \create <name> (<col> <type> [null], ...)   create a table
                                          types: int64 float64 string bool timestamp
+  \insert <table> <csv fields>           append one row (e.g. \insert t 1,hot)
   \attach <fungus> <table> <period> [arg]     attach a decay fungus
          fungi: retention <dur> | exponential <half-life> | egi |
                 window <rows> | quota <bytes>
@@ -103,6 +113,8 @@ Result<Schema> ParseSchemaSpec(const std::string& spec) {
 class Shell {
  public:
   Shell() : db_(std::make_unique<Database>()) {}
+  explicit Shell(server::Client client)
+      : remote_(std::make_unique<server::Client>(std::move(client))) {}
 
   int Run() {
     std::string line;
@@ -114,10 +126,17 @@ class Shell {
       const std::string trimmed(StripWhitespace(line));
       if (trimmed.empty()) continue;
       if (trimmed == "\\quit" || trimmed == "\\q") break;
-      Status status = trimmed[0] == '\\' ? RunMeta(trimmed)
-                                         : RunSql(trimmed);
+      Status status;
+      if (remote_ != nullptr) {
+        status = RunRemote(trimmed);
+      } else {
+        status = trimmed[0] == '\\' ? RunMeta(trimmed) : RunSql(trimmed);
+      }
       if (!status.ok()) {
-        std::printf("error: %s\n", status.ToString().c_str());
+        // The stable numeric code leads so scripts can match on it
+        // without parsing prose, e.g. `error: E:1203 TableNotFound: ...`.
+        std::printf("error: %s: %s\n", status.ErrorLabel().c_str(),
+                    status.message().c_str());
         // A failed statement makes the whole session fail, so scripted
         // sessions (smoke tests, CI pipelines) can detect it.
         exit_code_ = 1;
@@ -127,14 +146,54 @@ class Shell {
   }
 
  private:
-  Status RunSql(const std::string& sql) {
-    FUNGUSDB_ASSIGN_OR_RETURN(ResultSet rs, db_->ExecuteSql(sql));
+  void PrintResultSet(const ResultSet& rs) {
     std::printf("%s", rs.ToString(40).c_str());
     if (rs.stats.rows_consumed > 0) {
       std::printf("consumed %llu tuples\n",
                   static_cast<unsigned long long>(rs.stats.rows_consumed));
     }
+  }
+
+  /// Prints each batch result; failures are reported per statement
+  /// (with their stable code) and fail the session without aborting
+  /// the rest of the batch.
+  Status PrintBatch(std::vector<Result<ResultSet>> results) {
+    for (Result<ResultSet>& result : results) {
+      if (!result.ok()) {
+        std::printf("error: %s: %s\n",
+                    result.status().ErrorLabel().c_str(),
+                    result.status().message().c_str());
+        exit_code_ = 1;
+        continue;
+      }
+      PrintResultSet(result.value());
+    }
     return Status::OK();
+  }
+
+  Status RunSql(const std::string& sql) {
+    // One line may hold several ;-separated statements; the batch API
+    // runs them all and reports per-statement errors.
+    const std::vector<std::string_view> statements = SplitStatements(sql);
+    if (statements.empty()) return Status::OK();
+    return PrintBatch(db_->ExecuteBatch(statements));
+  }
+
+  /// Ships the whole line (SQL or meta) to the fungusd; the server
+  /// decides what it supports.
+  Status RunRemote(const std::string& line) {
+    std::vector<std::string> statements;
+    if (line[0] == '\\') {
+      statements.push_back(line);
+    } else {
+      for (std::string_view statement : SplitStatements(line)) {
+        statements.emplace_back(statement);
+      }
+    }
+    if (statements.empty()) return Status::OK();
+    FUNGUSDB_ASSIGN_OR_RETURN(std::vector<Result<ResultSet>> results,
+                              remote_->Execute(statements));
+    return PrintBatch(std::move(results));
   }
 
   Status RunMeta(const std::string& line) {
@@ -146,10 +205,10 @@ class Shell {
     }
     if (cmd == "\\tables") {
       for (const std::string& name : db_->TableNames()) {
-        Table* t = db_->GetTable(name).value();
+        const TableHandle t = db_->GetTable(name).value();
         std::printf("  %s %s — %llu live rows\n", name.c_str(),
-                    t->schema().ToString().c_str(),
-                    static_cast<unsigned long long>(t->live_rows()));
+                    t.schema().ToString().c_str(),
+                    static_cast<unsigned long long>(t.live_rows()));
       }
       return Status::OK();
     }
@@ -157,12 +216,45 @@ class Shell {
       if (args.size() < 2) {
         return Status::InvalidArgument("usage: \\create <name> (...)");
       }
-      const size_t name_end = line.find(args[1]) + args[1].size();
+      // Search after the command token — the table name may be a
+      // substring of "\create" itself (e.g. a table called "c").
+      const size_t name_end =
+          line.find(args[1], cmd.size()) + args[1].size();
       FUNGUSDB_ASSIGN_OR_RETURN(Schema schema,
                                 ParseSchemaSpec(line.substr(name_end)));
       FUNGUSDB_RETURN_IF_ERROR(
           db_->CreateTable(args[1], std::move(schema)).status());
       std::printf("created table %s\n", args[1].c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\insert") {
+      if (args.size() < 3) {
+        return Status::InvalidArgument(
+            "usage: \\insert <table> <csv fields>");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(args[1]));
+      const size_t name_end =
+          line.find(args[1], cmd.size()) + args[1].size();
+      const std::string csv(StripWhitespace(line.substr(name_end)));
+      const std::vector<std::string> fields = SplitCsvLine(csv, ',');
+      const Schema& schema = table.schema();
+      if (fields.size() != schema.num_fields()) {
+        return Status::InvalidArgument(
+            "expected " + std::to_string(schema.num_fields()) +
+            " fields, got " + std::to_string(fields.size()));
+      }
+      std::vector<Value> values;
+      values.reserve(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        const Field& field = schema.fields()[i];
+        FUNGUSDB_ASSIGN_OR_RETURN(
+            Value value,
+            ParseCsvField(fields[i], field.type, field.nullable));
+        values.push_back(std::move(value));
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(RowId row, db_->Insert(args[1], values));
+      std::printf("inserted row %llu\n",
+                  static_cast<unsigned long long>(row));
       return Status::OK();
     }
     if (cmd == "\\attach") return Attach(args);
@@ -194,8 +286,8 @@ class Shell {
       if (args.size() != 2) {
         return Status::InvalidArgument("usage: \\analyze <table>");
       }
-      FUNGUSDB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(args[1]));
-      std::printf("%s", AnalyzeTable(*table).ToString().c_str());
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(args[1]));
+      std::printf("%s", AnalyzeTable(table.table()).ToString().c_str());
       return Status::OK();
     }
     if (cmd == "\\cellar") {
@@ -211,10 +303,10 @@ class Shell {
       if (args.size() != 3) {
         return Status::InvalidArgument("usage: \\import <table> <file>");
       }
-      FUNGUSDB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(args[1]));
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(args[1]));
       std::ifstream file(args[2]);
       if (!file) return Status::NotFound("cannot open " + args[2]);
-      CsvSource source(&file, table->schema());
+      CsvSource source(&file, table.schema());
       FUNGUSDB_ASSIGN_OR_RETURN(uint64_t n,
                                 db_->Ingest(args[1], source, UINT64_MAX));
       FUNGUSDB_RETURN_IF_ERROR(source.status());
@@ -226,12 +318,12 @@ class Shell {
       if (args.size() != 3) {
         return Status::InvalidArgument("usage: \\export <table> <file>");
       }
-      FUNGUSDB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(args[1]));
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(args[1]));
       std::ofstream file(args[2], std::ios::trunc);
       if (!file) return Status::Internal("cannot open " + args[2]);
-      FUNGUSDB_RETURN_IF_ERROR(WriteCsv(*table, file));
+      FUNGUSDB_RETURN_IF_ERROR(WriteCsv(table.table(), file));
       std::printf("exported %llu rows\n",
-                  static_cast<unsigned long long>(table->live_rows()));
+                  static_cast<unsigned long long>(table.live_rows()));
       return Status::OK();
     }
     if (cmd == "\\save") {
@@ -307,13 +399,35 @@ class Shell {
   }
 
   std::unique_ptr<Database> db_;
+  std::unique_ptr<server::Client> remote_;
   int exit_code_ = 0;
 };
 
 }  // namespace
 }  // namespace fungusdb
 
-int main() {
+int main(int argc, char** argv) {
+  std::string connect_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_spec = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!connect_spec.empty()) {
+    auto client = fungusdb::server::Client::ConnectSpec(connect_spec);
+    if (!client.ok()) {
+      std::fprintf(stderr, "fungusql: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("connected to %s\n", connect_spec.c_str());
+    fungusdb::Shell shell(std::move(client).value());
+    return shell.Run();
+  }
   fungusdb::Shell shell;
   return shell.Run();
 }

@@ -19,6 +19,12 @@ Enforces the repo-specific rules that generic linters cannot:
                   verify/corruptor.cc (test-only corruption seeder).
   marker          the FUNGUS_REQUIRES_APPLY_PHASE markers themselves
                   must stay on the three Shard mutators.
+  wire-framing    raw framing primitives — hton*/ntoh* byte-order calls
+                  and memcpy-into-lvalue decoding — only in
+                  src/server/wire_format.* (the one place that lays out
+                  network bytes) plus the two pre-existing binary codec
+                  internals (common/buffer_io.h, summary/hashing.cc).
+                  Everything else goes through BufferWriter/BufferReader.
   no-suppression  no NOLINT / lint-off escapes inside src/.
   hygiene         no tabs, no trailing whitespace, newline at EOF.
 
@@ -44,6 +50,13 @@ NAKED_RANDOM_ALLOWLIST = {
     "src/common/random.cc",
 }
 
+WIRE_FRAMING_ALLOWLIST = {
+    "src/server/wire_format.h",   # the wire protocol itself
+    "src/server/wire_format.cc",
+    "src/common/buffer_io.h",     # the codec the protocol is built on
+    "src/summary/hashing.cc",     # double -> bits for hashing, not framing
+}
+
 SHARD_MUTATORS = ("SetFreshness", "DecayFreshness", "Kill")
 
 RE_VOID_DISCARD = re.compile(r"\(void\)\s*[\w:]+(?:\.|->|\()")
@@ -52,6 +65,9 @@ RE_NAKED_RANDOM = re.compile(
     r"(?:std::)?(?:\brand\s*\(|\bsrand\s*\(|\brandom_device\b"
     r"|\bmt19937\b)|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)")
 RE_SUPPRESSION = re.compile(r"NOLINT|fungus-lint-off")
+RE_WIRE_FRAMING = re.compile(
+    r"\b(?:hton|ntoh)(?:s|l|ll)\s*\("
+    r"|\b(?:__builtin_)?memcpy\s*\(\s*&")
 RE_SHARD_CALL = re.compile(
     r"(?:\bShardFor\s*\([^)]*\)|\bshards?_?\s*\[[^\]]*\]"
     r"|\bshards?\s*\([^)]*\)|\b[Ss]hard\w*)\s*\.\s*(?:%s)\s*\(" %
@@ -110,6 +126,12 @@ def lint_file(root, path, findings):
             findings.append((rel, lineno, "naked-random",
                              "use common/random (seeded, reproducible)"
                              " instead of ad-hoc randomness"))
+        if (rel not in WIRE_FRAMING_ALLOWLIST
+                and RE_WIRE_FRAMING.search(line)):
+            findings.append((rel, lineno, "wire-framing",
+                             "raw framing primitive outside"
+                             " src/server/wire_format.*; use"
+                             " BufferWriter/BufferReader"))
         if (rel.startswith("src/") and rel not in APPLY_PHASE_ALLOWLIST
                 and RE_SHARD_CALL.search(line)):
             findings.append((rel, lineno, "apply-phase",
