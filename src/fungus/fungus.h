@@ -13,14 +13,16 @@ namespace fungusdb {
 
 /// Outcome of one fungus application (one clock tick).
 struct DecayStats {
-  uint64_t tuples_touched = 0;  // freshness updates applied
-  uint64_t tuples_killed = 0;   // tuples whose freshness reached 0
-  uint64_t seeds_planted = 0;   // new infections (EGI-style fungi)
+  uint64_t tuples_touched = 0;    // freshness updates applied
+  uint64_t tuples_killed = 0;     // tuples whose freshness reached 0
+  uint64_t seeds_planted = 0;     // new infections (EGI-style fungi)
+  uint64_t segments_skipped = 0;  // segments bypassed via zone maps
 
   DecayStats& operator+=(const DecayStats& other) {
     tuples_touched += other.tuples_touched;
     tuples_killed += other.tuples_killed;
     seeds_planted += other.seeds_planted;
+    segments_skipped += other.segments_skipped;
     return *this;
   }
 };
@@ -50,6 +52,10 @@ class DecayContext {
   /// Records a seed planted (bookkeeping only).
   void NoteSeed() { ++stats_.seeds_planted; }
 
+  /// Records one segment bypassed whole because its zone map proved the
+  /// tick cannot change it (bookkeeping only).
+  void NoteSegmentSkipped() { ++stats_.segments_skipped; }
+
   /// Tuples killed during this tick, in kill order.
   const std::vector<RowId>& killed() const { return killed_; }
 
@@ -77,6 +83,7 @@ struct ShardAction {
 struct ShardPlan {
   std::vector<ShardAction> actions;  // own-shard rows, in plan order
   uint64_t seeds_planted = 0;
+  uint64_t segments_skipped = 0;  // segments bypassed via zone maps
 };
 
 /// Planning context for one (tick, shard) pair of a parallel decay tick.
@@ -120,6 +127,10 @@ class ShardPlanContext {
 
   /// Records a seed planted (bookkeeping only).
   void NoteSeed() { ++plan_.seeds_planted; }
+
+  /// Records one segment bypassed whole because its zone map proved the
+  /// tick cannot change it (bookkeeping only).
+  void NoteSegmentSkipped() { ++plan_.segments_skipped; }
 
   ShardPlan TakePlan() { return std::move(plan_); }
 

@@ -3,6 +3,57 @@
 #include <cassert>
 
 namespace fungusdb {
+namespace {
+
+/// Decays one segment under a fixed retention. Shared verbatim by the
+/// serial Tick and the per-shard planner (`Ctx` is DecayContext or
+/// ShardPlanContext) so both paths take identical skip decisions and
+/// produce identical stats — the determinism contract of sharded ticks.
+///
+/// Zone-map skips, cheapest first:
+///  * live_count == 0 — nothing left to decay;
+///  * frozen-fresh — every row was inserted at or after `now`
+///    (min_ts >= now) and every live freshness is exactly 1.0
+///    (the conservative [min_f, max_f] collapses to [1, 1], and the
+///    storage layer never lets freshness exceed 1), so every write this
+///    tick would set the value it already has.
+/// When max_ts is at least `retention` old, every row is expired and the
+/// segment bulk-kills without computing per-row ages.
+template <typename Ctx>
+void TickSegment(const Segment& seg, Timestamp now, Duration retention,
+                 Ctx& ctx) {
+  if (seg.live_count() == 0) {
+    ctx.NoteSegmentSkipped();
+    return;
+  }
+  const ZoneMap& zone = seg.zone_map();
+  if (zone.min_ts >= now && zone.min_f == 1.0 && zone.max_f == 1.0) {
+    ctx.NoteSegmentSkipped();
+    return;
+  }
+  const bool all_expired = now - zone.max_ts >= retention;
+  const size_t n = seg.num_rows();
+  for (size_t off = 0; off < n; ++off) {
+    if (!seg.IsLive(off)) continue;
+    const RowId row = seg.first_row() + off;
+    if (all_expired) {
+      ctx.Kill(row);
+      continue;
+    }
+    const Duration age = now - seg.InsertTime(off);
+    if (age >= retention) {
+      ctx.Kill(row);
+      continue;
+    }
+    const double f =
+        age <= 0 ? 1.0
+                 : 1.0 - static_cast<double>(age) /
+                             static_cast<double>(retention);
+    ctx.SetFreshness(row, f);
+  }
+}
+
+}  // namespace
 
 RetentionFungus::RetentionFungus(Duration retention) : retention_(retention) {
   assert(retention > 0);
@@ -14,42 +65,17 @@ void RetentionFungus::Tick(DecayContext& ctx) {
   // Freshness under retention is the remaining-life fraction; at or past
   // the retention age it hits 0 and the tuple is discarded. Killing and
   // freshness updates only flip per-row state, so mutating during the
-  // live scan is safe (the segment map itself is untouched).
-  table.ForEachLive([&](RowId row) {
-    const Timestamp t = table.InsertTime(row).value();
-    const Duration age = now - t;
-    if (age >= retention_) {
-      ctx.Kill(row);
-      return;
-    }
-    const double f =
-        age <= 0 ? 1.0
-                 : 1.0 - static_cast<double>(age) /
-                             static_cast<double>(retention_);
-    ctx.SetFreshness(row, f);
-  });
+  // segment walk is safe (the segment map itself is untouched).
+  for (const auto& [seg_no, seg] : table.segment_index()) {
+    TickSegment(*seg, now, retention_, ctx);
+  }
 }
 
 void RetentionFungus::PlanShard(ShardPlanContext& ctx) {
   const Timestamp now = ctx.now();
   const Shard& shard = ctx.shard();
   for (const auto& [seg_no, seg] : shard.segments()) {
-    if (seg->live_count() == 0) continue;
-    const size_t n = seg->num_rows();
-    for (size_t off = 0; off < n; ++off) {
-      if (!seg->IsLive(off)) continue;
-      const RowId row = seg->first_row() + off;
-      const Duration age = now - seg->InsertTime(off);
-      if (age >= retention_) {
-        ctx.Kill(row);
-        continue;
-      }
-      const double f =
-          age <= 0 ? 1.0
-                   : 1.0 - static_cast<double>(age) /
-                               static_cast<double>(retention_);
-      ctx.SetFreshness(row, f);
-    }
+    TickSegment(*seg, now, retention_, ctx);
   }
 }
 

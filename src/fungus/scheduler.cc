@@ -84,6 +84,7 @@ std::vector<RowId> DecayScheduler::RunShardedTick(Attachment& a,
       }
     }
     stats[s].seeds_planted = plans[s].seeds_planted;
+    stats[s].segments_skipped = plans[s].segments_skipped;
   };
 
   if (pool_ != nullptr) {
@@ -165,6 +166,8 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
                                  tick_stats.tuples_killed);
       metrics_->IncrementCounter("decay.seeds_planted",
                                  tick_stats.seeds_planted);
+      metrics_->IncrementCounter("decay.segments_skipped",
+                                 tick_stats.segments_skipped);
     }
   }
   return ticks;

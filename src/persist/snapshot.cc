@@ -64,6 +64,10 @@ Result<Table> DeserializeTable(BufferReader& in) {
     FUNGUSDB_ASSIGN_OR_RETURN(RowId row, table.Append(values, ts));
     FUNGUSDB_RETURN_IF_ERROR(table.SetFreshness(row, freshness));
   }
+  // Replay leaves zone maps widened (every row passed through freshness
+  // 1.0); one exact recount restores tight pruning bounds. No snapshot
+  // format change — zone maps are always derivable from the rows.
+  table.RecomputeZoneMaps();
   return table;
 }
 
@@ -127,6 +131,7 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(BufferReader& in) {
           created->SetFreshness(*appended, loaded.Freshness(row));
     });
     FUNGUSDB_RETURN_IF_ERROR(replay_status);
+    created->RecomputeZoneMaps();
   }
   FUNGUSDB_RETURN_IF_ERROR(db->cellar().DeserializeInto(in));
   if (!in.exhausted()) {

@@ -149,6 +149,22 @@ Result<BoundExpr> BindImpl(const Expr& expr, const Schema& schema,
           if (out.result_type == DataType::kTimestamp) {
             out.result_type = DataType::kInt64;
           }
+          // Fold -<literal> into a plain literal so the zone-map pruner
+          // and the vectorized kernel see negative constants; mirrors the
+          // evaluator's kNeg arithmetic exactly.
+          if (operand.kind == Expr::Kind::kLiteral) {
+            out.kind = Expr::Kind::kLiteral;
+            if (operand.literal.is_null()) {
+              out.literal = Value::Null();
+              out.result_type = std::nullopt;
+            } else if (operand.literal.type() == DataType::kFloat64) {
+              out.literal = Value::Float64(-operand.literal.AsFloat64());
+            } else {
+              FUNGUSDB_ASSIGN_OR_RETURN(double d, operand.literal.ToDouble());
+              out.literal = Value::Int64(-static_cast<int64_t>(d));
+            }
+            return out;
+          }
           break;
         case UnaryOp::kIsNull:
         case UnaryOp::kIsNotNull:

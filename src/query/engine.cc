@@ -1,12 +1,15 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
 
 #include "query/binder.h"
 #include "query/evaluator.h"
+#include "query/vector_eval.h"
 
 namespace fungusdb {
 namespace {
@@ -73,36 +76,46 @@ struct AggAccumulator {
   }
 };
 
-/// Fast-path predicate: `numeric_column <cmp> numeric_literal`. The
-/// generic evaluator resolves the row id back to a segment and boxes a
-/// Value per cell; this form is common enough (point lookups, range
-/// scans, retention cutoffs) to deserve a typed scan over the segments.
-struct FastPredicate {
-  ColumnSource source = ColumnSource::kUser;
-  size_t col = 0;
-  DataType col_type = DataType::kInt64;
-  BinaryOp op = BinaryOp::kEq;
-  double rhs = 0.0;
+// --- Zone-map pruning planner. ---
+//
+// A conjunct `numeric_column <cmp> numeric_literal` restricts the rows
+// that can match to a closed double-space interval. A segment whose
+// zone-map bounds fall entirely outside some conjunct's interval holds
+// no matching row and is skipped whole. Strict comparisons are widened
+// to closed intervals, which keeps the check conservative (a boundary
+// segment is scanned, never wrongly skipped). Everything here works in
+// the same double space as Value::Compare, so int64/timestamp bounds
+// convert monotonically and no rounding can make pruning unsound.
 
-  bool Matches(double lhs) const {
-    switch (op) {
-      case BinaryOp::kEq:
-        return lhs == rhs;
-      case BinaryOp::kNe:
-        return lhs != rhs;
-      case BinaryOp::kLt:
-        return lhs < rhs;
-      case BinaryOp::kLe:
-        return lhs <= rhs;
-      case BinaryOp::kGt:
-        return lhs > rhs;
-      default:
-        return lhs >= rhs;
-    }
-  }
+/// One conjunctive range constraint over a scan target.
+struct RangeConstraint {
+  ColumnSource source = ColumnSource::kUser;
+  size_t col = 0;          // user column index when source == kUser
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  /// Whether a NaN cell satisfies the comparison. Under Value::Compare
+  /// NaN is neither < nor > anything, so cmp == 0: =, <=, >= accept a
+  /// NaN cell while !=, <, > reject it.
+  bool nan_matches = false;
 };
 
-bool IsComparison(BinaryOp op) {
+/// Constraints extracted from the top-level AND spine of the WHERE
+/// tree. `always_false` marks a conjunct no row can ever satisfy
+/// (comparison against NULL, or a NaN literal under !=, <, >).
+struct PruningPlan {
+  std::vector<RangeConstraint> constraints;
+  bool always_false = false;
+};
+
+void CollectConjuncts(const BoundExpr& expr, PruningPlan& plan) {
+  if (expr.kind == Expr::Kind::kBinary &&
+      expr.binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(expr.children[0], plan);
+    CollectConjuncts(expr.children[1], plan);
+    return;
+  }
+  if (expr.kind != Expr::Kind::kBinary) return;
+  BinaryOp op = expr.binary_op;
   switch (op) {
     case BinaryOp::kEq:
     case BinaryOp::kNe:
@@ -110,73 +123,121 @@ bool IsComparison(BinaryOp op) {
     case BinaryOp::kLe:
     case BinaryOp::kGt:
     case BinaryOp::kGe:
-      return true;
+      break;
     default:
-      return false;
+      return;
   }
+  const BoundExpr* colref = &expr.children[0];
+  const BoundExpr* literal = &expr.children[1];
+  if (colref->kind == Expr::Kind::kLiteral &&
+      literal->kind == Expr::Kind::kColumnRef) {
+    std::swap(colref, literal);
+    switch (op) {  // 5 < col  ==  col > 5
+      case BinaryOp::kLt:
+        op = BinaryOp::kGt;
+        break;
+      case BinaryOp::kLe:
+        op = BinaryOp::kGe;
+        break;
+      case BinaryOp::kGt:
+        op = BinaryOp::kLt;
+        break;
+      case BinaryOp::kGe:
+        op = BinaryOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  if (colref->kind != Expr::Kind::kColumnRef ||
+      literal->kind != Expr::Kind::kLiteral) {
+    return;
+  }
+  if (colref->col_source == ColumnSource::kUser &&
+      (!colref->result_type.has_value() ||
+       !IsNumeric(*colref->result_type))) {
+    return;
+  }
+  if (literal->literal.is_null()) {
+    // `col <cmp> NULL` is UNKNOWN for every row; the AND spine can
+    // never be TRUE.
+    plan.always_false = true;
+    return;
+  }
+  if (!IsNumeric(literal->literal.type())) return;
+  const double v = literal->literal.ToDouble().value();
+  RangeConstraint c;
+  c.source = colref->col_source;
+  c.col = colref->col_index;
+  if (std::isnan(v)) {
+    // cmp == 0 against every non-null cell: =, <=, >= match all rows
+    // (no bound restriction, but an all-null segment still prunes);
+    // !=, <, > match none.
+    if (op == BinaryOp::kNe || op == BinaryOp::kLt ||
+        op == BinaryOp::kGt) {
+      plan.always_false = true;
+      return;
+    }
+    c.nan_matches = true;
+    plan.constraints.push_back(c);
+    return;
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      c.lo = v;
+      c.hi = v;
+      c.nan_matches = true;
+      break;
+    case BinaryOp::kLt:
+      c.hi = v;  // closed: boundary segments scan, never wrongly skip
+      break;
+    case BinaryOp::kLe:
+      c.hi = v;
+      c.nan_matches = true;
+      break;
+    case BinaryOp::kGt:
+      c.lo = v;
+      break;
+    case BinaryOp::kGe:
+      c.lo = v;
+      c.nan_matches = true;
+      break;
+    default:  // kNe constrains no interval
+      return;
+  }
+  plan.constraints.push_back(c);
 }
 
-std::optional<FastPredicate> TryCompileFastPredicate(
-    const BoundExpr& expr) {
-  if (expr.kind != Expr::Kind::kBinary || !IsComparison(expr.binary_op)) {
-    return std::nullopt;
-  }
-  const BoundExpr& lhs = expr.children[0];
-  const BoundExpr& rhs = expr.children[1];
-  if (lhs.kind != Expr::Kind::kColumnRef ||
-      rhs.kind != Expr::Kind::kLiteral || rhs.literal.is_null()) {
-    return std::nullopt;
-  }
-  if (!lhs.result_type.has_value() || !IsNumeric(*lhs.result_type) ||
-      !IsNumeric(rhs.literal.type())) {
-    return std::nullopt;
-  }
-  FastPredicate fast;
-  fast.source = lhs.col_source;
-  fast.col = lhs.col_index;
-  fast.col_type = *lhs.result_type;
-  fast.op = expr.binary_op;
-  fast.rhs = rhs.literal.ToDouble().value();
-  return fast;
-}
-
-/// Scans one segment with the compiled predicate, appending matches.
-void ScanSegmentFast(const Segment& seg, const FastPredicate& fast,
-                     std::vector<RowId>& matched, uint64_t& scanned) {
-  const size_t n = seg.num_rows();
-  const Column* column =
-      fast.source == ColumnSource::kUser ? &seg.column(fast.col) : nullptr;
-  for (size_t off = 0; off < n; ++off) {
-    if (!seg.IsLive(off)) continue;
-    ++scanned;
-    double lhs = 0.0;
-    switch (fast.source) {
+/// True when the segment's zone map admits at least one potentially
+/// matching row; false only when NO live row can satisfy every
+/// constraint (the sound-to-skip direction).
+bool SegmentCanMatch(const ZoneMap& zone,
+                     const std::vector<RangeConstraint>& constraints) {
+  for (const RangeConstraint& c : constraints) {
+    switch (c.source) {
       case ColumnSource::kTimestamp:
-        lhs = static_cast<double>(seg.InsertTime(off));
+        // Exact over all rows, superset of live rows; never null/NaN.
+        if (c.lo > static_cast<double>(zone.max_ts) ||
+            c.hi < static_cast<double>(zone.min_ts)) {
+          return false;
+        }
         break;
       case ColumnSource::kFreshness:
-        lhs = seg.Freshness(off);
+        // Conservative over live rows; never null/NaN.
+        if (!zone.has_live_freshness()) return false;
+        if (c.lo > zone.max_f || c.hi < zone.min_f) return false;
         break;
       case ColumnSource::kUser: {
-        if (column->IsNull(off)) continue;  // null comparison -> excluded
-        switch (fast.col_type) {
-          case DataType::kInt64:
-            lhs = static_cast<double>(
-                static_cast<const Int64Column*>(column)->at(off));
-            break;
-          case DataType::kFloat64:
-            lhs = static_cast<const Float64Column*>(column)->at(off);
-            break;
-          default:  // kTimestamp
-            lhs = static_cast<double>(
-                static_cast<const TimestampColumn*>(column)->at(off));
-            break;
-        }
+        const ColumnZone& col = zone.columns[c.col];
+        if (!col.tracked) break;  // no bounds kept; cannot judge
+        if (col.has_nan && c.nan_matches) break;  // a NaN cell matches
+        if (!col.has_value()) return false;  // all cells null (or NaN)
+        if (c.lo > col.max || c.hi < col.min) return false;
         break;
       }
     }
-    if (fast.Matches(lhs)) matched.push_back(seg.first_row() + off);
   }
+  return true;
 }
 
 /// Name shown for a select item without an alias.
@@ -316,31 +377,80 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
   }
 
   // --- Scan & filter. ---
+  //
+  // 1. Prune: drop live segments whose zone maps cannot satisfy the
+  //    WHERE conjuncts (counted in rows_pruned / segments_pruned).
+  // 2. Filter survivors with the vectorized kernel when the predicate
+  //    compiles (batch-at-a-time over raw column spans, morsel-parallel
+  //    with a pool), else with the row-at-a-time tree walker.
   ResultSet result;
   std::vector<RowId> matched;
-  std::optional<FastPredicate> fast;
-  if (where.has_value()) fast = TryCompileFastPredicate(*where);
-  if (fast.has_value()) {
-    // Typed scan: read column vectors directly, no per-row id
-    // resolution and no Value boxing. With a pool and enough segments
-    // the scan is morsel-driven: each live segment is one morsel,
-    // workers claim morsels dynamically, and per-morsel outputs merge
-    // in segment order so `matched` is identical to the serial scan.
+  std::vector<const Segment*> segments = table.LiveSegments();
+  if (where.has_value() && options_.enable_pruning) {
+    PruningPlan plan;
+    CollectConjuncts(*where, plan);
+    if (plan.always_false || !plan.constraints.empty()) {
+      std::vector<const Segment*> survivors;
+      survivors.reserve(segments.size());
+      for (const Segment* seg : segments) {
+        if (!plan.always_false &&
+            SegmentCanMatch(seg->zone_map(), plan.constraints)) {
+          survivors.push_back(seg);
+        } else {
+          ++result.stats.segments_pruned;
+          result.stats.rows_pruned += seg->live_count();
+        }
+      }
+      segments = std::move(survivors);
+    }
+  }
+  if (options_.metrics != nullptr && result.stats.segments_pruned > 0) {
+    options_.metrics->IncrementCounter(
+        "fungusdb.scan.segments_pruned",
+        static_cast<int64_t>(result.stats.segments_pruned));
+    options_.metrics->IncrementCounter(
+        "fungusdb.scan.rows_pruned",
+        static_cast<int64_t>(result.stats.rows_pruned));
+  }
+
+  std::optional<VectorPredicate> vec;
+  if (where.has_value()) vec = VectorPredicate::Compile(*where);
+  if (!where.has_value() || vec.has_value()) {
+    // Batch path: evaluate over raw column spans, no per-row Value
+    // boxing. With a pool and enough segments the scan is
+    // morsel-driven: each surviving segment is one morsel, workers
+    // claim morsels dynamically, and per-morsel outputs merge in
+    // segment order so `matched` is identical to the serial scan.
+    auto scan_segment = [&](const Segment& seg, std::vector<RowId>& out) {
+      if (vec.has_value()) {
+        thread_local VectorPredicate::Scratch scratch;
+        thread_local std::vector<uint32_t> offsets;
+        offsets.clear();
+        vec->Match(seg, scratch, offsets);
+        out.reserve(out.size() + offsets.size());
+        for (uint32_t off : offsets) out.push_back(seg.first_row() + off);
+      } else {
+        // No WHERE: every live row matches.
+        const uint8_t* alive = seg.alive_data();
+        const size_t n = seg.num_rows();
+        out.reserve(out.size() + seg.live_count());
+        for (size_t off = 0; off < n; ++off) {
+          if (alive[off]) out.push_back(seg.first_row() + off);
+        }
+      }
+    };
     ThreadPool* pool = options_.pool;
-    const std::vector<const Segment*> segments = table.LiveSegments();
     if (pool != nullptr && pool->num_threads() > 1 &&
         segments.size() >= options_.parallel_scan_min_segments) {
       std::vector<std::vector<RowId>> morsel_matched(segments.size());
-      std::vector<uint64_t> morsel_scanned(segments.size(), 0);
       pool->ParallelFor(segments.size(), [&](size_t i) {
-        ScanSegmentFast(*segments[i], *fast, morsel_matched[i],
-                        morsel_scanned[i]);
+        scan_segment(*segments[i], morsel_matched[i]);
       });
       size_t total = 0;
       for (const auto& m : morsel_matched) total += m.size();
       matched.reserve(total);
       for (size_t i = 0; i < segments.size(); ++i) {
-        result.stats.rows_scanned += morsel_scanned[i];
+        result.stats.rows_scanned += segments[i]->live_count();
         matched.insert(matched.end(), morsel_matched[i].begin(),
                        morsel_matched[i].end());
       }
@@ -351,24 +461,31 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
       }
     } else {
       for (const Segment* seg : segments) {
-        ScanSegmentFast(*seg, *fast, matched, result.stats.rows_scanned);
+        result.stats.rows_scanned += seg->live_count();
+        scan_segment(*seg, matched);
       }
     }
   } else {
+    // Fallback: row-at-a-time tree walker over the surviving segments.
+    size_t surviving_live = 0;
+    for (const Segment* seg : segments) surviving_live += seg->live_count();
+    matched.reserve(surviving_live);
     Status scan_status;
-    table.ForEachLive([&](RowId row) {
-      if (!scan_status.ok()) return;
-      ++result.stats.rows_scanned;
-      if (where.has_value()) {
+    for (const Segment* seg : segments) {
+      const size_t n = seg->num_rows();
+      for (size_t off = 0; off < n; ++off) {
+        if (!seg->IsLive(off)) continue;
+        ++result.stats.rows_scanned;
+        const RowId row = seg->first_row() + off;
         Result<bool> pass = EvalPredicate(*where, table, row);
         if (!pass.ok()) {
           scan_status = pass.status();
-          return;
+          break;
         }
-        if (!*pass) return;
+        if (*pass) matched.push_back(row);
       }
-      matched.push_back(row);
-    });
+      if (!scan_status.ok()) break;
+    }
     FUNGUSDB_RETURN_IF_ERROR(scan_status);
   }
   result.stats.rows_matched = matched.size();

@@ -16,6 +16,10 @@ struct ResultSet {
     uint64_t rows_scanned = 0;   // live tuples visited
     uint64_t rows_matched = 0;   // tuples satisfying P
     uint64_t rows_consumed = 0;  // tuples removed from R (Law 2)
+    // Zone-map pruning effect. Wire protocol v1 carries only the three
+    // counters above; these stay local to the process.
+    uint64_t rows_pruned = 0;      // live tuples skipped via zone maps
+    uint64_t segments_pruned = 0;  // segments skipped via zone maps
   };
 
   std::vector<std::string> column_names;

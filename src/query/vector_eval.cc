@@ -1,0 +1,349 @@
+#include "query/vector_eval.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fungusdb {
+
+std::optional<VectorPredicate::Operand> VectorPredicate::CompileOperand(
+    const BoundExpr& expr) {
+  Operand op;
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      if (expr.literal.is_null()) {
+        op.kind = OperandKind::kNullLit;
+        return op;
+      }
+      op.kind = OperandKind::kConst;
+      switch (expr.literal.type()) {
+        case DataType::kInt64:
+          op.constant = static_cast<double>(expr.literal.AsInt64());
+          return op;
+        case DataType::kFloat64:
+          op.constant = expr.literal.AsFloat64();
+          return op;
+        case DataType::kTimestamp:
+          op.constant = static_cast<double>(expr.literal.AsTimestamp());
+          return op;
+        default:
+          return std::nullopt;
+      }
+    case Expr::Kind::kColumnRef:
+      switch (expr.col_source) {
+        case ColumnSource::kTimestamp:
+          op.kind = OperandKind::kTs;
+          return op;
+        case ColumnSource::kFreshness:
+          op.kind = OperandKind::kFreshness;
+          return op;
+        case ColumnSource::kUser:
+          op.col = expr.col_index;
+          if (expr.result_type == DataType::kInt64) {
+            op.kind = OperandKind::kInt64Col;
+            return op;
+          }
+          if (expr.result_type == DataType::kFloat64) {
+            op.kind = OperandKind::kFloat64Col;
+            return op;
+          }
+          if (expr.result_type == DataType::kTimestamp) {
+            op.kind = OperandKind::kTimestampCol;
+            return op;
+          }
+          return std::nullopt;
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<int> VectorPredicate::CompileNode(const BoundExpr& expr,
+                                                std::vector<Node>& nodes) {
+  Node node;
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      // WHERE true / WHERE NULL. The walker treats NULL as "not TRUE".
+      if (expr.literal.is_null()) {
+        node.kind = NodeKind::kConstBool;
+        node.const_known = false;
+      } else if (expr.literal.type() == DataType::kBool) {
+        node.kind = NodeKind::kConstBool;
+        node.const_truth = expr.literal.AsBool();
+        node.const_known = true;
+      } else {
+        return std::nullopt;
+      }
+      nodes.push_back(node);
+      return static_cast<int>(nodes.size()) - 1;
+    case Expr::Kind::kUnary:
+      switch (expr.unary_op) {
+        case UnaryOp::kNot: {
+          auto child = CompileNode(expr.children[0], nodes);
+          if (!child) return std::nullopt;
+          node.kind = NodeKind::kNot;
+          node.child0 = *child;
+          nodes.push_back(node);
+          return static_cast<int>(nodes.size()) - 1;
+        }
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull: {
+          auto operand = CompileOperand(expr.children[0]);
+          if (!operand) return std::nullopt;
+          node.kind = NodeKind::kIsNull;
+          node.lhs = *operand;
+          nodes.push_back(node);
+          int idx = static_cast<int>(nodes.size()) - 1;
+          if (expr.unary_op == UnaryOp::kIsNotNull) {
+            Node neg;
+            neg.kind = NodeKind::kNot;
+            neg.child0 = idx;
+            nodes.push_back(neg);
+            idx = static_cast<int>(nodes.size()) - 1;
+          }
+          return idx;
+        }
+        default:
+          return std::nullopt;
+      }
+    case Expr::Kind::kBinary:
+      switch (expr.binary_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          auto a = CompileNode(expr.children[0], nodes);
+          if (!a) return std::nullopt;
+          auto b = CompileNode(expr.children[1], nodes);
+          if (!b) return std::nullopt;
+          node.kind = expr.binary_op == BinaryOp::kAnd ? NodeKind::kAnd
+                                                       : NodeKind::kOr;
+          node.child0 = *a;
+          node.child1 = *b;
+          nodes.push_back(node);
+          return static_cast<int>(nodes.size()) - 1;
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          auto lhs = CompileOperand(expr.children[0]);
+          if (!lhs) return std::nullopt;
+          auto rhs = CompileOperand(expr.children[1]);
+          if (!rhs) return std::nullopt;
+          node.kind = NodeKind::kCompare;
+          node.cmp_op = expr.binary_op;
+          node.lhs = *lhs;
+          node.rhs = *rhs;
+          nodes.push_back(node);
+          return static_cast<int>(nodes.size()) - 1;
+        }
+        default:
+          return std::nullopt;
+      }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<VectorPredicate> VectorPredicate::Compile(
+    const BoundExpr& expr) {
+  VectorPredicate pred;
+  auto root = CompileNode(expr, pred.nodes_);
+  if (!root) return std::nullopt;
+  return pred;
+}
+
+void VectorPredicate::MaterializeOperand(const Operand& op,
+                                         const Segment& seg, size_t base,
+                                         size_t n, double* vals,
+                                         uint8_t* nulls) const {
+  switch (op.kind) {
+    case OperandKind::kNullLit:
+      std::memset(nulls, 1, n);
+      return;
+    case OperandKind::kConst:
+      std::fill(vals, vals + n, op.constant);
+      std::memset(nulls, 0, n);
+      return;
+    case OperandKind::kTs: {
+      const Timestamp* ts = seg.ts_data() + base;
+      for (size_t i = 0; i < n; ++i) vals[i] = static_cast<double>(ts[i]);
+      std::memset(nulls, 0, n);
+      return;
+    }
+    case OperandKind::kFreshness:
+      std::memcpy(vals, seg.freshness_data() + base, n * sizeof(double));
+      std::memset(nulls, 0, n);
+      return;
+    case OperandKind::kInt64Col: {
+      const auto& col = static_cast<const Int64Column&>(seg.column(op.col));
+      const int64_t* data = col.data().data() + base;
+      for (size_t i = 0; i < n; ++i) vals[i] = static_cast<double>(data[i]);
+      if (col.null_count() == 0) {
+        std::memset(nulls, 0, n);
+      } else {
+        for (size_t i = 0; i < n; ++i) nulls[i] = col.IsNull(base + i);
+      }
+      return;
+    }
+    case OperandKind::kFloat64Col: {
+      const auto& col =
+          static_cast<const Float64Column&>(seg.column(op.col));
+      std::memcpy(vals, col.data().data() + base, n * sizeof(double));
+      if (col.null_count() == 0) {
+        std::memset(nulls, 0, n);
+      } else {
+        for (size_t i = 0; i < n; ++i) nulls[i] = col.IsNull(base + i);
+      }
+      return;
+    }
+    case OperandKind::kTimestampCol: {
+      const auto& col =
+          static_cast<const TimestampColumn&>(seg.column(op.col));
+      const Timestamp* data = col.data().data() + base;
+      for (size_t i = 0; i < n; ++i) vals[i] = static_cast<double>(data[i]);
+      if (col.null_count() == 0) {
+        std::memset(nulls, 0, n);
+      } else {
+        for (size_t i = 0; i < n; ++i) nulls[i] = col.IsNull(base + i);
+      }
+      return;
+    }
+  }
+}
+
+void VectorPredicate::EvalBatch(const Segment& seg, size_t base, size_t n,
+                                Scratch& scratch) const {
+  for (size_t idx = 0; idx < nodes_.size(); ++idx) {
+    const Node& node = nodes_[idx];
+    uint8_t* t = scratch.truth.data() + idx * kBatchSize;
+    uint8_t* k = scratch.known.data() + idx * kBatchSize;
+    switch (node.kind) {
+      case NodeKind::kConstBool:
+        std::memset(t, node.const_truth ? 1 : 0, n);
+        std::memset(k, node.const_known ? 1 : 0, n);
+        break;
+      case NodeKind::kIsNull: {
+        double* lv = scratch.vals.data();
+        uint8_t* ln = scratch.nulls.data();
+        MaterializeOperand(node.lhs, seg, base, n, lv, ln);
+        std::memcpy(t, ln, n);
+        std::memset(k, 1, n);
+        break;
+      }
+      case NodeKind::kCompare: {
+        double* lv = scratch.vals.data();
+        double* rv = scratch.vals.data() + kBatchSize;
+        uint8_t* ln = scratch.nulls.data();
+        uint8_t* rn = scratch.nulls.data() + kBatchSize;
+        MaterializeOperand(node.lhs, seg, base, n, lv, ln);
+        MaterializeOperand(node.rhs, seg, base, n, rv, rn);
+        // Value::Compare trichotomy: NaN is neither < nor >, so cmp == 0
+        // and NaN "equals" everything — preserved deliberately.
+        auto run = [&](auto accept) {
+          for (size_t i = 0; i < n; ++i) {
+            if (ln[i] | rn[i]) {
+              t[i] = 0;
+              k[i] = 0;
+              continue;
+            }
+            const double x = lv[i];
+            const double y = rv[i];
+            const int cmp = x < y ? -1 : (x > y ? 1 : 0);
+            t[i] = accept(cmp) ? 1 : 0;
+            k[i] = 1;
+          }
+        };
+        switch (node.cmp_op) {
+          case BinaryOp::kEq:
+            run([](int c) { return c == 0; });
+            break;
+          case BinaryOp::kNe:
+            run([](int c) { return c != 0; });
+            break;
+          case BinaryOp::kLt:
+            run([](int c) { return c < 0; });
+            break;
+          case BinaryOp::kLe:
+            run([](int c) { return c <= 0; });
+            break;
+          case BinaryOp::kGt:
+            run([](int c) { return c > 0; });
+            break;
+          default:
+            run([](int c) { return c >= 0; });
+            break;
+        }
+        break;
+      }
+      case NodeKind::kNot: {
+        const uint8_t* ct =
+            scratch.truth.data() + node.child0 * kBatchSize;
+        const uint8_t* ck =
+            scratch.known.data() + node.child0 * kBatchSize;
+        for (size_t i = 0; i < n; ++i) t[i] = ct[i] ^ 1;
+        std::memcpy(k, ck, n);
+        break;
+      }
+      case NodeKind::kAnd: {
+        const uint8_t* at =
+            scratch.truth.data() + node.child0 * kBatchSize;
+        const uint8_t* ak =
+            scratch.known.data() + node.child0 * kBatchSize;
+        const uint8_t* bt =
+            scratch.truth.data() + node.child1 * kBatchSize;
+        const uint8_t* bk =
+            scratch.known.data() + node.child1 * kBatchSize;
+        // Kleene AND: FALSE dominates UNKNOWN.
+        for (size_t i = 0; i < n; ++i) {
+          t[i] = at[i] & bt[i];
+          k[i] = (ak[i] & bk[i]) | (ak[i] & (at[i] ^ 1)) |
+                 (bk[i] & (bt[i] ^ 1));
+        }
+        break;
+      }
+      case NodeKind::kOr: {
+        const uint8_t* at =
+            scratch.truth.data() + node.child0 * kBatchSize;
+        const uint8_t* ak =
+            scratch.known.data() + node.child0 * kBatchSize;
+        const uint8_t* bt =
+            scratch.truth.data() + node.child1 * kBatchSize;
+        const uint8_t* bk =
+            scratch.known.data() + node.child1 * kBatchSize;
+        // Kleene OR: TRUE dominates UNKNOWN.
+        for (size_t i = 0; i < n; ++i) {
+          t[i] = at[i] | bt[i];
+          k[i] = (ak[i] & bk[i]) | (ak[i] & at[i]) | (bk[i] & bt[i]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void VectorPredicate::Match(const Segment& seg, Scratch& scratch,
+                            std::vector<uint32_t>& out) const {
+  scratch.truth.resize(nodes_.size() * kBatchSize);
+  scratch.known.resize(nodes_.size() * kBatchSize);
+  scratch.vals.resize(2 * kBatchSize);
+  scratch.nulls.resize(2 * kBatchSize);
+  const size_t rows = seg.num_rows();
+  const size_t root = nodes_.size() - 1;
+  const uint8_t* alive = seg.alive_data();
+  for (size_t base = 0; base < rows; base += kBatchSize) {
+    const size_t n = std::min(kBatchSize, rows - base);
+    EvalBatch(seg, base, n, scratch);
+    const uint8_t* t = scratch.truth.data() + root * kBatchSize;
+    const uint8_t* k = scratch.known.data() + root * kBatchSize;
+    const uint8_t* a = alive + base;
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] & t[i] & k[i]) {
+        out.push_back(static_cast<uint32_t>(base + i));
+      }
+    }
+  }
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,109 @@
+#ifndef FUNGUSDB_QUERY_VECTOR_EVAL_H_
+#define FUNGUSDB_QUERY_VECTOR_EVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/binder.h"
+#include "storage/segment.h"
+
+namespace fungusdb {
+
+/// Batch-at-a-time predicate kernel. Compile() lowers a bound WHERE tree
+/// into a flat post-order program over numeric column spans; Match()
+/// runs it over one segment in fixed-size batches, producing a selection
+/// vector of live, matching row offsets — no per-row Value
+/// materialization anywhere on the hot path.
+///
+/// Coverage: comparisons (=, !=, <, <=, >, >=) between numeric operands
+/// (int64 / float64 / timestamp user columns, `__ts`, `__freshness`,
+/// numeric or NULL literals), IS [NOT] NULL over those operands, boolean
+/// and NULL literals, and AND / OR / NOT combinations thereof. Anything
+/// else makes Compile() return nullopt and the engine falls back to the
+/// row-at-a-time tree walker.
+///
+/// Semantics match the tree walker bit for bit:
+///  * comparisons happen in double space (int64/timestamp converted),
+///    with Value::Compare's trichotomy — so a NaN operand compares
+///    "equal" to everything (=, <=, >= accept it; !=, <, > reject);
+///  * a NULL operand makes the comparison UNKNOWN;
+///  * AND / OR / NOT follow three-valued (Kleene) logic;
+///  * a row matches when the predicate is TRUE (not UNKNOWN).
+class VectorPredicate {
+ public:
+  /// Rows evaluated per inner-loop batch.
+  static constexpr size_t kBatchSize = 1024;
+
+  /// Per-thread evaluation buffers, reused across batches and segments.
+  /// Morsel-parallel scans give each worker its own Scratch.
+  struct Scratch {
+    std::vector<uint8_t> truth;   // num_nodes x kBatchSize
+    std::vector<uint8_t> known;   // num_nodes x kBatchSize
+    std::vector<double> vals;     // 2 x kBatchSize operand staging
+    std::vector<uint8_t> nulls;   // 2 x kBatchSize operand staging
+  };
+
+  /// Lowers `expr` (a boolean-typed bound expression) or returns nullopt
+  /// if any sub-expression is outside the vectorizable subset.
+  static std::optional<VectorPredicate> Compile(const BoundExpr& expr);
+
+  /// Appends to `out` the in-segment offsets of all LIVE rows of `seg`
+  /// for which the predicate is TRUE, in offset order.
+  void Match(const Segment& seg, Scratch& scratch,
+             std::vector<uint32_t>& out) const;
+
+ private:
+  enum class OperandKind : uint8_t {
+    kNullLit,       // literal NULL: every cell null
+    kConst,         // numeric literal, as double
+    kTs,            // system insertion-time vector
+    kFreshness,     // system freshness vector
+    kInt64Col,      // user column, by index
+    kFloat64Col,
+    kTimestampCol,
+  };
+
+  struct Operand {
+    OperandKind kind = OperandKind::kNullLit;
+    double constant = 0.0;
+    size_t col = 0;
+  };
+
+  enum class NodeKind : uint8_t {
+    kConstBool,  // truth/known fixed at compile time
+    kIsNull,     // lhs operand IS NULL
+    kCompare,    // lhs <cmp_op> rhs
+    kNot,        // child0
+    kAnd,        // child0, child1
+    kOr,         // child0, child1
+  };
+
+  struct Node {
+    NodeKind kind = NodeKind::kConstBool;
+    BinaryOp cmp_op = BinaryOp::kEq;
+    bool const_truth = false;
+    bool const_known = false;
+    Operand lhs;
+    Operand rhs;
+    int child0 = -1;
+    int child1 = -1;
+  };
+
+  static std::optional<Operand> CompileOperand(const BoundExpr& expr);
+  /// Appends nodes post-order; returns the root index or nullopt.
+  static std::optional<int> CompileNode(const BoundExpr& expr,
+                                        std::vector<Node>& nodes);
+
+  void MaterializeOperand(const Operand& op, const Segment& seg,
+                          size_t base, size_t n, double* vals,
+                          uint8_t* nulls) const;
+  void EvalBatch(const Segment& seg, size_t base, size_t n,
+                 Scratch& scratch) const;
+
+  std::vector<Node> nodes_;  // post-order; back() is the root
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_QUERY_VECTOR_EVAL_H_

@@ -36,6 +36,10 @@ class Column {
 
   virtual bool IsNull(size_t pos) const = 0;
 
+  /// Number of null cells; lets vectorized scans skip per-cell validity
+  /// checks on all-valid columns.
+  virtual size_t null_count() const = 0;
+
   /// Heap bytes held by this column.
   virtual size_t MemoryUsage() const = 0;
 
@@ -95,6 +99,7 @@ class TypedColumn : public Column {
     if (value.is_null()) {
       data_.push_back(T{});
       valid_.push_back(false);
+      ++null_count_;
     } else {
       data_.push_back(internal_column::ColumnTraits<T>::Unwrap(value));
       valid_.push_back(true);
@@ -118,6 +123,8 @@ class TypedColumn : public Column {
     return !valid_[pos];
   }
 
+  size_t null_count() const override { return null_count_; }
+
   /// Raw typed access for vectorized evaluation; caller checks IsNull.
   const T& at(size_t pos) const {
     assert(pos < data_.size());
@@ -137,6 +144,7 @@ class TypedColumn : public Column {
  private:
   std::vector<T> data_;
   std::vector<bool> valid_;
+  size_t null_count_ = 0;
 };
 
 using Int64Column = TypedColumn<int64_t>;
@@ -156,6 +164,7 @@ class TimestampColumn : public Column {
     if (value.is_null()) {
       data_.push_back(0);
       valid_.push_back(false);
+      ++null_count_;
     } else {
       data_.push_back(value.AsTimestamp());
       valid_.push_back(true);
@@ -178,10 +187,14 @@ class TimestampColumn : public Column {
     return !valid_[pos];
   }
 
+  size_t null_count() const override { return null_count_; }
+
   Timestamp at(size_t pos) const {
     assert(pos < data_.size());
     return data_[pos];
   }
+
+  const std::vector<Timestamp>& data() const { return data_; }
 
   size_t MemoryUsage() const override {
     return data_.capacity() * sizeof(Timestamp) + valid_.capacity() / 8;
@@ -190,6 +203,7 @@ class TimestampColumn : public Column {
  private:
   std::vector<Timestamp> data_;
   std::vector<bool> valid_;
+  size_t null_count_ = 0;
 };
 
 /// Creates an empty column of the given type.

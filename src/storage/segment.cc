@@ -2,15 +2,56 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace fungusdb {
+
+namespace {
+
+bool IsNumericType(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64 ||
+         t == DataType::kTimestamp;
+}
+
+/// Double image of a numeric cell — the space Value::Compare works in.
+/// int64/timestamp -> double is monotone, so zone bounds taken here are
+/// a sound superset for double-space comparisons.
+double NumericCell(const Column& col, size_t pos) {
+  switch (col.type()) {
+    case DataType::kInt64:
+      return static_cast<double>(
+          static_cast<const Int64Column&>(col).at(pos));
+    case DataType::kFloat64:
+      return static_cast<const Float64Column&>(col).at(pos);
+    case DataType::kTimestamp:
+      return static_cast<double>(
+          static_cast<const TimestampColumn&>(col).at(pos));
+    default:
+      assert(false);
+      return 0.0;
+  }
+}
+
+void WidenColumnZone(ColumnZone& zone, double v) {
+  if (std::isnan(v)) {
+    zone.has_nan = true;
+    return;
+  }
+  zone.min = std::min(zone.min, v);
+  zone.max = std::max(zone.max, v);
+}
+
+}  // namespace
 
 Segment::Segment(const Schema& schema, uint64_t first_row, size_t capacity,
                  bool track_access)
     : first_row_(first_row), capacity_(capacity), track_access_(track_access) {
   columns_.reserve(schema.num_fields());
-  for (const Field& f : schema.fields()) {
+  zone_map_.columns.resize(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& f = schema.fields()[i];
     columns_.push_back(MakeColumn(f.type));
+    zone_map_.columns[i].tracked = IsNumericType(f.type);
   }
   ts_.reserve(capacity);
   freshness_.reserve(capacity);
@@ -23,24 +64,45 @@ void Segment::Append(const std::vector<Value>& values, Timestamp now) {
   assert(values.size() == columns_.size());
   for (size_t i = 0; i < values.size(); ++i) {
     columns_[i]->Append(values[i]);
+    ColumnZone& zone = zone_map_.columns[i];
+    if (zone.tracked && !values[i].is_null()) {
+      WidenColumnZone(zone, NumericCell(*columns_[i], ts_.size()));
+    }
   }
   ts_.push_back(now);
   freshness_.push_back(1.0);
   alive_.push_back(1);
   if (track_access_) access_.push_back(0);
   ++live_count_;
+  zone_map_.min_ts = std::min(zone_map_.min_ts, now);
+  zone_map_.max_ts = std::max(zone_map_.max_ts, now);
+  zone_map_.min_f = std::min(zone_map_.min_f, 1.0);
+  zone_map_.max_f = std::max(zone_map_.max_f, 1.0);
 }
 
 bool Segment::SetFreshness(size_t off, double f) {
   assert(off < num_rows());
   if (!alive_[off]) return false;
+  // No-op early-out: decay ticks call this for every infected tuple, and
+  // the write often repeats the old value. Live freshness is in (0, 1],
+  // so an equal incoming value needs neither clamping nor killing, and
+  // the zone bounds already cover it.
+  if (f == freshness_[off]) return false;
   f = std::clamp(f, 0.0, 1.0);
   freshness_[off] = f;
   if (f <= 0.0) {
     alive_[off] = 0;
     --live_count_;
+    if (live_count_ == 0) {
+      // Empty of live rows: the live-freshness zone tightens to empty
+      // for free (the only O(1) tightening; others need a recount).
+      zone_map_.min_f = std::numeric_limits<double>::infinity();
+      zone_map_.max_f = -std::numeric_limits<double>::infinity();
+    }
     return true;
   }
+  zone_map_.min_f = std::min(zone_map_.min_f, f);
+  zone_map_.max_f = std::max(zone_map_.max_f, f);
   return false;
 }
 
@@ -50,7 +112,34 @@ bool Segment::Kill(size_t off) {
   alive_[off] = 0;
   freshness_[off] = 0.0;
   --live_count_;
+  if (live_count_ == 0) {
+    zone_map_.min_f = std::numeric_limits<double>::infinity();
+    zone_map_.max_f = -std::numeric_limits<double>::infinity();
+  }
   return true;
+}
+
+void Segment::RecomputeZoneMap() {
+  ZoneMap fresh;
+  fresh.columns.resize(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    fresh.columns[c].tracked = zone_map_.columns[c].tracked;
+  }
+  for (size_t off = 0; off < num_rows(); ++off) {
+    fresh.min_ts = std::min(fresh.min_ts, ts_[off]);
+    fresh.max_ts = std::max(fresh.max_ts, ts_[off]);
+    if (alive_[off]) {
+      fresh.min_f = std::min(fresh.min_f, freshness_[off]);
+      fresh.max_f = std::max(fresh.max_f, freshness_[off]);
+    }
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      ColumnZone& zone = fresh.columns[c];
+      if (zone.tracked && !columns_[c]->IsNull(off)) {
+        WidenColumnZone(zone, NumericCell(*columns_[c], off));
+      }
+    }
+  }
+  zone_map_ = std::move(fresh);
 }
 
 void Segment::RecordAccess(size_t off) {
@@ -69,6 +158,7 @@ size_t Segment::MemoryUsage() const {
   bytes += freshness_.capacity() * sizeof(double);
   bytes += alive_.capacity() * sizeof(uint8_t);
   bytes += access_.capacity() * sizeof(uint32_t);
+  bytes += zone_map_.columns.capacity() * sizeof(ColumnZone);
   return bytes;
 }
 

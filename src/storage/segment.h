@@ -2,6 +2,7 @@
 #define FUNGUSDB_STORAGE_SEGMENT_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -12,6 +13,49 @@
 
 namespace fungusdb {
 
+/// Min/max bounds for one numeric user column of a segment, kept as
+/// doubles (int64/timestamp convert monotonically, so double-space
+/// bounds are always a superset of the values' double images — the
+/// space every comparison path evaluates in).
+struct ColumnZone {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  /// Some non-null cell holds a NaN. NaN compares "equal" to everything
+  /// under Value::Compare, so a NaN cell can satisfy =, <= and >=
+  /// predicates that the min/max bounds would rule out.
+  bool has_nan = false;
+  /// False for non-numeric columns; their zones are never consulted.
+  bool tracked = false;
+
+  /// True when at least one non-null, non-NaN cell contributed.
+  bool has_value() const { return min <= max; }
+};
+
+/// Per-segment statistics for scan pruning and tick skipping. Because a
+/// segment is a contiguous insertion range, every time-range predicate
+/// and freshness threshold maps to zone-map bounds that either rule the
+/// whole segment out or leave it for the row-level scan.
+///
+/// Bound discipline (audited by the `zone-map-bounds` fsck rule):
+///  * `min_ts`/`max_ts` cover every row ever appended — exact, since
+///    insertion times never change.
+///  * `min_f`/`max_f` cover every LIVE row's freshness — conservative:
+///    widened eagerly on every freshness write, tightened only on
+///    recount (RecomputeZoneMap) or trivially when the segment empties.
+///  * `columns[c]` covers every non-null cell of numeric column c over
+///    ALL rows, live and dead — attribute values never change, so the
+///    bounds are exact over all rows and a superset over live ones.
+struct ZoneMap {
+  Timestamp min_ts = std::numeric_limits<Timestamp>::max();
+  Timestamp max_ts = std::numeric_limits<Timestamp>::min();
+  double min_f = std::numeric_limits<double>::infinity();
+  double max_f = -std::numeric_limits<double>::infinity();
+  std::vector<ColumnZone> columns;
+
+  bool has_rows() const { return min_ts <= max_ts; }
+  bool has_live_freshness() const { return min_f <= max_f; }
+};
+
 /// A fixed-capacity, append-only run of consecutive tuples. Tuples are
 /// stored in insertion order, so offset order *is* the paper's time axis.
 /// Alongside the user columns each segment holds the two system vectors:
@@ -20,7 +64,9 @@ namespace fungusdb {
 ///
 /// Segments are the unit of space reclamation: when every tuple in a full
 /// segment has died, the Table frees the whole segment — the paper's
-/// "removing complete insertion ranges".
+/// "removing complete insertion ranges". They are also the unit of scan
+/// pruning: each segment maintains a ZoneMap the query engine and decay
+/// planners consult to skip segments that cannot match.
 class Segment {
  public:
   Segment(const Schema& schema, uint64_t first_row, size_t capacity,
@@ -43,7 +89,10 @@ class Segment {
   double Freshness(size_t off) const { return freshness_[off]; }
 
   /// Sets freshness; clamps into [0, 1] and kills the tuple at 0.
-  /// Returns true when this call killed the tuple.
+  /// A write equal to the current value is a no-op (decay ticks call
+  /// this for every infected tuple; most writes repeat the old value
+  /// when the clock did not advance). Returns true when this call
+  /// killed the tuple.
   bool SetFreshness(size_t off, double f);
 
   /// Tombstones the tuple (idempotent). Returns true if it was live.
@@ -56,6 +105,20 @@ class Segment {
   }
 
   const Column& column(size_t col) const { return *columns_[col]; }
+
+  /// Zone map for pruning decisions. Bounds are conservative supersets
+  /// (see ZoneMap); a stale bound is an invariant violation.
+  const ZoneMap& zone_map() const { return zone_map_; }
+
+  /// Recomputes the zone map exactly from the stored rows, tightening
+  /// any bounds that lazy widening left loose. O(rows × columns).
+  void RecomputeZoneMap();
+
+  // --- Raw system-vector spans (vectorized scan kernels). ---
+
+  const Timestamp* ts_data() const { return ts_.data(); }
+  const double* freshness_data() const { return freshness_.data(); }
+  const uint8_t* alive_data() const { return alive_.data(); }
 
   void RecordAccess(size_t off);
   uint32_t AccessCount(size_t off) const;
@@ -84,6 +147,7 @@ class Segment {
   std::vector<uint8_t> alive_;
   std::vector<uint32_t> access_;  // empty unless track_access
   bool track_access_;
+  ZoneMap zone_map_;
 };
 
 }  // namespace fungusdb

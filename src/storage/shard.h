@@ -111,6 +111,12 @@ class Shard {
   /// its routing map. Returns segments freed.
   uint64_t ReclaimDeadSegments(std::vector<uint64_t>* removed);
 
+  /// Recomputes every segment's zone map exactly, tightening bounds
+  /// that lazy widening left loose (snapshot/journal load, compaction).
+  void RecomputeZoneMaps() {
+    for (auto& [seg_no, seg] : segments_) seg->RecomputeZoneMap();
+  }
+
   /// Ordered (by segment number == time order) access for iteration,
   /// persistence and tests.
   const std::map<uint64_t, std::unique_ptr<Segment>>& segments() const {

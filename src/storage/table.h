@@ -157,6 +157,12 @@ class Table {
   /// MemoryUsage() and Contains() becomes false for them.
   uint64_t ReclaimDeadSegments();
 
+  /// Recomputes every segment's zone map exactly (O(rows)); tightens
+  /// bounds that incremental widening left loose. Coordinator-only.
+  void RecomputeZoneMaps() {
+    for (Shard& shard : shards_) shard.RecomputeZoneMaps();
+  }
+
   /// Number of segments currently held (live or partially dead).
   size_t num_segments() const { return segment_index_.size(); }
 

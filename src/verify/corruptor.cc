@@ -71,4 +71,20 @@ Status TestCorruptor::OverfillColumn(Table& table, uint64_t seg_no,
   return Status::OK();
 }
 
+Status TestCorruptor::StaleZoneMap(Table& table, uint64_t seg_no) {
+  auto it = table.segment_index_.find(seg_no);
+  if (it == table.segment_index_.end()) return NoSuchSegment(seg_no);
+  Segment& seg = *it->second;
+  if (seg.num_rows() == 0) {
+    return Status::FailedPrecondition(
+        "segment " + std::to_string(seg_no) +
+        " is empty; stale a populated one");
+  }
+  // Shrink the ts interval past every stored row — the exact staleness
+  // a missed widening (or a buggy recount) would leave behind.
+  seg.zone_map_.min_ts = seg.InsertTime(0) + 1;
+  seg.zone_map_.max_ts = seg.InsertTime(0);
+  return Status::OK();
+}
+
 }  // namespace fungusdb

@@ -33,6 +33,11 @@ class TestCorruptor {
   /// Appends a phantom null cell to one user column so its length no
   /// longer matches the segment's row count. Caught by `column-length`.
   static Status OverfillColumn(Table& table, uint64_t seg_no, size_t col);
+
+  /// Stales the segment's zone map: narrows the insertion-time bounds
+  /// past the stored rows so the pruning planner would wrongly skip the
+  /// segment. Requires a non-empty segment. Caught by `zone-map-bounds`.
+  static Status StaleZoneMap(Table& table, uint64_t seg_no);
 };
 
 }  // namespace fungusdb

@@ -1,6 +1,8 @@
 #include "verify/invariant_checker.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <optional>
 #include <sstream>
 
@@ -204,9 +206,14 @@ Report InvariantChecker::CheckTable(const Table& table) const {
                        static_cast<int64_t>(c)));
         }
       }
-      // Per-row: freshness range, liveness agreement, time ordering.
+      // Per-row: freshness range, liveness agreement, time ordering;
+      // exact bound recount for the zone-map audit below.
       size_t recounted_live = 0;
       Timestamp prev_ts = 0;
+      Timestamp exact_min_ts = std::numeric_limits<Timestamp>::max();
+      Timestamp exact_max_ts = std::numeric_limits<Timestamp>::min();
+      double exact_min_f = std::numeric_limits<double>::infinity();
+      double exact_max_f = -std::numeric_limits<double>::infinity();
       const size_t walkable =
           std::min({num_rows, seg.freshness_vector_size(),
                     seg.alive_vector_size()});
@@ -215,6 +222,8 @@ Report InvariantChecker::CheckTable(const Table& table) const {
         const double f = seg.Freshness(off);
         if (seg.IsLive(off)) {
           ++recounted_live;
+          exact_min_f = std::min(exact_min_f, f);
+          exact_max_f = std::max(exact_max_f, f);
           if (f == 0.0) {
             out.Add(Make("resurrected-row", name,
                          "row is flagged live but its freshness is 0 "
@@ -235,6 +244,8 @@ Report InvariantChecker::CheckTable(const Table& table) const {
                        static_cast<int64_t>(row)));
         }
         const Timestamp ts = seg.InsertTime(off);
+        exact_min_ts = std::min(exact_min_ts, ts);
+        exact_max_ts = std::max(exact_max_ts, ts);
         if (off > 0 && ts < prev_ts) {
           out.Add(Make("time-ordering", name,
                        "insert time " + std::to_string(ts) +
@@ -252,6 +263,68 @@ Report InvariantChecker::CheckTable(const Table& table) const {
                          " but " + std::to_string(recounted_live) +
                          " rows are flagged live",
                      static_cast<int64_t>(s), sno));
+      }
+      // zone-map-bounds: pruning metadata must COVER the stored rows —
+      // a too-narrow bound makes scans and decay ticks silently skip a
+      // segment that still holds matching rows. Wide bounds only cost
+      // pruning opportunity and are legal (lazy widening).
+      const ZoneMap& zone = seg.zone_map();
+      if (walkable > 0 &&
+          (zone.min_ts > exact_min_ts || zone.max_ts < exact_max_ts)) {
+        out.Add(Make("zone-map-bounds", name,
+                     "ts bounds [" + std::to_string(zone.min_ts) + ", " +
+                         std::to_string(zone.max_ts) +
+                         "] do not cover stored rows [" +
+                         std::to_string(exact_min_ts) + ", " +
+                         std::to_string(exact_max_ts) + "]",
+                     static_cast<int64_t>(s), sno));
+      }
+      if (recounted_live > 0 &&
+          (zone.min_f > exact_min_f || zone.max_f < exact_max_f)) {
+        out.Add(Make("zone-map-bounds", name,
+                     "live freshness bounds [" + FormatDouble(zone.min_f, 6) +
+                         ", " + FormatDouble(zone.max_f, 6) +
+                         "] do not cover live rows [" +
+                         FormatDouble(exact_min_f, 6) + ", " +
+                         FormatDouble(exact_max_f, 6) + "]",
+                     static_cast<int64_t>(s), sno));
+      }
+      if (zone.columns.size() != num_fields) {
+        out.Add(Make("zone-map-bounds", name,
+                     "zone map tracks " +
+                         std::to_string(zone.columns.size()) +
+                         " columns for a schema of " +
+                         std::to_string(num_fields)));
+      }
+      const size_t zone_cols = std::min(zone.columns.size(), num_fields);
+      for (size_t c = 0; c < zone_cols; ++c) {
+        const ColumnZone& col_zone = zone.columns[c];
+        if (!col_zone.tracked) continue;
+        const Column& col = seg.column(c);
+        const size_t cells = std::min(col.size(), walkable);
+        for (size_t off = 0; off < cells; ++off) {
+          if (col.IsNull(off)) continue;
+          const Value cell = col.GetValue(off);
+          if (!IsNumeric(cell.type())) break;  // column-type flags this
+          const double v = cell.ToDouble().value();
+          const bool covered = std::isnan(v)
+                                   ? col_zone.has_nan
+                                   : col_zone.has_value() &&
+                                         v >= col_zone.min &&
+                                         v <= col_zone.max;
+          if (!covered) {
+            out.Add(Make("zone-map-bounds", name,
+                         "cell value " + FormatDouble(v, 6) +
+                             " escapes column zone [" +
+                             FormatDouble(col_zone.min, 6) + ", " +
+                             FormatDouble(col_zone.max, 6) + "]" +
+                             (col_zone.has_nan ? " (+NaN)" : ""),
+                         static_cast<int64_t>(s), sno,
+                         static_cast<int64_t>(seg.first_row() + off),
+                         static_cast<int64_t>(c)));
+            break;  // one violation per column per segment is enough
+          }
+        }
       }
       shard_live_from_segments += seg.live_count();
     }

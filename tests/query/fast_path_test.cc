@@ -1,7 +1,8 @@
-// Equivalence tests for the typed fast-scan path: every predicate shape
+// Equivalence tests for the vectorized scan path: every predicate shape
 // that qualifies for compilation must return exactly the same rows as a
 // semantically identical predicate forced through the generic
-// evaluator (by wrapping it so compilation is declined).
+// evaluator (by adding an arithmetic identity, which is outside the
+// vectorizable subset and so declines compilation).
 
 #include <gtest/gtest.h>
 
@@ -59,45 +60,77 @@ class FastPathTest : public ::testing::Test {
 };
 
 TEST_F(FastPathTest, IntColumnComparisons) {
-  // `NOT NOT (...)` defeats compilation, forcing the generic path.
+  // `(i + 0)` defeats compilation, forcing the generic path.
   for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
-    const std::string fast = std::string("i ") + op + " 13";
-    ExpectEquivalent(fast, "NOT NOT (" + fast + ")");
+    ExpectEquivalent(std::string("i ") + op + " 13",
+                     std::string("(i + 0) ") + op + " 13");
   }
 }
 
 TEST_F(FastPathTest, FloatColumnWithNulls) {
-  ExpectEquivalent("f > 10.5", "NOT NOT (f > 10.5)");
-  ExpectEquivalent("f <= 0.0", "NOT NOT (f <= 0.0)");
+  ExpectEquivalent("f > 10.5", "(f + 0.0) > 10.5");
+  ExpectEquivalent("f <= 0.0", "(f + 0.0) <= 0.0");
   // Nulls are excluded on both paths.
   const auto rows = Rows("f >= -1000");
   EXPECT_LT(rows.size(), 480u);  // some nulls existed
 }
 
 TEST_F(FastPathTest, SystemColumns) {
-  ExpectEquivalent("__ts >= 2500", "NOT NOT (__ts >= 2500)");
-  ExpectEquivalent("__freshness < 0.5", "NOT NOT (__freshness < 0.5)");
+  ExpectEquivalent("__ts >= 2500", "(__ts + 0) >= 2500");
+  ExpectEquivalent("__freshness < 0.5", "(__freshness + 0.0) < 0.5");
 }
 
 TEST_F(FastPathTest, CrossTypeLiteral) {
   // int column vs float literal and vice versa.
-  ExpectEquivalent("i < 12.5", "NOT NOT (i < 12.5)");
-  ExpectEquivalent("f > 10", "NOT NOT (f > 10)");
+  ExpectEquivalent("i < 12.5", "(i + 0) < 12.5");
+  ExpectEquivalent("f > 10", "(f + 0.0) > 10");
+}
+
+TEST_F(FastPathTest, BooleanCombinationsVectorize) {
+  // AND / OR / NOT trees stay on the vectorized path and must agree
+  // with the walker row for row.
+  ExpectEquivalent("i > 0 AND f > 0", "(i + 0) > 0 AND (f + 0.0) > 0");
+  ExpectEquivalent("i > 50 OR f < -40", "(i + 0) > 50 OR (f + 0.0) < -40");
+  ExpectEquivalent("NOT (i > 0)", "NOT ((i + 0) > 0)");
+  ExpectEquivalent("NOT NOT (i = 13)", "NOT NOT ((i + 0) = 13)");
 }
 
 TEST_F(FastPathTest, NonCompilableShapesStillWork) {
-  // These cannot compile (string column, column-vs-column, arithmetic,
-  // conjunctions) and must silently use the generic path.
+  // These cannot compile (string column, column-vs-column comparison
+  // with arithmetic) and must silently use the generic path.
   EXPECT_EQ(Rows("s = 'x'").size(), table_.live_rows());
   EXPECT_EQ(Rows("i < i + 1").size(), table_.live_rows());
   EXPECT_FALSE(Rows("i > 0 AND f > 0").empty());
 }
 
-TEST_F(FastPathTest, StatsCountScannedRows) {
+TEST_F(FastPathTest, StatsCountScannedAndPrunedRows) {
+  // `i` never leaves [-100, 100], so the zone map rules the whole
+  // segment out: every live row is pruned, none scanned.
   Query q = ParseQuery("SELECT i FROM t WHERE i > 1000000").value();
   ResultSet rs = engine_.Execute(q, table_, 0).value();
   EXPECT_EQ(rs.num_rows(), 0u);
+  EXPECT_EQ(rs.stats.rows_scanned + rs.stats.rows_pruned,
+            table_.live_rows());
+  EXPECT_EQ(rs.stats.rows_pruned, table_.live_rows());
+  EXPECT_GT(rs.stats.segments_pruned, 0u);
+
+  // An in-range predicate scans everything and prunes nothing (the
+  // single segment's zone covers the probe value).
+  Query q2 = ParseQuery("SELECT i FROM t WHERE i = 13").value();
+  ResultSet rs2 = engine_.Execute(q2, table_, 0).value();
+  EXPECT_EQ(rs2.stats.rows_scanned, table_.live_rows());
+  EXPECT_EQ(rs2.stats.rows_pruned, 0u);
+}
+
+TEST_F(FastPathTest, PruningCanBeDisabled) {
+  QueryEngineOptions opts;
+  opts.enable_pruning = false;
+  QueryEngine no_pruning(opts);
+  Query q = ParseQuery("SELECT i FROM t WHERE i > 1000000").value();
+  ResultSet rs = no_pruning.Execute(q, table_, 0).value();
+  EXPECT_EQ(rs.num_rows(), 0u);
   EXPECT_EQ(rs.stats.rows_scanned, table_.live_rows());
+  EXPECT_EQ(rs.stats.segments_pruned, 0u);
 }
 
 TEST_F(FastPathTest, ConsumingQueriesUseFastPathToo) {

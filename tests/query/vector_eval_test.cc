@@ -1,0 +1,234 @@
+// Differential tests for the vectorized predicate kernel: for every
+// compilable predicate shape — including randomized trees — the
+// selection vector VectorPredicate::Match produces must equal the
+// offsets the row-at-a-time tree walker (EvalPredicate) accepts,
+// across NULL cells, NaN cells and literals, int64<->double coercion,
+// dead rows and empty segments.
+
+#include "query/vector_eval.h"
+
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/binder.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+namespace {
+
+class VectorEvalTest : public ::testing::Test {
+ protected:
+  static TableOptions SmallSegments() {
+    TableOptions o;
+    o.rows_per_segment = 128;  // several segments, one partial
+    return o;
+  }
+
+  VectorEvalTest()
+      : table_("t",
+               Schema::Make({{"a", DataType::kInt64, true},
+                             {"b", DataType::kFloat64, true},
+                             {"w", DataType::kTimestamp, false}})
+                   .value(),
+               SmallSegments()) {
+    Rng rng(1234);
+    for (int n = 0; n < 700; ++n) {
+      Value a = rng.NextBernoulli(0.15)
+                    ? Value::Null()
+                    : Value::Int64(rng.NextInt(-20, 20));
+      Value b;
+      if (rng.NextBernoulli(0.15)) {
+        b = Value::Null();
+      } else if (rng.NextBernoulli(0.05)) {
+        b = Value::Float64(std::nan(""));
+      } else {
+        b = Value::Float64(rng.NextDouble(-5.0, 5.0));
+      }
+      table_
+          .Append({a, b, Value::TimestampVal(n * 7)}, /*now=*/n * 7)
+          .value();
+      if (rng.NextBernoulli(0.3)) {
+        FUNGUSDB_CHECK_OK(table_.SetFreshness(
+            static_cast<RowId>(n), rng.NextDouble(0.05, 0.95)));
+      }
+    }
+    Rng killer(99);
+    for (RowId r = 0; r < 700; ++r) {
+      if (killer.NextBernoulli(0.2)) FUNGUSDB_CHECK_OK(table_.Kill(r));
+    }
+    // One fully dead segment: both paths must produce nothing for it.
+    for (RowId r = 256; r < 384; ++r) {
+      if (table_.IsLive(r)) FUNGUSDB_CHECK_OK(table_.Kill(r));
+    }
+  }
+
+  BoundExpr BindExpr(const std::string& text) {
+    ExprPtr expr = ParseExpression(text).value();
+    return Bind(*expr, table_.schema()).value();
+  }
+
+  /// Compiles `bound` (must succeed) and checks, segment by segment,
+  /// that Match agrees with the walker's accept set exactly.
+  void ExpectAgree(const BoundExpr& bound, const std::string& what) {
+    std::optional<VectorPredicate> pred = VectorPredicate::Compile(bound);
+    ASSERT_TRUE(pred.has_value()) << "did not compile: " << what;
+    VectorPredicate::Scratch scratch;
+    for (const auto& [seg_no, seg] : table_.segment_index()) {
+      std::vector<uint32_t> got;
+      pred->Match(*seg, scratch, got);
+      std::vector<uint32_t> want;
+      for (size_t off = 0; off < seg->num_rows(); ++off) {
+        if (!seg->IsLive(off)) continue;
+        const RowId row = seg->first_row() + off;
+        if (EvalPredicate(bound, table_, row).value()) {
+          want.push_back(static_cast<uint32_t>(off));
+        }
+      }
+      EXPECT_EQ(got, want) << what << " on segment " << seg_no;
+    }
+  }
+
+  void ExpectAgree(const std::string& where) {
+    ExpectAgree(BindExpr(where), where);
+  }
+
+  Table table_;
+};
+
+TEST_F(VectorEvalTest, ComparisonsAllOpsAllColumns) {
+  for (const char* col : {"a", "b", "__ts", "__freshness"}) {
+    for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+      const std::string lit =
+          std::string(col) == "__ts" ? "2450" : "0.5";
+      ExpectAgree(std::string(col) + " " + op + " " + lit);
+    }
+  }
+}
+
+TEST_F(VectorEvalTest, Int64DoubleCoercion) {
+  // Int column against fractional literal and float column against an
+  // integer literal: both compare in double space, like the walker.
+  ExpectAgree("a < 12.5");
+  ExpectAgree("a >= -0.5");
+  ExpectAgree("b > 2");
+  ExpectAgree("b = 0");
+}
+
+TEST_F(VectorEvalTest, IsNullAndIsNotNull) {
+  ExpectAgree("a IS NULL");
+  ExpectAgree("a IS NOT NULL");
+  ExpectAgree("b IS NULL AND a > 0");
+  ExpectAgree("b IS NOT NULL OR a IS NULL");
+}
+
+TEST_F(VectorEvalTest, NullLiteralComparisonsAreNeverTrue) {
+  // A NULL comparand makes every comparison UNKNOWN; no row matches,
+  // and NOT(UNKNOWN) stays UNKNOWN, so the negation matches none too.
+  BoundExpr bound = BindExpr("a = 0");
+  bound.children[1].literal = Value::Null();
+  ExpectAgree(bound, "a = NULL");
+
+  BoundExpr neg = BindExpr("NOT (a = 0)");
+  neg.children[0].children[1].literal = Value::Null();
+  ExpectAgree(neg, "NOT (a = NULL)");
+}
+
+TEST_F(VectorEvalTest, NaNLiteralMatchesValueCompareTrichotomy) {
+  // Under Value::Compare a NaN is neither < nor >, so cmp == 0: NaN
+  // "equals" everything. =, <=, >= accept every non-null cell; !=, <, >
+  // accept none. The kernel must agree with the walker on all six.
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    BoundExpr bound = BindExpr(std::string("b ") + op + " 0.0");
+    bound.children[1].literal = Value::Float64(std::nan(""));
+    ExpectAgree(bound, std::string("b ") + op + " NaN");
+    BoundExpr vs_int = BindExpr(std::string("a ") + op + " 0.0");
+    vs_int.children[1].literal = Value::Float64(std::nan(""));
+    ExpectAgree(vs_int, std::string("a ") + op + " NaN");
+  }
+}
+
+TEST_F(VectorEvalTest, BooleanAndConstantShapes) {
+  ExpectAgree("true");
+  ExpectAgree("false");
+  ExpectAgree("a > 0 AND true");
+  ExpectAgree("a > 0 OR false");
+  ExpectAgree("NOT (a > 0 AND b < 0)");
+  ExpectAgree("NOT NOT (a = 13)");
+  ExpectAgree("w >= 2100 AND w < 4200");
+}
+
+TEST_F(VectorEvalTest, RandomizedPredicateTrees) {
+  Rng rng(20260807);
+  const char* kCols[] = {"a", "b", "w", "__ts", "__freshness"};
+  const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+  // Random comparison with a literal drawn near the column's range so
+  // selectivities vary instead of collapsing to all/nothing.
+  auto leaf = [&]() -> std::string {
+    const std::string col = kCols[rng.NextBounded(5)];
+    const std::string op = kOps[rng.NextBounded(6)];
+    std::string lit;
+    if (col == "w" || col == "__ts") {
+      lit = std::to_string(rng.NextInt(0, 4900));
+    } else if (col == "__freshness") {
+      lit = std::to_string(rng.NextDouble(0.0, 1.0));
+    } else if (rng.NextBernoulli(0.5)) {
+      lit = std::to_string(rng.NextInt(-22, 22));
+    } else {
+      lit = std::to_string(rng.NextDouble(-6.0, 6.0));
+    }
+    if (rng.NextBernoulli(0.15)) return col + " IS NULL";
+    if (rng.NextBernoulli(0.15)) return col + " IS NOT NULL";
+    return col + " " + op + " " + lit;
+  };
+  std::function<std::string(int)> tree = [&](int depth) -> std::string {
+    if (depth == 0 || rng.NextBernoulli(0.4)) return leaf();
+    if (rng.NextBernoulli(0.2)) {
+      return "NOT (" + tree(depth - 1) + ")";
+    }
+    const char* conn = rng.NextBernoulli(0.5) ? " AND " : " OR ";
+    return "(" + tree(depth - 1) + conn + tree(depth - 1) + ")";
+  };
+  for (int i = 0; i < 200; ++i) {
+    const std::string where = tree(3);
+    SCOPED_TRACE(where);
+    ExpectAgree(where);
+  }
+}
+
+TEST_F(VectorEvalTest, EmptySegmentMatchesNothing) {
+  Schema schema = Schema::Make({{"x", DataType::kInt64, false}}).value();
+  Segment seg(schema, /*first_row=*/0, /*capacity=*/16,
+              /*track_access=*/false);
+  Table probe("p", schema);
+  ExprPtr expr = ParseExpression("x > 0").value();
+  BoundExpr bound = Bind(*expr, schema).value();
+  std::optional<VectorPredicate> pred = VectorPredicate::Compile(bound);
+  ASSERT_TRUE(pred.has_value());
+  VectorPredicate::Scratch scratch;
+  std::vector<uint32_t> out;
+  pred->Match(seg, scratch, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(VectorEvalTest, NonVectorizableShapesDeclineCompilation) {
+  // Arithmetic, string comparisons and scalar functions stay on the
+  // tree walker.
+  EXPECT_FALSE(VectorPredicate::Compile(BindExpr("a + 1 > 2")).has_value());
+  EXPECT_FALSE(VectorPredicate::Compile(BindExpr("a > b + 0.0")).has_value());
+  EXPECT_FALSE(
+      VectorPredicate::Compile(BindExpr("abs(a) > 2")).has_value());
+  // Column-vs-column comparison IS vectorizable (both are operands).
+  EXPECT_TRUE(VectorPredicate::Compile(BindExpr("a > b")).has_value());
+  ExpectAgree("a > b");
+}
+
+}  // namespace
+}  // namespace fungusdb

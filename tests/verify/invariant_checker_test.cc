@@ -125,6 +125,42 @@ TEST(InvariantCheckerTest, DetectsColumnLengthMismatch) {
   EXPECT_EQ(v->column, 1);
 }
 
+TEST(InvariantCheckerTest, DetectsStaleZoneMapWithCoordinates) {
+  Table table = MakeTable();
+  // Narrow segment 2's insertion-time bounds past its stored rows — the
+  // staleness a missed widening would leave, which would make the
+  // pruning planner skip rows that should match.
+  ASSERT_TRUE(TestCorruptor::StaleZoneMap(table, 2).ok());
+
+  const Report report = InvariantChecker().CheckTable(table);
+  const auto v = FindViolation(report, "zone-map-bounds");
+  ASSERT_TRUE(v.has_value()) << report.ToString();
+  EXPECT_EQ(v->table, "t");
+  EXPECT_EQ(v->shard, 0);
+  EXPECT_EQ(v->segment, 2);
+}
+
+TEST(InvariantCheckerTest, RecomputeRepairsStaleZoneMap) {
+  Table table = MakeTable();
+  ASSERT_TRUE(TestCorruptor::StaleZoneMap(table, 2).ok());
+  ASSERT_FALSE(InvariantChecker().CheckTable(table).ok());
+  table.RecomputeZoneMaps();
+  const Report report = InvariantChecker().CheckTable(table);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(InvariantCheckerTest, ZoneMapRuleToleratesConservativeBounds) {
+  // Widened-but-not-tight bounds are legal (the maintenance contract is
+  // "cover", not "exact"): decayed freshness leaves max_f at 1.0 until
+  // a recount, and the checker must not flag that.
+  Table table = MakeTable();
+  for (RowId row = 4; row < 8; ++row) {
+    ASSERT_TRUE(table.SetFreshness(row, 0.3).ok());
+  }
+  const Report report = InvariantChecker().CheckTable(table);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
 TEST(InvariantCheckerTest, CorruptionBreaksMultipleAccountingRules) {
   Table table = MakeTable();
   // A resurrected row also desynchronizes the cached live counts and

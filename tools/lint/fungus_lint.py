@@ -25,6 +25,10 @@ Enforces the repo-specific rules that generic linters cannot:
                   network bytes) plus the two pre-existing binary codec
                   internals (common/buffer_io.h, summary/hashing.cc).
                   Everything else goes through BufferWriter/BufferReader.
+  vector-hot-loop the vectorized scan kernel (src/query/vector_eval.*)
+                  must stay Value-free: no GetValue( calls — boxing a
+                  Value per row is exactly what the kernel exists to
+                  avoid; read typed column spans instead.
   no-suppression  no NOLINT / lint-off escapes inside src/.
   hygiene         no tabs, no trailing whitespace, newline at EOF.
 
@@ -68,6 +72,7 @@ RE_SUPPRESSION = re.compile(r"NOLINT|fungus-lint-off")
 RE_WIRE_FRAMING = re.compile(
     r"\b(?:hton|ntoh)(?:s|l|ll)\s*\("
     r"|\b(?:__builtin_)?memcpy\s*\(\s*&")
+RE_GET_VALUE = re.compile(r"\bGetValue\s*\(")
 RE_SHARD_CALL = re.compile(
     r"(?:\bShardFor\s*\([^)]*\)|\bshards?_?\s*\[[^\]]*\]"
     r"|\bshards?\s*\([^)]*\)|\b[Ss]hard\w*)\s*\.\s*(?:%s)\s*\(" %
@@ -132,6 +137,12 @@ def lint_file(root, path, findings):
                              "raw framing primitive outside"
                              " src/server/wire_format.*; use"
                              " BufferWriter/BufferReader"))
+        if (rel.startswith("src/query/vector_eval")
+                and RE_GET_VALUE.search(line)):
+            findings.append((rel, lineno, "vector-hot-loop",
+                             "GetValue( boxes a Value per row; the"
+                             " vector kernel must read typed column"
+                             " spans"))
         if (rel.startswith("src/") and rel not in APPLY_PHASE_ALLOWLIST
                 and RE_SHARD_CALL.search(line)):
             findings.append((rel, lineno, "apply-phase",
