@@ -39,7 +39,7 @@ double MeasureIngest(Duration decay_period, size_t rows_per_segment,
   bench::Stopwatch watch;
   db.IngestPaced("readings", workload, kRecords, kInterArrival).value();
   const double us = watch.ElapsedMicros();
-  *ticks_out = static_cast<uint64_t>(db.metrics().GetCounter("decay.ticks"));
+  *ticks_out = static_cast<uint64_t>(db.metrics().GetCounter("fungusdb.decay.ticks"));
   return static_cast<double>(kRecords) / (us / 1e6);
 }
 

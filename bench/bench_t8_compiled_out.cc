@@ -1,0 +1,21 @@
+// The -DFUNGUSDB_TRACE=OFF data point for T8: this TU is compiled with
+// FUNGUSDB_TRACE_COMPILED_OUT (see bench/CMakeLists.txt), so every
+// FUNGUS_TRACE_SPAN here expands to nothing — the measured loop is the
+// true zero-instrumentation baseline for the per-span numbers.
+
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "common/trace.h"
+
+namespace fungusdb {
+
+double MeasureSpanNsCompiledOut(uint64_t iters) {
+  bench::Stopwatch watch;
+  for (uint64_t i = 0; i < iters; ++i) {
+    FUNGUS_TRACE_SPAN("bench.span", i);
+  }
+  return watch.ElapsedMicros() * 1000.0 / static_cast<double>(iters);
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,211 @@
+// Experiment T8 — span tracer overhead (PR 5 acceptance gate).
+//
+// Claim: FUNGUS_TRACE_SPAN costs a relaxed atomic load when the tracer
+// is disabled — cheap enough to leave compiled into every hot path.
+// The acceptance bar is <= 2% disabled-tracer overhead on the T7 scan
+// path, reported as overhead_disabled_pct in BENCH_obs.json.
+//
+// Two measurements:
+//   1. Per-span cost — a tight loop of bare spans, tracer disabled and
+//      enabled, reported in ns/span.
+//   2. Scan-path overhead — the T7 selective scan (1% selectivity,
+//      pruning on) run in interleaved A/B batches with the tracer
+//      disabled vs enabled. overhead_enabled_pct is the measured A/B
+//      delta; overhead_disabled_pct is the analytic bound
+//      spans_per_scan * disabled_ns / scan_time (the disabled branch is
+//      too cheap to resolve above run-to-run noise in an A/B, so the
+//      bound is the honest number).
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/trace.h"
+#include "core/database.h"
+#include "fungus/retention_fungus.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "storage/table.h"
+
+namespace fungusdb {
+
+// Defined in bench_t8_compiled_out.cc, which is built with
+// FUNGUSDB_TRACE_COMPILED_OUT — the same loop with no span sites.
+double MeasureSpanNsCompiledOut(uint64_t iters);
+
+namespace {
+
+constexpr int kScanReps = 9;
+constexpr int kTickReps = 5;
+constexpr uint64_t kSpanIters = 2000000;
+
+double MeasureSpanNs(uint64_t iters) {
+  bench::Stopwatch watch;
+  for (uint64_t i = 0; i < iters; ++i) {
+    FUNGUS_TRACE_SPAN("bench.span", i);
+  }
+  return watch.ElapsedMicros() * 1000.0 / static_cast<double>(iters);
+}
+
+double MeasureScanUs(QueryEngine& engine, const Query& query,
+                     Table& table) {
+  bench::Stopwatch watch;
+  ResultSet rs = engine.Execute(query, table, 0).value();
+  (void)rs;
+  return watch.ElapsedMicros();
+}
+
+// One fresh database per repetition so every measured AdvanceTime does
+// the same work: a bulk-kill retention tick over `rows` tuples plus
+// two empty follow-up ticks.
+double MeasureTickUs(uint64_t rows) {
+  Database db;
+  db.CreateTable("d", Schema::Make({{"v", DataType::kInt64, false}})
+                          .value())
+      .value();
+  for (uint64_t n = 0; n < rows; ++n) {
+    db.Insert("d", {Value::Int64(static_cast<int64_t>(n))}).value();
+  }
+  db.AttachFungus("d", std::make_unique<RetentionFungus>(kHour),
+                  /*period=*/kHour)
+      .value();
+  bench::Stopwatch watch;
+  db.AdvanceTime(3 * kHour).value();
+  return watch.ElapsedMicros();
+}
+
+void Run(uint64_t rows) {
+  bench::Banner("T8", "span tracer overhead on the scan path");
+  bench::JsonReport report("obs");
+  Tracer& tracer = Tracer::Global();
+
+  // --- Part 1: bare span cost. ---
+  tracer.Disable();
+  MeasureSpanNs(kSpanIters);  // warm-up
+  const double disabled_ns = MeasureSpanNs(kSpanIters);
+  const double compiled_out_ns = MeasureSpanNsCompiledOut(kSpanIters);
+  tracer.Enable();
+  const double enabled_ns = MeasureSpanNs(kSpanIters);
+  tracer.Disable();
+  tracer.Clear();
+
+  bench::TablePrinter spans({"case", "iterations", "ns_per_span"}, 16);
+  spans.MirrorTo(&report);
+  spans.PrintHeader();
+  spans.PrintRow({"span_compiled_out", bench::Fmt(kSpanIters),
+                  bench::Fmt(compiled_out_ns, 2)});
+  spans.PrintRow({"span_disabled", bench::Fmt(kSpanIters),
+                  bench::Fmt(disabled_ns, 2)});
+  spans.PrintRow({"span_enabled", bench::Fmt(kSpanIters),
+                  bench::Fmt(enabled_ns, 2)});
+
+  // --- Part 2: the T7 scan, tracer disabled vs enabled. ---
+  TableOptions topts;
+  topts.rows_per_segment = 4096;
+  Table table("events",
+              Schema::Make({{"v", DataType::kInt64, false}}).value(),
+              topts);
+  for (uint64_t n = 0; n < rows; ++n) {
+    table.Append({Value::Int64(static_cast<int64_t>(n))},
+                 static_cast<Timestamp>(n))
+        .value();
+  }
+  QueryEngine engine;
+  const uint64_t threshold = rows - rows / 100;  // 1% selectivity
+  const Query query =
+      ParseQuery("SELECT count(*) AS n FROM events WHERE v >= " +
+                 std::to_string(threshold))
+          .value();
+  MeasureScanUs(engine, query, table);  // warm-up
+
+  // Interleaved A/B so drift (frequency scaling, cache state) hits
+  // both sides equally.
+  double disabled_us = 0.0;
+  double enabled_us = 0.0;
+  for (int rep = 0; rep < kScanReps; ++rep) {
+    tracer.Disable();
+    disabled_us += MeasureScanUs(engine, query, table);
+    tracer.Enable();
+    enabled_us += MeasureScanUs(engine, query, table);
+  }
+  tracer.Disable();
+  tracer.Clear();
+  disabled_us /= kScanReps;
+  enabled_us /= kScanReps;
+
+  const double rows_per_sec =
+      static_cast<double>(table.live_rows()) / (disabled_us / 1e6);
+  bench::TablePrinter scan_table(
+      {"case", "reps", "mean_us", "rows_per_sec"}, 16);
+  scan_table.MirrorTo(&report);
+  scan_table.PrintHeader();
+  scan_table.PrintRow({"scan_disabled", bench::Fmt(uint64_t{kScanReps}),
+                       bench::Fmt(disabled_us, 1),
+                       bench::Fmt(rows_per_sec, 0)});
+  scan_table.PrintRow(
+      {"scan_enabled", bench::Fmt(uint64_t{kScanReps}),
+       bench::Fmt(enabled_us, 1),
+       bench::Fmt(static_cast<double>(table.live_rows()) /
+                      (enabled_us / 1e6),
+                  0)});
+
+  // --- Part 3: decay-tick throughput, tracer disabled vs enabled. ---
+  const uint64_t tick_rows = rows / 5 + 1;
+  MeasureTickUs(tick_rows);  // warm-up
+  double tick_disabled_us = 0.0;
+  double tick_enabled_us = 0.0;
+  for (int rep = 0; rep < kTickReps; ++rep) {
+    tracer.Disable();
+    tick_disabled_us += MeasureTickUs(tick_rows);
+    tracer.Enable();
+    tick_enabled_us += MeasureTickUs(tick_rows);
+  }
+  tracer.Disable();
+  tracer.Clear();
+  tick_disabled_us /= kTickReps;
+  tick_enabled_us /= kTickReps;
+  scan_table.PrintRow({"tick_disabled", bench::Fmt(uint64_t{kTickReps}),
+                       bench::Fmt(tick_disabled_us, 1),
+                       bench::Fmt(static_cast<double>(tick_rows) /
+                                      (tick_disabled_us / 1e6),
+                                  0)});
+  scan_table.PrintRow({"tick_enabled", bench::Fmt(uint64_t{kTickReps}),
+                       bench::Fmt(tick_enabled_us, 1),
+                       bench::Fmt(static_cast<double>(tick_rows) /
+                                      (tick_enabled_us / 1e6),
+                                  0)});
+
+  // The scan path holds two spans at this shape: query.execute and
+  // scan.serial (morsel scans add one per morsel; serial here).
+  const double spans_per_scan = 2.0;
+  const double overhead_disabled_pct =
+      spans_per_scan * disabled_ns / (disabled_us * 1000.0) * 100.0;
+  const double overhead_enabled_pct =
+      (enabled_us - disabled_us) / disabled_us * 100.0;
+
+  bench::TablePrinter summary({"spans_per_scan", "overhead_disabled_pct",
+                               "overhead_enabled_pct"},
+                              24);
+  summary.MirrorTo(&report);
+  summary.PrintHeader();
+  summary.PrintRow({bench::Fmt(spans_per_scan, 0),
+                    bench::Fmt(overhead_disabled_pct, 4),
+                    bench::Fmt(overhead_enabled_pct, 2)});
+  std::printf(
+      "  -> disabled span %.2f ns, enabled span %.2f ns; "
+      "disabled scan overhead %.4f%% (bar: <= 2%%)\n",
+      disabled_ns, enabled_ns, overhead_disabled_pct);
+  report.Write();
+}
+
+}  // namespace
+}  // namespace fungusdb
+
+int main(int argc, char** argv) {
+  uint64_t rows = 1000000;
+  if (argc > 1) rows = std::strtoull(argv[1], nullptr, 10);
+  fungusdb::Run(rows);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <sstream>
 
@@ -25,6 +26,66 @@ double BucketHigh(int i) {
   return i == 0 ? 1.0 : static_cast<double>(1ULL << std::min(i, 62));
 }
 
+/// Prometheus metric names allow [a-zA-Z0-9_:] with a non-digit first
+/// character; the registry's dotted names map dots (and anything else)
+/// to underscores: fungusdb.decay.ticks -> fungusdb_decay_ticks.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string PromLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Renders the registry's "key=value" label string as a Prometheus
+/// label pair; a label with no '=' gets the generic key "label". Extra
+/// pairs (e.g. quantile) append after it.
+std::string PromLabels(const std::string& label,
+                       const std::string& extra = "") {
+  if (label.empty() && extra.empty()) return "";
+  std::string inner;
+  if (!label.empty()) {
+    const size_t eq = label.find('=');
+    const std::string key =
+        eq == std::string::npos ? "label" : PromName(label.substr(0, eq));
+    const std::string value =
+        eq == std::string::npos ? label : label.substr(eq + 1);
+    inner = key + "=\"" + PromLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!inner.empty()) inner += ",";
+    inner += extra;
+  }
+  return "{" + inner + "}";
+}
+
+std::string FmtDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
 }  // namespace
 
 HistogramMetric::HistogramMetric() { Reset(); }
@@ -44,15 +105,21 @@ double HistogramMetric::Mean() const {
 double HistogramMetric::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; never interpolate them.
+  if (q == 0.0) return static_cast<double>(min());
+  if (q == 1.0) return static_cast<double>(max());
   const double target = q * static_cast<double>(count_);
   double seen = 0.0;
   for (int i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) continue;
     const double next = seen + static_cast<double>(buckets_[i]);
     if (next >= target) {
-      const double frac =
-          buckets_[i] == 0 ? 0.0 : (target - seen) / buckets_[i];
-      double lo = std::max(BucketLow(i), static_cast<double>(min()));
+      const double frac = (target - seen) / static_cast<double>(buckets_[i]);
+      // Bucket 0 holds every non-positive observation, so its lower
+      // bound is the (possibly negative) tracked minimum, not 0.
+      double lo = i == 0 ? std::min(0.0, static_cast<double>(min()))
+                         : BucketLow(i);
+      lo = std::max(lo, static_cast<double>(min()));
       double hi = std::min(BucketHigh(i), static_cast<double>(max()));
       if (hi < lo) hi = lo;
       return lo + frac * (hi - lo);
@@ -72,58 +139,143 @@ void HistogramMetric::Reset() {
 
 void MetricsRegistry::IncrementCounter(const std::string& name,
                                        int64_t delta) {
+  IncrementCounter(name, "", delta);
+}
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       const std::string& label,
+                                       int64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  counters_[name][label] += delta;
 }
 
 int64_t MetricsRegistry::GetCounter(const std::string& name) const {
+  return GetCounter(name, "");
+}
+
+int64_t MetricsRegistry::GetCounter(const std::string& name,
+                                    const std::string& label) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  if (it == counters_.end()) return 0;
+  auto jt = it->second.find(label);
+  return jt == it->second.end() ? 0 : jt->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  SetGauge(name, "", value);
+}
+
+void MetricsRegistry::SetGauge(const std::string& name,
+                               const std::string& label, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  gauges_[name] = value;
+  gauges_[name][label] = value;
 }
 
 double MetricsRegistry::GetGauge(const std::string& name) const {
+  return GetGauge(name, "");
+}
+
+double MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& label) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : it->second;
+  if (it == gauges_.end()) return 0.0;
+  auto jt = it->second.find(label);
+  return jt == it->second.end() ? 0.0 : jt->second;
 }
 
 void MetricsRegistry::RecordHistogram(const std::string& name,
                                       int64_t value) {
+  RecordHistogram(name, "", value);
+}
+
+void MetricsRegistry::RecordHistogram(const std::string& name,
+                                      const std::string& label,
+                                      int64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
-  histograms_[name].Record(value);
+  histograms_[name][label].Record(value);
 }
 
 HistogramMetric& MetricsRegistry::Histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return histograms_[name];
+  return histograms_[name][""];
 }
 
 const HistogramMetric* MetricsRegistry::FindHistogram(
     const std::string& name) const {
+  return FindHistogram(name, "");
+}
+
+const HistogramMetric* MetricsRegistry::FindHistogram(
+    const std::string& name, const std::string& label) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
+  if (it == histograms_.end()) return nullptr;
+  auto jt = it->second.find(label);
+  return jt == it->second.end() ? nullptr : &jt->second;
 }
 
 std::string MetricsRegistry::Report() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
-  for (const auto& [name, value] : counters_) {
-    os << name << " = " << value << "\n";
+  auto series_name = [](const std::string& name, const std::string& label) {
+    return label.empty() ? name : name + "{" + label + "}";
+  };
+  for (const auto& [name, by_label] : counters_) {
+    for (const auto& [label, value] : by_label) {
+      os << series_name(name, label) << " = " << value << "\n";
+    }
   }
-  for (const auto& [name, value] : gauges_) {
-    os << name << " = " << value << "\n";
+  for (const auto& [name, by_label] : gauges_) {
+    for (const auto& [label, value] : by_label) {
+      os << series_name(name, label) << " = " << value << "\n";
+    }
   }
-  for (const auto& [name, h] : histograms_) {
-    os << name << " = {count=" << h.count() << " mean=" << h.Mean()
-       << " p50=" << h.Quantile(0.5) << " p99=" << h.Quantile(0.99)
-       << " max=" << h.max() << "}\n";
+  for (const auto& [name, by_label] : histograms_) {
+    for (const auto& [label, h] : by_label) {
+      os << series_name(name, label) << " = {count=" << h.count()
+         << " mean=" << h.Mean() << " p50=" << h.Quantile(0.5)
+         << " p99=" << h.Quantile(0.99) << " max=" << h.max() << "}\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::PrometheusReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, by_label] : counters_) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " counter\n";
+    for (const auto& [label, value] : by_label) {
+      os << prom << PromLabels(label) << " " << value << "\n";
+    }
+  }
+  for (const auto& [name, by_label] : gauges_) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " gauge\n";
+    for (const auto& [label, value] : by_label) {
+      os << prom << PromLabels(label) << " " << FmtDouble(value) << "\n";
+    }
+  }
+  for (const auto& [name, by_label] : histograms_) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " summary\n";
+    for (const auto& [label, h] : by_label) {
+      for (const auto& [q, qs] :
+           {std::pair<double, const char*>{0.5, "0.5"},
+            {0.9, "0.9"},
+            {0.99, "0.99"}}) {
+        os << prom
+           << PromLabels(label,
+                         std::string("quantile=\"") + qs + "\"")
+           << " " << FmtDouble(h.Quantile(q)) << "\n";
+      }
+      os << prom << "_sum" << PromLabels(label) << " " << h.sum() << "\n";
+      os << prom << "_count" << PromLabels(label) << " " << h.count()
+         << "\n";
+    }
   }
   return os.str();
 }

@@ -15,6 +15,7 @@ namespace fungusdb {
 class HistogramMetric {
  public:
   /// Buckets are exponential: [0,1), [1,2), [2,4), ... up to 2^62.
+  /// Negative observations land in the first bucket.
   HistogramMetric();
 
   void Record(int64_t value);
@@ -25,7 +26,9 @@ class HistogramMetric {
   int64_t max() const { return count_ == 0 ? 0 : max_; }
   double Mean() const;
 
-  /// q in [0, 1]. Returns 0 on an empty histogram.
+  /// q outside [0, 1] is clamped. Returns 0 on an empty histogram,
+  /// exactly min() at q == 0, exactly max() at q == 1, and the exact
+  /// value when the histogram holds a single distinct sample.
   double Quantile(double q) const;
 
   void Reset();
@@ -44,34 +47,64 @@ class HistogramMetric {
 /// and histogram recording may be hit from pool workers during parallel
 /// decay ticks and morsel scans; one mutex per registry is plenty at the
 /// current update rates (hot loops accumulate locally and flush once).
+///
+/// Every series carries an optional label — a single "key=value" string
+/// ("table=events", "shard=3", "code=2002") — so one metric name fans
+/// out into per-table / per-shard / per-error-code series. The empty
+/// label is the plain, unlabeled series. Names follow the documented
+/// convention `fungusdb.<subsystem>.<name>` (DESIGN.md §12), enforced
+/// by the `metric-naming` lint rule.
 class MetricsRegistry {
  public:
   void IncrementCounter(const std::string& name, int64_t delta = 1);
+  void IncrementCounter(const std::string& name, const std::string& label,
+                        int64_t delta = 1);
   int64_t GetCounter(const std::string& name) const;
+  int64_t GetCounter(const std::string& name,
+                     const std::string& label) const;
 
   void SetGauge(const std::string& name, double value);
+  void SetGauge(const std::string& name, const std::string& label,
+                double value);
   double GetGauge(const std::string& name) const;
+  double GetGauge(const std::string& name, const std::string& label) const;
 
   /// Records one observation under the registry lock — the only safe way
   /// to feed a histogram from a pool worker.
   void RecordHistogram(const std::string& name, int64_t value);
+  void RecordHistogram(const std::string& name, const std::string& label,
+                       int64_t value);
 
   /// Coordinator-thread access to a histogram object. The reference
   /// stays valid for the registry's lifetime, but Record() through it is
   /// unsynchronized — concurrent writers must use RecordHistogram().
   HistogramMetric& Histogram(const std::string& name);
   const HistogramMetric* FindHistogram(const std::string& name) const;
+  const HistogramMetric* FindHistogram(const std::string& name,
+                                       const std::string& label) const;
 
-  /// Multi-line "name = value" dump, sorted by name.
+  /// Multi-line "name = value" / "name{label} = value" dump, ordered
+  /// deterministically: counters, then gauges, then histograms, each
+  /// sorted by (name, label).
   std::string Report() const;
+
+  /// Prometheus text exposition (version 0.0.4): `# TYPE` lines,
+  /// sanitized metric names (dots become underscores), labeled series
+  /// as name{key="value"}, histograms as summaries with p50/p90/p99
+  /// quantiles plus _sum and _count. Deterministically ordered.
+  std::string PrometheusReport() const;
 
   void Reset();
 
  private:
+  /// Series keyed by name, then by label ("" == unlabeled).
+  template <typename T>
+  using SeriesMap = std::map<std::string, std::map<std::string, T>>;
+
   mutable std::mutex mu_;
-  std::map<std::string, int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, HistogramMetric> histograms_;
+  SeriesMap<int64_t> counters_;
+  SeriesMap<double> gauges_;
+  SeriesMap<HistogramMetric> histograms_;
 };
 
 }  // namespace fungusdb

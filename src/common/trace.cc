@@ -1,0 +1,117 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace fungusdb {
+
+std::atomic<bool> Tracer::enabled_flag_{false};
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+uint64_t Tracer::NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  // One tracer per process (Global()), so a plain thread_local pointer
+  // is the whole fast-path lookup.
+  thread_local ThreadBuffer* mine = nullptr;
+  if (mine == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<uint32_t>(buffers_.size() + 1)));
+    mine = buffers_.back().get();
+  }
+  return *mine;
+}
+
+void Tracer::Record(const char* name, uint64_t start_us, uint64_t dur_us,
+                    uint64_t arg, bool has_arg) {
+  ThreadBuffer& buf = BufferForThisThread();
+  const uint64_t h = buf.head.load(std::memory_order_relaxed);
+  Slot& slot = buf.slots[h % kEventsPerThread];
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_us.store(start_us, std::memory_order_relaxed);
+  slot.dur_us.store(dur_us, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.has_arg.store(has_arg ? 1 : 0, std::memory_order_relaxed);
+  buf.head.store(h + 1, std::memory_order_release);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
+    // Resetting head effectively forgets the ring's contents. A thread
+    // recording concurrently at the old head just lands its next event
+    // at index 0 — fine for a diagnostic trace.
+    buf->head.store(0, std::memory_order_release);
+  }
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
+    const uint64_t head = buf->head.load(std::memory_order_acquire);
+    const uint64_t n = std::min<uint64_t>(head, kEventsPerThread);
+    for (uint64_t i = head - n; i < head; ++i) {
+      const Slot& slot = buf->slots[i % kEventsPerThread];
+      TraceEvent e;
+      e.name = slot.name.load(std::memory_order_relaxed);
+      if (e.name == nullptr) continue;  // being written right now
+      e.start_us = slot.start_us.load(std::memory_order_relaxed);
+      e.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+      e.arg = slot.arg.load(std::memory_order_relaxed);
+      e.has_arg = slot.has_arg.load(std::memory_order_relaxed) != 0;
+      e.tid = buf->tid;
+      events.push_back(e);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.tid < b.tid;
+            });
+  return events;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    // Span names are C identifiers-with-dots from span sites; nothing
+    // needs escaping.
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"fungusdb\","
+       << "\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
+       << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.has_arg) os << ",\"args\":{\"v\":" << e.arg << "}";
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+uint64_t Tracer::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
+    total += buf->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+}  // namespace fungusdb

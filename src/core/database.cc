@@ -1,11 +1,13 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace fungusdb {
@@ -15,6 +17,20 @@ size_t ResolveNumThreads(size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SlowQueryEnvMicros() {
+  const char* env = std::getenv("FUNGUSDB_SLOW_QUERY_US");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  return (end != nullptr && *end == '\0' && v > 0) ? v : 0;
 }
 
 }  // namespace
@@ -40,9 +56,12 @@ Database::Database(DatabaseOptions options)
   engine_.AddConsumeObserver(
       [this](Table& table, const std::vector<RowId>& rows, Timestamp now) {
         kitchen_.Cook(CookTrigger::kOnRot, table, rows, now);
-        metrics_.IncrementCounter("query.rows_consumed",
+        metrics_.IncrementCounter("fungusdb.query.rows_consumed",
                                   static_cast<int64_t>(rows.size()));
       });
+  if (options_.slow_query_micros == 0) {
+    options_.slow_query_micros = SlowQueryEnvMicros();
+  }
   const char* check_env = std::getenv("FUNGUSDB_CHECK_AFTER_TICK");
   if (check_env != nullptr && *check_env != '\0' &&
       std::string_view(check_env) != "0") {
@@ -116,7 +135,7 @@ Result<RowId> Database::Insert(const std::string& table_name,
                                const std::vector<Value>& values) {
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(RowId row, table->Append(values, clock_.Now()));
-  metrics_.IncrementCounter("ingest.rows");
+  metrics_.IncrementCounter("fungusdb.ingest.rows");
   return row;
 }
 
@@ -126,7 +145,7 @@ Result<uint64_t> Database::Ingest(const std::string& table_name,
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(
       uint64_t n, ingestor_.IngestBatch(source, *table, max_records));
-  metrics_.IncrementCounter("ingest.rows", static_cast<int64_t>(n));
+  metrics_.IncrementCounter("fungusdb.ingest.rows", static_cast<int64_t>(n));
   return n;
 }
 
@@ -149,13 +168,41 @@ Result<uint64_t> Database::IngestPaced(const std::string& table_name,
     if (n < want) break;  // source exhausted
   }
   cellar_.AdvanceTo(clock_.Now());
-  metrics_.IncrementCounter("ingest.rows", static_cast<int64_t>(total));
+  metrics_.IncrementCounter("fungusdb.ingest.rows",
+                            static_cast<int64_t>(total));
   return total;
 }
 
 Result<ResultSet> Database::ExecuteSql(std::string_view sql) {
+  const int64_t queue_wait_us = pending_queue_wait_us_;
+  pending_queue_wait_us_ = 0;
   FUNGUSDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql));
-  return Execute(query);
+  const int64_t begin_us = SteadyMicros();
+  Result<ResultSet> result = Execute(query);
+  if (!result.ok()) return result;
+  const int64_t exec_us = SteadyMicros() - begin_us;
+
+  // Slow-query log: the table's threshold wins; 0 falls back to the
+  // database-wide one; 0 there too disables logging.
+  int64_t threshold = options_.slow_query_micros;
+  if (Result<Table*> table = GetTableInternal(query.table_name);
+      table.ok() && (*table)->options().slow_query_micros > 0) {
+    threshold = (*table)->options().slow_query_micros;
+  }
+  if (threshold > 0 && exec_us >= threshold) {
+    const ResultSet::Stats& stats = result->stats;
+    metrics_.IncrementCounter("fungusdb.query.slow",
+                              "table=" + query.table_name);
+    FUNGUSDB_LOG(Warning)
+        << "slow-query t=" << clock_.Now() << " table=" << query.table_name
+        << " us=" << exec_us << " queue_us=" << queue_wait_us
+        << " rows_scanned=" << stats.rows_scanned
+        << " rows_pruned=" << stats.rows_pruned
+        << " segments_scanned=" << stats.segments_scanned
+        << " segments_pruned=" << stats.segments_pruned
+        << " rows_matched=" << stats.rows_matched << " sql=" << sql;
+  }
+  return result;
 }
 
 std::vector<Result<ResultSet>> Database::ExecuteBatch(
@@ -176,8 +223,10 @@ std::vector<Result<ResultSet>> Database::ExecuteBatch(
 
 Result<ResultSet> Database::Execute(const Query& query) {
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(query.table_name));
-  metrics_.IncrementCounter("query.executed");
-  if (query.consuming) metrics_.IncrementCounter("query.consuming");
+  metrics_.IncrementCounter("fungusdb.query.executed");
+  if (query.consuming) {
+    metrics_.IncrementCounter("fungusdb.query.consuming");
+  }
   return engine_.Execute(query, *table, clock_.Now());
 }
 

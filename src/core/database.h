@@ -43,6 +43,14 @@ struct DatabaseOptions {
   /// construction (they may depend on a table's num_shards, which is a
   /// storage property, not an execution property).
   size_t num_threads = 0;
+
+  /// Database-wide slow-query threshold in wall-clock microseconds; a
+  /// statement at or above it is logged with its scan/prune/queue-wait
+  /// breakdown (DESIGN.md §12). 0 disables. A table's
+  /// TableOptions::slow_query_micros overrides this per table. Also
+  /// settable via the FUNGUSDB_SLOW_QUERY_US environment variable, which
+  /// wins when this field is 0.
+  int64_t slow_query_micros = 0;
 };
 
 /// Per-table health snapshot — the paper's "optimal health condition"
@@ -180,6 +188,21 @@ class Database {
   // --- Introspection. ---
 
   HealthReport Health() const;
+
+  /// Queue-wait attribution for the next ExecuteSql call, reported in
+  /// its slow-query log line (the server sets this to the statement's
+  /// time between enqueue and execution). One-shot: consumed and reset
+  /// by the next ExecuteSql.
+  void set_pending_queue_wait_micros(int64_t us) {
+    pending_queue_wait_us_ = us;
+  }
+
+  /// Runtime-adjustable database-wide slow-query threshold (see
+  /// DatabaseOptions::slow_query_micros); 0 disables.
+  void set_slow_query_micros(int64_t us) {
+    options_.slow_query_micros = us;
+  }
+
   const DatabaseOptions& options() const { return options_; }
   MetricsRegistry& metrics() { return metrics_; }
   DecayScheduler& scheduler() { return scheduler_; }
@@ -199,6 +222,7 @@ class Database {
   QueryEngine engine_;
   Ingestor ingestor_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  int64_t pending_queue_wait_us_ = 0;
 };
 
 }  // namespace fungusdb

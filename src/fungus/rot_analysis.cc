@@ -1,6 +1,7 @@
 #include "fungus/rot_analysis.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace fungusdb {
 
@@ -76,6 +77,93 @@ std::string RenderTimeAxis(const Table& table, size_t width) {
     }
   }
   return strip;
+}
+
+std::string RenderFreshnessAxis(const Table& table, size_t width) {
+  // Darker glyph = fresher. 10 steps over [0, 1].
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const uint64_t total = table.total_appended();
+  if (total == 0 || width == 0) return std::string(width, ' ');
+  std::string strip;
+  strip.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    const uint64_t begin = total * i / width;
+    uint64_t end = total * (i + 1) / width;
+    if (end == begin) end = begin + 1;
+    uint64_t live = 0;
+    double freshness_sum = 0.0;
+    for (RowId row = begin; row < end && row < total; ++row) {
+      if (!table.Contains(row) || !table.IsLive(row)) continue;
+      ++live;
+      freshness_sum += table.Freshness(row);
+    }
+    if (live == 0) {
+      strip.push_back(' ');
+      continue;
+    }
+    const double mean = freshness_sum / static_cast<double>(live);
+    int step = 1 + static_cast<int>(mean * 9.0);  // live rows never blank
+    step = std::clamp(step, 1, 9);
+    strip.push_back(kRamp[step]);
+  }
+  return strip;
+}
+
+RotReport BuildRotReport(const Table& table,
+                         const DecayScheduler* scheduler) {
+  RotReport report;
+  report.table_name = table.name();
+  report.structure = AnalyzeRot(table);
+  report.freshness_histogram = FreshnessHistogram(table, 10);
+  if (const std::optional<RowId> oldest = table.OldestLive()) {
+    if (const Result<Timestamp> ts = table.InsertTime(*oldest); ts.ok()) {
+      report.oldest_live_ts = ts.value();
+    }
+  }
+  if (scheduler != nullptr) {
+    if (const auto info = scheduler->StatsForTable(&table)) {
+      report.decay_ticks = info->ticks;
+      if (info->ticks > 0 && info->decay.tuples_killed > 0) {
+        const double kills_per_tick =
+            static_cast<double>(info->decay.tuples_killed) /
+            static_cast<double>(info->ticks);
+        report.estimated_ticks_to_death =
+            static_cast<double>(report.structure.live_tuples) /
+            kills_per_tick;
+      }
+    }
+  }
+  report.heatmap = RenderFreshnessAxis(table, 60);
+  return report;
+}
+
+std::string RotReport::ToString() const {
+  std::ostringstream os;
+  os << "rot report for " << table_name << "\n";
+  os << "  rows: live=" << structure.live_tuples
+     << " dead=" << structure.dead_tuples
+     << " reclaimed=" << structure.reclaimed_tuples << "\n";
+  os << "  spots: n=" << structure.num_spots
+     << " max=" << structure.max_spot << " mean=" << structure.mean_spot
+     << "\n";
+  os << "  rot_front_oldest_live_ts=" << oldest_live_ts
+     << " decay_ticks=" << decay_ticks
+     << " est_ticks_to_death=" << estimated_ticks_to_death << "\n";
+  os << "  freshness histogram (0.0 .. 1.0):\n";
+  uint64_t max_count = 1;
+  for (uint64_t c : freshness_histogram) max_count = std::max(max_count, c);
+  for (size_t i = 0; i < freshness_histogram.size(); ++i) {
+    const double lo = static_cast<double>(i) /
+                      static_cast<double>(freshness_histogram.size());
+    const size_t bar_len = static_cast<size_t>(
+        40.0 * static_cast<double>(freshness_histogram[i]) /
+        static_cast<double>(max_count));
+    os << "    [" << lo << ") " << std::string(bar_len, '#') << " "
+       << freshness_histogram[i] << "\n";
+  }
+  os << "  freshness heatmap (time axis, ' '=gone '@'=fresh):\n";
+  os << "    |" << heatmap << "|\n";
+  return os.str();
 }
 
 }  // namespace fungusdb

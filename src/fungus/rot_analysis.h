@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fungus/scheduler.h"
 #include "storage/table.h"
 
 namespace fungusdb {
@@ -38,6 +39,32 @@ std::vector<uint64_t> FreshnessHistogram(const Table& table, size_t buckets);
 /// live, '.' mostly dead, digits in between) — the Blue-Cheese view used
 /// by examples/blue_cheese.cpp.
 std::string RenderTimeAxis(const Table& table, size_t width);
+
+/// One-character-per-range freshness heatmap along the time axis: each
+/// column shows the mean freshness of its live rows through the ramp
+/// " .:-=+*#%@" (space = no live rows, '@' = fully fresh).
+std::string RenderFreshnessAxis(const Table& table, size_t width);
+
+/// Everything the `\rot <table>` meta command shows: rot structure,
+/// freshness histogram, the rot front, a decay-rate-based death
+/// estimate, and the freshness heatmap.
+struct RotReport {
+  std::string table_name;
+  RotStructure structure;
+  std::vector<uint64_t> freshness_histogram;  // 10 equal-width buckets
+  int64_t oldest_live_ts = -1;  // virtual micros; -1 when no live rows
+  /// Live rows divided by the attachment's mean kills per tick; -1 when
+  /// no fungus is attached or no tick has killed anything yet.
+  double estimated_ticks_to_death = -1.0;
+  uint64_t decay_ticks = 0;  // ticks the attachment has run
+  std::string heatmap;       // RenderFreshnessAxis at width 60
+
+  std::string ToString() const;
+};
+
+/// Builds the `\rot` report. `scheduler` may be null (no decay info).
+RotReport BuildRotReport(const Table& table,
+                         const DecayScheduler* scheduler);
 
 }  // namespace fungusdb
 

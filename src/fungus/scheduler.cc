@@ -1,8 +1,19 @@
 #include "fungus/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "common/trace.h"
 
 namespace fungusdb {
+
+namespace {
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 Result<DecayScheduler::AttachmentId> DecayScheduler::Attach(
     Table* table, std::unique_ptr<Fungus> fungus, Duration period,
@@ -50,6 +61,7 @@ std::vector<RowId> DecayScheduler::RunShardedTick(Attachment& a,
   // shard, mutations recorded instead of applied.
   std::vector<ShardPlan> plans(num_shards);
   auto plan_one = [&](size_t s) {
+    FUNGUS_TRACE_SPAN("decay.plan.shard", s);
     ShardPlanContext ctx(&table, static_cast<uint32_t>(s), tick_time,
                          tick_index);
     a.fungus->PlanShard(ctx);
@@ -61,6 +73,7 @@ std::vector<RowId> DecayScheduler::RunShardedTick(Attachment& a,
   std::vector<std::vector<RowId>> killed(num_shards);
   std::vector<DecayStats> stats(num_shards);
   auto apply_one = [&](size_t s) {
+    FUNGUS_TRACE_SPAN("decay.apply.shard", s);
     Shard& shard = table.shard(s);
     for (const ShardAction& action : plans[s].actions) {
       if (!shard.IsLive(action.row)) continue;  // killed earlier this plan
@@ -87,12 +100,21 @@ std::vector<RowId> DecayScheduler::RunShardedTick(Attachment& a,
     stats[s].segments_skipped = plans[s].segments_skipped;
   };
 
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(num_shards, plan_one);
-    pool_->ParallelFor(num_shards, apply_one);
-  } else {
-    for (size_t s = 0; s < num_shards; ++s) plan_one(s);
-    for (size_t s = 0; s < num_shards; ++s) apply_one(s);
+  {
+    FUNGUS_TRACE_SPAN("decay.plan", num_shards);
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(num_shards, plan_one);
+    } else {
+      for (size_t s = 0; s < num_shards; ++s) plan_one(s);
+    }
+  }
+  {
+    FUNGUS_TRACE_SPAN("decay.apply", num_shards);
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(num_shards, apply_one);
+    } else {
+      for (size_t s = 0; s < num_shards; ++s) apply_one(s);
+    }
   }
 
   // Merge: death observers (and the Kitchen behind them) see one list
@@ -134,16 +156,20 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
     if (due == nullptr) break;
 
     const Timestamp tick_time = due->next_tick;
+    const int64_t tick_begin_us = SteadyMicros();
     DecayStats tick_stats;
     std::vector<RowId> tick_killed;
-    if (due->fungus->SupportsShardedTick() &&
-        due->table->num_shards() > 1) {
-      tick_killed = RunShardedTick(*due, tick_time, &tick_stats);
-    } else {
-      DecayContext ctx(due->table, tick_time);
-      due->fungus->Tick(ctx);
-      tick_stats = ctx.stats();
-      tick_killed = ctx.killed();
+    {
+      FUNGUS_TRACE_SPAN("decay.tick");
+      if (due->fungus->SupportsShardedTick() &&
+          due->table->num_shards() > 1) {
+        tick_killed = RunShardedTick(*due, tick_time, &tick_stats);
+      } else {
+        DecayContext ctx(due->table, tick_time);
+        due->fungus->Tick(ctx);
+        tick_stats = ctx.stats();
+        tick_killed = ctx.killed();
+      }
     }
     due->next_tick += due->period;
     ++due->stats.ticks;
@@ -159,18 +185,54 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
     if (post_tick_check_) post_tick_check_(*due->table, tick_time);
 
     if (metrics_ != nullptr) {
-      metrics_->IncrementCounter("decay.ticks");
-      metrics_->IncrementCounter("decay.tuples_touched",
+      const std::string table_label = "table=" + due->table->name();
+      metrics_->IncrementCounter("fungusdb.decay.ticks");
+      metrics_->IncrementCounter("fungusdb.decay.ticks", table_label);
+      metrics_->IncrementCounter("fungusdb.decay.tuples_touched",
                                  tick_stats.tuples_touched);
-      metrics_->IncrementCounter("decay.tuples_killed",
+      metrics_->IncrementCounter("fungusdb.decay.tuples_killed",
                                  tick_stats.tuples_killed);
-      metrics_->IncrementCounter("decay.seeds_planted",
+      metrics_->IncrementCounter("fungusdb.decay.tuples_killed", table_label,
+                                 tick_stats.tuples_killed);
+      metrics_->IncrementCounter("fungusdb.decay.seeds_planted",
                                  tick_stats.seeds_planted);
-      metrics_->IncrementCounter("decay.segments_skipped",
+      metrics_->IncrementCounter("fungusdb.decay.segments_skipped",
                                  tick_stats.segments_skipped);
+      metrics_->RecordHistogram("fungusdb.decay.tick_duration_us",
+                                table_label,
+                                SteadyMicros() - tick_begin_us);
+      // Rot front: virtual insertion time of the oldest tuple still
+      // alive. -1 means the table has fully decayed.
+      const std::optional<RowId> oldest = due->table->OldestLive();
+      double front = -1.0;
+      if (oldest.has_value()) {
+        const Result<Timestamp> ts = due->table->InsertTime(*oldest);
+        if (ts.ok()) front = static_cast<double>(ts.value());
+      }
+      metrics_->SetGauge("fungusdb.rot.oldest_live_ts", table_label, front);
     }
   }
   return ticks;
+}
+
+const DecayScheduler::Attachment* DecayScheduler::AttachmentForTable(
+    const Table* table) const {
+  for (const Attachment& a : attachments_) {
+    if (a.active && a.table == table) return &a;
+  }
+  return nullptr;
+}
+
+std::optional<DecayScheduler::TableDecayInfo> DecayScheduler::StatsForTable(
+    const Table* table) const {
+  const Attachment* a = AttachmentForTable(table);
+  if (a == nullptr) return std::nullopt;
+  TableDecayInfo info;
+  info.period = a->period;
+  info.next_tick = a->next_tick;
+  info.ticks = a->stats.ticks;
+  info.decay = a->stats.decay;
+  return info;
 }
 
 DecayScheduler::AttachmentStats DecayScheduler::StatsFor(

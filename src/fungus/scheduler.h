@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,10 +71,20 @@ class DecayScheduler {
   /// Stats for an attachment (zeroed if detached/unknown).
   AttachmentStats StatsFor(AttachmentId id) const;
 
+  /// Decay state of the first active attachment on `table`, for the
+  /// `\rot` report (clock period, next due tick, cumulative stats).
+  struct TableDecayInfo {
+    Duration period = 0;
+    Timestamp next_tick = 0;
+    uint64_t ticks = 0;
+    DecayStats decay;
+  };
+  std::optional<TableDecayInfo> StatsForTable(const Table* table) const;
+
   size_t num_attachments() const;
 
-  /// Optional sink for scheduler counters ("decay.ticks",
-  /// "decay.tuples_killed", "fungusdb.parallel.*", ...). Not owned.
+  /// Optional sink for scheduler metrics ("fungusdb.decay.*",
+  /// "fungusdb.parallel.*", "fungusdb.rot.oldest_live_ts"). Not owned.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Optional worker pool for shard-parallel ticks. Not owned. Without a
@@ -105,6 +116,8 @@ class DecayScheduler {
   /// returning the tick's merged (RowId-sorted) death list.
   std::vector<RowId> RunShardedTick(Attachment& a, Timestamp tick_time,
                                     DecayStats* tick_stats);
+
+  const Attachment* AttachmentForTable(const Table* table) const;
 
   std::vector<Attachment> attachments_;
   std::vector<DeathObserver> observers_;

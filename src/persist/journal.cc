@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/buffer_io.h"
+#include "common/trace.h"
 #include "query/parser.h"
 #include "storage/value_serde.h"
 #include "summary/hashing.h"
@@ -110,6 +111,7 @@ JournalWriter::~JournalWriter() {
 }
 
 Status JournalWriter::Append(const JournalEntry& entry) {
+  FUNGUS_TRACE_SPAN("journal.append");
   const std::string payload = EncodeEntry(entry);
   BufferWriter frame;
   frame.WriteU32(static_cast<uint32_t>(payload.size()));
@@ -248,6 +250,7 @@ Result<ResultSet> JournaledDatabase::ExecuteSql(std::string_view sql) {
 }
 
 Result<uint64_t> ReplayJournal(Database& db, const std::string& path) {
+  FUNGUS_TRACE_SPAN("journal.replay");
   FUNGUSDB_ASSIGN_OR_RETURN(std::unique_ptr<JournalReader> reader,
                             JournalReader::Open(path));
   uint64_t applied = 0;

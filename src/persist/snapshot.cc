@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/trace.h"
 #include "storage/value_serde.h"
 
 namespace fungusdb {
@@ -141,6 +142,7 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(BufferReader& in) {
 }
 
 Status SaveDatabaseSnapshot(Database& db, const std::string& path) {
+  FUNGUS_TRACE_SPAN("snapshot.save");
   BufferWriter out;
   SerializeDatabase(db, out);
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
@@ -158,6 +160,7 @@ Status SaveDatabaseSnapshot(Database& db, const std::string& path) {
 
 Result<std::unique_ptr<Database>> LoadDatabaseSnapshot(
     const std::string& path) {
+  FUNGUS_TRACE_SPAN("snapshot.load");
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     return Status::NotFound("cannot open '" + path + "'");

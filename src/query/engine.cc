@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 
+#include "common/trace.h"
 #include "query/binder.h"
 #include "query/evaluator.h"
 #include "query/vector_eval.h"
@@ -293,6 +294,7 @@ void QueryEngine::AddConsumeObserver(ConsumeObserver observer) {
 
 Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
                                        Timestamp now) {
+  FUNGUS_TRACE_SPAN("query.execute");
   const Schema& schema = table.schema();
 
   // --- Analyze the select list. ---
@@ -404,9 +406,13 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
       segments = std::move(survivors);
     }
   }
+  result.stats.segments_scanned = segments.size();
   if (options_.metrics != nullptr && result.stats.segments_pruned > 0) {
     options_.metrics->IncrementCounter(
         "fungusdb.scan.segments_pruned",
+        static_cast<int64_t>(result.stats.segments_pruned));
+    options_.metrics->IncrementCounter(
+        "fungusdb.scan.segments_pruned", "table=" + table.name(),
         static_cast<int64_t>(result.stats.segments_pruned));
     options_.metrics->IncrementCounter(
         "fungusdb.scan.rows_pruned",
@@ -444,6 +450,7 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
         segments.size() >= options_.parallel_scan_min_segments) {
       std::vector<std::vector<RowId>> morsel_matched(segments.size());
       pool->ParallelFor(segments.size(), [&](size_t i) {
+        FUNGUS_TRACE_SPAN("scan.morsel", i);
         scan_segment(*segments[i], morsel_matched[i]);
       });
       size_t total = 0;
@@ -460,6 +467,7 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
             static_cast<int64_t>(segments.size()));
       }
     } else {
+      FUNGUS_TRACE_SPAN("scan.serial", segments.size());
       for (const Segment* seg : segments) {
         result.stats.rows_scanned += seg->live_count();
         scan_segment(*seg, matched);
@@ -467,6 +475,7 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
     }
   } else {
     // Fallback: row-at-a-time tree walker over the surviving segments.
+    FUNGUS_TRACE_SPAN("scan.walker", segments.size());
     size_t surviving_live = 0;
     for (const Segment* seg : segments) surviving_live += seg->live_count();
     matched.reserve(surviving_live);
@@ -489,6 +498,11 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
     FUNGUSDB_RETURN_IF_ERROR(scan_status);
   }
   result.stats.rows_matched = matched.size();
+  if (options_.metrics != nullptr && result.stats.rows_scanned > 0) {
+    options_.metrics->IncrementCounter(
+        "fungusdb.scan.rows_scanned", "table=" + table.name(),
+        static_cast<int64_t>(result.stats.rows_scanned));
+  }
 
   if (options_.record_access && table.options().track_access) {
     for (RowId row : matched) table.RecordAccess(row);

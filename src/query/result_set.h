@@ -20,6 +20,7 @@ struct ResultSet {
     // counters above; these stay local to the process.
     uint64_t rows_pruned = 0;      // live tuples skipped via zone maps
     uint64_t segments_pruned = 0;  // segments skipped via zone maps
+    uint64_t segments_scanned = 0;  // segments surviving pruning
   };
 
   std::vector<std::string> column_names;

@@ -3,11 +3,16 @@
 #include <sys/socket.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "common/trace.h"
+#include "fungus/fungus_factory.h"
+#include "fungus/rot_analysis.h"
 #include "persist/snapshot.h"
 #include "pipeline/csv.h"
 #include "storage/schema.h"
@@ -160,8 +165,10 @@ void Server::ServeConnection(uint64_t conn_id, int fd) {
     if (frame.header.type != FrameType::kStatementRequest) {
       break;  // a client sending response frames is not speaking v1
     }
-    Result<StatementRequest> request_or =
-        DecodeStatementRequest(frame.payload);
+    Result<StatementRequest> request_or = [&frame] {
+      FUNGUS_TRACE_SPAN("server.decode", frame.payload.size());
+      return DecodeStatementRequest(frame.payload);
+    }();
     if (!request_or.ok()) {
       // Framing was intact but the payload was not — answer with the
       // decode error (request id unknown, so 0), then drop: the byte
@@ -189,6 +196,7 @@ void Server::ServeConnection(uint64_t conn_id, int fd) {
     const uint64_t request_id = request.request_id;
     const size_t num_statements = request.statements.size();
     pending.request = std::move(request);
+    pending.enqueued_us = Tracer::NowMicros();
     std::future<std::vector<Result<ResultSet>>> reply =
         pending.reply.get_future();
 
@@ -209,8 +217,12 @@ void Server::ServeConnection(uint64_t conn_id, int fd) {
         response.results.push_back(refusal);
       }
     }
-    const Status sent = WriteFrame(owned.get(), FrameType::kStatementResponse,
-                                   EncodeStatementResponse(response));
+    Status sent;
+    {
+      FUNGUS_TRACE_SPAN("server.respond", response.results.size());
+      sent = WriteFrame(owned.get(), FrameType::kStatementResponse,
+                        EncodeStatementResponse(response));
+    }
     if (!sent.ok()) break;
   }
   std::lock_guard<std::mutex> lock(conns_mu_);
@@ -233,6 +245,19 @@ void Server::ExecutorLoop() {
     PendingRequest pending = std::move(*item);
     metrics.SetGauge("fungusdb.server.queue_depth_high_water",
                      static_cast<double>(queue_.depth_high_water()));
+    const uint64_t dequeued_us = Tracer::NowMicros();
+    const uint64_t queue_wait_us = dequeued_us > pending.enqueued_us
+                                       ? dequeued_us - pending.enqueued_us
+                                       : 0;
+    metrics.RecordHistogram("fungusdb.server.queue_wait_us",
+                            static_cast<int64_t>(queue_wait_us));
+    if (Tracer::enabled()) {
+      // The wait has no RAII site — the span covers the time the request
+      // sat in the queue, recorded manually once it leaves.
+      Tracer::Global().Record("server.queue_wait", pending.enqueued_us,
+                              queue_wait_us, pending.request.request_id,
+                              /*has_arg=*/true);
+    }
     std::vector<Result<ResultSet>> results;
     results.reserve(pending.request.statements.size());
     bool timed_out = false;
@@ -250,7 +275,12 @@ void Server::ExecutorLoop() {
         continue;
       }
       const auto started = std::chrono::steady_clock::now();
-      results.push_back(ExecuteStatement(statement));
+      db_->set_pending_queue_wait_micros(
+          static_cast<int64_t>(queue_wait_us));
+      {
+        FUNGUS_TRACE_SPAN("server.statement");
+        results.push_back(ExecuteStatement(statement));
+      }
       const auto micros =
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - started)
@@ -259,6 +289,12 @@ void Server::ExecutorLoop() {
       metrics.RecordHistogram("fungusdb.server.statement_latency_us",
                               micros);
       latency_sketch_.Observe(Value::Float64(static_cast<double>(micros)));
+      if (!results.back().ok()) {
+        metrics.IncrementCounter(
+            "fungusdb.server.errors",
+            "code=" + std::to_string(static_cast<int>(
+                          results.back().status().error_code())));
+      }
     }
     pending.reply.set_value(std::move(results));
   }
@@ -283,9 +319,70 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
     return TextResult("now", FormatDuration(db_->Now()));
   }
   if (cmd == "\\metrics") {
+    if (args.size() == 2 && args[1] == "prom") {
+      return TextResult("metrics", db_->metrics().PrometheusReport());
+    }
+    if (args.size() != 1) {
+      return Status::InvalidArgument("usage: \\metrics [prom]");
+    }
     return TextResult("metrics", db_->metrics().Report() +
                                      "fungusdb.server.statement_latency = " +
                                      latency_sketch_.Describe() + "\n");
+  }
+  if (cmd == "\\trace") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: \\trace on|off|dump");
+    }
+    if (args[1] == "on") {
+      Tracer::Global().Enable();
+      return TextResult("trace", "tracing enabled");
+    }
+    if (args[1] == "off") {
+      Tracer::Global().Disable();
+      return TextResult("trace", "tracing disabled");
+    }
+    if (args[1] == "dump") {
+      return TextResult("trace", Tracer::Global().ExportChromeJson());
+    }
+    return Status::InvalidArgument("usage: \\trace on|off|dump");
+  }
+  if (cmd == "\\rot") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: \\rot <table>");
+    }
+    FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(args[1]));
+    return TextResult(
+        "rot", BuildRotReport(table.table(), &db_->scheduler()).ToString());
+  }
+  if (cmd == "\\attach") {
+    if (args.size() < 4 || args.size() > 5) {
+      return Status::InvalidArgument(
+          "usage: \\attach <fungus> <table> <period> [arg]");
+    }
+    FUNGUSDB_ASSIGN_OR_RETURN(Duration period, ParseDuration(args[3]));
+    std::optional<std::string> arg;
+    if (args.size() == 5) arg = args[4];
+    FUNGUSDB_ASSIGN_OR_RETURN(std::unique_ptr<Fungus> fungus,
+                              MakeFungusFromSpec(args[1], arg, db_->Now()));
+    const std::string description = fungus->Describe();
+    FUNGUSDB_RETURN_IF_ERROR(
+        db_->AttachFungus(args[2], std::move(fungus), period).status());
+    return TextResult("attached", description + " to " + args[2] +
+                                      " every " + FormatDuration(period));
+  }
+  if (cmd == "\\slowlog") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: \\slowlog <micros>");
+    }
+    char* end = nullptr;
+    const long long us = std::strtoll(args[1].c_str(), &end, 10);
+    if (end == args[1].c_str() || *end != '\0' || us < 0) {
+      return Status::InvalidArgument("bad threshold '" + args[1] + "'");
+    }
+    db_->set_slow_query_micros(us);
+    return TextResult("slowlog",
+                      us == 0 ? "slow-query log disabled"
+                              : "slow-query threshold " + args[1] + "us");
   }
   if (cmd == "\\fsck") {
     const verify::Report report = db_->Fsck();
@@ -363,8 +460,8 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
   }
   return Status::InvalidArgument(
       "unknown server command " + cmd +
-      " (remote subset: \\health \\now \\metrics \\fsck \\tables "
-      "\\advance \\create \\insert)");
+      " (remote subset: \\health \\now \\metrics [prom] \\fsck \\tables "
+      "\\advance \\create \\insert \\attach \\rot \\trace \\slowlog)");
 }
 
 }  // namespace fungusdb::server

@@ -84,6 +84,9 @@ class Server {
     StatementRequest request;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+    /// Tracer-epoch enqueue time; the executor turns it into the
+    /// queue-wait metric and the "server.queue_wait" trace span.
+    uint64_t enqueued_us = 0;
     std::promise<std::vector<Result<ResultSet>>> reply;
   };
 

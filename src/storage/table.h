@@ -36,6 +36,11 @@ struct TableOptions {
   /// The shard count is a property of the table, NOT of the thread pool,
   /// so decay outcomes never depend on how many threads execute them.
   size_t num_shards = 1;
+
+  /// Statements against this table slower than this (wall-clock
+  /// microseconds) hit the slow-query log; 0 defers to the database-wide
+  /// threshold. Runtime tuning knob only — NOT serialized in snapshots.
+  int64_t slow_query_micros = 0;
 };
 
 /// The paper's relation R(t, f, A1..An): an append-only, insertion-ordered

@@ -45,6 +45,98 @@ TEST(MetricsTest, ReportContainsEntries) {
   EXPECT_NE(report.find("y.gauge = 7"), std::string::npos);
 }
 
+TEST(MetricsTest, LabeledCountersAreIndependentSeries) {
+  MetricsRegistry m;
+  m.IncrementCounter("fungusdb.decay.ticks");
+  m.IncrementCounter("fungusdb.decay.ticks", "table=events", 3);
+  m.IncrementCounter("fungusdb.decay.ticks", "table=logs", 5);
+  EXPECT_EQ(m.GetCounter("fungusdb.decay.ticks"), 1);
+  EXPECT_EQ(m.GetCounter("fungusdb.decay.ticks", "table=events"), 3);
+  EXPECT_EQ(m.GetCounter("fungusdb.decay.ticks", "table=logs"), 5);
+  EXPECT_EQ(m.GetCounter("fungusdb.decay.ticks", "table=absent"), 0);
+}
+
+TEST(MetricsTest, LabeledGaugesAndHistograms) {
+  MetricsRegistry m;
+  m.SetGauge("fungusdb.rot.oldest_live_ts", "table=events", 123.0);
+  EXPECT_DOUBLE_EQ(m.GetGauge("fungusdb.rot.oldest_live_ts", "table=events"),
+                   123.0);
+  EXPECT_DOUBLE_EQ(m.GetGauge("fungusdb.rot.oldest_live_ts"), 0.0);
+  m.RecordHistogram("fungusdb.decay.tick_duration_us", "table=events", 50);
+  const HistogramMetric* h =
+      m.FindHistogram("fungusdb.decay.tick_duration_us", "table=events");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1);
+  EXPECT_EQ(m.FindHistogram("fungusdb.decay.tick_duration_us"), nullptr);
+}
+
+TEST(MetricsTest, ReportIsDeterministicallyOrdered) {
+  MetricsRegistry m;
+  m.IncrementCounter("b.counter");
+  m.IncrementCounter("a.counter");
+  m.IncrementCounter("a.counter", "table=z");
+  m.IncrementCounter("a.counter", "table=a");
+  m.SetGauge("g.gauge", 1.0);
+  const std::string report = m.Report();
+  const size_t a_plain = report.find("a.counter = ");
+  const size_t a_la = report.find("a.counter{table=a} = ");
+  const size_t a_lz = report.find("a.counter{table=z} = ");
+  const size_t b = report.find("b.counter = ");
+  const size_t g = report.find("g.gauge = ");
+  ASSERT_NE(a_plain, std::string::npos);
+  ASSERT_NE(a_la, std::string::npos);
+  ASSERT_NE(a_lz, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(g, std::string::npos);
+  // Counters sorted by (name, label), then gauges.
+  EXPECT_LT(a_plain, a_la);
+  EXPECT_LT(a_la, a_lz);
+  EXPECT_LT(a_lz, b);
+  EXPECT_LT(b, g);
+  // Two calls produce byte-identical output.
+  EXPECT_EQ(report, m.Report());
+}
+
+TEST(MetricsTest, PrometheusReportShape) {
+  MetricsRegistry m;
+  m.IncrementCounter("fungusdb.query.executed", 4);
+  m.IncrementCounter("fungusdb.server.errors", "code=2002", 2);
+  m.SetGauge("fungusdb.rot.oldest_live_ts", "table=events", 99.0);
+  m.RecordHistogram("fungusdb.server.statement_latency_us", 100);
+  const std::string prom = m.PrometheusReport();
+  EXPECT_NE(prom.find("# TYPE fungusdb_query_executed counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_query_executed 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_server_errors{code=\"2002\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE fungusdb_rot_oldest_live_ts gauge\n"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("fungusdb_rot_oldest_live_ts{table=\"events\"} 99\n"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("# TYPE fungusdb_server_statement_latency_us summary\n"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("fungusdb_server_statement_latency_us{quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_server_statement_latency_us_sum 100\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_server_statement_latency_us_count 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusQuantileMergesWithSeriesLabel) {
+  MetricsRegistry m;
+  m.RecordHistogram("fungusdb.decay.tick_duration_us", "table=t", 10);
+  const std::string prom = m.PrometheusReport();
+  EXPECT_NE(prom.find("fungusdb_decay_tick_duration_us{table=\"t\","
+                      "quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_decay_tick_duration_us_count{table=\"t\"} 1"),
+            std::string::npos);
+}
+
 TEST(HistogramMetricTest, EmptyHistogram) {
   HistogramMetric h;
   EXPECT_EQ(h.count(), 0);
@@ -83,11 +175,45 @@ TEST(HistogramMetricTest, SingleValueQuantiles) {
   EXPECT_EQ(h.max(), 42);
 }
 
+TEST(HistogramMetricTest, ExtremeQuantilesAreExact) {
+  HistogramMetric h;
+  for (int64_t v : {3, 17, 900}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 900.0);
+  // Out-of-range q clamps to the extremes.
+  EXPECT_DOUBLE_EQ(h.Quantile(-2.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(5.0), 900.0);
+}
+
+TEST(HistogramMetricTest, SingleSampleEveryQuantileIsExact) {
+  HistogramMetric h;
+  h.Record(42);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 42.0) << "q=" << q;
+  }
+}
+
 TEST(HistogramMetricTest, NegativeValuesClampToFirstBucket) {
   HistogramMetric h;
   h.Record(-10);
   EXPECT_EQ(h.count(), 1);
   EXPECT_EQ(h.min(), -10);
+  // The first bucket's lower bound follows the tracked minimum, so a
+  // purely negative histogram never reports a quantile above its max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), -10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), -10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), -10.0);
+}
+
+TEST(HistogramMetricTest, MixedSignQuantilesStayInRange) {
+  HistogramMetric h;
+  for (int64_t v : {-100, -50, 0, 50, 100}) h.Record(v);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(h.Quantile(q), -100.0) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), 100.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), -100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
 }
 
 TEST(HistogramMetricTest, ResetZeroes) {

@@ -1,0 +1,146 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace fungusdb {
+namespace {
+
+// All tests share the process-wide tracer, so each starts from a
+// clean, disabled state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { FUNGUS_TRACE_SPAN("test.disabled"); }
+  for (const TraceEvent& e : Tracer::Global().Snapshot()) {
+    EXPECT_STRNE(e.name, "test.disabled");
+  }
+}
+
+TEST_F(TraceTest, EnabledSpansRecord) {
+  Tracer::Global().Enable();
+  { FUNGUS_TRACE_SPAN("test.span"); }
+  Tracer::Global().Disable();
+  bool found = false;
+  for (const TraceEvent& e : Tracer::Global().Snapshot()) {
+    if (std::string(e.name) == "test.span") {
+      found = true;
+      EXPECT_FALSE(e.has_arg);
+      EXPECT_GT(e.tid, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, SpanArgSurvives) {
+  Tracer::Global().Enable();
+  { FUNGUS_TRACE_SPAN("test.arg", 42); }
+  Tracer::Global().Disable();
+  bool found = false;
+  for (const TraceEvent& e : Tracer::Global().Snapshot()) {
+    if (std::string(e.name) == "test.arg") {
+      found = true;
+      EXPECT_TRUE(e.has_arg);
+      EXPECT_EQ(e.arg, 42u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, SnapshotIsStartOrdered) {
+  Tracer::Global().Enable();
+  for (int i = 0; i < 10; ++i) {
+    FUNGUS_TRACE_SPAN("test.ordered", static_cast<uint64_t>(i));
+  }
+  Tracer::Global().Disable();
+  const std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_us, events[i].start_us);
+  }
+}
+
+TEST_F(TraceTest, ClearForgetsEvents) {
+  Tracer::Global().Enable();
+  { FUNGUS_TRACE_SPAN("test.cleared"); }
+  Tracer::Global().Clear();
+  Tracer::Global().Disable();
+  for (const TraceEvent& e : Tracer::Global().Snapshot()) {
+    EXPECT_STRNE(e.name, "test.cleared");
+  }
+}
+
+TEST_F(TraceTest, RingOverwritesOldest) {
+  Tracer::Global().Enable();
+  const size_t n = Tracer::kEventsPerThread + 100;
+  for (size_t i = 0; i < n; ++i) {
+    Tracer::Global().Record("test.ring", i, 1, 0, false);
+  }
+  Tracer::Global().Disable();
+  size_t ring_events = 0;
+  uint64_t min_start = UINT64_MAX;
+  for (const TraceEvent& e : Tracer::Global().Snapshot()) {
+    if (std::string(e.name) == "test.ring") {
+      ++ring_events;
+      min_start = std::min(min_start, e.start_us);
+    }
+  }
+  EXPECT_LE(ring_events, Tracer::kEventsPerThread);
+  EXPECT_GE(min_start, 100u);  // the first 100 were overwritten
+  EXPECT_GE(Tracer::Global().events_recorded(), n);
+}
+
+TEST_F(TraceTest, MultipleThreadsGetDistinctTids) {
+  Tracer::Global().Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] { FUNGUS_TRACE_SPAN("test.thread"); });
+  }
+  for (std::thread& t : threads) t.join();
+  Tracer::Global().Disable();
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : Tracer::Global().Snapshot()) {
+    if (std::string(e.name) == "test.thread") tids.push_back(e.tid);
+  }
+  EXPECT_EQ(tids.size(), 4u);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  Tracer::Global().Enable();
+  { FUNGUS_TRACE_SPAN("test.json", 7); }
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ExportChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  // Single line: the only newline is the terminator.
+  EXPECT_EQ(json.find('\n'), json.size() - 1);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":7}"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceStillValidJson) {
+  const std::string json = Tracer::Global().ExportChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fungusdb

@@ -80,7 +80,7 @@ TEST(DatabaseTest, ExecuteSqlEndToEnd) {
           .value();
   ASSERT_EQ(rs.num_rows(), 2u);
   EXPECT_EQ(rs.at(0, 1).AsInt64(), 5);
-  EXPECT_EQ(db.metrics().GetCounter("query.executed"), 1);
+  EXPECT_EQ(db.metrics().GetCounter("fungusdb.query.executed"), 1);
 }
 
 TEST(DatabaseTest, SqlErrorsSurface) {
@@ -101,7 +101,7 @@ TEST(DatabaseTest, IngestFromSource) {
                       {{Value::Int64(1), Value::Float64(1.0)},
                        {Value::Int64(2), Value::Float64(2.0)}});
   EXPECT_EQ(db.Ingest("r", source, 10).value(), 2u);
-  EXPECT_EQ(db.metrics().GetCounter("ingest.rows"), 2);
+  EXPECT_EQ(db.metrics().GetCounter("fungusdb.ingest.rows"), 2);
 }
 
 TEST(DatabaseTest, IngestPacedRunsDueDecay) {
@@ -144,7 +144,7 @@ TEST(DatabaseTest, ConsumingQueryCooksIntoCellar) {
   const Summary* cooked = db.cellar().Find("sensors_seen");
   ASSERT_NE(cooked, nullptr);
   EXPECT_EQ(cooked->observations(), 2u);
-  EXPECT_EQ(db.metrics().GetCounter("query.rows_consumed"), 2);
+  EXPECT_EQ(db.metrics().GetCounter("fungusdb.query.rows_consumed"), 2);
 }
 
 TEST(DatabaseTest, AddCookSpecRequiresTable) {

@@ -207,7 +207,7 @@ TEST(IntegrationTest, FullLifecycleHealthNarrative) {
   EXPECT_LT(health.tables[0].mean_freshness, 1.0);
   EXPECT_GT(health.rows_cooked, 0u);
   EXPECT_EQ(health.cellar_entries, 1u);
-  EXPECT_GT(db.metrics().GetCounter("decay.ticks"), 0);
+  EXPECT_GT(db.metrics().GetCounter("fungusdb.decay.ticks"), 0);
 }
 
 }  // namespace

@@ -176,7 +176,7 @@ TEST(ParallelDeterminismTest, ShardedParallelCountersAdvance) {
   ASSERT_TRUE(db.AdvanceTime(10 * kSecond).ok());
   EXPECT_EQ(db.metrics().GetCounter("fungusdb.parallel.shard_ticks"),
             10 * 4);
-  EXPECT_EQ(db.metrics().GetCounter("decay.ticks"), 10);
+  EXPECT_EQ(db.metrics().GetCounter("fungusdb.decay.ticks"), 10);
 }
 
 }  // namespace

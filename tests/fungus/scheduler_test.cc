@@ -138,8 +138,8 @@ TEST(DecaySchedulerTest, MetricsFlow) {
       .Attach(&t, std::make_unique<RetentionFungus>(kSecond), kSecond, 0)
       .value();
   scheduler.AdvanceTo(3 * kSecond);
-  EXPECT_EQ(metrics.GetCounter("decay.ticks"), 3);
-  EXPECT_EQ(metrics.GetCounter("decay.tuples_killed"), 1);
+  EXPECT_EQ(metrics.GetCounter("fungusdb.decay.ticks"), 3);
+  EXPECT_EQ(metrics.GetCounter("fungusdb.decay.tuples_killed"), 1);
 }
 
 }  // namespace

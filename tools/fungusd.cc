@@ -17,6 +17,10 @@
 //                          full queue answers E:2002 Overloaded
 //   --max-connections <n>  simultaneous client connections
 //   --snapshot <path>      load at boot when present; saved on shutdown
+//
+// Environment: FUNGUSDB_TRACE (any value but "0") enables the span
+// tracer at boot — same as a client sending \trace on. Dump the ring
+// any time with `fungusql --connect ...` and `\trace dump <file>`.
 
 #include <csignal>
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include <memory>
 #include <string>
 
+#include "common/trace.h"
 #include "core/database.h"
 #include "persist/snapshot.h"
 #include "server/server.h"
@@ -69,6 +74,11 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (const char* trace = std::getenv("FUNGUSDB_TRACE");
+      trace != nullptr && std::strcmp(trace, "0") != 0) {
+    fungusdb::Tracer::Global().Enable();
   }
 
   // Signals are handled synchronously via sigwait on the main thread;

@@ -13,21 +13,22 @@
 // \fsck \tables \advance \create \insert). Errors print with their
 // stable code, e.g. `error: E:1203 TableNotFound: no table "t"`.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/database.h"
-#include "fungus/egi_fungus.h"
-#include "fungus/exponential_fungus.h"
-#include "fungus/quota_fungus.h"
-#include "fungus/retention_fungus.h"
-#include "fungus/sliding_window_fungus.h"
+#include "fungus/fungus_factory.h"
+#include "fungus/rot_analysis.h"
 #include "persist/snapshot.h"
 #include "pipeline/csv.h"
 #include "query/parser.h"
@@ -51,6 +52,12 @@ constexpr const char* kHelp = R"(fungusql meta commands:
   \health                                per-table health report
   \fsck                                  run the invariant checker
   \analyze <table>                       per-column statistics
+  \rot <table>                           rot report: freshness histogram,
+                                         rot front, ticks-to-death, heatmap
+  \metrics [prom]                        metrics dump (prom: Prometheus text)
+  \trace on|off                          toggle the span tracer
+  \trace dump [file]                     Chrome trace JSON (stdout or file)
+  \slowlog <micros>                      slow-query log threshold (0 = off)
   \cellar                                list cooked summaries
   \import <table> <file.csv>             ingest a CSV file (header row)
   \export <table> <file.csv>             write live rows as CSV
@@ -118,10 +125,17 @@ class Shell {
 
   int Run() {
     std::string line;
-    std::printf("FungusDB shell — \\help for commands, \\quit to exit\n");
+    // Piped sessions (CI smoke tests, scripts) get clean output with no
+    // banner or prompts; humans on a terminal get both.
+    const bool interactive = ::isatty(STDIN_FILENO) != 0;
+    if (interactive) {
+      std::printf("FungusDB shell — \\help for commands, \\quit to exit\n");
+    }
     while (true) {
-      std::printf("fungus> ");
-      std::fflush(stdout);
+      if (interactive) {
+        std::printf("fungus> ");
+        std::fflush(stdout);
+      }
       if (!std::getline(std::cin, line)) break;
       const std::string trimmed(StripWhitespace(line));
       if (trimmed.empty()) continue;
@@ -147,6 +161,15 @@ class Shell {
 
  private:
   void PrintResultSet(const ResultSet& rs) {
+    // Meta commands ship multi-line text (reports, trace JSON) as one
+    // string cell; print it raw instead of mangling it through the
+    // table renderer's column truncation.
+    if (rs.rows.size() == 1 && rs.rows[0].size() == 1 &&
+        rs.rows[0][0].type() == DataType::kString &&
+        rs.rows[0][0].AsString().find('\n') != std::string::npos) {
+      std::printf("%s", rs.rows[0][0].AsString().c_str());
+      return;
+    }
     std::printf("%s", rs.ToString(40).c_str());
     if (rs.stats.rows_consumed > 0) {
       std::printf("consumed %llu tuples\n",
@@ -182,6 +205,24 @@ class Shell {
   /// Ships the whole line (SQL or meta) to the fungusd; the server
   /// decides what it supports.
   Status RunRemote(const std::string& line) {
+    // `\trace dump <file>` runs client-side: the server returns the
+    // trace JSON as one cell, and the shell writes it to the local file.
+    const std::vector<std::string> words = Tokens(line);
+    if (words.size() == 3 && words[0] == "\\trace" && words[1] == "dump") {
+      FUNGUSDB_ASSIGN_OR_RETURN(
+          std::vector<Result<ResultSet>> results,
+          remote_->Execute(std::vector<std::string>{"\\trace dump"}));
+      if (results.size() != 1) {
+        return Status::Internal("expected one result for \\trace dump");
+      }
+      FUNGUSDB_RETURN_IF_ERROR(results[0].status());
+      const ResultSet& rs = results[0].value();
+      if (rs.rows.size() != 1 || rs.rows[0].size() != 1 ||
+          rs.rows[0][0].type() != DataType::kString) {
+        return Status::Internal("malformed \\trace dump response");
+      }
+      return WriteTextFile(words[2], rs.rows[0][0].AsString());
+    }
     std::vector<std::string> statements;
     if (line[0] == '\\') {
       statements.push_back(line);
@@ -282,6 +323,60 @@ class Shell {
       std::printf("%s", report.ToString().c_str());
       return report.ToStatus();
     }
+    if (cmd == "\\rot") {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("usage: \\rot <table>");
+      }
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(args[1]));
+      std::printf("%s", BuildRotReport(table.table(), &db_->scheduler())
+                            .ToString()
+                            .c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\metrics") {
+      if (args.size() == 2 && args[1] == "prom") {
+        std::printf("%s", db_->metrics().PrometheusReport().c_str());
+        return Status::OK();
+      }
+      if (args.size() != 1) {
+        return Status::InvalidArgument("usage: \\metrics [prom]");
+      }
+      std::printf("%s", db_->metrics().Report().c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\trace") {
+      if (args.size() == 2 && args[1] == "on") {
+        Tracer::Global().Enable();
+        std::printf("tracing enabled\n");
+        return Status::OK();
+      }
+      if (args.size() == 2 && args[1] == "off") {
+        Tracer::Global().Disable();
+        std::printf("tracing disabled\n");
+        return Status::OK();
+      }
+      if ((args.size() == 2 || args.size() == 3) && args[1] == "dump") {
+        const std::string json = Tracer::Global().ExportChromeJson();
+        if (args.size() == 3) return WriteTextFile(args[2], json);
+        std::printf("%s", json.c_str());
+        return Status::OK();
+      }
+      return Status::InvalidArgument("usage: \\trace on|off|dump [file]");
+    }
+    if (cmd == "\\slowlog") {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("usage: \\slowlog <micros>");
+      }
+      char* end = nullptr;
+      const long long us = std::strtoll(args[1].c_str(), &end, 10);
+      if (end == args[1].c_str() || *end != '\0' || us < 0) {
+        return Status::InvalidArgument("bad threshold '" + args[1] + "'");
+      }
+      db_->set_slow_query_micros(us);
+      std::printf("slow-query threshold %lldus%s\n", us,
+                  us == 0 ? " (disabled)" : "");
+      return Status::OK();
+    }
     if (cmd == "\\analyze") {
       if (args.size() != 2) {
         return Status::InvalidArgument("usage: \\analyze <table>");
@@ -350,51 +445,33 @@ class Shell {
   }
 
   Status Attach(const std::vector<std::string>& args) {
-    if (args.size() < 4) {
+    if (args.size() < 4 || args.size() > 5) {
       return Status::InvalidArgument(
           "usage: \\attach <fungus> <table> <period> [arg]");
     }
-    const std::string& kind = args[1];
     const std::string& table = args[2];
     FUNGUSDB_ASSIGN_OR_RETURN(Duration period, ParseDuration(args[3]));
-    std::unique_ptr<Fungus> fungus;
-    if (kind == "retention") {
-      if (args.size() != 5) {
-        return Status::InvalidArgument("retention needs a duration arg");
-      }
-      FUNGUSDB_ASSIGN_OR_RETURN(Duration retention,
-                                ParseDuration(args[4]));
-      fungus = std::make_unique<RetentionFungus>(retention);
-    } else if (kind == "exponential") {
-      if (args.size() != 5) {
-        return Status::InvalidArgument("exponential needs a half-life arg");
-      }
-      FUNGUSDB_ASSIGN_OR_RETURN(Duration half_life,
-                                ParseDuration(args[4]));
-      fungus = std::make_unique<ExponentialFungus>(
-          ExponentialFungus::FromHalfLife(half_life, db_->Now()));
-    } else if (kind == "egi") {
-      fungus = std::make_unique<EgiFungus>(EgiFungus::Params{});
-    } else if (kind == "window") {
-      if (args.size() != 5) {
-        return Status::InvalidArgument("window needs a row-count arg");
-      }
-      fungus = std::make_unique<SlidingWindowFungus>(
-          std::strtoull(args[4].c_str(), nullptr, 10));
-    } else if (kind == "quota") {
-      if (args.size() != 5) {
-        return Status::InvalidArgument("quota needs a byte-count arg");
-      }
-      fungus = std::make_unique<QuotaFungus>(
-          std::strtoull(args[4].c_str(), nullptr, 10));
-    } else {
-      return Status::InvalidArgument("unknown fungus '" + kind + "'");
-    }
+    std::optional<std::string> arg;
+    if (args.size() == 5) arg = args[4];
+    FUNGUSDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<Fungus> fungus,
+        MakeFungusFromSpec(args[1], arg, db_->Now()));
     const std::string description = fungus->Describe();
     FUNGUSDB_RETURN_IF_ERROR(
         db_->AttachFungus(table, std::move(fungus), period).status());
     std::printf("attached %s to %s every %s\n", description.c_str(),
                 table.c_str(), FormatDuration(period).c_str());
+    return Status::OK();
+  }
+
+  static Status WriteTextFile(const std::string& path,
+                              const std::string& text) {
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) return Status::Internal("cannot open " + path);
+    file << text;
+    file.flush();
+    if (!file) return Status::Internal("short write to " + path);
+    std::printf("wrote %zu bytes to %s\n", text.size(), path.c_str());
     return Status::OK();
   }
 
@@ -424,7 +501,7 @@ int main(int argc, char** argv) {
                    client.status().ToString().c_str());
       return 1;
     }
-    std::printf("connected to %s\n", connect_spec.c_str());
+    std::fprintf(stderr, "connected to %s\n", connect_spec.c_str());
     fungusdb::Shell shell(std::move(client).value());
     return shell.Run();
   }

@@ -29,6 +29,11 @@ Enforces the repo-specific rules that generic linters cannot:
                   must stay Value-free: no GetValue( calls — boxing a
                   Value per row is exactly what the kernel exists to
                   avoid; read typed column spans instead.
+  metric-naming   every literal metric name handed to the MetricsRegistry
+                  API must follow fungusdb.<subsystem>.<name> (lowercase
+                  dotted, at least two segments after the fungusdb
+                  prefix) so dashboards and the Prometheus exporter see
+                  one coherent namespace (DESIGN.md §12).
   no-suppression  no NOLINT / lint-off escapes inside src/.
   hygiene         no tabs, no trailing whitespace, newline at EOF.
 
@@ -77,6 +82,10 @@ RE_SHARD_CALL = re.compile(
     r"(?:\bShardFor\s*\([^)]*\)|\bshards?_?\s*\[[^\]]*\]"
     r"|\bshards?\s*\([^)]*\)|\b[Ss]hard\w*)\s*\.\s*(?:%s)\s*\(" %
     "|".join(SHARD_MUTATORS))
+RE_METRIC_CALL = re.compile(
+    r"\b(?:IncrementCounter|SetGauge|RecordHistogram|GetCounter"
+    r"|GetGauge|FindHistogram|Histogram)\s*\(\s*\"([^\"]*)\"")
+RE_METRIC_NAME = re.compile(r"^fungusdb(?:\.[a-z0-9_]+){2,}$")
 
 
 def scrub(text):
@@ -115,10 +124,58 @@ def scrub(text):
     return "".join(out)
 
 
+def scrub_comments_only(text):
+    """Blanks out comments but KEEPS string literals, for rules that
+    inspect literal arguments (metric-naming)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i:i + 2])
+                    i += 2
+                else:
+                    out.append(text[i])
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
 def lint_file(root, path, findings):
     rel = path.relative_to(root).as_posix()
     raw = path.read_text(encoding="utf-8")
     code = scrub(raw)
+
+    # Metric names live inside string literals, so this rule scans a
+    # comment-only scrub that keeps them.
+    for lineno, line in enumerate(scrub_comments_only(raw).splitlines(),
+                                  start=1):
+        for match in RE_METRIC_CALL.finditer(line):
+            name = match.group(1)
+            if not RE_METRIC_NAME.match(name):
+                findings.append((rel, lineno, "metric-naming",
+                                 "metric '%s' must be named"
+                                 " fungusdb.<subsystem>.<name>"
+                                 " (DESIGN.md §12)" % name))
 
     for lineno, line in enumerate(code.splitlines(), start=1):
         if RE_VOID_DISCARD.search(line) and not RE_VOID_BARE.search(line):
