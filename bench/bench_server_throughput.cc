@@ -1,18 +1,20 @@
 // Experiment SRV — fungusd front-end throughput vs client count.
 //
-// Claim (server PR): the sessionized front-end keeps the database
-// single-threaded (one executor) while N concurrent clients drive it
-// over TCP; throughput is bounded by the executor, so statements/sec
-// should hold roughly flat as the client count grows, with overload
-// answered as typed E:2002 refusals rather than latency collapse or
-// memory growth.
+// Claim (concurrency PR): with the split execution model, read-only
+// statements run on a pool of read workers against epoch-pinned
+// snapshots, so read throughput scales with the client count instead
+// of being bounded by the single writer. Mutating statements still
+// funnel through the one executor that owns the total order, so the
+// mixed workload shows the old flat profile with overload answered as
+// typed E:2002 refusals rather than latency collapse.
 //
-// Setup: per client count (1/4/16/64), a fresh in-process Server on an
-// ephemeral loopback port and one table. Each client thread runs a
-// 3:1 insert:select mix over its own connection, lockstep
-// request/response. Reported: wall-clock statements/sec, mean and p99
-// per-statement executor latency (from the server's own histogram),
-// and the count of overload refusals (0 at the default queue depth).
+// Setup: per workload (read_only, mixed) and client count
+// (1/4/16/64/256), a fresh in-process Server on an ephemeral loopback
+// port. read_only runs filtered counts over a pre-populated table;
+// mixed runs the historical 3:1 insert:select mix. Each client drives
+// its own connection in lockstep request/response. Reported:
+// wall-clock statements/sec, p50 and p99 per-statement worker latency
+// (from the server's own histogram), and overload refusals.
 
 #include <cstdint>
 #include <memory>
@@ -29,77 +31,108 @@ namespace fungusdb {
 namespace {
 
 constexpr int kStatementsPerClient = 200;
-constexpr int kClientCounts[] = {1, 4, 16, 64};
+constexpr int kClientCounts[] = {1, 4, 16, 64, 256};
+constexpr int kPrepopulatedRows = 2000;
+
+struct Workload {
+  const char* name;
+  bool read_only;
+};
+
+constexpr Workload kWorkloads[] = {
+    {"read_only", true},
+    {"mixed", false},
+};
+
+std::string StatementFor(const Workload& workload, int client, int i) {
+  if (workload.read_only) {
+    // Filtered counts with a rotating predicate: every statement scans,
+    // no two consecutive statements are byte-identical.
+    return "SELECT count(*) AS n FROM t WHERE a < " +
+           std::to_string((client * 37 + i * 13) % kPrepopulatedRows);
+  }
+  return i % 4 == 3 ? "SELECT count(*) AS n FROM t"
+                    : "\\insert t " + std::to_string(client * 1000 + i);
+}
 
 void Run() {
   bench::Banner("SRV", "server throughput: statements/sec vs client count");
   bench::JsonReport report("server");
 
-  bench::TablePrinter printer({"clients", "statements", "seconds",
-                               "stmts_per_s", "latency_mean_us",
-                               "latency_p99_us", "overloaded"},
-                              16);
+  bench::TablePrinter printer(
+      {"workload", "clients", "statements", "seconds", "stmts_per_s",
+       "latency_p50_us", "latency_p99_us", "overloaded"},
+      16);
   printer.MirrorTo(&report);
   printer.PrintHeader();
 
-  for (const int num_clients : kClientCounts) {
-    server::ServerOptions options;
-    options.queue_capacity = 2 * static_cast<size_t>(num_clients) + 8;
-    auto srv = std::make_unique<server::Server>(
-        std::make_unique<Database>(), options);
-    FUNGUSDB_CHECK_OK(srv->Start());
-    FUNGUSDB_CHECK_OK(
-        srv->database()
-            .CreateTable("t", Schema::Parse("(a int64)").value())
-            .status());
-
-    std::mutex mu;
-    uint64_t completed = 0;
-    uint64_t overloaded = 0;
-
-    bench::Stopwatch clock;
-    std::vector<std::thread> clients;
-    clients.reserve(num_clients);
-    for (int c = 0; c < num_clients; ++c) {
-      clients.emplace_back([&, c] {
-        server::Client client =
-            server::Client::Connect("127.0.0.1", srv->port()).value();
-        uint64_t my_completed = 0;
-        uint64_t my_overloaded = 0;
-        for (int i = 0; i < kStatementsPerClient; ++i) {
-          const std::string statement =
-              i % 4 == 3 ? "SELECT count(*) AS n FROM t"
-                         : "\\insert t " + std::to_string(c * 1000 + i);
-          const Result<ResultSet> result = client.ExecuteOne(statement);
-          if (result.ok()) {
-            ++my_completed;
-          } else if (result.status().error_code() ==
-                     ErrorCode::kOverloaded) {
-            ++my_overloaded;
-          }
+  for (const Workload& workload : kWorkloads) {
+    for (const int num_clients : kClientCounts) {
+      server::ServerOptions options;
+      options.queue_capacity = 2 * static_cast<size_t>(num_clients) + 8;
+      options.max_connections = static_cast<size_t>(num_clients) + 8;
+      auto srv = std::make_unique<server::Server>(
+          std::make_unique<Database>(), options);
+      FUNGUSDB_CHECK_OK(
+          srv->database()
+              .CreateTable("t", Schema::Parse("(a int64)").value())
+              .status());
+      if (workload.read_only) {
+        for (int i = 0; i < kPrepopulatedRows; ++i) {
+          FUNGUSDB_CHECK_OK(
+              srv->database().Insert("t", {Value::Int64(i)}).status());
         }
-        std::lock_guard<std::mutex> lock(mu);
-        completed += my_completed;
-        overloaded += my_overloaded;
-      });
+      }
+      FUNGUSDB_CHECK_OK(srv->Start());
+
+      std::mutex mu;
+      uint64_t completed = 0;
+      uint64_t overloaded = 0;
+
+      bench::Stopwatch clock;
+      std::vector<std::thread> clients;
+      clients.reserve(num_clients);
+      for (int c = 0; c < num_clients; ++c) {
+        clients.emplace_back([&, c] {
+          server::Client client =
+              server::Client::Connect("127.0.0.1", srv->port()).value();
+          uint64_t my_completed = 0;
+          uint64_t my_overloaded = 0;
+          for (int i = 0; i < kStatementsPerClient; ++i) {
+            const Result<ResultSet> result =
+                client.ExecuteOne(StatementFor(workload, c, i));
+            if (result.ok()) {
+              ++my_completed;
+            } else if (result.status().error_code() ==
+                       ErrorCode::kOverloaded) {
+              ++my_overloaded;
+            }
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          completed += my_completed;
+          overloaded += my_overloaded;
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const double seconds = clock.ElapsedMicros() / 1e6;
+
+      const HistogramMetric* latency =
+          srv->database().metrics().FindHistogram(
+              "fungusdb.server.statement_latency_us");
+      const double p50_us = latency != nullptr ? latency->Quantile(0.5) : 0.0;
+      const double p99_us =
+          latency != nullptr ? latency->Quantile(0.99) : 0.0;
+      srv->Stop();
+
+      const uint64_t total =
+          static_cast<uint64_t>(num_clients) * kStatementsPerClient;
+      printer.PrintRow({workload.name,
+                        bench::Fmt(static_cast<uint64_t>(num_clients)),
+                        bench::Fmt(total), bench::Fmt(seconds, 3),
+                        bench::Fmt(completed / seconds, 0),
+                        bench::Fmt(p50_us, 1), bench::Fmt(p99_us, 1),
+                        bench::Fmt(overloaded)});
     }
-    for (std::thread& t : clients) t.join();
-    const double seconds = clock.ElapsedMicros() / 1e6;
-
-    const HistogramMetric* latency = srv->database().metrics().FindHistogram(
-        "fungusdb.server.statement_latency_us");
-    const double mean_us = latency != nullptr ? latency->Mean() : 0.0;
-    const double p99_us =
-        latency != nullptr ? latency->Quantile(0.99) : 0.0;
-    srv->Stop();
-
-    const uint64_t total =
-        static_cast<uint64_t>(num_clients) * kStatementsPerClient;
-    printer.PrintRow({bench::Fmt(static_cast<uint64_t>(num_clients)),
-                      bench::Fmt(total), bench::Fmt(seconds, 3),
-                      bench::Fmt(completed / seconds, 0),
-                      bench::Fmt(mean_us, 1), bench::Fmt(p99_us, 1),
-                      bench::Fmt(overloaded)});
   }
 
   report.Write();

@@ -45,8 +45,13 @@ Database::Database(DatabaseOptions options)
       engine_(QueryEngineOptions{options.record_access, pool_.get(),
                                  &metrics_}),
       ingestor_(&clock_, &kitchen_) {
+  epochs_.set_metrics(&metrics_);
   scheduler_.set_metrics(&metrics_);
   scheduler_.set_thread_pool(pool_.get());
+  // Every decay tick publishes its own epoch: the apply phase is the
+  // moment the virtual timeline visibly moves, and readers dispatched
+  // after the enclosing write section pin the newest tick's state.
+  scheduler_.set_epoch_publisher([this] { epochs_.Publish(); });
   // Rotting tuples (fungus kills) and consumed tuples (Law-2 queries)
   // both flow through the kitchen's on-rot rules.
   scheduler_.AddDeathObserver(
@@ -59,9 +64,9 @@ Database::Database(DatabaseOptions options)
         metrics_.IncrementCounter("fungusdb.query.rows_consumed",
                                   static_cast<int64_t>(rows.size()));
       });
-  if (options_.slow_query_micros == 0) {
-    options_.slow_query_micros = SlowQueryEnvMicros();
-  }
+  int64_t slow_us = options_.slow_query_micros;
+  if (slow_us == 0) slow_us = SlowQueryEnvMicros();
+  slow_query_micros_.store(slow_us, std::memory_order_relaxed);
   const char* check_env = std::getenv("FUNGUSDB_CHECK_AFTER_TICK");
   if (check_env != nullptr && *check_env != '\0' &&
       std::string_view(check_env) != "0") {
@@ -75,6 +80,7 @@ Result<TableHandle> Database::CreateTable(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("table name must not be empty");
   }
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -86,11 +92,12 @@ Result<TableHandle> Database::CreateTable(const std::string& name,
 }
 
 Result<TableHandle> Database::GetTable(const std::string& name) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(name));
+  EpochManager::ReadPin pin = epochs_.PinRead();
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(name));
   return TableHandle(table);
 }
 
-Result<Table*> Database::GetTableInternal(const std::string& name) {
+Result<Table*> Database::MutableTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::TableNotFound("no table named '" + name + "'");
@@ -99,6 +106,7 @@ Result<Table*> Database::GetTableInternal(const std::string& name) {
 }
 
 Status Database::DropTable(const std::string& name) {
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
   if (tables_.erase(name) == 0) {
     return Status::TableNotFound("no table named '" + name + "'");
   }
@@ -106,6 +114,7 @@ Status Database::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> Database::TableNames() const {
+  EpochManager::ReadPin pin = epochs_.PinRead();
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -115,16 +124,19 @@ std::vector<std::string> Database::TableNames() const {
 Result<DecayScheduler::AttachmentId> Database::AttachFungus(
     const std::string& table_name, std::unique_ptr<Fungus> fungus,
     Duration period) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   return scheduler_.Attach(table, std::move(fungus), period, clock_.Now());
 }
 
 Status Database::DetachFungus(DecayScheduler::AttachmentId id) {
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
   return scheduler_.Detach(id);
 }
 
 Result<uint64_t> Database::AdvanceTime(Duration d) {
   if (d < 0) return Status::InvalidArgument("cannot advance time backwards");
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
   clock_.Advance(d);
   const uint64_t ticks = scheduler_.AdvanceTo(clock_.Now());
   cellar_.AdvanceTo(clock_.Now());
@@ -133,7 +145,8 @@ Result<uint64_t> Database::AdvanceTime(Duration d) {
 
 Result<RowId> Database::Insert(const std::string& table_name,
                                const std::vector<Value>& values) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(RowId row, table->Append(values, clock_.Now()));
   metrics_.IncrementCounter("fungusdb.ingest.rows");
   return row;
@@ -142,7 +155,8 @@ Result<RowId> Database::Insert(const std::string& table_name,
 Result<uint64_t> Database::Ingest(const std::string& table_name,
                                   RecordSource& source,
                                   uint64_t max_records) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(
       uint64_t n, ingestor_.IngestBatch(source, *table, max_records));
   metrics_.IncrementCounter("fungusdb.ingest.rows", static_cast<int64_t>(n));
@@ -153,7 +167,8 @@ Result<uint64_t> Database::IngestPaced(const std::string& table_name,
                                        RecordSource& source,
                                        uint64_t max_records,
                                        Duration inter_arrival) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(table_name));
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   // Interleave decay with ingestion so fungi tick close to their due
   // times instead of replaying a long backlog after the batch.
   constexpr uint64_t kChunk = 256;
@@ -173,22 +188,29 @@ Result<uint64_t> Database::IngestPaced(const std::string& table_name,
   return total;
 }
 
+int64_t Database::SlowQueryThresholdFor(const Table* table) const {
+  int64_t threshold = slow_query_micros_.load(std::memory_order_relaxed);
+  if (table != nullptr && table->options().slow_query_micros > 0) {
+    threshold = table->options().slow_query_micros;
+  }
+  return threshold;
+}
+
 Result<ResultSet> Database::ExecuteSql(std::string_view sql) {
   const int64_t queue_wait_us = pending_queue_wait_us_;
   pending_queue_wait_us_ = 0;
   FUNGUSDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql));
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
   const int64_t begin_us = SteadyMicros();
-  Result<ResultSet> result = Execute(query);
+  Result<ResultSet> result = ExecuteLocked(query);
   if (!result.ok()) return result;
   const int64_t exec_us = SteadyMicros() - begin_us;
 
   // Slow-query log: the table's threshold wins; 0 falls back to the
   // database-wide one; 0 there too disables logging.
-  int64_t threshold = options_.slow_query_micros;
-  if (Result<Table*> table = GetTableInternal(query.table_name);
-      table.ok() && (*table)->options().slow_query_micros > 0) {
-    threshold = (*table)->options().slow_query_micros;
-  }
+  const Result<Table*> table = MutableTable(query.table_name);
+  const int64_t threshold =
+      SlowQueryThresholdFor(table.ok() ? *table : nullptr);
   if (threshold > 0 && exec_us >= threshold) {
     const ResultSet::Stats& stats = result->stats;
     metrics_.IncrementCounter("fungusdb.query.slow",
@@ -222,7 +244,12 @@ std::vector<Result<ResultSet>> Database::ExecuteBatch(
 }
 
 Result<ResultSet> Database::Execute(const Query& query) {
-  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, GetTableInternal(query.table_name));
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  return ExecuteLocked(query);
+}
+
+Result<ResultSet> Database::ExecuteLocked(const Query& query) {
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(query.table_name));
   metrics_.IncrementCounter("fungusdb.query.executed");
   if (query.consuming) {
     metrics_.IncrementCounter("fungusdb.query.consuming");
@@ -231,6 +258,7 @@ Result<ResultSet> Database::Execute(const Query& query) {
 }
 
 Status Database::AddCookSpec(CookSpec spec) {
+  EpochManager::WriteGuard guard = epochs_.BeginWrite();
   if (tables_.count(spec.table_name) == 0) {
     return Status::TableNotFound("no table named '" + spec.table_name +
                                  "'");
@@ -239,6 +267,7 @@ Status Database::AddCookSpec(CookSpec spec) {
 }
 
 verify::Report Database::Fsck() const {
+  EpochManager::ReadPin pin = epochs_.PinRead();
   verify::InvariantChecker checker;
   verify::Report report;
   for (const auto& [name, table] : tables_) {
@@ -263,6 +292,7 @@ void Database::EnableCheckAfterTick() {
 }
 
 HealthReport Database::Health() const {
+  EpochManager::ReadPin pin = epochs_.PinRead();
   HealthReport report;
   report.now = clock_.Now();
   for (const auto& [name, table] : tables_) {

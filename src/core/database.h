@@ -1,6 +1,7 @@
 #ifndef FUNGUSDB_CORE_DATABASE_H_
 #define FUNGUSDB_CORE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <span>
@@ -12,6 +13,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/epoch.h"
 #include "core/table_handle.h"
 #include "fungus/fungus.h"
 #include "fungus/scheduler.h"
@@ -25,6 +27,12 @@
 #include "verify/invariant_checker.h"
 
 namespace fungusdb {
+
+class Session;
+
+namespace internal {
+struct DatabaseInternal;
+}  // namespace internal
 
 struct DatabaseOptions {
   /// Epoch of the database's virtual clock.
@@ -75,7 +83,7 @@ struct HealthReport {
   std::string ToString() const;
 };
 
-/// The FungusDB public facade: tables with freshness, fungi on a
+/// The FungusDB single-writer core: tables with freshness, fungi on a
 /// periodic clock, consuming queries, the kitchen, and the cellar —
 /// everything runs on one deterministic virtual clock owned here.
 ///
@@ -91,7 +99,16 @@ struct HealthReport {
 ///   ResultSet rs = db.ExecuteSql(
 ///       "CONSUME SELECT * FROM readings WHERE temp > 30").value();
 ///
-/// Single-threaded by design (one virtual timeline).
+/// Concurrency model (DESIGN.md §13): every mutation — inserts, DDL,
+/// AdvanceTime/decay ticks, CONSUME, cooking — enters an exclusive
+/// write section of the EpochManager, preserving the total order the
+/// one virtual timeline requires; each write section (and each decay
+/// tick inside one) publishes a new epoch. Read-only statements run
+/// concurrently through Session objects, which pin the epoch current at
+/// dispatch. Calling this facade from one thread behaves exactly as the
+/// historical single-threaded contract (write sections are uncontended
+/// and cheap); multi-threaded use is: any number of Sessions, plus any
+/// number of threads calling the mutating facade (they serialize).
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -105,13 +122,6 @@ class Database {
   Result<TableHandle> GetTable(const std::string& name);
   Status DropTable(const std::string& name);
   std::vector<std::string> TableNames() const;
-
-  /// DEPRECATED — escape hatch returning the mutable table. Kept for
-  /// tests and for in-process infrastructure that bypasses the facade
-  /// by design (persistence, verification). New code takes a
-  /// TableHandle from CreateTable/GetTable instead; this will go away
-  /// once the remaining callers migrate.
-  Result<Table*> GetTableInternal(const std::string& name);
 
   // --- Decay (the first natural law). ---
 
@@ -147,7 +157,9 @@ class Database {
 
   // --- Queries. ---
 
-  /// Parses and executes one statement of the FungusDB dialect.
+  /// Parses and executes one statement of the FungusDB dialect, in the
+  /// writer's total order (read-only statements included — callers who
+  /// want concurrent reads use a Session).
   Result<ResultSet> ExecuteSql(std::string_view sql);
 
   /// Executes a batch of statements in order, one Result per statement.
@@ -175,7 +187,7 @@ class Database {
 
   /// Runs the invariant checker over every table plus the cellar and
   /// returns the combined fsck report (empty violations == healthy).
-  /// Read-only; safe whenever no query or tick is in flight.
+  /// Executes under a read pin: safe concurrently with the writer.
   verify::Report Fsck() const;
 
   /// Arms the scheduler's CHECK AFTER TICK hook: after every decay
@@ -192,15 +204,19 @@ class Database {
   /// Queue-wait attribution for the next ExecuteSql call, reported in
   /// its slow-query log line (the server sets this to the statement's
   /// time between enqueue and execution). One-shot: consumed and reset
-  /// by the next ExecuteSql.
+  /// by the next ExecuteSql. Writer-thread only, like ExecuteSql.
   void set_pending_queue_wait_micros(int64_t us) {
     pending_queue_wait_us_ = us;
   }
 
   /// Runtime-adjustable database-wide slow-query threshold (see
-  /// DatabaseOptions::slow_query_micros); 0 disables.
+  /// DatabaseOptions::slow_query_micros); 0 disables. Atomic: read by
+  /// concurrent Sessions.
   void set_slow_query_micros(int64_t us) {
-    options_.slow_query_micros = us;
+    slow_query_micros_.store(us, std::memory_order_relaxed);
+  }
+  int64_t slow_query_micros() const {
+    return slow_query_micros_.load(std::memory_order_relaxed);
   }
 
   const DatabaseOptions& options() const { return options_; }
@@ -209,10 +225,38 @@ class Database {
   VirtualClock& clock() { return clock_; }
   ThreadPool& thread_pool() { return *pool_; }
 
+  /// The reader/writer coordination point. Read-mostly callers that
+  /// compose several lookups (e.g. a rot report walking a table and the
+  /// scheduler) take one pin around the whole composition; nested pins
+  /// from the facade's own accessors are reentrant.
+  EpochManager& epochs() { return epochs_; }
+
+  /// The current published epoch (bumped per write section and per
+  /// decay tick) — also exported as the fungusdb.exec.epoch gauge.
+  uint64_t epoch() const { return epochs_.epoch(); }
+
  private:
+  friend class Session;
+  friend struct internal::DatabaseInternal;
+
+  /// Mutable-table escape hatch. Private since the Session split: every
+  /// external caller goes through TableHandle or (for persistence /
+  /// verification / test seeding) internal::DatabaseInternal.
+  Result<Table*> MutableTable(const std::string& name);
+
+  /// Shared by ExecuteSql (writer path) and Session (read path): the
+  /// slow-query threshold for `table_name`, already resolved against
+  /// the per-table override. <= 0 disables.
+  int64_t SlowQueryThresholdFor(const Table* table) const;
+
+  /// Body of Execute without the write section (callers hold one).
+  Result<ResultSet> ExecuteLocked(const Query& query);
+
   DatabaseOptions options_;
   VirtualClock clock_;
   MetricsRegistry metrics_;
+  // Mutable: const introspection (Health, Fsck, TableNames) still pins.
+  mutable EpochManager epochs_;
   // Declared before engine_/scheduler_ users; destroyed after them, so
   // no parallel phase can outlive its pool.
   std::unique_ptr<ThreadPool> pool_;
@@ -222,6 +266,7 @@ class Database {
   QueryEngine engine_;
   Ingestor ingestor_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::atomic<int64_t> slow_query_micros_{0};
   int64_t pending_queue_wait_us_ = 0;
 };
 

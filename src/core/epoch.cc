@@ -1,0 +1,100 @@
+#include "core/epoch.h"
+
+namespace fungusdb {
+namespace {
+
+/// Per-thread count of pins held across all managers. Only the gate
+/// against *waiting* writers consults it (a thread that already holds a
+/// pin must be allowed to re-pin, or it would deadlock with the very
+/// writer that is waiting for it to finish); the writer-active check is
+/// never bypassed, so a false positive from a pin on a different
+/// manager costs a moment of writer fairness, never correctness.
+thread_local size_t tls_pins_held = 0;
+
+}  // namespace
+
+void EpochManager::ReadPin::Release() {
+  if (manager_ != nullptr) {
+    manager_->ReleaseRead();
+    manager_ = nullptr;
+  }
+  no_op_ = false;
+}
+
+void EpochManager::WriteGuard::Release() {
+  if (manager_ != nullptr) {
+    manager_->ReleaseWrite();
+    manager_ = nullptr;
+  }
+}
+
+EpochManager::ReadPin EpochManager::PinRead() {
+  ReadPin pin;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (writer_active_ && writer_thread_ == std::this_thread::get_id()) {
+    // The active writer is already exclusive; hand it a no-op pin so
+    // writer-side code can call read-pinned helpers without deadlock.
+    pin.no_op_ = true;
+    pin.epoch_ = epoch_.load(std::memory_order_relaxed);
+    return pin;
+  }
+  readable_.wait(lock, [this] {
+    return !writer_active_ && (waiting_writers_ == 0 || tls_pins_held > 0);
+  });
+  ++active_readers_;
+  ++tls_pins_held;
+  pin.manager_ = this;
+  pin.epoch_ = epoch_.load(std::memory_order_relaxed);
+  return pin;
+}
+
+void EpochManager::ReleaseRead() {
+  bool wake_writer = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_readers_;
+    --tls_pins_held;
+    wake_writer = active_readers_ == 0 && waiting_writers_ > 0;
+  }
+  if (wake_writer) writable_.notify_one();
+}
+
+EpochManager::WriteGuard EpochManager::BeginWrite() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_writers_;
+  writable_.wait(lock,
+                 [this] { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+  writer_thread_ = std::this_thread::get_id();
+  return WriteGuard(this);
+}
+
+void EpochManager::ReleaseWrite() {
+  uint64_t published = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_active_ = false;
+    published = epoch_.fetch_add(1, std::memory_order_release) + 1;
+  }
+  ExportEpochGauge(published);
+  // Wake a waiting writer first (writer preference) and every blocked
+  // reader — the predicate sorts out who proceeds.
+  writable_.notify_one();
+  readable_.notify_all();
+}
+
+uint64_t EpochManager::Publish() {
+  const uint64_t published =
+      epoch_.fetch_add(1, std::memory_order_release) + 1;
+  ExportEpochGauge(published);
+  return published;
+}
+
+void EpochManager::ExportEpochGauge(uint64_t epoch) {
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("fungusdb.exec.epoch", static_cast<double>(epoch));
+  }
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,145 @@
+#ifndef FUNGUSDB_CORE_EPOCH_H_
+#define FUNGUSDB_CORE_EPOCH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace fungusdb {
+
+/// Coordinates the split execution model (DESIGN.md §13): one writer at
+/// a time owns the total order over mutations (inserts, DDL, decay
+/// ticks, CONSUME), while any number of readers execute concurrently
+/// against the epoch that was current when they pinned.
+///
+/// The scheme is epoch + refcount over a single live version: a reader
+/// pins the current epoch and holds a shared refcount for the duration
+/// of its statement; a writer waits for the refcount to drain, mutates
+/// exclusively, and publishes a new epoch on release. Readers therefore
+/// never observe a half-applied decay tick or a torn insert — the
+/// pinned epoch's state is immutable while any pin on it is held, which
+/// is what keeps `__freshness` predicates, zone-map pruning, and
+/// ResultSet::Stats exactly as deterministic as the single-threaded
+/// facade.
+///
+/// Writer preference: once a writer is waiting, new top-level pins
+/// queue behind it, so a read-heavy workload cannot starve decay ticks.
+/// Pins are reentrant (a thread already holding a pin re-pins without
+/// queueing — readers cannot deadlock with a waiting writer), and the
+/// active writer thread may take a no-op pin (it is already exclusive).
+class EpochManager {
+ public:
+  /// Shared hold on the current epoch. Movable RAII: releases on
+  /// destruction. A default-constructed pin holds nothing.
+  class ReadPin {
+   public:
+    ReadPin() = default;
+    ReadPin(ReadPin&& other) noexcept
+        : manager_(other.manager_), epoch_(other.epoch_) {
+      other.manager_ = nullptr;
+    }
+    ReadPin& operator=(ReadPin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = other.manager_;
+        epoch_ = other.epoch_;
+        other.manager_ = nullptr;
+      }
+      return *this;
+    }
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+    ~ReadPin() { Release(); }
+
+    /// The epoch that was current at pin time; stable until release.
+    uint64_t epoch() const { return epoch_; }
+    bool pinned() const { return manager_ != nullptr || no_op_; }
+
+    void Release();
+
+   private:
+    friend class EpochManager;
+    EpochManager* manager_ = nullptr;  // null for no-op / released pins
+    uint64_t epoch_ = 0;
+    bool no_op_ = false;  // writer-thread self-pin: nothing to release
+  };
+
+  /// Exclusive hold. Destruction publishes the next epoch (every write
+  /// section makes a new version observable) and wakes readers.
+  class WriteGuard {
+   public:
+    WriteGuard() = default;
+    WriteGuard(WriteGuard&& other) noexcept : manager_(other.manager_) {
+      other.manager_ = nullptr;
+    }
+    WriteGuard& operator=(WriteGuard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = other.manager_;
+        other.manager_ = nullptr;
+      }
+      return *this;
+    }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+    ~WriteGuard() { Release(); }
+
+    void Release();
+
+   private:
+    friend class EpochManager;
+    explicit WriteGuard(EpochManager* manager) : manager_(manager) {}
+    EpochManager* manager_ = nullptr;
+  };
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Pins the current epoch for shared read access. Blocks while a
+  /// writer is active or waiting (unless this thread already holds a
+  /// pin, or IS the active writer — both re-enter without queueing).
+  ReadPin PinRead();
+
+  /// Acquires exclusive write access; blocks until active readers
+  /// drain. Non-reentrant: one write section at a time, and a thread
+  /// holding a ReadPin must not call this.
+  WriteGuard BeginWrite();
+
+  /// The current published epoch (monotone; bumped on every write
+  /// section release and on every mid-section Publish).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Publishes an intermediate epoch from inside an active write
+  /// section — the decay scheduler calls this after each tick's apply
+  /// phase, so every tick is its own epoch even when one AdvanceTime
+  /// replays many. Readers cannot pin mid-section; the bump is visible
+  /// the moment the section ends.
+  uint64_t Publish();
+
+  /// Sink for the "fungusdb.exec.epoch" gauge (not owned; may be null).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ private:
+  void ReleaseRead();
+  void ReleaseWrite();
+  void ExportEpochGauge(uint64_t epoch);
+
+  mutable std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::atomic<uint64_t> epoch_{0};
+  size_t active_readers_ = 0;
+  size_t waiting_writers_ = 0;
+  bool writer_active_ = false;
+  std::thread::id writer_thread_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_CORE_EPOCH_H_

@@ -1,0 +1,10 @@
+#include "core/internal_access.h"
+
+namespace fungusdb::internal {
+
+Result<Table*> DatabaseInternal::MutableTable(Database& db,
+                                              const std::string& name) {
+  return db.MutableTable(name);
+}
+
+}  // namespace fungusdb::internal

@@ -1,0 +1,27 @@
+#ifndef FUNGUSDB_CORE_INTERNAL_ACCESS_H_
+#define FUNGUSDB_CORE_INTERNAL_ACCESS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace fungusdb::internal {
+
+/// Escape hatch for in-process infrastructure that bypasses the public
+/// facade by design: persistence (snapshot load replays rows straight
+/// into tables), replay-divergence audits, and test seeding. NOT part
+/// of the public API — application code takes TableHandles from
+/// CreateTable/GetTable and mutates through the Database.
+///
+/// Concurrency contract: a mutable table obtained here is only touched
+/// while no Session or writer is running (persistence runs before
+/// serving starts / after it stops; tests are single-threaded around
+/// it). These helpers do not pin or lock.
+struct DatabaseInternal {
+  static Result<Table*> MutableTable(Database& db, const std::string& name);
+};
+
+}  // namespace fungusdb::internal
+
+#endif  // FUNGUSDB_CORE_INTERNAL_ACCESS_H_

@@ -183,6 +183,9 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
     }
     due->table->ReclaimDeadSegments();
     if (post_tick_check_) post_tick_check_(*due->table, tick_time);
+    // Apply phase fully published (kills, cooking, reclamation, check):
+    // this tick is now its own epoch on the owner's virtual timeline.
+    if (epoch_publisher_) epoch_publisher_();
 
     if (metrics_ != nullptr) {
       const std::string table_label = "table=" + due->table->name();

@@ -98,6 +98,14 @@ class DecayScheduler {
     post_tick_check_ = std::move(check);
   }
 
+  /// Called after each tick's apply phase is fully published (kills,
+  /// cooking, reclamation, post-tick check) — the Database wires this
+  /// to EpochManager::Publish so readers dispatched after the enclosing
+  /// write section pin a per-tick epoch, never a half-applied one.
+  void set_epoch_publisher(std::function<void()> publisher) {
+    epoch_publisher_ = std::move(publisher);
+  }
+
   bool has_post_tick_check() const {
     return static_cast<bool>(post_tick_check_);
   }
@@ -122,6 +130,7 @@ class DecayScheduler {
   std::vector<Attachment> attachments_;
   std::vector<DeathObserver> observers_;
   PostTickCheck post_tick_check_;
+  std::function<void()> epoch_publisher_;
   MetricsRegistry* metrics_ = nullptr;
   ThreadPool* pool_ = nullptr;
 };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/internal_access.h"
 #include "persist/journal.h"
 #include "persist/snapshot.h"
 
@@ -89,14 +90,14 @@ verify::Report CompareDatabases(Database& expected, Database& actual) {
   }
   for (const std::string& name : expected_names) {
     ++report.tables_checked;
-    Table* a = expected.GetTableInternal(name).value();
-    Result<Table*> b_result = actual.GetTableInternal(name);
+    const Table* a = &expected.GetTable(name).value().table();
+    Result<TableHandle> b_result = actual.GetTable(name);
     if (!b_result.ok()) {
       report.violations.push_back(
           Divergence(name, -1, "table missing from the replayed state"));
       continue;
     }
-    Table* b = b_result.value();
+    const Table* b = &b_result.value().table();
     if (!a->schema().Equals(b->schema())) {
       report.violations.push_back(Divergence(
           name, -1,

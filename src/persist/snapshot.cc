@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "core/internal_access.h"
+
 #include "common/trace.h"
 #include "storage/value_serde.h"
 
@@ -81,7 +83,7 @@ void SerializeDatabase(Database& db, BufferWriter& out) {
   const std::vector<std::string> names = db.TableNames();
   out.WriteU64(names.size());
   for (const std::string& name : names) {
-    SerializeTable(*db.GetTableInternal(name).value(), out);
+    SerializeTable(db.GetTable(name).value().table(), out);
   }
   db.cellar().Serialize(out);
 }
@@ -109,8 +111,9 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(BufferReader& in) {
     FUNGUSDB_RETURN_IF_ERROR(
         db->CreateTable(loaded.name(), loaded.schema(), loaded.options())
             .status());
-    FUNGUSDB_ASSIGN_OR_RETURN(Table * created,
-                              db->GetTableInternal(loaded.name()));
+    FUNGUSDB_ASSIGN_OR_RETURN(
+        Table * created,
+        internal::DatabaseInternal::MutableTable(*db, loaded.name()));
     // Move the loaded contents into the database-owned table by
     // replaying its live rows (Table is move-only but the database owns
     // its tables; replay keeps the ownership story simple).

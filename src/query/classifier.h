@@ -1,0 +1,54 @@
+#ifndef FUNGUSDB_QUERY_CLASSIFIER_H_
+#define FUNGUSDB_QUERY_CLASSIFIER_H_
+
+#include <functional>
+#include <string_view>
+
+#include "query/query.h"
+
+namespace fungusdb {
+
+/// What a statement is allowed to do to the database — the routing
+/// contract of the split execution model (DESIGN.md §13). kReadOnly
+/// statements may run concurrently on the session/read path against a
+/// pinned epoch; everything else belongs to the single writer that owns
+/// the total order over mutations.
+enum class StatementKind {
+  kReadOnly,
+  kMutating,
+};
+
+struct ClassifyContext {
+  /// When set, SELECTs over tables for which this returns true are
+  /// classified kMutating: matched-tuple access counters feed
+  /// ImportanceFungus, and those bumps must stay on the writer so the
+  /// read path never touches mutable storage. Unset means "no table
+  /// tracks access".
+  std::function<bool(std::string_view table_name)> table_tracks_access;
+};
+
+/// Classifies a parsed query. CONSUME (the second natural law removes
+/// every answered tuple from R) and any future INTO / DDL forms are
+/// mutating; a plain SELECT is read-only unless the target table
+/// tracks access (see ClassifyContext).
+StatementKind ClassifyQuery(const Query& query,
+                            const ClassifyContext& context = {});
+
+/// Classifies one statement of the wire dialect: SQL text or a
+/// `\`-prefixed meta command. Conservative by construction — anything
+/// that does not parse as a provably read-only form (including unknown
+/// meta commands and malformed SQL) is kMutating, so it is executed by
+/// the writer in total order and the error text is byte-identical to
+/// the single-executor behavior.
+StatementKind ClassifyStatement(std::string_view statement,
+                                const ClassifyContext& context = {});
+
+/// True for the meta commands that never mutate the database (\health,
+/// \now, \metrics, \tables, \rot, \fsck, \trace): the server's read
+/// workers may serve them under a pinned epoch. `command` is the bare
+/// first token including the backslash.
+bool IsReadOnlyMetaCommand(std::string_view command);
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_QUERY_CLASSIFIER_H_

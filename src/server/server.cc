@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -15,6 +16,7 @@
 #include "fungus/rot_analysis.h"
 #include "persist/snapshot.h"
 #include "pipeline/csv.h"
+#include "query/classifier.h"
 #include "storage/schema.h"
 
 namespace fungusdb::server {
@@ -37,12 +39,19 @@ ResultSet TextResult(std::string column, std::string text) {
   return rs;
 }
 
+size_t ResolveReadWorkers(int configured) {
+  if (configured >= 0) return static_cast<size_t>(configured);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4u : std::min(8u, hw);
+}
+
 }  // namespace
 
 Server::Server(std::unique_ptr<Database> db, ServerOptions options)
     : db_(std::move(db)),
       options_(std::move(options)),
       queue_(options_.queue_capacity),
+      read_queue_(options_.queue_capacity),
       latency_sketch_(/*lo=*/0.0, /*hi=*/1e7, /*buckets=*/64) {}
 
 Server::~Server() { Stop(); }
@@ -51,7 +60,17 @@ Status Server::Start() {
   FUNGUSDB_ASSIGN_OR_RETURN(listener_,
                             ListenTcp(options_.host, options_.port));
   FUNGUSDB_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
+  num_read_workers_ = ResolveReadWorkers(options_.read_workers);
+  db_->metrics().SetGauge("fungusdb.server.read_workers",
+                          static_cast<double>(num_read_workers_));
+  sessions_.clear();
+  for (size_t i = 0; i < num_read_workers_; ++i) {
+    sessions_.push_back(std::make_unique<Session>(db_.get()));
+  }
   executor_ = std::thread([this] { ExecutorLoop(); });
+  for (size_t i = 0; i < num_read_workers_; ++i) {
+    read_threads_.emplace_back([this, i] { ReadWorkerLoop(i); });
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
   return Status::OK();
@@ -70,10 +89,16 @@ void Server::Stop() {
   ::shutdown(listener_.get(), SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
 
-  // 2. Close admission. Requests already admitted still drain — the
-  //    executor answers every one of them before exiting.
+  // 2. Close admission on both queues. Requests already admitted still
+  //    drain — the workers answer every one of them before exiting.
   queue_.Close();
+  read_queue_.Close();
   if (executor_.joinable()) executor_.join();
+  for (std::thread& t : read_threads_) {
+    if (t.joinable()) t.join();
+  }
+  read_threads_.clear();
+  sessions_.clear();
 
   // 3. Every promise is now fulfilled, so connection threads are back
   //    in (or heading to) ReadFrame; unblock them and join.
@@ -97,6 +122,9 @@ void Server::Stop() {
   db_->metrics().SetGauge("fungusdb.server.connections_active", 0);
   db_->metrics().SetGauge("fungusdb.server.queue_depth_high_water",
                           static_cast<double>(queue_.depth_high_water()));
+  db_->metrics().SetGauge(
+      "fungusdb.server.read_queue_depth_high_water",
+      static_cast<double>(read_queue_.depth_high_water()));
 
   // 4. All threads are gone; the database is ours again. Persist it.
   if (!options_.snapshot_path.empty()) {
@@ -155,6 +183,22 @@ void Server::AcceptLoop() {
   }
 }
 
+bool Server::BatchIsReadOnly(const std::vector<std::string>& statements) {
+  if (statements.empty()) return false;
+  ClassifyContext context;
+  context.table_tracks_access = [this](std::string_view table) {
+    if (!db_->options().record_access) return false;
+    const Result<TableHandle> t = db_->GetTable(std::string(table));
+    return t.ok() && t.value().options().track_access;
+  };
+  for (const std::string& statement : statements) {
+    if (ClassifyStatement(statement, context) == StatementKind::kMutating) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Server::ServeConnection(uint64_t conn_id, int fd) {
   UniqueFd owned(fd);
   MetricsRegistry& metrics = db_->metrics();
@@ -184,6 +228,16 @@ void Server::ServeConnection(uint64_t conn_id, int fd) {
     StatementRequest request = std::move(request_or).value();
     metrics.IncrementCounter("fungusdb.server.requests_total");
 
+    // Route: a batch that is read-only end to end goes to the read
+    // worker pool; one mutating (or unclassifiable) statement sends
+    // the whole batch to the writer, preserving intra-batch order.
+    const bool read_path =
+        num_read_workers_ > 0 && BatchIsReadOnly(request.statements);
+    if (read_path) {
+      metrics.IncrementCounter("fungusdb.server.requests_read_path");
+    }
+    RequestQueue<PendingRequest>& target = read_path ? read_queue_ : queue_;
+
     PendingRequest pending;
     // A budget too large for steady_clock arithmetic is no budget.
     pending.has_deadline =
@@ -202,15 +256,15 @@ void Server::ServeConnection(uint64_t conn_id, int fd) {
 
     StatementResponse response;
     response.request_id = request_id;
-    if (queue_.TryPush(std::move(pending))) {
+    if (target.TryPush(std::move(pending))) {
       response.results = reply.get();
     } else {
       // Typed refusal — never an OOM, never a silent drop.
       const Status refusal =
-          queue_.closed()
+          target.closed()
               ? Status::ShuttingDown("server is draining; retry elsewhere")
               : Status::Overloaded("request queue is full; retry later");
-      metrics.IncrementCounter(queue_.closed()
+      metrics.IncrementCounter(target.closed()
                                    ? "fungusdb.server.requests_shutdown"
                                    : "fungusdb.server.requests_overloaded");
       for (size_t i = 0; i < num_statements; ++i) {
@@ -240,64 +294,91 @@ void Server::ServeConnection(uint64_t conn_id, int fd) {
 }
 
 void Server::ExecutorLoop() {
-  MetricsRegistry& metrics = db_->metrics();
   while (std::optional<PendingRequest> item = queue_.Pop()) {
-    PendingRequest pending = std::move(*item);
-    metrics.SetGauge("fungusdb.server.queue_depth_high_water",
-                     static_cast<double>(queue_.depth_high_water()));
-    const uint64_t dequeued_us = Tracer::NowMicros();
-    const uint64_t queue_wait_us = dequeued_us > pending.enqueued_us
-                                       ? dequeued_us - pending.enqueued_us
-                                       : 0;
-    metrics.RecordHistogram("fungusdb.server.queue_wait_us",
-                            static_cast<int64_t>(queue_wait_us));
-    if (Tracer::enabled()) {
-      // The wait has no RAII site — the span covers the time the request
-      // sat in the queue, recorded manually once it leaves.
-      Tracer::Global().Record("server.queue_wait", pending.enqueued_us,
-                              queue_wait_us, pending.request.request_id,
-                              /*has_arg=*/true);
-    }
-    std::vector<Result<ResultSet>> results;
-    results.reserve(pending.request.statements.size());
-    bool timed_out = false;
-    for (const std::string& statement : pending.request.statements) {
-      // The deadline is re-checked per statement, so a long batch that
-      // blows its budget mid-way stops burning executor time.
-      if (pending.has_deadline &&
-          std::chrono::steady_clock::now() >= pending.deadline) {
-        if (!timed_out) {
-          metrics.IncrementCounter("fungusdb.server.requests_timeout");
-          timed_out = true;
-        }
-        results.push_back(
-            Status::Timeout("deadline exceeded before execution"));
-        continue;
+    ProcessRequest(std::move(*item), kWriterWorker);
+  }
+}
+
+void Server::ReadWorkerLoop(size_t worker_index) {
+  while (std::optional<PendingRequest> item = read_queue_.Pop()) {
+    ProcessRequest(std::move(*item), static_cast<int>(worker_index));
+  }
+}
+
+void Server::ProcessRequest(PendingRequest pending, int worker) {
+  MetricsRegistry& metrics = db_->metrics();
+  const bool read_path = worker != kWriterWorker;
+  RequestQueue<PendingRequest>& queue = read_path ? read_queue_ : queue_;
+  metrics.SetGauge(read_path
+                       ? "fungusdb.server.read_queue_depth_high_water"
+                       : "fungusdb.server.queue_depth_high_water",
+                   static_cast<double>(queue.depth_high_water()));
+  const uint64_t dequeued_us = Tracer::NowMicros();
+  const uint64_t queue_wait_us = dequeued_us > pending.enqueued_us
+                                     ? dequeued_us - pending.enqueued_us
+                                     : 0;
+  metrics.RecordHistogram("fungusdb.server.queue_wait_us",
+                          static_cast<int64_t>(queue_wait_us));
+  if (Tracer::enabled()) {
+    // The wait has no RAII site — the span covers the time the request
+    // sat in the queue, recorded manually once it leaves.
+    Tracer::Global().Record("server.queue_wait", pending.enqueued_us,
+                            queue_wait_us, pending.request.request_id,
+                            /*has_arg=*/true);
+  }
+  const std::string worker_label =
+      read_path ? "worker=read-" + std::to_string(worker) : "worker=writer";
+  std::vector<Result<ResultSet>> results;
+  results.reserve(pending.request.statements.size());
+  bool timed_out = false;
+  for (const std::string& statement : pending.request.statements) {
+    // The deadline is re-checked per statement, so a long batch that
+    // blows its budget mid-way stops burning worker time.
+    if (pending.has_deadline &&
+        std::chrono::steady_clock::now() >= pending.deadline) {
+      if (!timed_out) {
+        metrics.IncrementCounter("fungusdb.server.requests_timeout");
+        timed_out = true;
       }
-      const auto started = std::chrono::steady_clock::now();
+      results.push_back(
+          Status::Timeout("deadline exceeded before execution"));
+      continue;
+    }
+    const auto started = std::chrono::steady_clock::now();
+    if (read_path) {
+      sessions_[static_cast<size_t>(worker)]->set_pending_queue_wait_micros(
+          static_cast<int64_t>(queue_wait_us));
+      FUNGUS_TRACE_SPAN("server.read_worker", worker);
+      results.push_back(ExecuteReadStatement(static_cast<size_t>(worker),
+                                             statement));
+    } else {
       db_->set_pending_queue_wait_micros(
           static_cast<int64_t>(queue_wait_us));
-      {
-        FUNGUS_TRACE_SPAN("server.statement");
-        results.push_back(ExecuteStatement(statement));
-      }
-      const auto micros =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - started)
-              .count();
-      metrics.IncrementCounter("fungusdb.server.statements_total");
-      metrics.RecordHistogram("fungusdb.server.statement_latency_us",
-                              micros);
-      latency_sketch_.Observe(Value::Float64(static_cast<double>(micros)));
-      if (!results.back().ok()) {
-        metrics.IncrementCounter(
-            "fungusdb.server.errors",
-            "code=" + std::to_string(static_cast<int>(
-                          results.back().status().error_code())));
-      }
+      FUNGUS_TRACE_SPAN("server.statement");
+      results.push_back(ExecuteStatement(statement));
     }
-    pending.reply.set_value(std::move(results));
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    metrics.IncrementCounter("fungusdb.server.statements_total");
+    metrics.IncrementCounter("fungusdb.server.statements_total",
+                             worker_label);
+    metrics.RecordHistogram("fungusdb.server.statement_latency_us", micros);
+    metrics.RecordHistogram("fungusdb.server.statement_latency_us",
+                            worker_label, micros);
+    {
+      std::lock_guard<std::mutex> lock(latency_mu_);
+      latency_sketch_.Observe(Value::Float64(static_cast<double>(micros)));
+    }
+    if (!results.back().ok()) {
+      metrics.IncrementCounter(
+          "fungusdb.server.errors",
+          "code=" + std::to_string(static_cast<int>(
+                        results.back().status().error_code())));
+    }
   }
+  pending.reply.set_value(std::move(results));
 }
 
 Result<ResultSet> Server::ExecuteStatement(const std::string& statement) {
@@ -309,7 +390,24 @@ Result<ResultSet> Server::ExecuteStatement(const std::string& statement) {
   return db_->ExecuteSql(trimmed);
 }
 
-Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
+Result<ResultSet> Server::ExecuteReadStatement(size_t worker_index,
+                                               const std::string& statement) {
+  const std::string trimmed(StripWhitespace(statement));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty statement");
+  }
+  if (trimmed[0] == '\\') {
+    // One outer pin for the whole command: inner facade reads
+    // (GetTable, Health, Fsck, TableNames) re-pin reentrantly, and
+    // scheduler state (\rot) cannot change underneath because the pin
+    // excludes the writer for the duration.
+    EpochManager::ReadPin pin = db_->epochs().PinRead();
+    return ExecuteReadMeta(trimmed);
+  }
+  return sessions_[worker_index]->ExecuteRead(trimmed);
+}
+
+Result<ResultSet> Server::ExecuteReadMeta(const std::string& line) {
   const std::vector<std::string> args = Tokens(line);
   const std::string& cmd = args[0];
   if (cmd == "\\health") {
@@ -325,9 +423,15 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
     if (args.size() != 1) {
       return Status::InvalidArgument("usage: \\metrics [prom]");
     }
-    return TextResult("metrics", db_->metrics().Report() +
-                                     "fungusdb.server.statement_latency = " +
-                                     latency_sketch_.Describe() + "\n");
+    std::string sketch;
+    {
+      std::lock_guard<std::mutex> lock(latency_mu_);
+      sketch = latency_sketch_.Describe();
+    }
+    return TextResult("metrics",
+                      db_->metrics().Report() +
+                          "fungusdb.server.statement_latency = " + sketch +
+                          "\n");
   }
   if (cmd == "\\trace") {
     if (args.size() != 2) {
@@ -354,6 +458,29 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
     return TextResult(
         "rot", BuildRotReport(table.table(), &db_->scheduler()).ToString());
   }
+  if (cmd == "\\fsck") {
+    const verify::Report report = db_->Fsck();
+    FUNGUSDB_RETURN_IF_ERROR(report.ToStatus());
+    return TextResult("fsck", report.ToString());
+  }
+  if (cmd == "\\tables") {
+    ResultSet rs;
+    rs.column_names = {"table", "schema", "live_rows"};
+    for (const std::string& name : db_->TableNames()) {
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle t, db_->GetTable(name));
+      rs.rows.push_back({Value::String(name),
+                         Value::String(t.schema().ToString()),
+                         Value::Int64(static_cast<int64_t>(t.live_rows()))});
+    }
+    return rs;
+  }
+  return Status::InvalidArgument("not a read-only server command: " + cmd);
+}
+
+Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
+  const std::vector<std::string> args = Tokens(line);
+  const std::string& cmd = args[0];
+  if (IsReadOnlyMetaCommand(cmd)) return ExecuteReadMeta(line);
   if (cmd == "\\attach") {
     if (args.size() < 4 || args.size() > 5) {
       return Status::InvalidArgument(
@@ -383,22 +510,6 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
     return TextResult("slowlog",
                       us == 0 ? "slow-query log disabled"
                               : "slow-query threshold " + args[1] + "us");
-  }
-  if (cmd == "\\fsck") {
-    const verify::Report report = db_->Fsck();
-    FUNGUSDB_RETURN_IF_ERROR(report.ToStatus());
-    return TextResult("fsck", report.ToString());
-  }
-  if (cmd == "\\tables") {
-    ResultSet rs;
-    rs.column_names = {"table", "schema", "live_rows"};
-    for (const std::string& name : db_->TableNames()) {
-      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle t, db_->GetTable(name));
-      rs.rows.push_back({Value::String(name),
-                         Value::String(t.schema().ToString()),
-                         Value::Int64(static_cast<int64_t>(t.live_rows()))});
-    }
-    return rs;
   }
   if (cmd == "\\advance") {
     if (args.size() != 2) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/session.h"
 #include "server/request_queue.h"
 #include "server/socket.h"
 #include "server/wire_format.h"
@@ -24,7 +25,8 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 picks an ephemeral port; read it back with port().
   uint16_t port = 0;
-  /// Requests admitted but not yet executed. A full queue answers
+  /// Requests admitted but not yet executed (per queue: the write queue
+  /// and the read queue each get this capacity). A full queue answers
   /// kOverloaded — the server's only backpressure mechanism, by design.
   size_t queue_capacity = 128;
   /// Simultaneous connections; excess connects are accepted and
@@ -33,28 +35,38 @@ struct ServerOptions {
   /// When non-empty, Stop() snapshots the database here after draining
   /// in-flight requests (the SIGTERM contract).
   std::string snapshot_path;
+  /// Read worker pool size: -1 sizes from the hardware (capped at 8),
+  /// 0 disables the read path entirely (every statement runs on the
+  /// writer, the pre-split behavior), N > 0 spawns exactly N workers,
+  /// each owning one Session.
+  int read_workers = -1;
 };
 
 /// fungusd's engine room: a TCP front-end over one Database.
 ///
-/// Threading model — one connection thread per client decodes frames
-/// and pushes requests into a bounded MPSC queue; a SINGLE executor
-/// thread pops and runs them against the Database. The Database stays
-/// single-threaded exactly as its contract requires: between Start()
-/// and the end of Stop(), only the executor touches it. Connection
-/// threads block on a per-request future for the answer, which also
-/// serializes each connection's request/response exchange.
+/// Threading model (DESIGN.md §13) — one connection thread per client
+/// decodes frames and classifies each request's batch. A batch whose
+/// statements are all provably read-only goes to the read queue, served
+/// by a pool of read workers that each own a Session and execute
+/// against an epoch-pinned snapshot view. Everything else goes to the
+/// write queue, served by a SINGLE executor thread that owns the total
+/// order over mutations (inserts, DDL, \advance ticks, CONSUME,
+/// cooking). Connection threads block on a per-request future for the
+/// answer, which also serializes each connection's request/response
+/// exchange.
 ///
 /// Overload answers E:2002 kOverloaded (typed, never a silent drop),
 /// expired deadlines answer E:2003 kTimeout, and a stopping server
-/// answers E:2004 kShuttingDown. Stop() drains every admitted request,
-/// then snapshots (if configured) — an accepted request is always
-/// answered.
+/// answers E:2004 kShuttingDown — on both queues. Stop() drains every
+/// admitted request, then snapshots (if configured) — an accepted
+/// request is always answered.
 ///
 /// Exported metrics (on the Database's registry, all prefixed
 /// fungusdb.server.): connections_accepted, connections_active,
-/// requests_total, requests_overloaded, requests_timeout,
-/// statements_total, queue_depth_high_water, statement_latency_us.
+/// requests_total, requests_read_path, requests_overloaded,
+/// requests_timeout, statements_total (plus per-worker series labeled
+/// worker=writer / worker=read-<i>), queue_depth_high_water,
+/// read_queue_depth_high_water, read_workers, statement_latency_us.
 class Server {
  public:
   /// Takes ownership of a (possibly pre-populated) database.
@@ -64,19 +76,23 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the acceptor + executor threads.
+  /// Binds, listens, and spawns the acceptor, executor, and read
+  /// worker threads.
   Status Start();
 
-  /// Graceful shutdown: stop accepting, drain the queue, join every
+  /// Graceful shutdown: stop accepting, drain both queues, join every
   /// thread, then snapshot. Idempotent; also run by the destructor.
   void Stop();
 
   /// The bound port (valid after Start(), also with options.port == 0).
   uint16_t port() const { return port_; }
 
+  /// Resolved read worker count (valid after Start()).
+  size_t num_read_workers() const { return num_read_workers_; }
+
   /// The owned database. Only safe to touch before Start() (seeding)
   /// or after Stop() returns (inspection) — in between it belongs to
-  /// the executor thread.
+  /// the executor and read worker threads.
   Database& database() { return *db_; }
 
  private:
@@ -84,7 +100,7 @@ class Server {
     StatementRequest request;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
-    /// Tracer-epoch enqueue time; the executor turns it into the
+    /// Tracer-epoch enqueue time; the worker turns it into the
     /// queue-wait metric and the "server.queue_wait" trace span.
     uint64_t enqueued_us = 0;
     std::promise<std::vector<Result<ResultSet>>> reply;
@@ -96,13 +112,37 @@ class Server {
     bool done = false;
   };
 
+  /// Writer sentinel for ProcessRequest's worker index.
+  static constexpr int kWriterWorker = -1;
+
   void AcceptLoop();
   void ServeConnection(uint64_t conn_id, int fd);
   void ExecutorLoop();
+  void ReadWorkerLoop(size_t worker_index);
 
-  /// Executor-thread only. Dispatches SQL vs the remote meta subset.
+  /// Shared request body for the writer and the read workers: queue
+  /// wait attribution, per-statement deadline recheck, execution,
+  /// latency accounting. `worker` is kWriterWorker or a read worker
+  /// index.
+  void ProcessRequest(PendingRequest pending, int worker);
+
+  /// True iff every statement in the batch classifies kReadOnly —
+  /// the routing predicate for the read queue (connection threads).
+  bool BatchIsReadOnly(const std::vector<std::string>& statements);
+
+  /// Writer-thread only. Dispatches SQL vs the remote meta subset.
   Result<ResultSet> ExecuteStatement(const std::string& statement);
   Result<ResultSet> ExecuteMeta(const std::string& line);
+
+  /// Read-worker execution: SQL through the worker's Session, the
+  /// read-only meta subset under an explicit epoch pin.
+  Result<ResultSet> ExecuteReadStatement(size_t worker_index,
+                                         const std::string& statement);
+
+  /// The read-only meta subset (\health \now \metrics \tables \rot
+  /// \fsck \trace). Runs on the writer or, under an outer epoch pin,
+  /// on any read worker.
+  Result<ResultSet> ExecuteReadMeta(const std::string& line);
 
   /// Joins connections whose threads have finished (acceptor thread).
   void ReapFinishedConnections();
@@ -110,12 +150,18 @@ class Server {
   std::unique_ptr<Database> db_;
   ServerOptions options_;
   RequestQueue<PendingRequest> queue_;
+  RequestQueue<PendingRequest> read_queue_;
+  /// Written by every worker; HistogramSketch is not thread-safe.
+  std::mutex latency_mu_;
   HistogramSketch latency_sketch_;
 
   UniqueFd listener_;
   uint16_t port_ = 0;
   std::thread acceptor_;
   std::thread executor_;
+  size_t num_read_workers_ = 0;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::thread> read_threads_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 

@@ -67,6 +67,15 @@ struct ZoneMap {
 /// "removing complete insertion ranges". They are also the unit of scan
 /// pruning: each segment maintains a ZoneMap the query engine and decay
 /// planners consult to skip segments that cannot match.
+///
+/// Visibility: none of this is internally synchronized. Decay ticks
+/// tombstone rows, rewrite freshness vectors and free whole segments;
+/// a concurrent reader iterating offsets mid-tick could see a zone map
+/// disagreeing with its cells, or a dangling segment outright. The
+/// epoch scheme (core/epoch.h) is what rules that out: writers mutate
+/// only inside an exclusive write section, readers only under a pin,
+/// and segment lifetime ends strictly inside a write section — so a
+/// pinned reader can hold raw Segment pointers for the pin's duration.
 class Segment {
  public:
   Segment(const Schema& schema, uint64_t first_row, size_t capacity,

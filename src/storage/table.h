@@ -59,6 +59,16 @@ struct TableOptions {
 /// and the coordinator stays out until the barrier. Aggregate counters
 /// (live_rows, rows_killed) are therefore summed over shards on demand
 /// instead of being maintained centrally.
+///
+/// Snapshot-read visibility: the table itself carries no versioning —
+/// concurrent readers (core/session.h) are made safe purely by the
+/// epoch scheme in core/epoch.h. The single writer mutates only inside
+/// an exclusive write section, and every tick-shaped unit of mutation
+/// ends with an epoch publication; a reader's pin excludes the writer
+/// for the pin's duration, so any traversal of segments, tombstones and
+/// freshness values under one pin observes one published epoch — never
+/// a half-applied tick. Code reading table state off the writer thread
+/// without a pin is a bug, whatever race detectors say.
 class Table {
  public:
   Table(std::string name, Schema schema, TableOptions options = {});

@@ -4,6 +4,7 @@
 
 #include "fungus/retention_fungus.h"
 #include "summary/count_min_sketch.h"
+#include "core/internal_access.h"
 
 namespace fungusdb {
 namespace {
@@ -34,8 +35,8 @@ TEST(DatabaseTest, InsertStampsVirtualTime) {
   ASSERT_TRUE(db.AdvanceTime(5 * kSecond).ok());
   const RowId row =
       db.Insert("r", {Value::Int64(1), Value::Float64(20.0)}).value();
-  Table* t = db.GetTableInternal("r").value();
-  EXPECT_EQ(t->InsertTime(row).value(), 5 * kSecond);
+  const Table& t = db.GetTable("r").value().table();
+  EXPECT_EQ(t.InsertTime(row).value(), 5 * kSecond);
 }
 
 TEST(DatabaseTest, AdvanceTimeRunsAttachedFungi) {
@@ -48,7 +49,7 @@ TEST(DatabaseTest, AdvanceTimeRunsAttachedFungi) {
                   .ok());
   const uint64_t ticks = db.AdvanceTime(2 * kMinute).value();
   EXPECT_EQ(ticks, 120u);
-  EXPECT_EQ(db.GetTableInternal("r").value()->live_rows(), 0u);
+  EXPECT_EQ(db.GetTable("r").value().live_rows(), 0u);
 }
 
 TEST(DatabaseTest, AttachFungusToUnknownTableFails) {
@@ -120,7 +121,7 @@ TEST(DatabaseTest, IngestPacedRunsDueDecay) {
   ASSERT_TRUE(db.IngestPaced("r", source, 5, kSecond).ok());
   // Rows arrive 1s apart with 1s retention: only the newest survives
   // each tick; the table stays bounded rather than growing to 5.
-  EXPECT_LE(db.GetTableInternal("r").value()->live_rows(), 2u);
+  EXPECT_LE(db.GetTable("r").value().live_rows(), 2u);
 }
 
 TEST(DatabaseTest, ConsumingQueryCooksIntoCellar) {
@@ -163,7 +164,10 @@ TEST(DatabaseTest, HealthReport) {
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(db.Insert("r", {Value::Int64(i), Value::Float64(i)}).ok());
   }
-  ASSERT_TRUE(db.GetTableInternal("r").value()->SetFreshness(0, 0.5).ok());
+  ASSERT_TRUE(internal::DatabaseInternal::MutableTable(db, "r")
+                  .value()
+                  ->SetFreshness(0, 0.5)
+                  .ok());
   HealthReport health = db.Health();
   ASSERT_EQ(health.tables.size(), 1u);
   EXPECT_EQ(health.tables[0].live_rows, 4u);

@@ -35,13 +35,14 @@ TEST(IntegrationTest, IotPipelineWithRetentionStaysBounded) {
   for (int day = 0; day < 10; ++day) {
     ASSERT_TRUE(db.Ingest("readings", workload, 1000).ok());
     ASSERT_TRUE(db.AdvanceTime(kDay).ok());
-    max_live = std::max(max_live, db.GetTableInternal("readings").value()->live_rows());
+    max_live =
+        std::max(max_live, db.GetTable("readings").value().live_rows());
   }
-  Table* t = db.GetTableInternal("readings").value();
+  const TableHandle t = db.GetTable("readings").value();
   // Steady state: at most ~2 days of data (2 batches of 1000), never the
   // full 10k appended.
-  EXPECT_LE(t->live_rows(), 2000u);
-  EXPECT_EQ(t->total_appended(), 10000u);
+  EXPECT_LE(t.live_rows(), 2000u);
+  EXPECT_EQ(t.total_appended(), 10000u);
   EXPECT_LE(max_live, 3000u);
 }
 
@@ -85,7 +86,7 @@ TEST(IntegrationTest, CookOnRotPreservesHistoricalAnswers) {
   ASSERT_TRUE(db.AdvanceTime(3 * kHour).ok());
 
   // Raw data fully rotted...
-  EXPECT_EQ(db.GetTableInternal("r").value()->live_rows(), 0u);
+  EXPECT_EQ(db.GetTable("r").value().live_rows(), 0u);
   // ...but the cooked knowledge answers historical questions.
   auto* per_sensor =
       static_cast<const GroupedAggregate*>(db.cellar().Find("per_sensor"));
@@ -105,8 +106,8 @@ TEST(IntegrationTest, ClickstreamSessionizationViaConsumingQueries) {
   ASSERT_TRUE(db.CreateTable("clicks", workload.schema()).ok());
   ASSERT_TRUE(db.Ingest("clicks", workload, 2000).ok());
 
-  Table* t = db.GetTableInternal("clicks").value();
-  const uint64_t total = t->live_rows();
+  const TableHandle t = db.GetTable("clicks").value();
+  const uint64_t total = t.live_rows();
 
   // Repeatedly consume per-user slices; conservation must hold and the
   // union of the answers must be exactly the original extent.
@@ -117,10 +118,10 @@ TEST(IntegrationTest, ClickstreamSessionizationViaConsumingQueries) {
                                  std::to_string(user))
                        .value();
     consumed += rs.stats.rows_consumed;
-    if (t->live_rows() == 0) break;
+    if (t.live_rows() == 0) break;
   }
   EXPECT_EQ(consumed, total);
-  EXPECT_EQ(t->live_rows(), 0u);
+  EXPECT_EQ(t.live_rows(), 0u);
 }
 
 TEST(IntegrationTest, EgiKeepsAnswersApproximatelyCorrectWhileRotting) {
@@ -139,8 +140,8 @@ TEST(IntegrationTest, EgiKeepsAnswersApproximatelyCorrectWhileRotting) {
     ASSERT_TRUE(db.Insert("r", {Value::Int64(i)}).ok());
   }
   ASSERT_TRUE(db.AdvanceTime(60 * kSecond).ok());
-  Table* t = db.GetTableInternal("r").value();
-  const uint64_t live = t->live_rows();
+  const TableHandle t = db.GetTable("r").value();
+  const uint64_t live = t.live_rows();
   EXPECT_LT(live, 2000u);  // some rot happened
   EXPECT_GT(live, 0u);     // but the cheese is still edible
   // COUNT(*) agrees with live_rows: queries see exactly the live extent.

@@ -63,7 +63,7 @@ Fingerprint RunWorkload(Kind kind, size_t num_threads, uint64_t ticks) {
   t_opts.rows_per_segment = 16;
   t_opts.num_shards = 8;
   db.CreateTable("t", OneColumnSchema(), t_opts).value();
-  Table* table = db.GetTableInternal("t").value();
+  const Table* table = &db.GetTable("t").value().table();
   // Spread insertions along the time axis (8 batches, 5 s apart) so
   // age-sensitive fungi see a real age spectrum, not one cohort.
   for (int64_t i = 0; i < 512; ++i) {
@@ -152,7 +152,7 @@ TEST(ParallelDeterminismTest, EgiSpreadCrossesShardBoundaries) {
   const std::set<RowId> infected = egi->AllInfected();
   ASSERT_GT(infected.size(), 1u);
   std::set<uint32_t> shards_touched;
-  Table* table = db.GetTableInternal("t").value();
+  const Table* table = &db.GetTable("t").value().table();
   for (RowId row : infected) {
     shards_touched.insert(table->ShardIdOf(row));
   }

@@ -163,7 +163,7 @@ TEST_F(JournalTest, JournaledDatabaseRecoversExactState) {
 
   auto jdb = JournaledDatabase::Open(options, path_).value();
   run_scenario(*jdb);
-  Table* original = jdb->db().GetTableInternal("t").value();
+  const Table* original = &jdb->db().GetTable("t").value().table();
   const std::vector<RowId> original_rows = original->LiveRows();
   const Timestamp original_now = jdb->db().Now();
 
@@ -177,7 +177,7 @@ TEST_F(JournalTest, JournaledDatabaseRecoversExactState) {
   const uint64_t applied = ReplayJournal(recovered, path_).value();
   EXPECT_GE(applied, 32u);  // 1 create + 30 inserts + advances + consume
 
-  Table* replayed = recovered.GetTableInternal("t").value();
+  const Table* replayed = &recovered.GetTable("t").value().table();
   EXPECT_EQ(recovered.Now(), original_now);
   EXPECT_EQ(replayed->total_appended(), original->total_appended());
   // Decay ran in the original but not during replay (no fungus
@@ -210,7 +210,7 @@ TEST_F(JournalTest, DeterministicReplayWithSameFungi) {
     jdb->AdvanceTime(15 * kMinute).value();
   }
   ASSERT_TRUE(jdb->Sync().ok());
-  Table* original = jdb->db().GetTableInternal("t").value();
+  const Table* original = &jdb->db().GetTable("t").value().table();
 
   Database recovered(options);
   recovered.CreateTable("t", EventSchema()).value();
@@ -220,7 +220,7 @@ TEST_F(JournalTest, DeterministicReplayWithSameFungi) {
       .value();
   ASSERT_TRUE(ReplayJournal(recovered, path_).ok());
 
-  Table* replayed = recovered.GetTableInternal("t").value();
+  const Table* replayed = &recovered.GetTable("t").value().table();
   EXPECT_EQ(replayed->LiveRows(), original->LiveRows());
   EXPECT_EQ(replayed->live_rows(), original->live_rows());
   for (RowId row : original->LiveRows()) {

@@ -158,7 +158,7 @@ TEST(DatabaseSnapshotTest, FullRoundTripInMemory) {
   ASSERT_TRUE(restored.ok());
   Database& db2 = **restored;
   EXPECT_EQ(db2.Now(), db.Now());
-  EXPECT_EQ(db2.GetTableInternal("r").value()->live_rows(), 20u);
+  EXPECT_EQ(db2.GetTable("r").value().live_rows(), 20u);
   ASSERT_NE(db2.cellar().Find("counts"), nullptr);
   EXPECT_EQ(db2.cellar().Find("counts")->observations(), 1u);
   // Queries work on the restored database.
@@ -190,7 +190,7 @@ TEST(DatabaseSnapshotTest, FileRoundTripAndDecayContinues) {
                               kHour)
                   .ok());
   ASSERT_TRUE(db.AdvanceTime(3 * kHour).ok());
-  EXPECT_EQ(db.GetTableInternal("r").value()->live_rows(), 0u);
+  EXPECT_EQ(db.GetTable("r").value().live_rows(), 0u);
   std::remove(path.c_str());
 }
 

@@ -102,8 +102,8 @@ TEST(ParallelScanTest, ConsumingQueryKillsSerialKillSet) {
   ExpectSameRows(Rows(*serial, sql), Rows(*parallel, sql));
 
   // Law 2 atomicity: R became A ∪ (R − σ_P(R)) identically in both.
-  Table* ts = serial->GetTableInternal("readings").value();
-  Table* tp = parallel->GetTableInternal("readings").value();
+  const Table* ts = &serial->GetTable("readings").value().table();
+  const Table* tp = &parallel->GetTable("readings").value().table();
   ASSERT_EQ(tp->live_rows(), ts->live_rows());
   ts->ForEachLive([&](RowId row) { EXPECT_TRUE(tp->IsLive(row)); });
 

@@ -3,7 +3,8 @@
 # drive a session with a decay tick, a fully-pruned scan, and remote
 # statements, then verify that
 #   (a) `\trace dump <file>` lands valid Chrome trace JSON on the
-#       CLIENT side holding decay.tick / server.statement / scan spans,
+#       CLIENT side holding decay.tick / server.statement /
+#       server.read_worker / scan spans,
 #   (b) `\metrics prom` scrapes as Prometheus text exposition with
 #       labeled fungusdb_* series, and
 #   (c) `\rot <table>` renders the freshness report.
@@ -18,7 +19,7 @@ fungusql=$build_dir/tools/fungusql
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"; kill "$daemon" 2>/dev/null || true' EXIT
 
-"$fungusd" --port 0 --port-file "$workdir/port" &
+"$fungusd" --port 0 --port-file "$workdir/port" --read-workers 2 &
 daemon=$!
 
 tries=0
@@ -87,7 +88,8 @@ for e in events:
         assert key in e, e
     assert e["ph"] == "X", e
 names = {e["name"] for e in events}
-for required in ("decay.tick", "server.statement", "query.execute"):
+for required in ("decay.tick", "server.statement", "server.read_worker",
+                 "query.execute"):
     assert required in names, (required, sorted(names))
 assert "scan.serial" in names or "scan.morsel" in names, sorted(names)
 
@@ -105,14 +107,20 @@ assert any(l.startswith("fungusdb_server_requests_total ") for l in lines), \
 assert any(re.match(r'fungusdb_decay_ticks\{table="t"\} ', l)
            for l in lines), "no labeled decay series"
 assert any('quantile="0.5"' in l for l in lines), "no quantile series"
+assert any(l.startswith("fungusdb_exec_epoch ") for l in lines), \
+    "no epoch gauge"
+assert any(re.match(r'fungusdb_server_statements_total\{worker="read-', l)
+           for l in lines), "no per-read-worker statement series"
 print("trace.json and prom.txt shapes OK")
 EOF
 else
   # Degraded check without python3: key spans and series present.
   grep -q '"name":"decay.tick"' "$workdir/trace.json"
   grep -q '"name":"server.statement"' "$workdir/trace.json"
+  grep -q '"name":"server.read_worker"' "$workdir/trace.json"
   grep -q '^fungusdb_server_requests_total ' "$workdir/prom.txt"
   grep -q 'fungusdb_decay_ticks{table="t"}' "$workdir/prom.txt"
+  grep -q '^fungusdb_exec_epoch ' "$workdir/prom.txt"
 fi
 
 echo "PASS: fungusd traced a tick, scraped prom metrics, rendered rot"

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -183,9 +184,10 @@ TEST(ServerTest, StopDrainsThenSnapshots) {
 }
 
 // The acceptance smoke: 64 clients x 100 statements against one
-// shared table, with decay ticks interleaved. Every response must
-// arrive on the right connection (the client checks request ids), no
-// insert may be lost or duplicated (row ids are checked for global
+// shared table, with decay ticks interleaved and a read worker pool
+// serving the SELECTs concurrently with the writer. Every response
+// must arrive on the right connection (the client checks request ids),
+// no insert may be lost or duplicated (row ids are checked for global
 // uniqueness), and the database must pass Fsck() afterwards. Run
 // under TSan with FUNGUSDB_CHECK_AFTER_TICK=1 in CI's server job.
 TEST(ServerSmokeTest, SixtyFourClientsHundredStatements) {
@@ -195,6 +197,7 @@ TEST(ServerSmokeTest, SixtyFourClientsHundredStatements) {
   ServerOptions options;
   options.queue_capacity = 2 * kClients;  // never overload: one
                                           // outstanding request per client
+  options.read_workers = 4;  // SELECTs race the writer's decay ticks
   std::unique_ptr<Server> server = StartServer(options);
   Database& db = server->database();
   FUNGUSDB_CHECK_OK(db.CreateTable("shared", SharedSchema()).status());
@@ -224,16 +227,30 @@ TEST(ServerSmokeTest, SixtyFourClientsHundredStatements) {
       }
       for (int i = 0; i < kStatements; ++i) {
         const bool tick = i % 10 == 9;
+        const bool select = i % 10 == 4;  // read path, racing the ticks
         const std::string statement =
             tick ? "\\advance 1s"
-                 : "\\insert shared " + std::to_string(c * 1000 + i);
+            : select
+                ? "SELECT count(*) AS n FROM shared"
+                : "\\insert shared " + std::to_string(c * 1000 + i);
         Result<ResultSet> result = client.value().ExecuteOne(statement);
         std::lock_guard<std::mutex> lock(mu);
         if (!result.ok()) {
           failures.push_back(statement + ": " + result.status().ToString());
           return;
         }
-        if (!tick) {
+        if (select) {
+          // Nothing ever dies (retention is a year), so a pinned count
+          // can never exceed the inserts acknowledged so far.
+          const auto n =
+              static_cast<uint64_t>(result.value().at(0, 0).AsInt64());
+          if (n > inserts_acked + kClients) {
+            failures.push_back("count " + std::to_string(n) +
+                               " exceeds acked inserts " +
+                               std::to_string(inserts_acked));
+            return;
+          }
+        } else if (!tick) {
           ++inserts_acked;
           const int64_t row_id = result.value().at(0, 0).AsInt64();
           if (!row_ids.insert(row_id).second) {
@@ -249,7 +266,7 @@ TEST(ServerSmokeTest, SixtyFourClientsHundredStatements) {
 
   EXPECT_TRUE(failures.empty())
       << failures.size() << " failures, first: " << failures[0];
-  EXPECT_EQ(inserts_acked, static_cast<uint64_t>(kClients) * 90);
+  EXPECT_EQ(inserts_acked, static_cast<uint64_t>(kClients) * 80);
   EXPECT_EQ(row_ids.size(), inserts_acked);  // none lost, none duplicated
 
   // One more client confirms the server-side ledger agrees.
@@ -262,6 +279,114 @@ TEST(ServerSmokeTest, SixtyFourClientsHundredStatements) {
   server->Stop();
   EXPECT_TRUE(db.Fsck().violations.empty());
   EXPECT_EQ(db.GetTable("shared").value().live_rows(), inserts_acked);
+  // The SELECTs really took the read path.
+  EXPECT_GE(db.metrics().GetCounter("fungusdb.server.requests_read_path"),
+            1);
+  EXPECT_GE(db.metrics().GetCounter("fungusdb.server.statements_total",
+                                    "worker=writer"),
+            1);
+}
+
+TEST(ServerReadWorkerTest, ZeroWorkersFallsBackToTheWriter) {
+  ServerOptions options;
+  options.read_workers = 0;  // the pre-split single-executor model
+  std::unique_ptr<Server> server = StartServer(options);
+  EXPECT_EQ(server->num_read_workers(), 0u);
+  FUNGUSDB_CHECK_OK(
+      server->database().CreateTable("t", SharedSchema()).status());
+  FUNGUSDB_CHECK_OK(
+      server->database().Insert("t", {Value::Int64(1)}).status());
+
+  Client client = ConnectTo(*server);
+  const ResultSet rs =
+      client.ExecuteOne("SELECT count(*) AS n FROM t").value();
+  EXPECT_EQ(rs.at(0, 0).AsInt64(), 1);
+  EXPECT_EQ(server->database().metrics().GetCounter(
+                "fungusdb.server.requests_read_path"),
+            0);
+}
+
+TEST(ServerReadWorkerTest, ReadOnlyBatchesRouteToTheReadPool) {
+  ServerOptions options;
+  options.read_workers = 2;
+  std::unique_ptr<Server> server = StartServer(options);
+  FUNGUSDB_CHECK_OK(
+      server->database().CreateTable("t", SharedSchema()).status());
+  FUNGUSDB_CHECK_OK(
+      server->database().Insert("t", {Value::Int64(7)}).status());
+
+  Client client = ConnectTo(*server);
+  // All read-only: SQL and the read-only meta subset.
+  const std::vector<Result<ResultSet>> reads =
+      client
+          .Execute({"SELECT count(*) AS n FROM t", "\\now", "\\health",
+                    "\\tables"})
+          .value();
+  for (const Result<ResultSet>& r : reads) EXPECT_TRUE(r.ok());
+  // One mutating statement sends the whole batch to the writer.
+  const std::vector<Result<ResultSet>> mixed =
+      client
+          .Execute({"SELECT count(*) AS n FROM t", "\\insert t 8"})
+          .value();
+  for (const Result<ResultSet>& r : mixed) EXPECT_TRUE(r.ok());
+
+  MetricsRegistry& metrics = server->database().metrics();
+  EXPECT_EQ(metrics.GetCounter("fungusdb.server.requests_read_path"), 1);
+  const int64_t read_statements =
+      metrics.GetCounter("fungusdb.server.statements_total",
+                         "worker=read-0") +
+      metrics.GetCounter("fungusdb.server.statements_total",
+                         "worker=read-1");
+  EXPECT_EQ(read_statements, 4);
+  EXPECT_EQ(metrics.GetCounter("fungusdb.server.statements_total",
+                               "worker=writer"),
+            2);
+  EXPECT_GE(metrics.GetGauge("fungusdb.exec.epoch"), 1.0);
+}
+
+TEST(ServerReadWorkerTest, ConcurrentReadersSeeMonotoneCounts) {
+  ServerOptions options;
+  options.read_workers = 4;
+  options.queue_capacity = 64;
+  std::unique_ptr<Server> server = StartServer(options);
+  FUNGUSDB_CHECK_OK(
+      server->database().CreateTable("t", SharedSchema()).status());
+
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 50;
+  constexpr int kWrites = 100;
+  std::atomic<bool> bad_count{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      Client client = ConnectTo(*server);
+      // Counts only ever grow (nothing decays here), and a reader's
+      // statements are lockstep, so its counts must be nondecreasing —
+      // a regression would mean a torn or time-traveling snapshot.
+      int64_t last = -1;
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        const Result<ResultSet> rs =
+            client.ExecuteOne("SELECT count(*) AS n FROM t");
+        if (!rs.ok()) continue;  // overload is legal under pressure
+        const int64_t n = rs.value().at(0, 0).AsInt64();
+        if (n < last) bad_count.store(true);
+        last = n;
+      }
+    });
+  }
+  Client writer = ConnectTo(*server);
+  for (int i = 0; i < kWrites; ++i) {
+    FUNGUSDB_CHECK_OK(
+        writer.ExecuteOne("\\insert t " + std::to_string(i)).status());
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(bad_count.load());
+
+  const ResultSet final_count =
+      writer.ExecuteOne("SELECT count(*) AS n FROM t").value();
+  EXPECT_EQ(final_count.at(0, 0).AsInt64(), kWrites);
 }
 
 }  // namespace

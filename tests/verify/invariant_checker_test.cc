@@ -231,7 +231,7 @@ TEST(InvariantCheckerTest, CheckAfterTickStaysCleanThroughDecay) {
         .value();
     db.AdvanceTime(30 * kMinute).value();
   }
-  EXPECT_LT(db.GetTableInternal("events").value()->live_rows(), 64u);
+  EXPECT_LT(db.GetTable("events").value().live_rows(), 64u);
   EXPECT_TRUE(db.Fsck().ok());
 }
 

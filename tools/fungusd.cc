@@ -16,6 +16,8 @@
 //   --queue-capacity <n>   admitted-but-unexecuted request bound; a
 //                          full queue answers E:2002 Overloaded
 //   --max-connections <n>  simultaneous client connections
+//   --read-workers <n>     read worker pool size; -1 = auto (hardware,
+//                          capped at 8), 0 = writer-only execution
 //   --snapshot <path>      load at boot when present; saved on shutdown
 //
 // Environment: FUNGUSDB_TRACE (any value but "0") enables the span
@@ -42,7 +44,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host addr] [--port n] [--port-file path]\n"
                "          [--queue-capacity n] [--max-connections n]\n"
-               "          [--snapshot path]\n",
+               "          [--read-workers n] [--snapshot path]\n",
                argv0);
   return 2;
 }
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-connections" && has_value) {
       options.max_connections =
           static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--read-workers" && has_value) {
+      options.read_workers = std::atoi(argv[++i]);
     } else if (arg == "--snapshot" && has_value) {
       options.snapshot_path = argv[++i];
     } else {
