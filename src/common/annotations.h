@@ -1,19 +1,24 @@
 #ifndef FUNGUSDB_COMMON_ANNOTATIONS_H_
 #define FUNGUSDB_COMMON_ANNOTATIONS_H_
 
-/// Source-level annotations checked by the project lint pass
-/// (tools/lint/fungus_lint.py). They expand to nothing at compile time;
-/// their value is that the linter can read them and enforce the calling
-/// contracts the type system cannot express.
+/// Source-level annotations checked by the project's static analysis
+/// pass (tools/analyze/capability_audit.py). They expand to nothing at
+/// compile time; their value is that the audit can read them and
+/// enforce the calling contracts the type system cannot express. The
+/// compile-time half of the concurrency contract lives in
+/// common/thread_annotations.h (Clang Thread Safety Analysis).
 
 /// Marks a method that mutates per-shard state without taking a lock.
 /// Shards are lock-free by contract: during a parallel decay tick each
 /// shard is mutated by exactly one worker (the apply phase), and all
 /// other mutation happens on the coordinator thread between parallel
-/// phases. The linter enforces that annotated methods are only called
-/// from the files that implement those two phases (storage/table.cc
-/// wrappers, fungus/scheduler.cc apply loop, verify/corruptor.cc test
-/// seeding) — never from arbitrary code that could race a tick.
+/// phases. capability_audit.py enforces that annotated methods are only
+/// called from the files that implement those two phases
+/// (storage/table.cc wrappers, fungus/scheduler.cc apply loop,
+/// verify/corruptor.cc test seeding) — never from arbitrary code that
+/// could race a tick. Clang TSA cannot express this (the capability is
+/// "being the apply phase", not a lock the analysis can name across
+/// objects), so the audit carries it.
 #define FUNGUS_REQUIRES_APPLY_PHASE
 
 #endif  // FUNGUSDB_COMMON_ANNOTATIONS_H_

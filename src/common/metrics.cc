@@ -145,7 +145,7 @@ void MetricsRegistry::IncrementCounter(const std::string& name,
 void MetricsRegistry::IncrementCounter(const std::string& name,
                                        const std::string& label,
                                        int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[name][label] += delta;
 }
 
@@ -155,7 +155,7 @@ int64_t MetricsRegistry::GetCounter(const std::string& name) const {
 
 int64_t MetricsRegistry::GetCounter(const std::string& name,
                                     const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return 0;
   auto jt = it->second.find(label);
@@ -168,7 +168,7 @@ void MetricsRegistry::SetGauge(const std::string& name, double value) {
 
 void MetricsRegistry::SetGauge(const std::string& name,
                                const std::string& label, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name][label] = value;
 }
 
@@ -178,7 +178,7 @@ double MetricsRegistry::GetGauge(const std::string& name) const {
 
 double MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) return 0.0;
   auto jt = it->second.find(label);
@@ -193,12 +193,12 @@ void MetricsRegistry::RecordHistogram(const std::string& name,
 void MetricsRegistry::RecordHistogram(const std::string& name,
                                       const std::string& label,
                                       int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_[name][label].Record(value);
 }
 
 HistogramMetric& MetricsRegistry::Histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return histograms_[name][""];
 }
 
@@ -209,7 +209,7 @@ const HistogramMetric* MetricsRegistry::FindHistogram(
 
 const HistogramMetric* MetricsRegistry::FindHistogram(
     const std::string& name, const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) return nullptr;
   auto jt = it->second.find(label);
@@ -217,7 +217,7 @@ const HistogramMetric* MetricsRegistry::FindHistogram(
 }
 
 std::string MetricsRegistry::Report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   auto series_name = [](const std::string& name, const std::string& label) {
     return label.empty() ? name : name + "{" + label + "}";
@@ -243,7 +243,7 @@ std::string MetricsRegistry::Report() const {
 }
 
 std::string MetricsRegistry::PrometheusReport() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, by_label] : counters_) {
     const std::string prom = PromName(name);
@@ -281,7 +281,7 @@ std::string MetricsRegistry::PrometheusReport() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

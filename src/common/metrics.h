@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fungusdb {
 
@@ -101,10 +103,10 @@ class MetricsRegistry {
   template <typename T>
   using SeriesMap = std::map<std::string, std::map<std::string, T>>;
 
-  mutable std::mutex mu_;
-  SeriesMap<int64_t> counters_;
-  SeriesMap<double> gauges_;
-  SeriesMap<HistogramMetric> histograms_;
+  mutable Mutex mu_;
+  SeriesMap<int64_t> counters_ FUNGUS_GUARDED_BY(mu_);
+  SeriesMap<double> gauges_ FUNGUS_GUARDED_BY(mu_);
+  SeriesMap<HistogramMetric> histograms_ FUNGUS_GUARDED_BY(mu_);
 };
 
 }  // namespace fungusdb

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -25,8 +25,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -58,30 +58,30 @@ void ThreadPool::ParallelFor(size_t n,
   // left to claim.
   const size_t helpers = std::min(workers_.size(), n - 1);
   std::atomic<size_t> remaining{helpers};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t h = 0; h < helpers; ++h) {
       queue_.emplace_back([&] {
         ParallelForDrive(cursor, n, fn);
         if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          // Lock/unlock pairs with the coordinator's predicate check so
+          // Lock/unlock pairs with the coordinator's wait-loop check so
           // the notify cannot be lost between its test and its wait.
-          std::lock_guard<std::mutex> done_lock(done_mu);
-          done_cv.notify_one();
+          MutexLock done_lock(done_mu);
+          done_cv.NotifyOne();
         }
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   ParallelForDrive(cursor, n, fn);
   const auto wait_start = std::chrono::steady_clock::now();
   {
-    std::unique_lock<std::mutex> done_lock(done_mu);
-    done_cv.wait(done_lock, [&] {
-      return remaining.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock done_lock(done_mu);
+    while (remaining.load(std::memory_order_acquire) != 0) {
+      done_cv.Wait(done_mu);
+    }
   }
   barrier_wait_micros_ += static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

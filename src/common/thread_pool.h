@@ -2,13 +2,14 @@
 #define FUNGUSDB_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fungusdb {
 
@@ -55,10 +56,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ FUNGUS_GUARDED_BY(mu_);
+  bool stopping_ FUNGUS_GUARDED_BY(mu_) = false;
+  // Coordinator-thread bookkeeping: written only inside ParallelFor and
+  // read between calls, so the fork/join structure (not mu_) orders it.
+  // capability_audit.py carries the justified-allowlist entries.
   uint64_t barrier_wait_micros_ = 0;
   uint64_t tasks_dispatched_ = 0;
 };

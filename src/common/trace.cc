@@ -27,7 +27,7 @@ Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
   // is the whole fast-path lookup.
   thread_local ThreadBuffer* mine = nullptr;
   if (mine == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers_.push_back(std::make_unique<ThreadBuffer>(
         static_cast<uint32_t>(buffers_.size() + 1)));
     mine = buffers_.back().get();
@@ -49,7 +49,7 @@ void Tracer::Record(const char* name, uint64_t start_us, uint64_t dur_us,
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
     // Resetting head effectively forgets the ring's contents. A thread
     // recording concurrently at the old head just lands its next event
@@ -60,7 +60,7 @@ void Tracer::Clear() {
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> events;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
     const uint64_t head = buf->head.load(std::memory_order_acquire);
     const uint64_t n = std::min<uint64_t>(head, kEventsPerThread);
@@ -106,7 +106,7 @@ std::string Tracer::ExportChromeJson() const {
 }
 
 uint64_t Tracer::events_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
     total += buf->head.load(std::memory_order_acquire);

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fungusdb {
 
@@ -101,8 +103,8 @@ class Tracer {
 
   static std::atomic<bool> enabled_flag_;
 
-  mutable std::mutex mu_;  // guards buffers_ registration and snapshots
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // guards buffers_ registration and snapshots
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ FUNGUS_GUARDED_BY(mu_);
 };
 
 /// RAII span: captures the start time at construction when tracing is

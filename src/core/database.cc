@@ -80,7 +80,7 @@ Result<TableHandle> Database::CreateTable(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("table name must not be empty");
   }
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -92,7 +92,7 @@ Result<TableHandle> Database::CreateTable(const std::string& name,
 }
 
 Result<TableHandle> Database::GetTable(const std::string& name) {
-  EpochManager::ReadPin pin = epochs_.PinRead();
+  EpochManager::ReadPin pin(epochs_);
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(name));
   return TableHandle(table);
 }
@@ -106,7 +106,7 @@ Result<Table*> Database::MutableTable(const std::string& name) {
 }
 
 Status Database::DropTable(const std::string& name) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   if (tables_.erase(name) == 0) {
     return Status::TableNotFound("no table named '" + name + "'");
   }
@@ -114,7 +114,7 @@ Status Database::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  EpochManager::ReadPin pin = epochs_.PinRead();
+  EpochManager::ReadPin pin(epochs_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -124,19 +124,19 @@ std::vector<std::string> Database::TableNames() const {
 Result<DecayScheduler::AttachmentId> Database::AttachFungus(
     const std::string& table_name, std::unique_ptr<Fungus> fungus,
     Duration period) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   return scheduler_.Attach(table, std::move(fungus), period, clock_.Now());
 }
 
 Status Database::DetachFungus(DecayScheduler::AttachmentId id) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   return scheduler_.Detach(id);
 }
 
 Result<uint64_t> Database::AdvanceTime(Duration d) {
   if (d < 0) return Status::InvalidArgument("cannot advance time backwards");
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   clock_.Advance(d);
   const uint64_t ticks = scheduler_.AdvanceTo(clock_.Now());
   cellar_.AdvanceTo(clock_.Now());
@@ -145,7 +145,7 @@ Result<uint64_t> Database::AdvanceTime(Duration d) {
 
 Result<RowId> Database::Insert(const std::string& table_name,
                                const std::vector<Value>& values) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(RowId row, table->Append(values, clock_.Now()));
   metrics_.IncrementCounter("fungusdb.ingest.rows");
@@ -155,7 +155,7 @@ Result<RowId> Database::Insert(const std::string& table_name,
 Result<uint64_t> Database::Ingest(const std::string& table_name,
                                   RecordSource& source,
                                   uint64_t max_records) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   FUNGUSDB_ASSIGN_OR_RETURN(
       uint64_t n, ingestor_.IngestBatch(source, *table, max_records));
@@ -167,7 +167,7 @@ Result<uint64_t> Database::IngestPaced(const std::string& table_name,
                                        RecordSource& source,
                                        uint64_t max_records,
                                        Duration inter_arrival) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(table_name));
   // Interleave decay with ingestion so fungi tick close to their due
   // times instead of replaying a long backlog after the batch.
@@ -200,7 +200,7 @@ Result<ResultSet> Database::ExecuteSql(std::string_view sql) {
   const int64_t queue_wait_us = pending_queue_wait_us_;
   pending_queue_wait_us_ = 0;
   FUNGUSDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql));
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   const int64_t begin_us = SteadyMicros();
   Result<ResultSet> result = ExecuteLocked(query);
   if (!result.ok()) return result;
@@ -244,7 +244,7 @@ std::vector<Result<ResultSet>> Database::ExecuteBatch(
 }
 
 Result<ResultSet> Database::Execute(const Query& query) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   return ExecuteLocked(query);
 }
 
@@ -258,7 +258,7 @@ Result<ResultSet> Database::ExecuteLocked(const Query& query) {
 }
 
 Status Database::AddCookSpec(CookSpec spec) {
-  EpochManager::WriteGuard guard = epochs_.BeginWrite();
+  EpochManager::WriteGuard guard(epochs_);
   if (tables_.count(spec.table_name) == 0) {
     return Status::TableNotFound("no table named '" + spec.table_name +
                                  "'");
@@ -267,7 +267,7 @@ Status Database::AddCookSpec(CookSpec spec) {
 }
 
 verify::Report Database::Fsck() const {
-  EpochManager::ReadPin pin = epochs_.PinRead();
+  EpochManager::ReadPin pin(epochs_);
   verify::InvariantChecker checker;
   verify::Report report;
   for (const auto& [name, table] : tables_) {
@@ -292,7 +292,7 @@ void Database::EnableCheckAfterTick() {
 }
 
 HealthReport Database::Health() const {
-  EpochManager::ReadPin pin = epochs_.PinRead();
+  EpochManager::ReadPin pin(epochs_);
   HealthReport report;
   report.now = clock_.Now();
   for (const auto& [name, table] : tables_) {

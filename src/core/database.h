@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/epoch.h"
 #include "core/table_handle.h"
@@ -229,7 +230,9 @@ class Database {
   /// compose several lookups (e.g. a rot report walking a table and the
   /// scheduler) take one pin around the whole composition; nested pins
   /// from the facade's own accessors are reentrant.
-  EpochManager& epochs() { return epochs_; }
+  EpochManager& epochs() FUNGUS_RETURN_CAPABILITY(epochs_) {
+    return epochs_;
+  }
 
   /// The current published epoch (bumped per write section and per
   /// decay tick) — also exported as the fungusdb.exec.epoch gauge.
@@ -241,16 +244,24 @@ class Database {
 
   /// Mutable-table escape hatch. Private since the Session split: every
   /// external caller goes through TableHandle or (for persistence /
-  /// verification / test seeding) internal::DatabaseInternal.
-  Result<Table*> MutableTable(const std::string& name);
+  /// verification / test seeding) internal::DatabaseInternal. Requires
+  /// at least a shared hold on the epoch: the map lookup races with DDL
+  /// otherwise. Callers that mutate the returned table need the
+  /// exclusive WriteGuard — the analysis cannot see through Table*, so
+  /// that half of the contract rides on the write-path annotations.
+  Result<Table*> MutableTable(const std::string& name)
+      FUNGUS_REQUIRES_SHARED(epochs_);
 
   /// Shared by ExecuteSql (writer path) and Session (read path): the
   /// slow-query threshold for `table_name`, already resolved against
   /// the per-table override. <= 0 disables.
-  int64_t SlowQueryThresholdFor(const Table* table) const;
+  int64_t SlowQueryThresholdFor(const Table* table) const
+      FUNGUS_REQUIRES_SHARED(epochs_);
 
-  /// Body of Execute without the write section (callers hold one).
-  Result<ResultSet> ExecuteLocked(const Query& query);
+  /// Body of Execute without the write section (callers hold one
+  /// exclusively — CONSUME and \cook mutate through here).
+  Result<ResultSet> ExecuteLocked(const Query& query)
+      FUNGUS_REQUIRES(epochs_);
 
   DatabaseOptions options_;
   VirtualClock clock_;
@@ -265,7 +276,10 @@ class Database {
   DecayScheduler scheduler_;
   QueryEngine engine_;
   Ingestor ingestor_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  /// The table map is versioned state: DDL mutates it under the
+  /// exclusive epoch section, everything else reads it under a pin.
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      FUNGUS_GUARDED_BY(epochs_);
   std::atomic<int64_t> slow_query_micros_{0};
   int64_t pending_queue_wait_us_ = 0;
 };

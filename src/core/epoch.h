@@ -2,12 +2,12 @@
 #define FUNGUSDB_CORE_EPOCH_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fungusdb {
 
@@ -31,35 +31,59 @@ namespace fungusdb {
 /// Pins are reentrant (a thread already holding a pin re-pins without
 /// queueing — readers cannot deadlock with a waiting writer), and the
 /// active writer thread may take a no-op pin (it is already exclusive).
-class EpochManager {
+///
+/// The manager is itself a CAPABILITY for Clang's Thread Safety
+/// Analysis: ReadPin acquires it shared, WriteGuard acquires it
+/// exclusive, and APIs inside the pinned region carry
+/// FUNGUS_REQUIRES_SHARED / FUNGUS_REQUIRES — so a reader path calling
+/// a writer API is a compile error under -Wthread-safety, not a TSan
+/// repro. Acquire pins with the scoped constructor form the analysis
+/// tracks best:
+///
+///   EpochManager::ReadPin pin(db.epochs());     // shared
+///   EpochManager::WriteGuard guard(epochs_);    // exclusive
+class FUNGUS_CAPABILITY("epoch") EpochManager {
  public:
   /// Shared hold on the current epoch. Movable RAII: releases on
   /// destruction. A default-constructed pin holds nothing.
-  class ReadPin {
+  class FUNGUS_SCOPED_CAPABILITY ReadPin {
    public:
     ReadPin() = default;
-    ReadPin(ReadPin&& other) noexcept
-        : manager_(other.manager_), epoch_(other.epoch_) {
+
+    /// Pins `manager` for shared read access — the constructor form the
+    /// thread safety analysis tracks; equivalent to PinRead().
+    explicit ReadPin(EpochManager& manager) FUNGUS_ACQUIRE_SHARED(manager);
+
+    // Moves transfer the pin invisibly to the analysis (it has no
+    // annotation for capability hand-off); the moved-from pin is inert.
+    ReadPin(ReadPin&& other) noexcept FUNGUS_NO_THREAD_SAFETY_ANALYSIS
+        : manager_(other.manager_),
+          epoch_(other.epoch_),
+          no_op_(other.no_op_) {
       other.manager_ = nullptr;
+      other.no_op_ = false;
     }
-    ReadPin& operator=(ReadPin&& other) noexcept {
+    ReadPin& operator=(ReadPin&& other) noexcept
+        FUNGUS_NO_THREAD_SAFETY_ANALYSIS {
       if (this != &other) {
         Release();
         manager_ = other.manager_;
         epoch_ = other.epoch_;
+        no_op_ = other.no_op_;
         other.manager_ = nullptr;
+        other.no_op_ = false;
       }
       return *this;
     }
     ReadPin(const ReadPin&) = delete;
     ReadPin& operator=(const ReadPin&) = delete;
-    ~ReadPin() { Release(); }
+    ~ReadPin() FUNGUS_RELEASE_GENERIC() { Release(); }
 
     /// The epoch that was current at pin time; stable until release.
     uint64_t epoch() const { return epoch_; }
     bool pinned() const { return manager_ != nullptr || no_op_; }
 
-    void Release();
+    void Release() FUNGUS_RELEASE_GENERIC();
 
    private:
     friend class EpochManager;
@@ -70,13 +94,20 @@ class EpochManager {
 
   /// Exclusive hold. Destruction publishes the next epoch (every write
   /// section makes a new version observable) and wakes readers.
-  class WriteGuard {
+  class FUNGUS_SCOPED_CAPABILITY WriteGuard {
    public:
     WriteGuard() = default;
-    WriteGuard(WriteGuard&& other) noexcept : manager_(other.manager_) {
+
+    /// Enters the write section on `manager` — the constructor form the
+    /// thread safety analysis tracks; equivalent to BeginWrite().
+    explicit WriteGuard(EpochManager& manager) FUNGUS_ACQUIRE(manager);
+
+    WriteGuard(WriteGuard&& other) noexcept FUNGUS_NO_THREAD_SAFETY_ANALYSIS
+        : manager_(other.manager_) {
       other.manager_ = nullptr;
     }
-    WriteGuard& operator=(WriteGuard&& other) noexcept {
+    WriteGuard& operator=(WriteGuard&& other) noexcept
+        FUNGUS_NO_THREAD_SAFETY_ANALYSIS {
       if (this != &other) {
         Release();
         manager_ = other.manager_;
@@ -86,9 +117,9 @@ class EpochManager {
     }
     WriteGuard(const WriteGuard&) = delete;
     WriteGuard& operator=(const WriteGuard&) = delete;
-    ~WriteGuard() { Release(); }
+    ~WriteGuard() FUNGUS_RELEASE() { Release(); }
 
-    void Release();
+    void Release() FUNGUS_RELEASE();
 
    private:
     friend class EpochManager;
@@ -103,12 +134,15 @@ class EpochManager {
   /// Pins the current epoch for shared read access. Blocks while a
   /// writer is active or waiting (unless this thread already holds a
   /// pin, or IS the active writer — both re-enter without queueing).
-  ReadPin PinRead();
+  /// Prefer the ReadPin(manager) constructor in new code: the analysis
+  /// cannot reliably follow a scoped capability returned by value.
+  [[nodiscard]] ReadPin PinRead() FUNGUS_ACQUIRE_SHARED();
 
   /// Acquires exclusive write access; blocks until active readers
   /// drain. Non-reentrant: one write section at a time, and a thread
-  /// holding a ReadPin must not call this.
-  WriteGuard BeginWrite();
+  /// holding a ReadPin must not call this. Prefer the
+  /// WriteGuard(manager) constructor in new code.
+  [[nodiscard]] WriteGuard BeginWrite() FUNGUS_ACQUIRE();
 
   /// The current published epoch (monotone; bumped on every write
   /// section release and on every mid-section Publish).
@@ -118,7 +152,9 @@ class EpochManager {
   /// section — the decay scheduler calls this after each tick's apply
   /// phase, so every tick is its own epoch even when one AdvanceTime
   /// replays many. Readers cannot pin mid-section; the bump is visible
-  /// the moment the section ends.
+  /// the moment the section ends. Callers must hold the WriteGuard;
+  /// unannotated because the scheduler reaches it through a stored
+  /// callback the analysis cannot see through.
   uint64_t Publish();
 
   /// Sink for the "fungusdb.exec.epoch" gauge (not owned; may be null).
@@ -128,15 +164,22 @@ class EpochManager {
   void ReleaseRead();
   void ReleaseWrite();
   void ExportEpochGauge(uint64_t epoch);
+  /// Shared acquisition body behind PinRead() and ReadPin(manager).
+  void AcquireReadInto(ReadPin& pin);
+  /// Exclusive acquisition body behind BeginWrite() and
+  /// WriteGuard(manager).
+  void AcquireWrite();
 
-  mutable std::mutex mu_;
-  std::condition_variable readable_;
-  std::condition_variable writable_;
+  mutable Mutex mu_;
+  CondVar readable_;
+  CondVar writable_;
   std::atomic<uint64_t> epoch_{0};
-  size_t active_readers_ = 0;
-  size_t waiting_writers_ = 0;
-  bool writer_active_ = false;
-  std::thread::id writer_thread_;
+  size_t active_readers_ FUNGUS_GUARDED_BY(mu_) = 0;
+  size_t waiting_writers_ FUNGUS_GUARDED_BY(mu_) = 0;
+  bool writer_active_ FUNGUS_GUARDED_BY(mu_) = false;
+  std::thread::id writer_thread_ FUNGUS_GUARDED_BY(mu_);
+  // Set once at Database construction, before any concurrency exists;
+  // capability_audit.py carries the justified-allowlist entry.
   MetricsRegistry* metrics_ = nullptr;
 };
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/database.h"
 
 namespace fungusdb::internal {
@@ -14,12 +15,15 @@ namespace fungusdb::internal {
 /// of the public API — application code takes TableHandles from
 /// CreateTable/GetTable and mutates through the Database.
 ///
-/// Concurrency contract: a mutable table obtained here is only touched
-/// while no Session or writer is running (persistence runs before
-/// serving starts / after it stops; tests are single-threaded around
-/// it). These helpers do not pin or lock.
+/// Concurrency contract: callers hold `db`'s exclusive epoch section
+/// (take an `EpochManager::WriteGuard guard(db.epochs());` around the
+/// lookup and every mutation through the returned pointer) — enforced
+/// at compile time under -Wthread-safety via the REQUIRES annotation
+/// below, which names the capability through the `db` parameter so the
+/// analysis unifies it with the caller's guard expression.
 struct DatabaseInternal {
-  static Result<Table*> MutableTable(Database& db, const std::string& name);
+  static Result<Table*> MutableTable(Database& db, const std::string& name)
+      FUNGUS_REQUIRES(db.epochs_);
 };
 
 }  // namespace fungusdb::internal

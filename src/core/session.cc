@@ -57,7 +57,7 @@ Result<ResultSet> Session::ExecutePinned(const Query& query,
         query.ToString());
   }
 
-  EpochManager::ReadPin pin = db_->epochs_.PinRead();
+  EpochManager::ReadPin pin(db_->epochs_);
   if (pinned_epoch != nullptr) *pinned_epoch = pin.epoch();
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table,
                             db_->MutableTable(query.table_name));

@@ -111,6 +111,10 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(BufferReader& in) {
     FUNGUSDB_RETURN_IF_ERROR(
         db->CreateTable(loaded.name(), loaded.schema(), loaded.options())
             .status());
+    // The replay below mutates the table outside the facade, so it
+    // holds the exclusive epoch section the internal accessor requires
+    // (after CreateTable returns — its own write section must drain).
+    EpochManager::WriteGuard guard(db->epochs());
     FUNGUSDB_ASSIGN_OR_RETURN(
         Table * created,
         internal::DatabaseInternal::MutableTable(*db, loaded.name()));

@@ -1,12 +1,13 @@
 #ifndef FUNGUSDB_SERVER_REQUEST_QUEUE_H_
 #define FUNGUSDB_SERVER_REQUEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fungusdb::server {
 
@@ -32,24 +33,24 @@ class RequestQueue {
 
   /// False when the queue is full or closed — callers map both to a
   /// typed refusal (kOverloaded / kShuttingDown).
-  bool TryPush(T item) {
+  bool TryPush(T item) FUNGUS_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       if (items_.size() > depth_high_water_) {
         depth_high_water_ = items_.size();
       }
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed AND
   /// drained; nullopt means the consumer should exit.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() FUNGUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) ready_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -57,28 +58,28 @@ class RequestQueue {
   }
 
   /// Stops admission. Idempotent; queued items still drain.
-  void Close() {
+  void Close() FUNGUS_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const FUNGUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t depth() const FUNGUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   /// Deepest the queue has ever been — exported as the
   /// fungusdb.server.queue_depth_high_water gauge.
-  size_t depth_high_water() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t depth_high_water() const FUNGUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return depth_high_water_;
   }
 
@@ -86,11 +87,11 @@ class RequestQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  size_t depth_high_water_ = 0;
+  mutable Mutex mu_;
+  CondVar ready_;
+  std::deque<T> items_ FUNGUS_GUARDED_BY(mu_);
+  bool closed_ FUNGUS_GUARDED_BY(mu_) = false;
+  size_t depth_high_water_ FUNGUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fungusdb::server

@@ -72,12 +72,15 @@ Status Server::Start() {
     read_threads_.emplace_back([this, i] { ReadWorkerLoop(i); });
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
-  started_ = true;
+  {
+    MutexLock stop_lock(stop_mu_);
+    started_ = true;
+  }
   return Status::OK();
 }
 
 void Server::Stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(stop_mu_);
   if (stopped_ || !started_) {
     stopped_ = true;
     return;
@@ -103,7 +106,7 @@ void Server::Stop() {
   // 3. Every promise is now fulfilled, so connection threads are back
   //    in (or heading to) ReadFrame; unblock them and join.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (auto& [id, conn] : conns_) {
       if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
     }
@@ -111,7 +114,7 @@ void Server::Stop() {
   for (;;) {
     std::map<uint64_t, Connection>::node_type node;
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       if (conns_.empty()) break;
       node = conns_.extract(conns_.begin());
     }
@@ -140,7 +143,7 @@ void Server::Stop() {
 void Server::ReapFinishedConnections() {
   std::vector<std::thread> finished;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if (it->second.done) {
         finished.push_back(std::move(it->second.thread));
@@ -166,7 +169,7 @@ void Server::AcceptLoop() {
     metrics.IncrementCounter("fungusdb.server.connections_accepted");
     ReapFinishedConnections();
 
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     if (conns_.size() >= options_.max_connections) {
       // Admission control for connections: a clean immediate EOF (the
       // UniqueFd destructor) — the client sees ConnectionClosed, not a
@@ -279,7 +282,7 @@ void Server::ServeConnection(uint64_t conn_id, int fd) {
     }
     if (!sent.ok()) break;
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   auto it = conns_.find(conn_id);
   if (it != conns_.end()) {
     it->second.done = true;
@@ -368,7 +371,7 @@ void Server::ProcessRequest(PendingRequest pending, int worker) {
     metrics.RecordHistogram("fungusdb.server.statement_latency_us",
                             worker_label, micros);
     {
-      std::lock_guard<std::mutex> lock(latency_mu_);
+      MutexLock lock(latency_mu_);
       latency_sketch_.Observe(Value::Float64(static_cast<double>(micros)));
     }
     if (!results.back().ok()) {
@@ -401,7 +404,7 @@ Result<ResultSet> Server::ExecuteReadStatement(size_t worker_index,
     // (GetTable, Health, Fsck, TableNames) re-pin reentrantly, and
     // scheduler state (\rot) cannot change underneath because the pin
     // excludes the writer for the duration.
-    EpochManager::ReadPin pin = db_->epochs().PinRead();
+    EpochManager::ReadPin pin(db_->epochs());
     return ExecuteReadMeta(trimmed);
   }
   return sessions_[worker_index]->ExecuteRead(trimmed);
@@ -425,7 +428,7 @@ Result<ResultSet> Server::ExecuteReadMeta(const std::string& line) {
     }
     std::string sketch;
     {
-      std::lock_guard<std::mutex> lock(latency_mu_);
+      MutexLock lock(latency_mu_);
       sketch = latency_sketch_.Describe();
     }
     return TextResult("metrics",

@@ -7,11 +7,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/database.h"
 #include "core/session.h"
 #include "server/request_queue.h"
@@ -152,9 +153,12 @@ class Server {
   RequestQueue<PendingRequest> queue_;
   RequestQueue<PendingRequest> read_queue_;
   /// Written by every worker; HistogramSketch is not thread-safe.
-  std::mutex latency_mu_;
-  HistogramSketch latency_sketch_;
+  Mutex latency_mu_;
+  HistogramSketch latency_sketch_ FUNGUS_GUARDED_BY(latency_mu_);
 
+  // Lifecycle state below is written only in Start() (before any worker
+  // thread exists) and read by workers afterwards — the thread spawns
+  // order it; capability_audit.py carries the justified entries.
   UniqueFd listener_;
   uint16_t port_ = 0;
   std::thread acceptor_;
@@ -163,14 +167,14 @@ class Server {
   std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<std::thread> read_threads_;
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
 
-  std::mutex stop_mu_;
-  bool stopped_ = false;
+  Mutex stop_mu_;
+  bool started_ FUNGUS_GUARDED_BY(stop_mu_) = false;
+  bool stopped_ FUNGUS_GUARDED_BY(stop_mu_) = false;
 
-  std::mutex conns_mu_;
-  std::map<uint64_t, Connection> conns_;
-  uint64_t next_conn_id_ = 0;
+  Mutex conns_mu_;
+  std::map<uint64_t, Connection> conns_ FUNGUS_GUARDED_BY(conns_mu_);
+  uint64_t next_conn_id_ FUNGUS_GUARDED_BY(conns_mu_) = 0;
 };
 
 }  // namespace fungusdb::server

@@ -1,0 +1,24 @@
+// Positive half of the epoch-capability compile test: a writer holding
+// the exclusive epoch section may call the mutating internal API, and a
+// reader pin satisfies the shared-capability query surface. This
+// translation unit must compile CLEANLY under
+//   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror
+// (driven by check_thread_safety.sh; see the negative twin for the
+// build that must fail).
+
+#include "core/database.h"
+#include "core/internal_access.h"
+
+namespace fungusdb {
+
+void WriterMayMutate(Database& db) {
+  EpochManager::WriteGuard guard(db.epochs());
+  (void)internal::DatabaseInternal::MutableTable(db, "spores");
+}
+
+void ReaderMayQuery(Database& db) {
+  EpochManager::ReadPin pin(db.epochs());
+  (void)db.GetTable("spores");
+}
+
+}  // namespace fungusdb

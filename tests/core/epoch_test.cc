@@ -43,6 +43,26 @@ TEST(EpochTest, ReadPinReportsThePinnedEpoch) {
   EXPECT_FALSE(pin.pinned());
 }
 
+TEST(EpochTest, ScopedConstructorsPinAndGuard) {
+  EpochManager epochs;
+  {
+    // The constructor form the thread safety analysis tracks —
+    // equivalent to BeginWrite()/PinRead() in every observable way.
+    EpochManager::WriteGuard guard(epochs);
+  }
+  EXPECT_EQ(epochs.epoch(), 1u);
+  {
+    EpochManager::ReadPin pin(epochs);
+    EXPECT_TRUE(pin.pinned());
+    EXPECT_EQ(pin.epoch(), 1u);
+    // A nested constructor-form pin is reentrant like PinRead().
+    EpochManager::ReadPin nested(epochs);
+    EXPECT_TRUE(nested.pinned());
+  }
+  // Every pin released: a writer can enter immediately.
+  EpochManager::WriteGuard guard(epochs);
+}
+
 TEST(EpochTest, ReadPinIsMovable) {
   EpochManager epochs;
   EpochManager::ReadPin pin = epochs.PinRead();

@@ -11,14 +11,14 @@ Enforces the repo-specific rules that generic linters cannot:
   naked-random    no std::rand / srand / time(nullptr) / random_device /
                   mt19937 outside src/common/random.* — all randomness
                   goes through the seeded, reproducible common/random.
-  apply-phase     shard-state mutators (Shard::SetFreshness /
-                  DecayFreshness / Kill, marked FUNGUS_REQUIRES_APPLY_PHASE
-                  in shard.h) may only be called from the apply phase:
-                  storage/table.cc (coordinator single-shard path),
-                  fungus/scheduler.cc (parallel apply), and
-                  verify/corruptor.cc (test-only corruption seeder).
-  marker          the FUNGUS_REQUIRES_APPLY_PHASE markers themselves
-                  must stay on the three Shard mutators.
+  pin-discipline  no immediately-destroyed epoch pins: `PinRead();` or
+                  `BeginWrite();` as a whole statement takes and drops
+                  the pin in one expression, which synchronizes nothing
+                  and usually means the author thought they were
+                  holding it. Scans tests/ too (the compile-time
+                  [[nodiscard]] already covers expression contexts);
+                  tests/core/epoch_test.cc is the one allowed exception
+                  (it tests the pin mechanics themselves).
   wire-framing    raw framing primitives — hton*/ntoh* byte-order calls
                   and memcpy-into-lvalue decoding — only in
                   src/server/wire_format.* (the one place that lays out
@@ -37,6 +37,9 @@ Enforces the repo-specific rules that generic linters cannot:
   no-suppression  no NOLINT / lint-off escapes inside src/.
   hygiene         no tabs, no trailing whitespace, newline at EOF.
 
+The concurrency-contract rules (guarded-by coverage, raw-mutex ban,
+apply-phase whitelist) live in tools/analyze/capability_audit.py.
+
 Usage: tools/lint/fungus_lint.py [repo-root]
 Exits 0 when clean, 1 with one "file:line: rule: message" per finding.
 """
@@ -47,11 +50,8 @@ import sys
 
 CXX_SUFFIXES = {".h", ".cc", ".cpp"}
 
-APPLY_PHASE_ALLOWLIST = {
-    "src/storage/shard.h",       # the declarations themselves
-    "src/storage/table.cc",      # coordinator single-row path
-    "src/fungus/scheduler.cc",   # parallel apply phase
-    "src/verify/corruptor.cc",   # test-only corruption seeder
+PIN_DISCIPLINE_ALLOWLIST = {
+    "tests/core/epoch_test.cc",  # tests the pin mechanics themselves
 }
 
 NAKED_RANDOM_ALLOWLIST = {
@@ -66,8 +66,6 @@ WIRE_FRAMING_ALLOWLIST = {
     "src/summary/hashing.cc",     # double -> bits for hashing, not framing
 }
 
-SHARD_MUTATORS = ("SetFreshness", "DecayFreshness", "Kill")
-
 RE_VOID_DISCARD = re.compile(r"\(void\)\s*[\w:]+(?:\.|->|\()")
 RE_VOID_BARE = re.compile(r"\(void\)\s*\w+\s*;")
 RE_NAKED_RANDOM = re.compile(
@@ -78,10 +76,11 @@ RE_WIRE_FRAMING = re.compile(
     r"\b(?:hton|ntoh)(?:s|l|ll)\s*\("
     r"|\b(?:__builtin_)?memcpy\s*\(\s*&")
 RE_GET_VALUE = re.compile(r"\bGetValue\s*\(")
-RE_SHARD_CALL = re.compile(
-    r"(?:\bShardFor\s*\([^)]*\)|\bshards?_?\s*\[[^\]]*\]"
-    r"|\bshards?\s*\([^)]*\)|\b[Ss]hard\w*)\s*\.\s*(?:%s)\s*\(" %
-    "|".join(SHARD_MUTATORS))
+# A statement that is nothing but a pin acquisition: the scoped result
+# is a temporary, destroyed before the semicolon.
+RE_PIN_DISCARD = re.compile(
+    r"^\s*(?:[\w:]+(?:\(\s*\))?\s*(?:\.|->)\s*)*"
+    r"(?:PinRead|BeginWrite)\s*\(\s*\)\s*;")
 RE_METRIC_CALL = re.compile(
     r"\b(?:IncrementCounter|SetGauge|RecordHistogram|GetCounter"
     r"|GetGauge|FindHistogram|Histogram)\s*\(\s*\"([^\"]*)\"")
@@ -160,10 +159,22 @@ def scrub_comments_only(text):
     return "".join(out)
 
 
+def lint_pin_discipline(rel, code, findings):
+    if rel in PIN_DISCIPLINE_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if RE_PIN_DISCARD.match(line):
+            findings.append((rel, lineno, "pin-discipline",
+                             "epoch pin discarded in the same statement;"
+                             " bind it (EpochManager::ReadPin pin = ...)"
+                             " so it covers the reads it protects"))
+
+
 def lint_file(root, path, findings):
     rel = path.relative_to(root).as_posix()
     raw = path.read_text(encoding="utf-8")
     code = scrub(raw)
+    lint_pin_discipline(rel, code, findings)
 
     # Metric names live inside string literals, so this rule scans a
     # comment-only scrub that keeps them.
@@ -200,12 +211,6 @@ def lint_file(root, path, findings):
                              "GetValue( boxes a Value per row; the"
                              " vector kernel must read typed column"
                              " spans"))
-        if (rel.startswith("src/") and rel not in APPLY_PHASE_ALLOWLIST
-                and RE_SHARD_CALL.search(line)):
-            findings.append((rel, lineno, "apply-phase",
-                             "shard-state mutation outside the apply"
-                             " phase (see FUNGUS_REQUIRES_APPLY_PHASE"
-                             " in storage/shard.h)"))
     # Suppressions live in comments, so they are matched on RAW text.
     for lineno, line in enumerate(raw.splitlines(), start=1):
         if rel.startswith("src/") and RE_SUPPRESSION.search(line):
@@ -224,24 +229,26 @@ def lint_file(root, path, findings):
 def lint_nodiscard_presence(root, findings):
     for rel, cls in (("src/common/status.h", "Status"),
                      ("src/common/result.h", "Result")):
-        text = (root / rel).read_text(encoding="utf-8")
+        target = root / rel
+        if not target.is_file():
+            # Fixture trees used by the lint self-test omit these files.
+            continue
+        text = target.read_text(encoding="utf-8")
         if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, text):
             findings.append((rel, 1, "nodiscard",
                              "class %s must carry [[nodiscard]]" % cls))
 
 
-def lint_apply_phase_markers(root, findings):
-    text = scrub((root / "src/storage/shard.h").read_text(encoding="utf-8"))
-    for mutator in SHARD_MUTATORS:
-        # The marker must appear in the declaration, i.e. between the
-        # marker macro and the mutator name on the same declaration.
-        if not re.search(
-                r"FUNGUS_REQUIRES_APPLY_PHASE[\s\w\[\]]*\s" + mutator +
-                r"\s*\(", text):
-            findings.append(("src/storage/shard.h", 1, "marker",
-                             "Shard::%s lost its"
-                             " FUNGUS_REQUIRES_APPLY_PHASE marker" %
-                             mutator))
+def walk_sources(root, tops):
+    for top in tops:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if "testdata" in path.relative_to(root).parts:
+                continue  # lint fixtures contain deliberate violations
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                yield path
 
 
 def main():
@@ -252,14 +259,15 @@ def main():
         sys.argv[1]).resolve() if len(sys.argv) > 1 else default_root
     findings = []
     lint_nodiscard_presence(root, findings)
-    lint_apply_phase_markers(root, findings)
-    for top in ("src", "tools", "fuzz"):
-        base = root / top
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix in CXX_SUFFIXES and path.is_file():
-                lint_file(root, path, findings)
+    for path in walk_sources(root, ("src", "tools", "fuzz")):
+        lint_file(root, path, findings)
+    # Tests are exempt from the style rules above, but a discarded pin
+    # in a test silently voids the very guarantee the test exercises —
+    # so pin-discipline alone also covers tests/.
+    for path in walk_sources(root, ("tests",)):
+        rel = path.relative_to(root).as_posix()
+        lint_pin_discipline(rel, scrub(path.read_text(encoding="utf-8")),
+                            findings)
 
     for rel, lineno, rule, message in findings:
         print("%s:%d: %s: %s" % (rel, lineno, rule, message))

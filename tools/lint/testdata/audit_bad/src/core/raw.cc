@@ -1,0 +1,11 @@
+#include <mutex>
+
+namespace fungusdb {
+
+std::mutex big_lock;
+
+void Touch() {
+  std::lock_guard<std::mutex> hold(big_lock);
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,21 @@
+#ifndef FIXTURE_AUDIT_BAD_UNGUARDED_H_
+#define FIXTURE_AUDIT_BAD_UNGUARDED_H_
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fungusdb {
+
+class Cache {
+ public:
+  void Put(int key) FUNGUS_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  int hits_ FUNGUS_GUARDED_BY(mu_) = 0;
+  int misses_ = 0;
+};
+
+}  // namespace fungusdb
+
+#endif  // FIXTURE_AUDIT_BAD_UNGUARDED_H_

@@ -1,0 +1,9 @@
+#include "storage/shard.h"
+
+namespace fungusdb {
+
+void RogueMutation(Shard& shard, uint32_t row) {
+  shard.Kill(row);
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,27 @@
+#ifndef FIXTURE_AUDIT_GOOD_GUARDED_H_
+#define FIXTURE_AUDIT_GOOD_GUARDED_H_
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fungusdb {
+
+// Every mutable member of a Mutex-owning class is either guarded,
+// const, or self-synchronizing — the audit must stay clean.
+class Cache {
+ public:
+  void Put(int key) FUNGUS_EXCLUDES(mu_);
+  int hits() const FUNGUS_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  CondVar filled_;
+  std::atomic<uint64_t> generation_{0};
+  const int capacity_ = 64;
+  int hits_ FUNGUS_GUARDED_BY(mu_) = 0;
+  std::vector<int> entries_ FUNGUS_GUARDED_BY(mu_);
+};
+
+}  // namespace fungusdb
+
+#endif  // FIXTURE_AUDIT_GOOD_GUARDED_H_

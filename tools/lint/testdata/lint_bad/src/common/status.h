@@ -1,0 +1,13 @@
+#ifndef FIXTURE_BAD_STATUS_H_
+#define FIXTURE_BAD_STATUS_H_
+
+namespace fungusdb {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace fungusdb
+
+#endif  // FIXTURE_BAD_STATUS_H_

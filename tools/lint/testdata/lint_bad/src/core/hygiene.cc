@@ -1,0 +1,11 @@
+#include <cstdint>
+
+namespace fungusdb {
+
+int Sloppy() {
+	int tabbed = 1;  // NOLINT
+  int trailing = 2;   
+  return tabbed + trailing;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,16 @@
+#include <cstdlib>
+
+#include "core/epoch.h"
+
+namespace fungusdb {
+
+void Offender(Database& db, MetricsRegistry& metrics) {
+  (void)db.Execute("SELECT 1");
+  int jitter = std::rand();
+  db.epochs().PinRead();
+  metrics.IncrementCounter("decays");
+  uint32_t framed = htonl(static_cast<uint32_t>(jitter));
+  (void)framed;
+}
+
+}  // namespace fungusdb

@@ -1,0 +1,10 @@
+#include "query/vector_eval.h"
+
+namespace fungusdb {
+
+void BoxedRow(const Table& table, RowId row) {
+  Value v = table.GetValue(row, 0).value();
+  (void)v;
+}
+
+}  // namespace fungusdb

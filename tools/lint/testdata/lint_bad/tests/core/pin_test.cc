@@ -1,0 +1,11 @@
+#include "core/epoch.h"
+
+namespace fungusdb {
+
+// Not the allowlisted epoch_test.cc path: the discarded pin must fire
+// even inside tests/.
+void DiscardedPinInTest(EpochManager& epochs) {
+  epochs.BeginWrite();
+}
+
+}  // namespace fungusdb

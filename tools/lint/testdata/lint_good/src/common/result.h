@@ -1,0 +1,14 @@
+#ifndef FIXTURE_GOOD_RESULT_H_
+#define FIXTURE_GOOD_RESULT_H_
+
+namespace fungusdb {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace fungusdb
+
+#endif  // FIXTURE_GOOD_RESULT_H_

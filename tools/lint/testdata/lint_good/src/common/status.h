@@ -1,0 +1,13 @@
+#ifndef FIXTURE_GOOD_STATUS_H_
+#define FIXTURE_GOOD_STATUS_H_
+
+namespace fungusdb {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace fungusdb
+
+#endif  // FIXTURE_GOOD_STATUS_H_

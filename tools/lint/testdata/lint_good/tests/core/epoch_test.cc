@@ -1,0 +1,12 @@
+#include "core/epoch.h"
+
+namespace fungusdb {
+
+// A deliberately discarded pin: legal ONLY here — this path is the
+// pin-discipline allowlist entry (the real epoch_test exercises pin
+// mechanics). The self-test asserts this tree stays clean.
+void AllowlistedDiscard(EpochManager& epochs) {
+  epochs.PinRead();
+}
+
+}  // namespace fungusdb
