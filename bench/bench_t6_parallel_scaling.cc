@@ -11,6 +11,12 @@
 // checksum of the surviving (row, freshness) pairs. The checksum column
 // must be identical down the sweep; speedups depend on the host's
 // actual core count.
+//
+// A second sweep (d) pits lazy epoch decay against eager row walks on a
+// table whose segments are all frozen (uniform retention decrement,
+// no deaths): with lazy_decay on, every tick folds one pending
+// decrement per segment — O(segments) — instead of rewriting every
+// row, and must come out >= 10x cheaper per tick.
 
 #include <cstdint>
 #include <memory>
@@ -18,6 +24,7 @@
 #include "bench/bench_util.h"
 #include "core/database.h"
 #include "fungus/egi_fungus.h"
+#include "fungus/retention_fungus.h"
 #include "summary/hashing.h"
 #include "workload/iot_workload.h"
 
@@ -123,6 +130,66 @@ void Run() {
   std::printf("\ndecay outcomes %s across thread counts%s\n",
               checksums_agree ? "IDENTICAL" : "DIVERGED",
               checksums_agree ? "" : " — determinism contract violated!");
+
+  // (d) Lazy epoch decay vs eager row walks on an all-frozen table:
+  // long-retention fungus, every row inserted at t=0, so after the
+  // first (formula) tick every subsequent tick is a uniform decrement
+  // fully covered by the zone map — the fold fast path.
+  std::printf("\nlazy epoch decay: O(segments) ticks on a frozen table\n");
+  bench::TablePrinter lazy_printer(
+      {"decay_mode", "ticks", "tick_ms", "segments_folded",
+       "tick_speedup"},
+      16);
+  lazy_printer.MirrorTo(&report);
+  lazy_printer.PrintHeader();
+
+  double eager_tick_ms = 0.0;
+  double lazy_tick_ms = 0.0;
+  for (const bool lazy : {false, true}) {
+    DatabaseOptions opts;
+    opts.num_threads = 4;
+    Database db(opts);
+    IotWorkload workload(IotWorkload::Params{});
+    TableOptions topts;
+    topts.rows_per_segment = 4096;
+    topts.num_shards = 8;
+    topts.lazy_decay = lazy;
+    db.CreateTable("readings", workload.schema(), topts).value();
+    db.Ingest("readings", workload, kRows).value();
+    const TableHandle t = db.GetTable("readings").value();
+
+    // Retention far beyond the bench horizon: ticks decrement freshness
+    // uniformly and kill nothing, keeping every segment foldable.
+    db.AttachFungus("readings",
+                    std::make_unique<RetentionFungus>(1000 * kHour),
+                    /*interval=*/kMinute)
+        .value();
+    // First tick runs the per-row formula pass in both modes.
+    db.AdvanceTime(kMinute).value();
+
+    bench::Stopwatch watch;
+    db.AdvanceTime(kDecayTicks * kMinute).value();
+    const double tick_ms =
+        watch.ElapsedMicros() / 1000.0 / kDecayTicks;
+
+    uint64_t folded = 0;
+    if (const auto info = db.scheduler().StatsForTable(&t.table())) {
+      folded = info->decay.segments_folded;
+    }
+    if (lazy) {
+      lazy_tick_ms = tick_ms;
+    } else {
+      eager_tick_ms = tick_ms;
+    }
+    lazy_printer.PrintRow(
+        {lazy ? "lazy" : "eager", bench::Fmt(uint64_t{kDecayTicks}),
+         bench::Fmt(tick_ms, 3), bench::Fmt(folded),
+         lazy ? bench::Fmt(eager_tick_ms / tick_ms, 1) + "x" : "1.0x"});
+  }
+  std::printf("\nlazy ticks are %.1fx cheaper than eager on the frozen "
+              "table (bar: 10x)\n",
+              eager_tick_ms / lazy_tick_ms);
+
   report.Write();
 }
 

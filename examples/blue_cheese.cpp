@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "fungus/egi_fungus.h"
-#include "fungus/rot_analysis.h"
+#include "fungusdb/fungi.h"
 
 using namespace fungusdb;
 

@@ -8,9 +8,9 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/database.h"
-#include "summary/grouped_aggregate.h"
-#include "workload/clickstream_workload.h"
+#include "fungusdb/database.h"
+#include "fungusdb/summaries.h"
+#include "fungusdb/workloads.h"
 
 using namespace fungusdb;
 

@@ -10,13 +10,10 @@
 #include <cstdio>
 #include <memory>
 
-#include "common/random.h"
-#include "common/string_util.h"
-#include "core/database.h"
-#include "fungus/composite_fungus.h"
-#include "fungus/quota_fungus.h"
-#include "fungus/semantic_fungus.h"
-#include "query/parser.h"
+#include "fungusdb/common.h"
+#include "fungusdb/database.h"
+#include "fungusdb/fungi.h"
+#include "fungusdb/query.h"
 
 using namespace fungusdb;
 

@@ -13,10 +13,9 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/database.h"
-#include "fungus/retention_fungus.h"
-#include "persist/journal.h"
-#include "persist/snapshot.h"
+#include "fungusdb/database.h"
+#include "fungusdb/fungi.h"
+#include "fungusdb/persist.h"
 
 using namespace fungusdb;
 

@@ -8,12 +8,10 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/database.h"
-#include "fungus/exponential_fungus.h"
-#include "summary/grouped_aggregate.h"
-#include "summary/histogram_sketch.h"
-#include "summary/hyperloglog.h"
-#include "workload/iot_workload.h"
+#include "fungusdb/database.h"
+#include "fungusdb/fungi.h"
+#include "fungusdb/summaries.h"
+#include "fungusdb/workloads.h"
 
 using namespace fungusdb;
 

@@ -7,8 +7,8 @@
 
 #include <cstdio>
 
-#include "core/database.h"
-#include "fungus/retention_fungus.h"
+#include "fungusdb/database.h"
+#include "fungusdb/fungi.h"
 
 using namespace fungusdb;
 

@@ -1,0 +1,12 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_CLIENT_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_CLIENT_H_
+
+/// Public surface: the network client for a fungusd server. Thin
+/// re-export over src/ (see status.h for the rationale). The server
+/// itself is NOT public API — the daemons reach it through an explicit
+/// lint allowlist.
+
+#include "fungusdb/result.h"
+#include "server/client.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_CLIENT_H_

@@ -1,0 +1,12 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_COMMON_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_COMMON_H_
+
+/// Public surface: small utilities examples and tools lean on —
+/// deterministic RNG helpers, string formatting, and the span tracer.
+/// Thin re-export over src/ (see status.h for the rationale).
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_COMMON_H_

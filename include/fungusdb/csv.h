@@ -1,0 +1,9 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_CSV_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_CSV_H_
+
+/// Public surface: the CSV record source for ingestion pipelines. Thin
+/// re-export over src/ (see status.h for the rationale).
+
+#include "pipeline/csv.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_CSV_H_

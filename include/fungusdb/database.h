@@ -1,0 +1,13 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_DATABASE_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_DATABASE_H_
+
+/// Public surface: fungusdb::Database — tables, fungi on the periodic
+/// clock, queries, cooking, verification — plus Session for concurrent
+/// reads. Thin re-export over src/ (see status.h for the rationale).
+
+#include "core/database.h"
+#include "core/session.h"
+#include "fungusdb/result.h"
+#include "fungusdb/table_handle.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_DATABASE_H_

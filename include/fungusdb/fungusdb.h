@@ -1,0 +1,35 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_FUNGUSDB_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_FUNGUSDB_H_
+
+/// Umbrella header for the FungusDB public API.
+///
+/// Embedders include this (or a subset of the sibling headers) and link
+/// against the fungusdb library. Everything under src/ is an
+/// implementation detail; the `public-api` lint rule keeps examples/
+/// and tools/ honest about that boundary.
+///
+/// Sibling headers, for finer-grained includes:
+///   fungusdb/status.h        — Status / error codes
+///   fungusdb/result.h        — Result<T>
+///   fungusdb/database.h      — Database, Session, TableOptions
+///   fungusdb/table_handle.h  — typed table accessors
+///   fungusdb/fungi.h         — decay operators + rot analysis
+///   fungusdb/query.h         — statement parser
+///   fungusdb/persist.h       — snapshot + journal durability
+///   fungusdb/summaries.h     — summary kinds + table stats
+///   fungusdb/workloads.h     — synthetic record sources
+///   fungusdb/csv.h           — CSV ingestion
+///   fungusdb/client.h        — network client for fungusd
+///   fungusdb/common.h        — RNG / string / trace utilities
+
+#include "fungusdb/database.h"
+#include "fungusdb/error_code.h"
+#include "fungusdb/fungi.h"
+#include "fungusdb/persist.h"
+#include "fungusdb/query.h"
+#include "fungusdb/result.h"
+#include "fungusdb/status.h"
+#include "fungusdb/summaries.h"
+#include "fungusdb/table_handle.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_FUNGUSDB_H_

@@ -1,0 +1,13 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_PERSIST_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_PERSIST_H_
+
+/// Public surface: durability — snapshot save/load and the journaled
+/// facade. Thin re-export over src/ (see status.h for the rationale).
+/// The fsck/audit internals stay private; `funguscheck` reaches them
+/// through an explicit lint allowlist.
+
+#include "fungusdb/database.h"
+#include "persist/journal.h"
+#include "persist/snapshot.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_PERSIST_H_

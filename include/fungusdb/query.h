@@ -1,0 +1,11 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_QUERY_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_QUERY_H_
+
+/// Public surface: the statement parser for the FungusDB SQL dialect
+/// (programmatic Query construction included via the parser's types).
+/// Thin re-export over src/ (see status.h for the rationale).
+
+#include "fungusdb/result.h"
+#include "query/parser.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_QUERY_H_

@@ -1,0 +1,11 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_RESULT_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_RESULT_H_
+
+/// Public surface: fungusdb::Result<T> and FUNGUSDB_ASSIGN_OR_RETURN /
+/// FUNGUSDB_RETURN_IF_ERROR. Thin re-export over src/ (see status.h
+/// for the rationale).
+
+#include "common/result.h"
+#include "fungusdb/status.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_RESULT_H_

@@ -1,0 +1,13 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_STATUS_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_STATUS_H_
+
+/// Public surface: fungusdb::Status and the status helper macros.
+///
+/// Thin re-export — the implementation lives in src/ and may move;
+/// applications, examples and tools include only "fungusdb/..." paths
+/// (the `public-api` lint rule enforces this), so this indirection is
+/// what lets the internal layout change without breaking users.
+
+#include "common/status.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_STATUS_H_

@@ -1,0 +1,13 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_SUMMARIES_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_SUMMARIES_H_
+
+/// Public surface: the summary kinds the Kitchen cooks rotting tuples
+/// into, plus per-table statistics. Thin re-export over src/ (see
+/// status.h for the rationale).
+
+#include "summary/grouped_aggregate.h"
+#include "summary/histogram_sketch.h"
+#include "summary/hyperloglog.h"
+#include "summary/table_stats.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_SUMMARIES_H_

@@ -1,0 +1,12 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_TABLE_HANDLE_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_TABLE_HANDLE_H_
+
+/// Public surface: fungusdb::TableHandle — the read-only per-table view
+/// returned by Database::CreateTable/GetTable — plus the storage types
+/// its accessors traffic in (Schema, Value, RowId, TableOptions). Thin
+/// re-export over src/ (see status.h for the rationale).
+
+#include "core/table_handle.h"
+#include "fungusdb/result.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_TABLE_HANDLE_H_

@@ -1,0 +1,11 @@
+#ifndef FUNGUSDB_INCLUDE_FUNGUSDB_WORKLOADS_H_
+#define FUNGUSDB_INCLUDE_FUNGUSDB_WORKLOADS_H_
+
+/// Public surface: the synthetic record sources used by examples and
+/// benchmarks. Thin re-export over src/ (see status.h for the
+/// rationale).
+
+#include "workload/clickstream_workload.h"
+#include "workload/iot_workload.h"
+
+#endif  // FUNGUSDB_INCLUDE_FUNGUSDB_WORKLOADS_H_

@@ -38,6 +38,24 @@ void ShardPlanContext::Kill(RowId row) {
   Record(row, ShardAction::Op::kKill, 0.0);
 }
 
+void ShardPlanContext::DecaySegmentUniform(uint64_t seg_no,
+                                           const Segment& seg,
+                                           double delta) {
+  assert(table_->ShardIdOf(seg.first_row()) == shard_id_ &&
+         "planned fold targets a foreign shard");
+  // Foldability is stable between here and the apply phase: nothing
+  // mutates the table until every planner passed the barrier, and the
+  // apply worker handles a shard's folds before its row actions.
+  if (table_->options().lazy_decay && seg.CanFoldUniformDecay(delta)) {
+    plan_.folds.push_back(ShardFold{seg_no, delta});
+    return;
+  }
+  const size_t n = seg.num_rows();
+  for (size_t off = 0; off < n; ++off) {
+    if (seg.IsLive(off)) Decay(seg.first_row() + off, delta);
+  }
+}
+
 DecayContext::DecayContext(Table* table, Timestamp now)
     : table_(table), now_(now) {}
 
@@ -70,6 +88,22 @@ void DecayContext::Kill(RowId row) {
   FUNGUSDB_CHECK_OK(table_->Kill(row));
   killed_.push_back(row);
   ++stats_.tuples_killed;
+}
+
+void DecayContext::DecaySegmentUniform(uint64_t seg_no, const Segment& seg,
+                                       double delta) {
+  if (table_->TryFoldUniformDecay(seg_no, delta)) {
+    // The fold's no-death proof covers exactly the live rows, so the
+    // eager path would have touched live_count() rows and killed none —
+    // count the same, keeping stats mode-independent.
+    stats_.tuples_touched += seg.live_count();
+    ++stats_.segments_folded;
+    return;
+  }
+  const size_t n = seg.num_rows();
+  for (size_t off = 0; off < n; ++off) {
+    if (seg.IsLive(off)) Decay(seg.first_row() + off, delta);
+  }
 }
 
 }  // namespace fungusdb

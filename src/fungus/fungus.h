@@ -13,16 +13,25 @@ namespace fungusdb {
 
 /// Outcome of one fungus application (one clock tick).
 struct DecayStats {
-  uint64_t tuples_touched = 0;    // freshness updates applied
+  uint64_t tuples_touched = 0;    // freshness updates applied (folds
+                                  // count their covered live rows — the
+                                  // tick logically decayed them)
   uint64_t tuples_killed = 0;     // tuples whose freshness reached 0
   uint64_t seeds_planted = 0;     // new infections (EGI-style fungi)
   uint64_t segments_skipped = 0;  // segments bypassed via zone maps
+  uint64_t segments_folded = 0;   // uniform decays folded as pending
+                                  // decrements instead of row rewrites
+  uint64_t rows_materialized = 0; // deferred decrements later applied
+                                  // to rows (the lazy path's true cost;
+                                  // filled in by the scheduler)
 
   DecayStats& operator+=(const DecayStats& other) {
     tuples_touched += other.tuples_touched;
     tuples_killed += other.tuples_killed;
     seeds_planted += other.seeds_planted;
     segments_skipped += other.segments_skipped;
+    segments_folded += other.segments_folded;
+    rows_materialized += other.rows_materialized;
     return *this;
   }
 };
@@ -48,6 +57,15 @@ class DecayContext {
 
   /// Kills the tuple immediately.
   void Kill(RowId row);
+
+  /// Decreases every live row of segment `seg_no` by the same `delta`,
+  /// none of which can die from it. Folds the decrement as segment
+  /// metadata when the table allows it (lazy decay on and the segment
+  /// proves no death possible — DESIGN.md §14), otherwise decays row by
+  /// row; observable state is bit-identical either way. A fungus must
+  /// not mix this with per-row ops against the same segment in one tick.
+  void DecaySegmentUniform(uint64_t seg_no, const Segment& seg,
+                           double delta);
 
   /// Records a seed planted (bookkeeping only).
   void NoteSeed() { ++stats_.seeds_planted; }
@@ -79,9 +97,18 @@ struct ShardAction {
   double amount = 0.0;  // delta for kDecay, target freshness for kSet
 };
 
+/// One planned segment-uniform decrement (lazy decay): the whole
+/// segment proved foldable at plan time, so the apply worker records a
+/// pending decrement instead of row writes.
+struct ShardFold {
+  uint64_t seg_no = 0;
+  double delta = 0.0;
+};
+
 /// Everything one shard's planner produced for one tick.
 struct ShardPlan {
   std::vector<ShardAction> actions;  // own-shard rows, in plan order
+  std::vector<ShardFold> folds;      // own-shard segments, in plan order
   uint64_t seeds_planted = 0;
   uint64_t segments_skipped = 0;  // segments bypassed via zone maps
 };
@@ -124,6 +151,15 @@ class ShardPlanContext {
 
   /// Plans an immediate kill.
   void Kill(RowId row);
+
+  /// Plans a uniform decrement over every live row of segment `seg_no`
+  /// (which must belong to this shard). Folds when the table allows it,
+  /// otherwise expands into per-row Decay actions — the apply phase
+  /// then produces bit-identical state either way. Same contract as
+  /// DecayContext::DecaySegmentUniform: no mixing with per-row ops
+  /// against the same segment in one tick.
+  void DecaySegmentUniform(uint64_t seg_no, const Segment& seg,
+                           double delta);
 
   /// Records a seed planted (bookkeeping only).
   void NoteSeed() { ++plan_.seeds_planted; }

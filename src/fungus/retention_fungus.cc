@@ -13,25 +13,39 @@ namespace {
 /// Zone-map skips, cheapest first:
 ///  * live_count == 0 — nothing left to decay;
 ///  * frozen-fresh — every row was inserted at or after `now`
-///    (min_ts >= now) and every live freshness is exactly 1.0
+///    (min_ts >= now) and every live effective freshness is exactly 1.0
 ///    (the conservative [min_f, max_f] collapses to [1, 1], and the
 ///    storage layer never lets freshness exceed 1), so every write this
-///    tick would set the value it already has.
+///    tick would set the value it already has. The EFFECTIVE bounds make
+///    this decision identical with lazy decay on or off.
 /// When max_ts is at least `retention` old, every row is expired and the
-/// segment bulk-kills without computing per-row ages.
+/// segment bulk-kills without computing per-row ages. Otherwise, a
+/// segment whose rows all predate `prev_tick` already had its
+/// per-row formula pass, and since then every row aged by exactly
+/// now - prev_tick — one uniform decrement, the foldable shape.
+/// Everything else (first tick, segments with rows newer than the
+/// previous tick) takes the formula pass.
 template <typename Ctx>
-void TickSegment(const Segment& seg, Timestamp now, Duration retention,
+void TickSegment(uint64_t seg_no, const Segment& seg, Timestamp now,
+                 Duration retention, std::optional<Timestamp> prev_tick,
                  Ctx& ctx) {
   if (seg.live_count() == 0) {
     ctx.NoteSegmentSkipped();
     return;
   }
   const ZoneMap& zone = seg.zone_map();
-  if (zone.min_ts >= now && zone.min_f == 1.0 && zone.max_f == 1.0) {
+  if (zone.min_ts >= now && seg.EffectiveMinFreshness() == 1.0 &&
+      seg.EffectiveMaxFreshness() == 1.0) {
     ctx.NoteSegmentSkipped();
     return;
   }
   const bool all_expired = now - zone.max_ts >= retention;
+  if (!all_expired && prev_tick.has_value() && zone.max_ts <= *prev_tick) {
+    const double delta = static_cast<double>(now - *prev_tick) /
+                         static_cast<double>(retention);
+    ctx.DecaySegmentUniform(seg_no, seg, delta);
+    return;
+  }
   const size_t n = seg.num_rows();
   for (size_t off = 0; off < n; ++off) {
     if (!seg.IsLive(off)) continue;
@@ -62,20 +76,28 @@ RetentionFungus::RetentionFungus(Duration retention) : retention_(retention) {
 void RetentionFungus::Tick(DecayContext& ctx) {
   const Timestamp now = ctx.now();
   Table& table = ctx.table();
+  const std::optional<Timestamp> prev = last_tick_;
+  last_tick_ = now;
   // Freshness under retention is the remaining-life fraction; at or past
   // the retention age it hits 0 and the tuple is discarded. Killing and
   // freshness updates only flip per-row state, so mutating during the
   // segment walk is safe (the segment map itself is untouched).
   for (const auto& [seg_no, seg] : table.segment_index()) {
-    TickSegment(*seg, now, retention_, ctx);
+    TickSegment(seg_no, *seg, now, retention_, prev, ctx);
   }
+}
+
+void RetentionFungus::BeginShardedTick(const Table& table, Timestamp now) {
+  (void)table;
+  plan_prev_tick_ = last_tick_;
+  last_tick_ = now;
 }
 
 void RetentionFungus::PlanShard(ShardPlanContext& ctx) {
   const Timestamp now = ctx.now();
   const Shard& shard = ctx.shard();
   for (const auto& [seg_no, seg] : shard.segments()) {
-    TickSegment(*seg, now, retention_, ctx);
+    TickSegment(seg_no, *seg, now, retention_, plan_prev_tick_, ctx);
   }
 }
 

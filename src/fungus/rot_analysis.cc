@@ -123,6 +123,14 @@ RotReport BuildRotReport(const Table& table,
   if (scheduler != nullptr) {
     if (const auto info = scheduler->StatsForTable(&table)) {
       report.decay_ticks = info->ticks;
+      report.segments_folded = info->decay.segments_folded;
+      report.rows_materialized = info->decay.rows_materialized;
+      if (info->ticks > 0 && table.num_segments() > 0) {
+        report.fold_ratio =
+            static_cast<double>(info->decay.segments_folded) /
+            static_cast<double>(info->ticks) /
+            static_cast<double>(table.num_segments());
+      }
       if (info->ticks > 0 && info->decay.tuples_killed > 0) {
         const double kills_per_tick =
             static_cast<double>(info->decay.tuples_killed) /
@@ -149,6 +157,9 @@ std::string RotReport::ToString() const {
   os << "  rot_front_oldest_live_ts=" << oldest_live_ts
      << " decay_ticks=" << decay_ticks
      << " est_ticks_to_death=" << estimated_ticks_to_death << "\n";
+  os << "  lazy decay: segments_folded=" << segments_folded
+     << " rows_materialized=" << rows_materialized
+     << " fold_ratio=" << fold_ratio << "\n";
   os << "  freshness histogram (0.0 .. 1.0):\n";
   uint64_t max_count = 1;
   for (uint64_t c : freshness_histogram) max_count = std::max(max_count, c);

@@ -57,7 +57,15 @@ struct RotReport {
   /// no fungus is attached or no tick has killed anything yet.
   double estimated_ticks_to_death = -1.0;
   uint64_t decay_ticks = 0;  // ticks the attachment has run
-  std::string heatmap;       // RenderFreshnessAxis at width 60
+  /// Lazy-decay effectiveness: segments whose tick was folded into the
+  /// pending-decrement vector instead of walking rows, rows rewritten
+  /// when pending decay materialized, and folded segments per tick as a
+  /// fraction of the table's current segment count (1.0 = every tick
+  /// was pure O(segments); 0.0 = eager row walks throughout).
+  uint64_t segments_folded = 0;
+  uint64_t rows_materialized = 0;
+  double fold_ratio = 0.0;
+  std::string heatmap;  // RenderFreshnessAxis at width 60
 
   std::string ToString() const;
 };

@@ -75,6 +75,33 @@ std::vector<RowId> DecayScheduler::RunShardedTick(Attachment& a,
   auto apply_one = [&](size_t s) {
     FUNGUS_TRACE_SPAN("decay.apply.shard", s);
     Shard& shard = table.shard(s);
+    // Folds first: the plan-time foldability proof assumes the segment
+    // is untouched since the barrier, and the planner never mixes a
+    // fold with row actions against the same segment.
+    for (const ShardFold& fold : plans[s].folds) {
+      auto it = shard.segments().find(fold.seg_no);
+      if (it == shard.segments().end()) continue;
+      const uint64_t live = it->second->live_count();
+      if (shard.TryFoldUniformDecay(fold.seg_no, fold.delta)) {
+        stats[s].tuples_touched += live;
+        ++stats[s].segments_folded;
+      } else {
+        // Unreachable while the stability argument holds; decay row by
+        // row so a soft refusal still yields the planned state.
+        const Segment& seg = *it->second;
+        const size_t n = seg.num_rows();
+        for (size_t off = 0; off < n; ++off) {
+          if (!seg.IsLive(off)) continue;
+          const RowId row = seg.first_row() + off;
+          ++stats[s].tuples_touched;
+          FUNGUSDB_CHECK_OK(shard.DecayFreshness(row, fold.delta));
+          if (!shard.IsLive(row)) {
+            killed[s].push_back(row);
+            ++stats[s].tuples_killed;
+          }
+        }
+      }
+    }
     for (const ShardAction& action : plans[s].actions) {
       if (!shard.IsLive(action.row)) continue;  // killed earlier this plan
       ++stats[s].tuples_touched;
@@ -157,6 +184,10 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
 
     const Timestamp tick_time = due->next_tick;
     const int64_t tick_begin_us = SteadyMicros();
+    // One tick == one decay epoch on every shard of the table; folds
+    // stamp the advanced value into the segments they cover.
+    due->table->AdvanceDecayEpochs();
+    const uint64_t materialized_before = due->table->rows_materialized();
     DecayStats tick_stats;
     std::vector<RowId> tick_killed;
     {
@@ -171,6 +202,10 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
         tick_killed = ctx.killed();
       }
     }
+    // Materialization this tick triggered (per-row fallbacks landing on
+    // previously folded segments) — the lazy path's deferred cost.
+    tick_stats.rows_materialized =
+        due->table->rows_materialized() - materialized_before;
     due->next_tick += due->period;
     ++due->stats.ticks;
     due->stats.decay += tick_stats;
@@ -201,6 +236,10 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
                                  tick_stats.seeds_planted);
       metrics_->IncrementCounter("fungusdb.decay.segments_skipped",
                                  tick_stats.segments_skipped);
+      metrics_->IncrementCounter("fungusdb.decay.segments_folded",
+                                 tick_stats.segments_folded);
+      metrics_->IncrementCounter("fungusdb.decay.rows_materialized",
+                                 tick_stats.rows_materialized);
       metrics_->RecordHistogram("fungusdb.decay.tick_duration_us",
                                 table_label,
                                 SteadyMicros() - tick_begin_us);

@@ -83,6 +83,17 @@ void SerializeDatabase(Database& db, BufferWriter& out) {
   const std::vector<std::string> names = db.TableNames();
   out.WriteU64(names.size());
   for (const std::string& name : names) {
+    {
+      // Materialize-before-write (DESIGN.md §14): fold any pending
+      // decay decrements into the rows so the stored vectors equal the
+      // effective values the serializer writes, keeping the on-disk
+      // format oblivious to lazy decay. Mutation outside the facade, so
+      // it holds the exclusive epoch section the accessor requires.
+      EpochManager::WriteGuard guard(db.epochs());
+      internal::DatabaseInternal::MutableTable(db, name)
+          .value()
+          ->MaterializePendingDecay();
+    }
     SerializeTable(db.GetTable(name).value().table(), out);
   }
   db.cellar().Serialize(out);

@@ -212,8 +212,9 @@ void CollectConjuncts(const BoundExpr& expr, PruningPlan& plan) {
 /// True when the segment's zone map admits at least one potentially
 /// matching row; false only when NO live row can satisfy every
 /// constraint (the sound-to-skip direction).
-bool SegmentCanMatch(const ZoneMap& zone,
+bool SegmentCanMatch(const Segment& seg,
                      const std::vector<RangeConstraint>& constraints) {
+  const ZoneMap& zone = seg.zone_map();
   for (const RangeConstraint& c : constraints) {
     switch (c.source) {
       case ColumnSource::kTimestamp:
@@ -224,9 +225,15 @@ bool SegmentCanMatch(const ZoneMap& zone,
         }
         break;
       case ColumnSource::kFreshness:
-        // Conservative over live rows; never null/NaN.
+        // Conservative over live rows; never null/NaN. Freshness
+        // predicates compare against EFFECTIVE values, so the bounds
+        // must be the effective ones (stored bounds with pending decay
+        // replayed — Segment::EffectiveMinFreshness).
         if (!zone.has_live_freshness()) return false;
-        if (c.lo > zone.max_f || c.hi < zone.min_f) return false;
+        if (c.lo > seg.EffectiveMaxFreshness() ||
+            c.hi < seg.EffectiveMinFreshness()) {
+          return false;
+        }
         break;
       case ColumnSource::kUser: {
         const ColumnZone& col = zone.columns[c.col];
@@ -396,7 +403,7 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
       survivors.reserve(segments.size());
       for (const Segment* seg : segments) {
         if (!plan.always_false &&
-            SegmentCanMatch(seg->zone_map(), plan.constraints)) {
+            SegmentCanMatch(*seg, plan.constraints)) {
           survivors.push_back(seg);
         } else {
           ++result.stats.segments_pruned;

@@ -174,6 +174,13 @@ void VectorPredicate::MaterializeOperand(const Operand& op,
     }
     case OperandKind::kFreshness:
       std::memcpy(vals, seg.freshness_data() + base, n * sizeof(double));
+      // The stored vector is "as of the last materialization"; replay
+      // pending uniform decrements in fold order so the kernel compares
+      // the same effective values Segment::Freshness reconstructs. Dead
+      // rows pick up garbage here, but Match's alive mask drops them.
+      for (const double d : seg.pending_decay()) {
+        for (size_t i = 0; i < n; ++i) vals[i] -= d;
+      }
       std::memset(nulls, 0, n);
       return;
     case OperandKind::kInt64Col: {

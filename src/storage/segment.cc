@@ -62,6 +62,9 @@ Segment::Segment(const Schema& schema, uint64_t first_row, size_t capacity,
 void Segment::Append(const std::vector<Value>& values, Timestamp now) {
   assert(!full());
   assert(values.size() == columns_.size());
+  // A new row must not inherit decrements from ticks that predate it —
+  // the shard materializes before appending (mutating touch).
+  assert(pending_decay_.empty());
   for (size_t i = 0; i < values.size(); ++i) {
     columns_[i]->Append(values[i]);
     ColumnZone& zone = zone_map_.columns[i];
@@ -119,7 +122,40 @@ bool Segment::Kill(size_t off) {
   return true;
 }
 
+size_t Segment::MaterializePendingDecay(uint64_t epoch) {
+  decay_epoch_ = epoch;
+  if (pending_decay_.empty()) return 0;
+  size_t rewritten = 0;
+  for (size_t off = 0; off < num_rows(); ++off) {
+    if (!alive_[off]) continue;
+    // Replay in fold order — the exact op sequence the eager path would
+    // have executed tick by tick, so the result matches bit for bit.
+    double f = freshness_[off];
+    for (const double d : pending_decay_) f -= d;
+    freshness_[off] = f;
+    ++rewritten;
+  }
+  // The live-freshness bounds shift by the same replay: x ↦ x - d is
+  // weakly monotone, so the replayed bounds still cover every live row.
+  if (zone_map_.has_live_freshness()) {
+    double lo = zone_map_.min_f;
+    double hi = zone_map_.max_f;
+    for (const double d : pending_decay_) {
+      lo -= d;
+      hi -= d;
+    }
+    zone_map_.min_f = lo;
+    zone_map_.max_f = hi;
+  }
+  pending_decay_.clear();
+  return rewritten;
+}
+
 void Segment::RecomputeZoneMap() {
+  // The recount reads the stored vectors; fold the pending decrements in
+  // first so the result describes what rows actually hold. The epoch is
+  // already current (folds stamp it), so re-stamping it is a no-op.
+  MaterializePendingDecay(decay_epoch_);
   ZoneMap fresh;
   fresh.columns.resize(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) {

@@ -68,6 +68,19 @@ struct ZoneMap {
 /// pruning: each segment maintains a ZoneMap the query engine and decay
 /// planners consult to skip segments that cannot match.
 ///
+/// Lazy decay (DESIGN.md §14): a decay tick that would subtract the
+/// same delta from every live row of the segment can be *folded* into
+/// `pending_decay_` instead of rewriting the freshness vector — an O(1)
+/// metadata write. The stored freshness vector is then "as of
+/// decay_epoch"; readers reconstruct the effective value by replaying
+/// the pending deltas IN FOLD ORDER (`f - d1 - d2 - ...`), which makes
+/// the reconstruction bit-identical to the eager per-row subtractions
+/// it stands in for (floating-point subtraction is not associative, so
+/// the order is part of the contract). Pending deltas are applied for
+/// real — materialized — on the first mutating touch, on
+/// RecomputeZoneMap, and before snapshot serialization, so the on-disk
+/// format never sees them.
+///
 /// Visibility: none of this is internally synchronized. Decay ticks
 /// tombstone rows, rewrite freshness vectors and free whole segments;
 /// a concurrent reader iterating offsets mid-tick could see a zone map
@@ -95,13 +108,29 @@ class Segment {
   void Append(const std::vector<Value>& values, Timestamp now);
 
   bool IsLive(size_t off) const { return alive_[off] != 0; }
-  double Freshness(size_t off) const { return freshness_[off]; }
+
+  /// Effective freshness: the stored value with every pending uniform
+  /// decrement replayed in fold order. Equals the stored value exactly
+  /// when nothing is pending (the common case); dead rows are always 0.
+  double Freshness(size_t off) const {
+    if (pending_decay_.empty() || alive_[off] == 0) {
+      return freshness_[off];
+    }
+    double f = freshness_[off];
+    for (const double d : pending_decay_) f -= d;
+    return f;
+  }
+
+  /// Raw stored freshness, ignoring pending decay — verification and
+  /// tests only; every consumer of row state wants Freshness().
+  double stored_freshness(size_t off) const { return freshness_[off]; }
 
   /// Sets freshness; clamps into [0, 1] and kills the tuple at 0.
   /// A write equal to the current value is a no-op (decay ticks call
   /// this for every infected tuple; most writes repeat the old value
   /// when the clock did not advance). Returns true when this call
-  /// killed the tuple.
+  /// killed the tuple. Requires no pending decay (the shard mutators
+  /// materialize first).
   bool SetFreshness(size_t off, double f);
 
   /// Tombstones the tuple (idempotent). Returns true if it was live.
@@ -120,12 +149,67 @@ class Segment {
   const ZoneMap& zone_map() const { return zone_map_; }
 
   /// Recomputes the zone map exactly from the stored rows, tightening
-  /// any bounds that lazy widening left loose. O(rows × columns).
+  /// any bounds that lazy widening left loose. Materializes pending
+  /// decay first (the recount must describe what rows actually hold).
+  /// O(rows × columns).
   void RecomputeZoneMap();
+
+  // --- Lazy decay (DESIGN.md §14). ---
+
+  /// True when `delta` can be folded as a uniform decrement over every
+  /// live row without changing observable state relative to the eager
+  /// per-row path: there are live rows with a non-empty live-freshness
+  /// interval, and even the stalest of them provably survives
+  /// (effective min freshness stays strictly positive), so no death —
+  /// and no death-observer or reclamation side effect — is deferred.
+  bool CanFoldUniformDecay(double delta) const {
+    return live_count_ > 0 && zone_map_.has_live_freshness() &&
+           delta >= 0.0 && EffectiveMinFreshness() - delta > 0.0;
+  }
+
+  /// Folds a uniform decrement (caller proved CanFoldUniformDecay) and
+  /// stamps the shard tick epoch it belongs to. O(1).
+  void FoldUniformDecay(double delta, uint64_t epoch) {
+    pending_decay_.push_back(delta);
+    decay_epoch_ = epoch;
+  }
+
+  /// Applies every pending decrement to the rows, in fold order, and
+  /// tightens the live-freshness zone bounds by the same replay. No row
+  /// can die here (fold-time proof). Returns rows rewritten (0 when
+  /// nothing was pending); stamps `epoch` as the segment's decay epoch.
+  size_t MaterializePendingDecay(uint64_t epoch);
+
+  bool has_pending_decay() const { return !pending_decay_.empty(); }
+
+  /// Uniform decrements folded but not yet applied, in fold order.
+  const std::vector<double>& pending_decay() const { return pending_decay_; }
+
+  /// Shard tick epoch this segment is current through (last fold or
+  /// materialization; 0 if never touched by a fold).
+  uint64_t decay_epoch() const { return decay_epoch_; }
+
+  /// Conservative live-freshness bounds in EFFECTIVE space: the stored
+  /// zone bounds with pending deltas replayed in fold order (x ↦ x - d
+  /// is weakly monotone, so the replayed bounds still cover every live
+  /// row's effective freshness).
+  double EffectiveMinFreshness() const {
+    double v = zone_map_.min_f;
+    for (const double d : pending_decay_) v -= d;
+    return v;
+  }
+  double EffectiveMaxFreshness() const {
+    double v = zone_map_.max_f;
+    for (const double d : pending_decay_) v -= d;
+    return v;
+  }
 
   // --- Raw system-vector spans (vectorized scan kernels). ---
 
   const Timestamp* ts_data() const { return ts_.data(); }
+
+  /// STORED freshness values — callers evaluating `__freshness` must
+  /// replay pending_decay() on top (see VectorPredicate).
   const double* freshness_data() const { return freshness_.data(); }
   const uint8_t* alive_data() const { return alive_.data(); }
 
@@ -157,6 +241,11 @@ class Segment {
   std::vector<uint32_t> access_;  // empty unless track_access
   bool track_access_;
   ZoneMap zone_map_;
+  // Uniform per-tick decrements folded but not yet applied to rows, in
+  // fold order (reconstruction replays them sequentially so it matches
+  // the eager path bit for bit). Cleared by MaterializePendingDecay.
+  std::vector<double> pending_decay_;
+  uint64_t decay_epoch_ = 0;
 };
 
 }  // namespace fungusdb

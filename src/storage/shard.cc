@@ -22,7 +22,26 @@ Segment* Shard::GetOrCreateSegment(uint64_t seg_no, const Schema& schema,
                                   rows_per_segment_, track_access))
              .first;
   }
+  rows_materialized_ += it->second->MaterializePendingDecay(decay_epoch_);
   return it->second.get();
+}
+
+bool Shard::TryFoldUniformDecay(uint64_t seg_no, double delta) {
+  auto it = segments_.find(seg_no);
+  if (it == segments_.end()) return false;
+  Segment& seg = *it->second;
+  if (!seg.CanFoldUniformDecay(delta)) return false;
+  seg.FoldUniformDecay(delta, decay_epoch_);
+  return true;
+}
+
+size_t Shard::MaterializeAllPending() {
+  size_t rows = 0;
+  for (auto& [seg_no, seg] : segments_) {
+    rows += seg->MaterializePendingDecay(decay_epoch_);
+  }
+  rows_materialized_ += rows;
+  return rows;
 }
 
 Status Shard::SetFreshness(RowId row, double f) {
@@ -31,6 +50,9 @@ Status Shard::SetFreshness(RowId row, double f) {
   if (seg == nullptr) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
+  // First mutating touch: pending decrements must land before any
+  // per-row write (Segment::SetFreshness works in stored space).
+  rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
   if (!seg->IsLive(off)) {
     return Status::FailedPrecondition("row " + std::to_string(row) +
                                       " is already dead");
@@ -51,6 +73,7 @@ Status Shard::DecayFreshness(RowId row, double delta) {
   if (seg == nullptr) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
+  rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
   if (!seg->IsLive(off)) {
     return Status::FailedPrecondition("row " + std::to_string(row) +
                                       " is already dead");
@@ -68,6 +91,10 @@ Status Shard::Kill(RowId row) {
   if (seg == nullptr) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
+  // Kill() leaves other rows' stored freshness alone, but the segment's
+  // zone bounds and live set change — keep the invariant that a mutated
+  // segment holds no pending decay.
+  rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
   if (seg->Kill(off)) {
     --live_rows_;
     ++rows_killed_;

@@ -73,12 +73,40 @@ class Shard {
     }
   }
 
-  /// Segment for `seg_no`, creating it if absent (Append path).
+  /// Segment for `seg_no`, creating it if absent (Append path). Also
+  /// materializes the segment's pending decay: appending is a mutating
+  /// touch, and a new row must not inherit decrements from ticks that
+  /// predate it.
   Segment* GetOrCreateSegment(uint64_t seg_no, const Schema& schema,
                               bool track_access);
 
   /// Notes one appended row (Append goes through the segment directly).
   void NoteAppend() { ++live_rows_; }
+
+  // --- Lazy decay (DESIGN.md §14). ---
+
+  /// Advances the shard's tick epoch. Coordinator thread, once per
+  /// decay tick over the owning table, before any plan or apply work.
+  void AdvanceDecayEpoch() { ++decay_epoch_; }
+
+  /// Ticks folded or accounted so far (every segment's decay_epoch is
+  /// <= this — the `decay-epoch` fsck rule).
+  uint64_t decay_epoch() const { return decay_epoch_; }
+
+  /// Folds `delta` as a uniform decrement over every live row of
+  /// segment `seg_no` if the segment proves that safe (see
+  /// Segment::CanFoldUniformDecay). Returns whether it folded; on
+  /// false the caller decays row by row.
+  FUNGUS_REQUIRES_APPLY_PHASE bool TryFoldUniformDecay(uint64_t seg_no,
+                                                       double delta);
+
+  /// Applies every segment's pending decrements (snapshot write, fsck
+  /// entry). Returns live rows rewritten.
+  size_t MaterializeAllPending();
+
+  /// Cumulative live-row rewrites performed by lazy materialization
+  /// (the price actually paid for deferred ticks).
+  uint64_t rows_materialized() const { return rows_materialized_; }
 
   // --- Per-row mutators (update shard-local counters only). ---
   //
@@ -113,8 +141,13 @@ class Shard {
 
   /// Recomputes every segment's zone map exactly, tightening bounds
   /// that lazy widening left loose (snapshot/journal load, compaction).
+  /// Materializes pending decay first — a recount must describe what
+  /// rows actually hold.
   void RecomputeZoneMaps() {
-    for (auto& [seg_no, seg] : segments_) seg->RecomputeZoneMap();
+    for (auto& [seg_no, seg] : segments_) {
+      rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
+      seg->RecomputeZoneMap();
+    }
   }
 
   /// Ordered (by segment number == time order) access for iteration,
@@ -136,6 +169,11 @@ class Shard {
   std::map<uint64_t, std::unique_ptr<Segment>> segments_;
   uint64_t live_rows_ = 0;
   uint64_t rows_killed_ = 0;
+  // Tick counter for lazy decay: advanced once per decay tick by the
+  // coordinator; folds stamp it into segments. Plan/apply workers only
+  // read it.
+  uint64_t decay_epoch_ = 0;
+  uint64_t rows_materialized_ = 0;
 };
 
 }  // namespace fungusdb

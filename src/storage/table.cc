@@ -240,6 +240,24 @@ uint32_t Table::AccessCount(RowId row) const {
   return seg == nullptr ? 0 : seg->AccessCount(off);
 }
 
+bool Table::TryFoldUniformDecay(uint64_t seg_no, double delta) {
+  if (!options_.lazy_decay) return false;
+  Shard& shard = shards_[seg_no % shards_.size()];
+  return shard.TryFoldUniformDecay(seg_no, delta);
+}
+
+size_t Table::MaterializePendingDecay() {
+  size_t rows = 0;
+  for (Shard& shard : shards_) rows += shard.MaterializeAllPending();
+  return rows;
+}
+
+uint64_t Table::rows_materialized() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.rows_materialized();
+  return total;
+}
+
 uint64_t Table::ReclaimDeadSegments() {
   uint64_t freed = 0;
   std::vector<uint64_t> removed;

@@ -41,6 +41,13 @@ struct TableOptions {
   /// microseconds) hit the slow-query log; 0 defers to the database-wide
   /// threshold. Runtime tuning knob only — NOT serialized in snapshots.
   int64_t slow_query_micros = 0;
+
+  /// Fold provably-uniform decay ticks into per-segment pending
+  /// decrements instead of rewriting rows (DESIGN.md §14). Observable
+  /// state is bit-identical either way — this is purely an execution
+  /// strategy, so it is a runtime knob, NOT serialized in snapshots or
+  /// the journal. Off exists for differential testing and bisection.
+  bool lazy_decay = true;
 };
 
 /// The paper's relation R(t, f, A1..An): an append-only, insertion-ordered
@@ -180,6 +187,30 @@ class Table {
 
   /// Number of segments currently held (live or partially dead).
   size_t num_segments() const { return segment_index_.size(); }
+
+  // --- Lazy decay (DESIGN.md §14). ---
+
+  /// Advances every shard's tick epoch. Called by the scheduler once
+  /// per decay tick over this table, before plan/apply work starts.
+  /// Coordinator-only.
+  void AdvanceDecayEpochs() {
+    for (Shard& shard : shards_) shard.AdvanceDecayEpoch();
+  }
+
+  /// Folds `delta` as a uniform decrement over segment `seg_no` when
+  /// lazy decay is enabled and the segment proves it safe. Returns
+  /// whether it folded; on false the caller decays row by row. Same
+  /// threading contract as the per-row mutators: coordinator thread or
+  /// the owning shard's apply-phase worker.
+  bool TryFoldUniformDecay(uint64_t seg_no, double delta);
+
+  /// Applies all pending decrements everywhere (snapshot write, tests).
+  /// Returns live rows rewritten. Coordinator-only.
+  size_t MaterializePendingDecay();
+
+  /// Cumulative live-row rewrites performed by lazy materialization,
+  /// summed over shards.
+  uint64_t rows_materialized() const;
 
   // --- Sharding. ---
 

@@ -87,4 +87,21 @@ Status TestCorruptor::StaleZoneMap(Table& table, uint64_t seg_no) {
   return Status::OK();
 }
 
+Status TestCorruptor::CorruptPendingDecay(Table& table, uint64_t seg_no) {
+  auto it = table.segment_index_.find(seg_no);
+  if (it == table.segment_index_.end()) return NoSuchSegment(seg_no);
+  Segment& seg = *it->second;
+  if (seg.live_count() == 0) {
+    return Status::FailedPrecondition(
+        "segment " + std::to_string(seg_no) +
+        " has no live rows; corrupt a live one");
+  }
+  // A decrement of 2.0 exceeds any legal freshness, so the effective
+  // floor goes negative — the fold predicate would have refused it.
+  seg.pending_decay_.push_back(2.0);
+  const Shard& shard = table.shard(seg_no % table.num_shards());
+  seg.decay_epoch_ = shard.decay_epoch() + 1;
+  return Status::OK();
+}
+
 }  // namespace fungusdb

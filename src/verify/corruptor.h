@@ -38,6 +38,14 @@ class TestCorruptor {
   /// past the stored rows so the pruning planner would wrongly skip the
   /// segment. Requires a non-empty segment. Caught by `zone-map-bounds`.
   static Status StaleZoneMap(Table& table, uint64_t seg_no);
+
+  /// Folds a pending decrement large enough to drive the segment's
+  /// effective freshness floor below zero — the deferred death a
+  /// correct fold can never produce — and stamps a decay epoch ahead
+  /// of the shard's tick counter. Requires a live row in the segment.
+  /// Caught by `decay-epoch` (both the epoch-ordering and the
+  /// deferred-death arm).
+  static Status CorruptPendingDecay(Table& table, uint64_t seg_no);
 };
 
 }  // namespace fungusdb

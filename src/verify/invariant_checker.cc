@@ -279,15 +279,60 @@ Report InvariantChecker::CheckTable(const Table& table) const {
                          std::to_string(exact_max_ts) + "]",
                      static_cast<int64_t>(s), sno));
       }
+      // The recount above works in EFFECTIVE freshness (what readers
+      // see), so it must be judged against the effective bounds —
+      // stored bounds with pending decay replayed.
+      const double zone_min_f_eff = seg.EffectiveMinFreshness();
+      const double zone_max_f_eff = seg.EffectiveMaxFreshness();
       if (recounted_live > 0 &&
-          (zone.min_f > exact_min_f || zone.max_f < exact_max_f)) {
+          (zone_min_f_eff > exact_min_f || zone_max_f_eff < exact_max_f)) {
         out.Add(Make("zone-map-bounds", name,
-                     "live freshness bounds [" + FormatDouble(zone.min_f, 6) +
-                         ", " + FormatDouble(zone.max_f, 6) +
+                     "live freshness bounds [" +
+                         FormatDouble(zone_min_f_eff, 6) + ", " +
+                         FormatDouble(zone_max_f_eff, 6) +
                          "] do not cover live rows [" +
                          FormatDouble(exact_min_f, 6) + ", " +
                          FormatDouble(exact_max_f, 6) + "]",
                      static_cast<int64_t>(s), sno));
+      }
+      // decay-epoch: lazy-decay metadata must be internally consistent
+      // (DESIGN.md §14). A segment can never be ahead of its shard's
+      // tick counter; pending decrements are nonnegative finite amounts
+      // folded only over segments that still have live rows; and the
+      // fold-safety proof must still hold — no pending decrement may
+      // have driven the effective freshness floor to or below zero
+      // (that would be a deferred death, which folds must never defer).
+      if (seg.decay_epoch() > shard.decay_epoch()) {
+        out.Add(Make("decay-epoch", name,
+                     "segment decay epoch " +
+                         std::to_string(seg.decay_epoch()) +
+                         " is ahead of shard decay epoch " +
+                         std::to_string(shard.decay_epoch()),
+                     static_cast<int64_t>(s), sno));
+      }
+      if (seg.has_pending_decay()) {
+        for (const double d : seg.pending_decay()) {
+          if (!(d >= 0.0) || !std::isfinite(d)) {
+            out.Add(Make("decay-epoch", name,
+                         "pending decrement " + FormatDouble(d, 6) +
+                             " is negative or non-finite",
+                         static_cast<int64_t>(s), sno));
+            break;
+          }
+        }
+        if (seg.live_count() == 0 || !zone.has_live_freshness()) {
+          out.Add(Make("decay-epoch", name,
+                       "pending decay folded over a segment with no "
+                       "live rows",
+                       static_cast<int64_t>(s), sno));
+        } else if (!(zone_min_f_eff > 0.0)) {
+          out.Add(Make("decay-epoch", name,
+                       "pending decay defers a death: effective "
+                       "freshness floor " +
+                           FormatDouble(zone_min_f_eff, 6) +
+                           " is not positive",
+                       static_cast<int64_t>(s), sno));
+        }
       }
       if (zone.columns.size() != num_fields) {
         out.Add(Make("zone-map-bounds", name,

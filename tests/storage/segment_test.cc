@@ -89,5 +89,90 @@ TEST(SegmentTest, FirstRowOffset) {
   EXPECT_EQ(seg.first_row(), 4096u);
 }
 
+// --- lazy decay: pending uniform decrements -------------------------------
+
+void FillSegment(Segment& seg, double freshness = 1.0) {
+  for (int i = 0; i < 4; ++i) {
+    seg.Append({Value::Int64(i), Value::Null()}, /*now=*/i * 10);
+  }
+  if (freshness < 1.0) {
+    for (size_t off = 0; off < 4; ++off) seg.SetFreshness(off, freshness);
+    seg.RecomputeZoneMap();
+  }
+}
+
+TEST(SegmentTest, FoldedDecayIsVisibleWithoutRewritingRows) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  FillSegment(seg);
+  ASSERT_TRUE(seg.CanFoldUniformDecay(0.25));
+  seg.FoldUniformDecay(0.25, /*epoch=*/1);
+  EXPECT_TRUE(seg.has_pending_decay());
+  EXPECT_EQ(seg.decay_epoch(), 1u);
+  for (size_t off = 0; off < 4; ++off) {
+    EXPECT_DOUBLE_EQ(seg.stored_freshness(off), 1.0);  // rows untouched
+    EXPECT_DOUBLE_EQ(seg.Freshness(off), 0.75);        // readers see decay
+  }
+  EXPECT_DOUBLE_EQ(seg.EffectiveMinFreshness(), 0.75);
+  EXPECT_DOUBLE_EQ(seg.EffectiveMaxFreshness(), 0.75);
+}
+
+TEST(SegmentTest, MaterializeReplaysDecrementsInOrderAndClears) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  FillSegment(seg);
+  seg.FoldUniformDecay(0.1, 1);
+  seg.FoldUniformDecay(0.2, 2);
+  const double expected = (1.0 - 0.1) - 0.2;  // sequential, not summed
+  EXPECT_DOUBLE_EQ(seg.Freshness(0), expected);
+  EXPECT_EQ(seg.MaterializePendingDecay(/*epoch=*/2), 4u);
+  EXPECT_FALSE(seg.has_pending_decay());
+  for (size_t off = 0; off < 4; ++off) {
+    EXPECT_DOUBLE_EQ(seg.stored_freshness(off), expected);
+    EXPECT_DOUBLE_EQ(seg.Freshness(off), expected);
+  }
+  // Idempotent once drained.
+  EXPECT_EQ(seg.MaterializePendingDecay(2), 0u);
+}
+
+TEST(SegmentTest, CannotFoldDecayThatWouldKill) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  FillSegment(seg, /*freshness=*/0.3);
+  // 0.3 - 0.3 == 0 would be a death; folds must never defer deaths.
+  EXPECT_FALSE(seg.CanFoldUniformDecay(0.3));
+  EXPECT_FALSE(seg.CanFoldUniformDecay(0.5));
+  EXPECT_TRUE(seg.CanFoldUniformDecay(0.29));
+}
+
+TEST(SegmentTest, CannotFoldOnDeadOrNegative) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  FillSegment(seg);
+  EXPECT_FALSE(seg.CanFoldUniformDecay(-0.1));
+  for (size_t off = 0; off < 4; ++off) seg.Kill(off);
+  seg.RecomputeZoneMap();
+  EXPECT_FALSE(seg.CanFoldUniformDecay(0.1));
+}
+
+TEST(SegmentTest, MaterializeSkipsDeadRowsAndShiftsZoneBounds) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  FillSegment(seg);
+  seg.Kill(2);
+  seg.RecomputeZoneMap();
+  seg.FoldUniformDecay(0.5, 1);
+  EXPECT_EQ(seg.MaterializePendingDecay(1), 3u);  // 3 live rows rewritten
+  EXPECT_DOUBLE_EQ(seg.stored_freshness(2), 0.0);  // dead row untouched
+  EXPECT_DOUBLE_EQ(seg.zone_map().min_f, 0.5);
+  EXPECT_DOUBLE_EQ(seg.zone_map().max_f, 0.5);
+}
+
+TEST(SegmentTest, RecomputeZoneMapMaterializesFirst) {
+  Segment seg(TwoColSchema(), 0, 4, false);
+  FillSegment(seg);
+  seg.FoldUniformDecay(0.25, 1);
+  seg.RecomputeZoneMap();
+  EXPECT_FALSE(seg.has_pending_decay());
+  EXPECT_DOUBLE_EQ(seg.zone_map().min_f, 0.75);
+  EXPECT_DOUBLE_EQ(seg.stored_freshness(0), 0.75);
+  EXPECT_EQ(seg.decay_epoch(), 1u);  // epoch survives the recount
+}
+
 }  // namespace
 }  // namespace fungusdb

@@ -235,6 +235,39 @@ TEST(InvariantCheckerTest, CheckAfterTickStaysCleanThroughDecay) {
   EXPECT_TRUE(db.Fsck().ok());
 }
 
+TEST(InvariantCheckerTest, DetectsCorruptPendingDecayWithCoordinates) {
+  Table table = MakeTable();
+  // Segment 1 (rows 4..7) round-robins to shard 1.
+  ASSERT_TRUE(TestCorruptor::CorruptPendingDecay(table, 1).ok());
+
+  const Report report = InvariantChecker().CheckTable(table);
+  ASSERT_FALSE(report.ok());
+  const auto v = FindViolation(report, "decay-epoch");
+  ASSERT_TRUE(v.has_value()) << report.ToString();
+  EXPECT_EQ(v->table, "t");
+  EXPECT_EQ(v->shard, 1);
+  EXPECT_EQ(v->segment, 1);
+  // The seeded corruption trips both arms: the segment's epoch runs
+  // ahead of its shard's counter, and the oversized decrement defers a
+  // death past the fold barrier.
+  size_t decay_epoch_violations = 0;
+  for (const Violation& violation : report.violations) {
+    if (violation.invariant == "decay-epoch") ++decay_epoch_violations;
+  }
+  EXPECT_EQ(decay_epoch_violations, 2u) << report.ToString();
+}
+
+TEST(InvariantCheckerTest, LegitimateFoldPassesDecayEpochRule) {
+  Table table = MakeTable();
+  // A real fold through the apply-phase API: epoch advanced first, a
+  // decrement the zone map proves safe, rows untouched.
+  table.AdvanceDecayEpochs();
+  ASSERT_TRUE(table.TryFoldUniformDecay(/*seg_no=*/1, /*delta=*/0.25));
+
+  const Report report = InvariantChecker().CheckTable(table);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
 TEST(InvariantCheckerTest, SchedulerReportsInstalledHook) {
   Database db;
   // FUNGUSDB_CHECK_AFTER_TICK=1 (the sanitizer-job configuration) arms

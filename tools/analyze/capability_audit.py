@@ -93,7 +93,8 @@ APPLY_PHASE_ALLOWLIST = {
     "src/verify/corruptor.cc",   # test-only corruption seeder
 }
 
-SHARD_MUTATORS = ("SetFreshness", "DecayFreshness", "Kill")
+SHARD_MUTATORS = ("SetFreshness", "DecayFreshness", "Kill",
+                  "TryFoldUniformDecay")
 
 RE_RAW_MUTEX = re.compile(
     r"std\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex"

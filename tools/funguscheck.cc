@@ -20,9 +20,9 @@
 #include <fstream>
 #include <string>
 
-#include "core/database.h"
+#include "fungusdb/database.h"
+#include "fungusdb/persist.h"
 #include "persist/fsck.h"
-#include "persist/journal.h"
 #include "server/wire_format.h"
 
 namespace fungusdb {

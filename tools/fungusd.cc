@@ -33,9 +33,9 @@
 #include <memory>
 #include <string>
 
-#include "common/trace.h"
-#include "core/database.h"
-#include "persist/snapshot.h"
+#include "fungusdb/common.h"
+#include "fungusdb/database.h"
+#include "fungusdb/persist.h"
 #include "server/server.h"
 
 namespace {

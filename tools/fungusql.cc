@@ -24,16 +24,14 @@
 #include <string>
 #include <vector>
 
-#include "common/string_util.h"
-#include "common/trace.h"
-#include "core/database.h"
-#include "fungus/fungus_factory.h"
-#include "fungus/rot_analysis.h"
-#include "persist/snapshot.h"
-#include "pipeline/csv.h"
-#include "query/parser.h"
-#include "server/client.h"
-#include "summary/table_stats.h"
+#include "fungusdb/client.h"
+#include "fungusdb/common.h"
+#include "fungusdb/csv.h"
+#include "fungusdb/database.h"
+#include "fungusdb/fungi.h"
+#include "fungusdb/persist.h"
+#include "fungusdb/query.h"
+#include "fungusdb/summaries.h"
 
 namespace fungusdb {
 namespace {

@@ -29,6 +29,14 @@ Enforces the repo-specific rules that generic linters cannot:
                   must stay Value-free: no GetValue( calls — boxing a
                   Value per row is exactly what the kernel exists to
                   avoid; read typed column spans instead.
+  public-api      examples/ and tools/ consume the library through the
+                  public headers (include/fungusdb/...), never through
+                  src/... directly — they are the reference embedders,
+                  so a src include there silently grows the de-facto
+                  API. The two daemons keep narrow, explicit carve-outs
+                  for server internals that are deliberately not public
+                  (fungusd.cc -> server/server.h; funguscheck.cc ->
+                  persist/fsck.h + server/wire_format.h).
   metric-naming   every literal metric name handed to the MetricsRegistry
                   API must follow fungusdb.<subsystem>.<name> (lowercase
                   dotted, at least two segments after the fungusdb
@@ -66,6 +74,19 @@ WIRE_FRAMING_ALLOWLIST = {
     "src/summary/hashing.cc",     # double -> bits for hashing, not framing
 }
 
+# Top-level directories under src/ — an include of "<one of these>/..."
+# from examples/ or tools/ bypasses the public API.
+SRC_TOP_DIRS = ("common", "core", "fungus", "persist", "pipeline",
+                "query", "server", "storage", "summary", "verify",
+                "workload")
+
+# The daemons may reach named server internals that are deliberately
+# not part of the embedder API.
+PUBLIC_API_ALLOWLIST = {
+    "tools/fungusd.cc": {"server/server.h"},
+    "tools/funguscheck.cc": {"persist/fsck.h", "server/wire_format.h"},
+}
+
 RE_VOID_DISCARD = re.compile(r"\(void\)\s*[\w:]+(?:\.|->|\()")
 RE_VOID_BARE = re.compile(r"\(void\)\s*\w+\s*;")
 RE_NAKED_RANDOM = re.compile(
@@ -85,6 +106,8 @@ RE_METRIC_CALL = re.compile(
     r"\b(?:IncrementCounter|SetGauge|RecordHistogram|GetCounter"
     r"|GetGauge|FindHistogram|Histogram)\s*\(\s*\"([^\"]*)\"")
 RE_METRIC_NAME = re.compile(r"^fungusdb(?:\.[a-z0-9_]+){2,}$")
+RE_SRC_INCLUDE = re.compile(
+    r'^\s*#\s*include\s*"((?:%s)/[^"]+)"' % "|".join(SRC_TOP_DIRS))
 
 
 def scrub(text):
@@ -170,11 +193,29 @@ def lint_pin_discipline(rel, code, findings):
                              " so it covers the reads it protects"))
 
 
+def lint_public_api(rel, raw, findings):
+    """Flags src/... includes in the reference embedders (examples/,
+    tools/). Scans a comment-only scrub so commented-out includes do
+    not fire, but the include path (a string literal) survives."""
+    if not (rel.startswith("examples/") or rel.startswith("tools/")):
+        return
+    allowed = PUBLIC_API_ALLOWLIST.get(rel, set())
+    for lineno, line in enumerate(scrub_comments_only(raw).splitlines(),
+                                  start=1):
+        match = RE_SRC_INCLUDE.match(line)
+        if match and match.group(1) not in allowed:
+            findings.append((rel, lineno, "public-api",
+                             'include "%s" reaches into src/; use the'
+                             " public fungusdb/ headers"
+                             " (include/fungusdb)" % match.group(1)))
+
+
 def lint_file(root, path, findings):
     rel = path.relative_to(root).as_posix()
     raw = path.read_text(encoding="utf-8")
     code = scrub(raw)
     lint_pin_discipline(rel, code, findings)
+    lint_public_api(rel, raw, findings)
 
     # Metric names live inside string literals, so this rule scans a
     # comment-only scrub that keeps them.
@@ -268,6 +309,11 @@ def main():
         rel = path.relative_to(root).as_posix()
         lint_pin_discipline(rel, scrub(path.read_text(encoding="utf-8")),
                             findings)
+    # Examples are likewise exempt from style rules, but as the
+    # reference embedders they must respect the public-API boundary.
+    for path in walk_sources(root, ("examples",)):
+        rel = path.relative_to(root).as_posix()
+        lint_public_api(rel, path.read_text(encoding="utf-8"), findings)
 
     for rel, lineno, rule, message in findings:
         print("%s:%d: %s: %s" % (rel, lineno, rule, message))

@@ -1,0 +1,5 @@
+// public-api violation: an example reaching into src/ directly instead
+// of going through the public include/fungusdb/ headers.
+#include "core/database.h"
+
+int main() { return 0; }

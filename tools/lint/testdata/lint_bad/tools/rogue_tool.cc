@@ -1,0 +1,5 @@
+// public-api violation: a tool including a storage internal. Tools are
+// not on the allowlist for this header, so the rule must fire.
+#include "storage/segment.h"
+
+int main() { return 0; }

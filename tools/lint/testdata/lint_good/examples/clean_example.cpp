@@ -1,0 +1,7 @@
+// The clean spelling: examples consume the public umbrella header.
+// The commented-out include below must NOT fire public-api — the rule
+// scans a comment-only scrub.
+// #include "core/database.h"
+#include "fungusdb/fungusdb.h"
+
+int main() { return 0; }

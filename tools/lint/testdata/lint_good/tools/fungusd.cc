@@ -1,0 +1,7 @@
+// The daemon's allowlisted carve-out: server/server.h is deliberately
+// not public API, and tools/fungusd.cc is the one file allowed to
+// include it. Everything else comes through fungusdb/ headers.
+#include "fungusdb/database.h"
+#include "server/server.h"
+
+int main() { return 0; }
