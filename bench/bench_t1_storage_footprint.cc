@@ -18,6 +18,8 @@
 
 #include "bench/bench_util.h"
 #include "core/database.h"
+#include "core/internal_access.h"
+#include "storage/encode/frozen.h"
 #include "fungus/egi_fungus.h"
 #include "fungus/exponential_fungus.h"
 #include "fungus/retention_fungus.h"
@@ -103,6 +105,44 @@ void Run() {
     std::printf("  %-12s live=%llu of %llu appended\n", v.label.c_str(),
                 static_cast<unsigned long long>(t.live_rows()),
                 static_cast<unsigned long long>(t.total_appended()));
+  }
+
+  // Cold-tier coda (PR 9): freeze every full segment and report the
+  // per-column encoded footprint against its plain-tier cost. The day
+  // table above is the capacity story; this is where the bytes went.
+  std::printf("\ncold tier: per-column encoded footprint after "
+              "freezing all full segments\n");
+  bench::TablePrinter cold({"fungus", "column", "plain_bytes",
+                            "encoded_bytes", "ratio"});
+  cold.MirrorTo(&report);
+  cold.PrintHeader();
+  for (Variant& v : variants) {
+    EpochManager::WriteGuard guard(v.db->epochs());
+    Table* t =
+        internal::DatabaseInternal::MutableTable(*v.db, "readings")
+            .value();
+    t->FreezeColdSegments(0);
+    const size_t num_fields = t->schema().num_fields();
+    std::vector<uint64_t> plain(num_fields, 0);
+    std::vector<uint64_t> encoded(num_fields, 0);
+    for (const auto& [seg_no, seg] : t->segment_index()) {
+      if (!seg->is_frozen()) continue;
+      const encode::FrozenSegment& fz = seg->frozen();
+      for (size_t c = 0; c < num_fields && c < fz.columns.size(); ++c) {
+        plain[c] += fz.columns[c].plain_bytes;
+        encoded[c] += fz.columns[c].MemoryUsage();
+      }
+    }
+    for (size_t c = 0; c < num_fields; ++c) {
+      const double ratio =
+          encoded[c] == 0
+              ? 0.0
+              : static_cast<double>(plain[c]) /
+                    static_cast<double>(encoded[c]);
+      cold.PrintRow({v.label, t->schema().field(c).name,
+                     bench::Fmt(plain[c]), bench::Fmt(encoded[c]),
+                     bench::Fmt(ratio, 2)});
+    }
   }
   report.Write();
 }

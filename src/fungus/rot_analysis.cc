@@ -109,6 +109,30 @@ std::string RenderFreshnessAxis(const Table& table, size_t width) {
   return strip;
 }
 
+std::string RenderTierAxis(const Table& table, size_t width) {
+  const uint64_t total = table.total_appended();
+  if (total == 0 || width == 0) return std::string(width, ' ');
+  const uint64_t rps = table.options().rows_per_segment;
+  std::string strip;
+  strip.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    const uint64_t begin = total * i / width;
+    uint64_t end = total * (i + 1) / width;
+    if (end == begin) end = begin + 1;
+    bool any_frozen = false;
+    bool any_plain = false;
+    for (uint64_t seg_no = begin / rps; seg_no <= (end - 1) / rps;
+         ++seg_no) {
+      auto it = table.segment_index().find(seg_no);
+      if (it == table.segment_index().end()) continue;  // reclaimed
+      (it->second->is_frozen() ? any_frozen : any_plain) = true;
+    }
+    strip.push_back(any_frozen ? (any_plain ? '~' : 'F')
+                               : (any_plain ? '.' : ' '));
+  }
+  return strip;
+}
+
 RotReport BuildRotReport(const Table& table,
                          const DecayScheduler* scheduler) {
   RotReport report;
@@ -141,7 +165,13 @@ RotReport BuildRotReport(const Table& table,
       }
     }
   }
+  const StorageStats storage = table.GetStorageStats();
+  report.total_segments = storage.total_segments;
+  report.frozen_segments = storage.frozen_segments;
+  report.encoded_bytes = storage.encoded_bytes;
+  report.plain_bytes_before = storage.plain_bytes_before;
   report.heatmap = RenderFreshnessAxis(table, 60);
+  report.tier_map = RenderTierAxis(table, 60);
   return report;
 }
 
@@ -160,6 +190,14 @@ std::string RotReport::ToString() const {
   os << "  lazy decay: segments_folded=" << segments_folded
      << " rows_materialized=" << rows_materialized
      << " fold_ratio=" << fold_ratio << "\n";
+  os << "  storage tiers: frozen_segments=" << frozen_segments << "/"
+     << total_segments << " encoded_bytes=" << encoded_bytes
+     << " plain_bytes_before=" << plain_bytes_before;
+  if (frozen_segments > 0 && encoded_bytes > 0) {
+    os << " ratio=" << (static_cast<double>(plain_bytes_before) /
+                        static_cast<double>(encoded_bytes));
+  }
+  os << "\n";
   os << "  freshness histogram (0.0 .. 1.0):\n";
   uint64_t max_count = 1;
   for (uint64_t c : freshness_histogram) max_count = std::max(max_count, c);
@@ -174,6 +212,8 @@ std::string RotReport::ToString() const {
   }
   os << "  freshness heatmap (time axis, ' '=gone '@'=fresh):\n";
   os << "    |" << heatmap << "|\n";
+  os << "  storage tier    (time axis, 'F'=frozen '.'=plain '~'=mixed):\n";
+  os << "    |" << tier_map << "|\n";
   return os.str();
 }
 

@@ -45,6 +45,13 @@ std::string RenderTimeAxis(const Table& table, size_t width);
 /// " .:-=+*#%@" (space = no live rows, '@' = fully fresh).
 std::string RenderFreshnessAxis(const Table& table, size_t width);
 
+/// One-character-per-range storage-tier strip along the time axis:
+/// 'F' = every surviving segment in the range is frozen, '.' = all
+/// plain, '~' = mixed, ' ' = fully reclaimed. Lines up under the
+/// freshness heatmap so the cold tier's march along the rot front is
+/// visible at a glance.
+std::string RenderTierAxis(const Table& table, size_t width);
+
 /// Everything the `\rot <table>` meta command shows: rot structure,
 /// freshness histogram, the rot front, a decay-rate-based death
 /// estimate, and the freshness heatmap.
@@ -65,7 +72,17 @@ struct RotReport {
   uint64_t segments_folded = 0;
   uint64_t rows_materialized = 0;
   double fold_ratio = 0.0;
-  std::string heatmap;  // RenderFreshnessAxis at width 60
+  /// Cold-tier occupancy (DESIGN.md §15): segments frozen right now,
+  /// the encoded bytes they occupy, and the plain bytes they held at
+  /// freeze time. Physical annotation only — every logical field above
+  /// is identical whichever tier the rows live on (the freeze-on/off
+  /// differential test pins that).
+  uint64_t total_segments = 0;
+  uint64_t frozen_segments = 0;
+  uint64_t encoded_bytes = 0;
+  uint64_t plain_bytes_before = 0;
+  std::string heatmap;   // RenderFreshnessAxis at width 60
+  std::string tier_map;  // RenderTierAxis at width 60
 
   std::string ToString() const;
 };

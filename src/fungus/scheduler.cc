@@ -217,6 +217,14 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
       }
     }
     due->table->ReclaimDeadSegments();
+    // Freeze pass (DESIGN.md §15): full segments idle for the
+    // configured number of ticks move to the encoded cold tier. Still
+    // inside the tick's write section, so readers never observe a
+    // representation swap mid-pin — and before the post-tick check, so
+    // an armed fsck audits the frozen image every tick.
+    const uint64_t freeze_idle =
+        due->table->options().freeze_after_idle_ticks;
+    if (freeze_idle > 0) due->table->FreezeColdSegments(freeze_idle);
     if (post_tick_check_) post_tick_check_(*due->table, tick_time);
     // Apply phase fully published (kills, cooking, reclamation, check):
     // this tick is now its own epoch on the owner's virtual timeline.
@@ -243,6 +251,17 @@ uint64_t DecayScheduler::AdvanceTo(Timestamp now) {
       metrics_->RecordHistogram("fungusdb.decay.tick_duration_us",
                                 table_label,
                                 SteadyMicros() - tick_begin_us);
+      // Storage tiers: current frozen census plus the cumulative thaw
+      // count (mutating touches that pulled a segment back to plain).
+      const StorageStats storage = due->table->GetStorageStats();
+      metrics_->SetGauge("fungusdb.storage.frozen_segments", table_label,
+                         static_cast<double>(storage.frozen_segments));
+      metrics_->SetGauge("fungusdb.storage.encoded_bytes", table_label,
+                         static_cast<double>(storage.encoded_bytes));
+      metrics_->SetGauge("fungusdb.storage.plain_bytes_before", table_label,
+                         static_cast<double>(storage.plain_bytes_before));
+      metrics_->SetGauge("fungusdb.storage.thaw_count", table_label,
+                         static_cast<double>(storage.thaw_count));
       // Rot front: virtual insertion time of the oldest tuple still
       // alive. -1 means the table has fully decayed.
       const std::optional<RowId> oldest = due->table->OldestLive();

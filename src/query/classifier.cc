@@ -13,9 +13,9 @@ namespace {
 /// process-global, thread-safe facility outside the database state
 /// machine; \slowlog does not (it rewrites the database-wide
 /// threshold), and \advance/\create/\insert/\attach obviously do not.
-constexpr std::array<std::string_view, 7> kReadOnlyMeta = {
-    "\\health", "\\now", "\\metrics", "\\tables",
-    "\\rot",    "\\fsck", "\\trace",
+constexpr std::array<std::string_view, 8> kReadOnlyMeta = {
+    "\\health", "\\now",  "\\metrics", "\\tables",
+    "\\rot",    "\\fsck", "\\trace",   "\\storage",
 };
 
 std::string_view FirstToken(std::string_view text) {

@@ -434,37 +434,56 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
     // morsel-driven: each surviving segment is one morsel, workers
     // claim morsels dynamically, and per-morsel outputs merge in
     // segment order so `matched` is identical to the serial scan.
-    auto scan_segment = [&](const Segment& seg, std::vector<RowId>& out) {
+    auto scan_segment = [&](const Segment& seg, std::vector<RowId>& out,
+                            uint64_t& decoded) {
       if (vec.has_value()) {
         thread_local VectorPredicate::Scratch scratch;
         thread_local std::vector<uint32_t> offsets;
         offsets.clear();
+        const uint64_t decoded_before = scratch.decoded_batches;
         vec->Match(seg, scratch, offsets);
+        decoded += scratch.decoded_batches - decoded_before;
         out.reserve(out.size() + offsets.size());
         for (uint32_t off : offsets) out.push_back(seg.first_row() + off);
       } else {
-        // No WHERE: every live row matches.
-        const uint8_t* alive = seg.alive_data();
+        // No WHERE: every live row matches. Both tiers go through the
+        // shared decode-to-scratch liveness routine (zero-copy on the
+        // plain tier); fully-dead spans of a frozen segment are skipped
+        // straight off the RLE runs.
+        thread_local std::vector<uint8_t> alive_scratch;
+        constexpr size_t kBatch = VectorPredicate::kBatchSize;
+        alive_scratch.resize(kBatch);
         const size_t n = seg.num_rows();
+        const bool frozen = seg.is_frozen();
         out.reserve(out.size() + seg.live_count());
-        for (size_t off = 0; off < n; ++off) {
-          if (alive[off]) out.push_back(seg.first_row() + off);
+        for (size_t base = 0; base < n; base += kBatch) {
+          const size_t m = std::min(kBatch, n - base);
+          if (frozen && !seg.AnyLive(base, m)) continue;
+          const uint8_t* alive =
+              seg.DecodeAlive(base, m, alive_scratch.data());
+          if (frozen) ++decoded;
+          for (size_t i = 0; i < m; ++i) {
+            if (alive[i]) out.push_back(seg.first_row() + base + i);
+          }
         }
       }
     };
+    uint64_t decode_batches = 0;
     ThreadPool* pool = options_.pool;
     if (pool != nullptr && pool->num_threads() > 1 &&
         segments.size() >= options_.parallel_scan_min_segments) {
       std::vector<std::vector<RowId>> morsel_matched(segments.size());
+      std::vector<uint64_t> morsel_decoded(segments.size(), 0);
       pool->ParallelFor(segments.size(), [&](size_t i) {
         FUNGUS_TRACE_SPAN("scan.morsel", i);
-        scan_segment(*segments[i], morsel_matched[i]);
+        scan_segment(*segments[i], morsel_matched[i], morsel_decoded[i]);
       });
       size_t total = 0;
       for (const auto& m : morsel_matched) total += m.size();
       matched.reserve(total);
       for (size_t i = 0; i < segments.size(); ++i) {
         result.stats.rows_scanned += segments[i]->live_count();
+        decode_batches += morsel_decoded[i];
         matched.insert(matched.end(), morsel_matched[i].begin(),
                        morsel_matched[i].end());
       }
@@ -477,8 +496,16 @@ Result<ResultSet> QueryEngine::Execute(const Query& query, Table& table,
       FUNGUS_TRACE_SPAN("scan.serial", segments.size());
       for (const Segment* seg : segments) {
         result.stats.rows_scanned += seg->live_count();
-        scan_segment(*seg, matched);
+        scan_segment(*seg, matched, decode_batches);
       }
+    }
+    if (options_.metrics != nullptr && decode_batches > 0) {
+      options_.metrics->IncrementCounter(
+          "fungusdb.storage.decode_batches",
+          static_cast<int64_t>(decode_batches));
+      options_.metrics->IncrementCounter(
+          "fungusdb.storage.decode_batches", "table=" + table.name(),
+          static_cast<int64_t>(decode_batches));
     }
   } else {
     // Fallback: row-at-a-time tree walker over the surviving segments.

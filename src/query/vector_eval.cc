@@ -1,6 +1,7 @@
 #include "query/vector_eval.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 namespace fungusdb {
@@ -128,15 +129,55 @@ std::optional<int> VectorPredicate::CompileNode(const BoundExpr& expr,
         case BinaryOp::kGt:
         case BinaryOp::kGe: {
           auto lhs = CompileOperand(expr.children[0]);
-          if (!lhs) return std::nullopt;
-          auto rhs = CompileOperand(expr.children[1]);
-          if (!rhs) return std::nullopt;
-          node.kind = NodeKind::kCompare;
-          node.cmp_op = expr.binary_op;
-          node.lhs = *lhs;
-          node.rhs = *rhs;
+          auto rhs = lhs ? CompileOperand(expr.children[1]) : std::nullopt;
+          if (lhs && rhs) {
+            node.kind = NodeKind::kCompare;
+            node.cmp_op = expr.binary_op;
+            node.lhs = *lhs;
+            node.rhs = *rhs;
+            nodes.push_back(node);
+            return static_cast<int>(nodes.size()) - 1;
+          }
+          // Not numeric: string-column = / != string-literal (either
+          // operand order) lowers to the dictionary-aware kernel.
+          if (expr.binary_op != BinaryOp::kEq &&
+              expr.binary_op != BinaryOp::kNe) {
+            return std::nullopt;
+          }
+          const BoundExpr* colx = nullptr;
+          const BoundExpr* litx = nullptr;
+          if (expr.children[0].kind == Expr::Kind::kColumnRef &&
+              expr.children[1].kind == Expr::Kind::kLiteral) {
+            colx = &expr.children[0];
+            litx = &expr.children[1];
+          } else if (expr.children[1].kind == Expr::Kind::kColumnRef &&
+                     expr.children[0].kind == Expr::Kind::kLiteral) {
+            colx = &expr.children[1];
+            litx = &expr.children[0];
+          } else {
+            return std::nullopt;
+          }
+          if (colx->col_source != ColumnSource::kUser ||
+              colx->result_type != DataType::kString ||
+              litx->literal.is_null() ||
+              litx->literal.type() != DataType::kString) {
+            return std::nullopt;
+          }
+          node.kind = NodeKind::kStringEq;
+          node.str_col = colx->col_index;
+          node.str_lit = litx->literal.AsString();
           nodes.push_back(node);
-          return static_cast<int>(nodes.size()) - 1;
+          int idx = static_cast<int>(nodes.size()) - 1;
+          if (expr.binary_op == BinaryOp::kNe) {
+            // Kleene NOT over equality: NULL cells stay UNKNOWN, which
+            // is exactly the walker's `col != 'x'` semantics.
+            Node neg;
+            neg.kind = NodeKind::kNot;
+            neg.child0 = idx;
+            nodes.push_back(neg);
+            idx = static_cast<int>(nodes.size()) - 1;
+          }
+          return idx;
         }
         default:
           return std::nullopt;
@@ -156,7 +197,8 @@ std::optional<VectorPredicate> VectorPredicate::Compile(
 
 void VectorPredicate::MaterializeOperand(const Operand& op,
                                          const Segment& seg, size_t base,
-                                         size_t n, double* vals,
+                                         size_t n, const uint8_t* alive,
+                                         double* vals,
                                          uint8_t* nulls) const {
   switch (op.kind) {
     case OperandKind::kNullLit:
@@ -166,15 +208,13 @@ void VectorPredicate::MaterializeOperand(const Operand& op,
       std::fill(vals, vals + n, op.constant);
       std::memset(nulls, 0, n);
       return;
-    case OperandKind::kTs: {
-      const Timestamp* ts = seg.ts_data() + base;
-      for (size_t i = 0; i < n; ++i) vals[i] = static_cast<double>(ts[i]);
+    case OperandKind::kTs:
+      seg.DecodeTs(base, n, vals);
       std::memset(nulls, 0, n);
       return;
-    }
     case OperandKind::kFreshness:
-      std::memcpy(vals, seg.freshness_data() + base, n * sizeof(double));
-      // The stored vector is "as of the last materialization"; replay
+      seg.DecodeStoredFreshness(base, n, alive, vals);
+      // The stored values are "as of the last materialization"; replay
       // pending uniform decrements in fold order so the kernel compares
       // the same effective values Segment::Freshness reconstructs. Dead
       // rows pick up garbage here, but Match's alive mask drops them.
@@ -183,49 +223,33 @@ void VectorPredicate::MaterializeOperand(const Operand& op,
       }
       std::memset(nulls, 0, n);
       return;
-    case OperandKind::kInt64Col: {
-      const auto& col = static_cast<const Int64Column&>(seg.column(op.col));
-      const int64_t* data = col.data().data() + base;
-      for (size_t i = 0; i < n; ++i) vals[i] = static_cast<double>(data[i]);
-      if (col.null_count() == 0) {
+    case OperandKind::kInt64Col:
+    case OperandKind::kFloat64Col:
+    case OperandKind::kTimestampCol:
+      if (seg.column_null_count(op.col) == 0) {
+        seg.DecodeNumericColumn(op.col, base, n, vals, nullptr);
         std::memset(nulls, 0, n);
       } else {
-        for (size_t i = 0; i < n; ++i) nulls[i] = col.IsNull(base + i);
+        seg.DecodeNumericColumn(op.col, base, n, vals, nulls);
       }
       return;
-    }
-    case OperandKind::kFloat64Col: {
-      const auto& col =
-          static_cast<const Float64Column&>(seg.column(op.col));
-      std::memcpy(vals, col.data().data() + base, n * sizeof(double));
-      if (col.null_count() == 0) {
-        std::memset(nulls, 0, n);
-      } else {
-        for (size_t i = 0; i < n; ++i) nulls[i] = col.IsNull(base + i);
-      }
-      return;
-    }
-    case OperandKind::kTimestampCol: {
-      const auto& col =
-          static_cast<const TimestampColumn&>(seg.column(op.col));
-      const Timestamp* data = col.data().data() + base;
-      for (size_t i = 0; i < n; ++i) vals[i] = static_cast<double>(data[i]);
-      if (col.null_count() == 0) {
-        std::memset(nulls, 0, n);
-      } else {
-        for (size_t i = 0; i < n; ++i) nulls[i] = col.IsNull(base + i);
-      }
-      return;
-    }
   }
 }
 
 void VectorPredicate::EvalBatch(const Segment& seg, size_t base, size_t n,
+                                const uint8_t* alive, const int8_t* decided,
                                 Scratch& scratch) const {
   for (size_t idx = 0; idx < nodes_.size(); ++idx) {
     const Node& node = nodes_[idx];
     uint8_t* t = scratch.truth.data() + idx * kBatchSize;
     uint8_t* k = scratch.known.data() + idx * kBatchSize;
+    if (decided != nullptr && decided[idx] >= 0) {
+      // Whole-segment decision from the encoded metadata: nothing to
+      // decode for this leaf.
+      std::memset(t, decided[idx], n);
+      std::memset(k, 1, n);
+      continue;
+    }
     switch (node.kind) {
       case NodeKind::kConstBool:
         std::memset(t, node.const_truth ? 1 : 0, n);
@@ -234,9 +258,19 @@ void VectorPredicate::EvalBatch(const Segment& seg, size_t base, size_t n,
       case NodeKind::kIsNull: {
         double* lv = scratch.vals.data();
         uint8_t* ln = scratch.nulls.data();
-        MaterializeOperand(node.lhs, seg, base, n, lv, ln);
+        MaterializeOperand(node.lhs, seg, base, n, alive, lv, ln);
         std::memcpy(t, ln, n);
         std::memset(k, 1, n);
+        break;
+      }
+      case NodeKind::kStringEq: {
+        uint8_t* eq = scratch.nulls.data();
+        uint8_t* nn = scratch.nulls.data() + kBatchSize;
+        seg.MatchStringEq(node.str_col, base, n, node.str_lit, eq, nn);
+        for (size_t i = 0; i < n; ++i) {
+          t[i] = eq[i];
+          k[i] = nn[i] ^ 1;  // NULL cell -> UNKNOWN
+        }
         break;
       }
       case NodeKind::kCompare: {
@@ -244,8 +278,8 @@ void VectorPredicate::EvalBatch(const Segment& seg, size_t base, size_t n,
         double* rv = scratch.vals.data() + kBatchSize;
         uint8_t* ln = scratch.nulls.data();
         uint8_t* rn = scratch.nulls.data() + kBatchSize;
-        MaterializeOperand(node.lhs, seg, base, n, lv, ln);
-        MaterializeOperand(node.rhs, seg, base, n, rv, rn);
+        MaterializeOperand(node.lhs, seg, base, n, alive, lv, ln);
+        MaterializeOperand(node.rhs, seg, base, n, alive, rv, rn);
         // Value::Compare trichotomy: NaN is neither < nor >, so cmp == 0
         // and NaN "equals" everything — preserved deliberately.
         auto run = [&](auto accept) {
@@ -330,21 +364,139 @@ void VectorPredicate::EvalBatch(const Segment& seg, size_t base, size_t n,
   }
 }
 
+namespace {
+
+/// Mirror of a comparison for swapped operands: c <op> x == x <mirror> c.
+BinaryOp MirrorCompare(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // =, != are symmetric
+  }
+}
+
+/// Decides `x <op> c` for every x in [lo, hi] (both bounds attained):
+/// 1 = TRUE for all, 0 = FALSE for all, -1 = mixed.
+int8_t DecideRangeCompare(BinaryOp op, double lo, double hi, double c) {
+  switch (op) {
+    case BinaryOp::kLt:
+      if (hi < c) return 1;
+      if (lo >= c) return 0;
+      return -1;
+    case BinaryOp::kLe:
+      if (hi <= c) return 1;
+      if (lo > c) return 0;
+      return -1;
+    case BinaryOp::kGt:
+      if (lo > c) return 1;
+      if (hi <= c) return 0;
+      return -1;
+    case BinaryOp::kGe:
+      if (lo >= c) return 1;
+      if (hi < c) return 0;
+      return -1;
+    case BinaryOp::kEq:
+      if (c < lo || c > hi) return 0;
+      if (lo == hi && lo == c) return 1;
+      return -1;
+    case BinaryOp::kNe:
+      if (c < lo || c > hi) return 1;
+      if (lo == hi && lo == c) return 0;
+      return -1;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace
+
+std::vector<int8_t> VectorPredicate::DecideFrozenLeaves(
+    const Segment& seg) const {
+  std::vector<int8_t> decided(nodes_.size(), -1);
+  const encode::FrozenSegment& fz = seg.frozen();
+  for (size_t idx = 0; idx < nodes_.size(); ++idx) {
+    const Node& node = nodes_[idx];
+    if (node.kind == NodeKind::kStringEq) {
+      // A needle absent from the dictionary matches nothing; with no
+      // NULL cells in the way the whole segment is FALSE.
+      if (seg.column_null_count(node.str_col) == 0 &&
+          !fz.columns[node.str_col].strings.CodeOf(node.str_lit)
+               .has_value()) {
+        decided[idx] = 0;
+      }
+      continue;
+    }
+    if (node.kind != NodeKind::kCompare) continue;
+    // One side a FOR-packed int span, the other a non-NaN constant.
+    const Operand* col_op = nullptr;
+    const Operand* const_op = nullptr;
+    BinaryOp op = node.cmp_op;
+    auto is_packed = [](OperandKind kind) {
+      return kind == OperandKind::kTs || kind == OperandKind::kInt64Col ||
+             kind == OperandKind::kTimestampCol;
+    };
+    if (is_packed(node.lhs.kind) && node.rhs.kind == OperandKind::kConst) {
+      col_op = &node.lhs;
+      const_op = &node.rhs;
+    } else if (is_packed(node.rhs.kind) &&
+               node.lhs.kind == OperandKind::kConst) {
+      col_op = &node.rhs;
+      const_op = &node.lhs;
+      op = MirrorCompare(op);
+    } else {
+      continue;
+    }
+    if (std::isnan(const_op->constant)) continue;  // NaN "equals" all
+    const encode::PackedInts* packed = nullptr;
+    if (col_op->kind == OperandKind::kTs) {
+      packed = &fz.ts;
+    } else {
+      // NULL cells store a raw 0 inside the packed range and would
+      // poison an all-TRUE decision — require an all-valid column.
+      if (seg.column_null_count(col_op->col) != 0) continue;
+      packed = &fz.columns[col_op->col].ints;
+    }
+    // Min and max are attained, so their double images bound every
+    // row's double image exactly (int -> double is monotone).
+    const double lo = static_cast<double>(packed->base);
+    const double hi = static_cast<double>(static_cast<int64_t>(
+        static_cast<uint64_t>(packed->base) + packed->max_delta));
+    decided[idx] = DecideRangeCompare(op, lo, hi, const_op->constant);
+  }
+  return decided;
+}
+
 void VectorPredicate::Match(const Segment& seg, Scratch& scratch,
                             std::vector<uint32_t>& out) const {
   scratch.truth.resize(nodes_.size() * kBatchSize);
   scratch.known.resize(nodes_.size() * kBatchSize);
   scratch.vals.resize(2 * kBatchSize);
   scratch.nulls.resize(2 * kBatchSize);
+  scratch.alive.resize(kBatchSize);
   const size_t rows = seg.num_rows();
   const size_t root = nodes_.size() - 1;
-  const uint8_t* alive = seg.alive_data();
+  const bool frozen = seg.is_frozen();
+  std::vector<int8_t> decided;
+  if (frozen) decided = DecideFrozenLeaves(seg);
+  const int8_t* decided_ptr = frozen ? decided.data() : nullptr;
   for (size_t base = 0; base < rows; base += kBatchSize) {
     const size_t n = std::min(kBatchSize, rows - base);
-    EvalBatch(seg, base, n, scratch);
+    // Fully-dead batches of a frozen segment are answered by the RLE
+    // liveness runs alone — skip before any decode. (Not done for the
+    // plain tier, where the check would just pre-read the alive span.)
+    if (frozen && !seg.AnyLive(base, n)) continue;
+    const uint8_t* a = seg.DecodeAlive(base, n, scratch.alive.data());
+    if (frozen) ++scratch.decoded_batches;
+    EvalBatch(seg, base, n, a, decided_ptr, scratch);
     const uint8_t* t = scratch.truth.data() + root * kBatchSize;
     const uint8_t* k = scratch.known.data() + root * kBatchSize;
-    const uint8_t* a = alive + base;
     for (size_t i = 0; i < n; ++i) {
       if (a[i] & t[i] & k[i]) {
         out.push_back(static_cast<uint32_t>(base + i));

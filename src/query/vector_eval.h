@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "query/binder.h"
@@ -18,10 +19,19 @@ namespace fungusdb {
 ///
 /// Coverage: comparisons (=, !=, <, <=, >, >=) between numeric operands
 /// (int64 / float64 / timestamp user columns, `__ts`, `__freshness`,
-/// numeric or NULL literals), IS [NOT] NULL over those operands, boolean
-/// and NULL literals, and AND / OR / NOT combinations thereof. Anything
-/// else makes Compile() return nullopt and the engine falls back to the
-/// row-at-a-time tree walker.
+/// numeric or NULL literals), string-column = / != string-literal,
+/// IS [NOT] NULL over numeric operands, boolean and NULL literals, and
+/// AND / OR / NOT combinations thereof. Anything else makes Compile()
+/// return nullopt and the engine falls back to the row-at-a-time tree
+/// walker.
+///
+/// Both storage tiers run through the same program via the segment's
+/// decode-to-scratch API. Frozen segments additionally get two
+/// encoded-domain fast paths that never decode: comparison leaves over
+/// FOR-packed int spans are decided for the whole segment from the
+/// packed [base, base + max_delta] range when possible, and string
+/// equality compares dictionary codes run by run. Batches with no live
+/// rows (answered by the RLE liveness runs) are skipped outright.
 ///
 /// Semantics match the tree walker bit for bit:
 ///  * comparisons happen in double space (int64/timestamp converted),
@@ -42,6 +52,10 @@ class VectorPredicate {
     std::vector<uint8_t> known;   // num_nodes x kBatchSize
     std::vector<double> vals;     // 2 x kBatchSize operand staging
     std::vector<uint8_t> nulls;   // 2 x kBatchSize operand staging
+    std::vector<uint8_t> alive;   // kBatchSize liveness staging
+    /// Batches decoded from frozen segments (feeds the
+    /// fungusdb.storage.decode_batches metric).
+    uint64_t decoded_batches = 0;
   };
 
   /// Lowers `expr` (a boolean-typed bound expression) or returns nullopt
@@ -74,6 +88,7 @@ class VectorPredicate {
     kConstBool,  // truth/known fixed at compile time
     kIsNull,     // lhs operand IS NULL
     kCompare,    // lhs <cmp_op> rhs
+    kStringEq,   // str_col == str_lit (!= compiles to kNot over this)
     kNot,        // child0
     kAnd,        // child0, child1
     kOr,         // child0, child1
@@ -88,7 +103,15 @@ class VectorPredicate {
     Operand rhs;
     int child0 = -1;
     int child1 = -1;
+    size_t str_col = 0;   // kStringEq
+    std::string str_lit;  // kStringEq
   };
+
+  /// Per-node whole-segment decisions for a frozen segment: 1 = TRUE
+  /// for every row, 0 = FALSE for every row, -1 = must evaluate.
+  /// Derived from the encoded metadata alone (FOR range of packed int
+  /// spans, dictionary membership) — no decoding, no thawing.
+  std::vector<int8_t> DecideFrozenLeaves(const Segment& seg) const;
 
   static std::optional<Operand> CompileOperand(const BoundExpr& expr);
   /// Appends nodes post-order; returns the root index or nullopt.
@@ -96,9 +119,10 @@ class VectorPredicate {
                                         std::vector<Node>& nodes);
 
   void MaterializeOperand(const Operand& op, const Segment& seg,
-                          size_t base, size_t n, double* vals,
-                          uint8_t* nulls) const;
+                          size_t base, size_t n, const uint8_t* alive,
+                          double* vals, uint8_t* nulls) const;
   void EvalBatch(const Segment& seg, size_t base, size_t n,
+                 const uint8_t* alive, const int8_t* decided,
                  Scratch& scratch) const;
 
   std::vector<Node> nodes_;  // post-order; back() is the root

@@ -477,6 +477,48 @@ Result<ResultSet> Server::ExecuteReadMeta(const std::string& line) {
     }
     return rs;
   }
+  if (cmd == "\\storage") {
+    if (args.size() > 2) {
+      return Status::InvalidArgument("usage: \\storage [table]");
+    }
+    std::vector<std::string> names;
+    if (args.size() == 2) {
+      // Resolve first so an unknown table reports NotFound, not an
+      // empty result.
+      FUNGUSDB_RETURN_IF_ERROR(db_->GetTable(args[1]).status());
+      names.push_back(args[1]);
+    } else {
+      names = db_->TableNames();
+    }
+    ResultSet rs;
+    rs.column_names = {"table",
+                       "segments",
+                       "frozen",
+                       "encoded_bytes",
+                       "plain_bytes_before",
+                       "compression_ratio",
+                       "freezes_total",
+                       "thaws_total"};
+    for (const std::string& name : names) {
+      FUNGUSDB_ASSIGN_OR_RETURN(TableHandle t, db_->GetTable(name));
+      const StorageStats st = t.table().GetStorageStats();
+      const double ratio =
+          (st.frozen_segments > 0 && st.encoded_bytes > 0)
+              ? static_cast<double>(st.plain_bytes_before) /
+                    static_cast<double>(st.encoded_bytes)
+              : 0.0;
+      rs.rows.push_back(
+          {Value::String(name),
+           Value::Int64(static_cast<int64_t>(st.total_segments)),
+           Value::Int64(static_cast<int64_t>(st.frozen_segments)),
+           Value::Int64(static_cast<int64_t>(st.encoded_bytes)),
+           Value::Int64(static_cast<int64_t>(st.plain_bytes_before)),
+           Value::Float64(ratio),
+           Value::Int64(static_cast<int64_t>(st.segments_frozen_total)),
+           Value::Int64(static_cast<int64_t>(st.thaw_count))});
+    }
+    return rs;
+  }
   return Status::InvalidArgument("not a read-only server command: " + cmd);
 }
 
@@ -575,7 +617,8 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
   return Status::InvalidArgument(
       "unknown server command " + cmd +
       " (remote subset: \\health \\now \\metrics [prom] \\fsck \\tables "
-      "\\advance \\create \\insert \\attach \\rot \\trace \\slowlog)");
+      "\\storage \\advance \\create \\insert \\attach \\rot \\trace "
+      "\\slowlog)");
 }
 
 }  // namespace fungusdb::server

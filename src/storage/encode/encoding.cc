@@ -1,0 +1,220 @@
+#include "storage/encode/encoding.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+namespace fungusdb::encode {
+namespace {
+
+/// Standard CRC-32 (reflected polynomial 0xEDB88320), table generated
+/// once at first use — no external zlib dependency.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Rows-per-segment is capped at 1 << 26 by the snapshot validators;
+/// encoded spans inherit the same plausibility bound.
+constexpr uint64_t kMaxCount = uint64_t{1} << 26;
+
+uint32_t BitsFor(uint64_t v) {
+  uint32_t bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+PackedInts PackedInts::Pack(const int64_t* data, size_t n) {
+  PackedInts out;
+  out.count = n;
+  if (n == 0) return out;
+  int64_t lo = data[0];
+  for (size_t i = 1; i < n; ++i) lo = std::min(lo, data[i]);
+  out.base = lo;
+  uint64_t max_delta = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Wrapping subtraction in unsigned space is exact for two's
+    // complement: delta = data[i] - lo fits uint64 for any int64 pair.
+    const uint64_t delta =
+        static_cast<uint64_t>(data[i]) - static_cast<uint64_t>(lo);
+    max_delta = std::max(max_delta, delta);
+  }
+  out.max_delta = max_delta;
+  out.bit_width = BitsFor(max_delta);
+  if (out.bit_width == 0) return out;  // all values equal base
+  out.words.assign(WordsFor(n, out.bit_width), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t delta =
+        static_cast<uint64_t>(data[i]) - static_cast<uint64_t>(lo);
+    const size_t bit = i * out.bit_width;
+    const size_t word = bit >> 6;
+    const size_t shift = bit & 63;
+    out.words[word] |= delta << shift;
+    if (shift + out.bit_width > 64) {
+      out.words[word + 1] |= delta >> (64 - shift);
+    }
+  }
+  return out;
+}
+
+void PackedInts::Serialize(BufferWriter& out) const {
+  out.WriteI64(base);
+  out.WriteU32(bit_width);
+  out.WriteU64(count);
+  out.WriteU64(max_delta);
+  out.WriteU64(words.size());
+  for (const uint64_t w : words) out.WriteU64(w);
+}
+
+Result<PackedInts> PackedInts::Deserialize(BufferReader& in) {
+  PackedInts out;
+  FUNGUSDB_ASSIGN_OR_RETURN(out.base, in.ReadI64());
+  FUNGUSDB_ASSIGN_OR_RETURN(out.bit_width, in.ReadU32());
+  FUNGUSDB_ASSIGN_OR_RETURN(out.count, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(out.max_delta, in.ReadU64());
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t num_words, in.ReadU64());
+  if (out.bit_width > 64) {
+    return Status::ParseError("packed ints: bit width over 64");
+  }
+  if (out.count > kMaxCount) {
+    return Status::ParseError("packed ints: implausible count");
+  }
+  if (out.bit_width < 64 && (out.max_delta >> out.bit_width) != 0) {
+    return Status::ParseError("packed ints: max delta exceeds bit width");
+  }
+  if (num_words != WordsFor(out.count, out.bit_width)) {
+    return Status::ParseError("packed ints: word count mismatch");
+  }
+  out.words.reserve(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(uint64_t w, in.ReadU64());
+    out.words.push_back(w);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename V, typename WriteFn>
+void SerializeRle(const RleRuns<V>& rle, BufferWriter& out,
+                  WriteFn&& write_value) {
+  out.WriteU64(rle.values.size());
+  for (size_t i = 0; i < rle.values.size(); ++i) {
+    write_value(rle.values[i]);
+    out.WriteU64(rle.ends[i]);
+  }
+}
+
+template <typename V, typename ReadFn>
+Result<RleRuns<V>> DeserializeRle(BufferReader& in, ReadFn&& read_value) {
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t runs, in.ReadU64());
+  if (runs > kMaxCount) {
+    return Status::ParseError("rle: implausible run count");
+  }
+  RleRuns<V> out;
+  out.values.reserve(runs);
+  out.ends.reserve(runs);
+  uint64_t prev_end = 0;
+  for (uint64_t i = 0; i < runs; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(V value, read_value());
+    FUNGUSDB_ASSIGN_OR_RETURN(uint64_t end, in.ReadU64());
+    if (end <= prev_end || end > kMaxCount) {
+      return Status::ParseError("rle: run ends not strictly ascending");
+    }
+    // Adjacent runs with equal values would be a non-canonical encoding:
+    // Pack never emits them, and canonical bytes are what the per-block
+    // checksum covers.
+    if (i > 0 && out.values.back() == value) {
+      return Status::ParseError("rle: adjacent runs share a value");
+    }
+    out.values.push_back(value);
+    out.ends.push_back(end);
+    prev_end = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+void SerializeRleBytes(const RleBytes& rle, BufferWriter& out) {
+  SerializeRle(rle, out, [&](uint8_t v) { out.WriteU8(v); });
+}
+
+Result<RleBytes> DeserializeRleBytes(BufferReader& in) {
+  return DeserializeRle<uint8_t>(in, [&] { return in.ReadU8(); });
+}
+
+void SerializeRleCodes(const RleCodes& rle, BufferWriter& out) {
+  SerializeRle(rle, out, [&](uint32_t v) { out.WriteU32(v); });
+}
+
+Result<RleCodes> DeserializeRleCodes(BufferReader& in) {
+  return DeserializeRle<uint32_t>(in, [&] { return in.ReadU32(); });
+}
+
+DictStrings DictStrings::Pack(const std::vector<std::string>& data) {
+  DictStrings out;
+  std::unordered_map<std::string, uint32_t> index;
+  std::vector<uint32_t> stream;
+  stream.reserve(data.size());
+  for (const std::string& s : data) {
+    auto [it, inserted] =
+        index.emplace(s, static_cast<uint32_t>(out.dict.size()));
+    if (inserted) out.dict.push_back(s);
+    stream.push_back(it->second);
+  }
+  out.codes = RleCodes::Pack(stream.data(), stream.size());
+  return out;
+}
+
+void DictStrings::Serialize(BufferWriter& out) const {
+  out.WriteU64(dict.size());
+  for (const std::string& s : dict) out.WriteString(s);
+  SerializeRleCodes(codes, out);
+}
+
+Result<DictStrings> DictStrings::Deserialize(BufferReader& in) {
+  DictStrings out;
+  FUNGUSDB_ASSIGN_OR_RETURN(uint64_t dict_size, in.ReadU64());
+  if (dict_size > kMaxCount) {
+    return Status::ParseError("dict: implausible dictionary size");
+  }
+  out.dict.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    FUNGUSDB_ASSIGN_OR_RETURN(std::string s, in.ReadString());
+    out.dict.push_back(std::move(s));
+  }
+  FUNGUSDB_ASSIGN_OR_RETURN(out.codes, DeserializeRleCodes(in));
+  for (const uint32_t code : out.codes.values) {
+    if (code >= out.dict.size()) {
+      return Status::ParseError("dict: code out of dictionary range");
+    }
+  }
+  return out;
+}
+
+}  // namespace fungusdb::encode

@@ -1,13 +1,16 @@
 #ifndef FUNGUSDB_STORAGE_SEGMENT_H_
 #define FUNGUSDB_STORAGE_SEGMENT_H_
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "storage/column.h"
+#include "storage/encode/frozen.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -81,14 +84,26 @@ struct ZoneMap {
 /// RecomputeZoneMap, and before snapshot serialization, so the on-disk
 /// format never sees them.
 ///
+/// Tiered storage (DESIGN.md §15): a full, idle segment can be *frozen*
+/// into the compact encoded form (encode::FrozenSegment) — the plain
+/// vectors are released and every accessor answers from the encoding
+/// (FOR lookup O(1), RLE/dict lookup O(log runs)). Reads never thaw;
+/// zone maps, pruning and the decode-to-scratch scan API all work on
+/// the frozen form, and uniform decay folds/materializations update it
+/// in place. Any per-row mutation (SetFreshness, Kill) or a zone-map
+/// recount thaws the segment back to plain vectors, bit-identically.
+/// Appends never reach a frozen segment (freezing requires full()).
+///
 /// Visibility: none of this is internally synchronized. Decay ticks
 /// tombstone rows, rewrite freshness vectors and free whole segments;
 /// a concurrent reader iterating offsets mid-tick could see a zone map
 /// disagreeing with its cells, or a dangling segment outright. The
 /// epoch scheme (core/epoch.h) is what rules that out: writers mutate
 /// only inside an exclusive write section, readers only under a pin,
-/// and segment lifetime ends strictly inside a write section — so a
-/// pinned reader can hold raw Segment pointers for the pin's duration.
+/// and segment lifetime — including freeze and thaw, which swap the
+/// physical representation — ends strictly inside a write section, so
+/// a pinned reader can hold raw Segment pointers for the pin's
+/// duration and never observes a representation change.
 class Segment {
  public:
   Segment(const Schema& schema, uint64_t first_row, size_t capacity,
@@ -99,60 +114,126 @@ class Segment {
 
   uint64_t first_row() const { return first_row_; }
   size_t capacity() const { return capacity_; }
-  size_t num_rows() const { return ts_.size(); }
+  size_t num_rows() const {
+    return frozen_ ? static_cast<size_t>(frozen_->num_rows) : ts_.size();
+  }
   bool full() const { return num_rows() == capacity_; }
   size_t live_count() const { return live_count_; }
 
   /// Appends an already-validated row with freshness 1.0.
-  /// Requires !full().
+  /// Requires !full() (which implies !is_frozen()).
   void Append(const std::vector<Value>& values, Timestamp now);
 
-  bool IsLive(size_t off) const { return alive_[off] != 0; }
+  bool IsLive(size_t off) const {
+    return frozen_ ? frozen_->IsLive(off) : alive_[off] != 0;
+  }
 
   /// Effective freshness: the stored value with every pending uniform
   /// decrement replayed in fold order. Equals the stored value exactly
   /// when nothing is pending (the common case); dead rows are always 0.
   double Freshness(size_t off) const {
-    if (pending_decay_.empty() || alive_[off] == 0) {
-      return freshness_[off];
-    }
-    double f = freshness_[off];
+    const double stored = stored_freshness(off);
+    if (pending_decay_.empty() || !IsLive(off)) return stored;
+    double f = stored;
     for (const double d : pending_decay_) f -= d;
     return f;
   }
 
   /// Raw stored freshness, ignoring pending decay — verification and
   /// tests only; every consumer of row state wants Freshness().
-  double stored_freshness(size_t off) const { return freshness_[off]; }
+  double stored_freshness(size_t off) const {
+    return frozen_ ? frozen_->StoredFreshness(off) : freshness_[off];
+  }
 
   /// Sets freshness; clamps into [0, 1] and kills the tuple at 0.
   /// A write equal to the current value is a no-op (decay ticks call
   /// this for every infected tuple; most writes repeat the old value
   /// when the clock did not advance). Returns true when this call
-  /// killed the tuple. Requires no pending decay (the shard mutators
-  /// materialize first).
+  /// killed the tuple. Requires no pending decay and a thawed segment
+  /// (the shard mutators thaw and materialize first).
   bool SetFreshness(size_t off, double f);
 
   /// Tombstones the tuple (idempotent). Returns true if it was live.
+  /// Requires a thawed segment.
   bool Kill(size_t off);
 
-  Timestamp InsertTime(size_t off) const { return ts_.at(off); }
-
-  Value GetValue(size_t off, size_t col) const {
-    return columns_[col]->GetValue(off);
+  Timestamp InsertTime(size_t off) const {
+    return frozen_ ? static_cast<Timestamp>(frozen_->ts.Get(off))
+                   : ts_.at(off);
   }
 
-  const Column& column(size_t col) const { return *columns_[col]; }
+  Value GetValue(size_t off, size_t col) const;
+
+  /// Plain-representation column access. Requires !is_frozen(); code
+  /// outside src/storage uses the segment-level cell accessors and the
+  /// decode-to-scratch API below, which work on both tiers.
+  const Column& column(size_t col) const {
+    assert(!frozen_);
+    return *columns_[col];
+  }
+
+  // --- Tier-independent column metadata (works frozen or plain). ---
+
+  size_t num_columns() const {
+    return frozen_ ? frozen_->columns.size() : columns_.size();
+  }
+  DataType column_type(size_t col) const {
+    return frozen_ ? frozen_->columns[col].type : columns_[col]->type();
+  }
+  size_t column_size(size_t col) const {
+    return frozen_ ? static_cast<size_t>(frozen_->num_rows)
+                   : columns_[col]->size();
+  }
+  size_t column_null_count(size_t col) const {
+    return frozen_ ? static_cast<size_t>(frozen_->columns[col].null_count)
+                   : columns_[col]->null_count();
+  }
+  bool IsColumnNull(size_t off, size_t col) const {
+    return frozen_ ? frozen_->columns[col].IsNull(off)
+                   : columns_[col]->IsNull(off);
+  }
 
   /// Zone map for pruning decisions. Bounds are conservative supersets
-  /// (see ZoneMap); a stale bound is an invariant violation.
+  /// (see ZoneMap); a stale bound is an invariant violation. Valid on
+  /// both tiers — pruning never thaws.
   const ZoneMap& zone_map() const { return zone_map_; }
 
   /// Recomputes the zone map exactly from the stored rows, tightening
-  /// any bounds that lazy widening left loose. Materializes pending
-  /// decay first (the recount must describe what rows actually hold).
-  /// O(rows × columns).
+  /// any bounds that lazy widening left loose. A mutating touch: thaws
+  /// a frozen segment and materializes pending decay first (the recount
+  /// must describe what rows actually hold). O(rows × columns).
   void RecomputeZoneMap();
+
+  // --- Compression tier (DESIGN.md §15). ---
+
+  bool is_frozen() const { return frozen_ != nullptr; }
+
+  /// The encoded image. Requires is_frozen().
+  const encode::FrozenSegment& frozen() const { return *frozen_; }
+
+  /// Eligible for the cold tier: full (so no appends can arrive), not
+  /// already frozen, and not access-tracked (RecordAccess mutates on
+  /// the read path, which must never thaw).
+  bool can_freeze() const {
+    return !frozen_ && full() && !track_access_;
+  }
+
+  /// Encodes the segment and releases the plain vectors. Materializes
+  /// pending decay first so the encoding holds the true stored values.
+  /// Requires can_freeze(). A write — callers run under the apply
+  /// phase / write section.
+  void Freeze();
+
+  /// Reconstructs the plain vectors from the encoding, bit-identically,
+  /// and drops it. Requires is_frozen().
+  void Thaw();
+
+  /// Shard tick epoch of the last mutating touch (append, per-row
+  /// freshness write, thaw) — the temperature the freeze policy reads.
+  /// Uniform folds deliberately do not count: a segment only touched
+  /// by folds is exactly the cold case freezing targets.
+  uint64_t last_touch_epoch() const { return last_touch_epoch_; }
+  void set_last_touch_epoch(uint64_t epoch) { last_touch_epoch_ = epoch; }
 
   // --- Lazy decay (DESIGN.md §14). ---
 
@@ -168,7 +249,9 @@ class Segment {
   }
 
   /// Folds a uniform decrement (caller proved CanFoldUniformDecay) and
-  /// stamps the shard tick epoch it belongs to. O(1).
+  /// stamps the shard tick epoch it belongs to. O(1) on both tiers —
+  /// folding never thaws, which is what keeps ticks over frozen
+  /// segments O(segments).
   void FoldUniformDecay(double delta, uint64_t epoch) {
     pending_decay_.push_back(delta);
     decay_epoch_ = epoch;
@@ -178,6 +261,9 @@ class Segment {
   /// tightens the live-freshness zone bounds by the same replay. No row
   /// can die here (fold-time proof). Returns rows rewritten (0 when
   /// nothing was pending); stamps `epoch` as the segment's decay epoch.
+  /// On a frozen segment the encoded image is updated in place — O(1)
+  /// for the uniform-freshness fast path — and the block checksum is
+  /// recomputed; the segment stays frozen.
   size_t MaterializePendingDecay(uint64_t epoch);
 
   bool has_pending_decay() const { return !pending_decay_.empty(); }
@@ -204,24 +290,83 @@ class Segment {
     return v;
   }
 
-  // --- Raw system-vector spans (vectorized scan kernels). ---
+  // --- Decode-to-scratch scan API (both tiers; never thaws). ---
+  //
+  // The one routine family every scan path shares (vectorized kernel,
+  // morsel-parallel workers, walker fallback, no-WHERE fast path): on a
+  // plain segment these read the backing vectors directly (liveness is
+  // even zero-copy); on a frozen segment they decode the requested span
+  // into caller scratch.
 
-  const Timestamp* ts_data() const { return ts_.data(); }
+  /// Liveness bytes for [base, base + n). Returns a pointer into the
+  /// plain vector when thawed (zero copy); decodes into `scratch` and
+  /// returns it when frozen.
+  const uint8_t* DecodeAlive(size_t base, size_t n, uint8_t* scratch) const;
+
+  /// True when any row in [base, base + n) is live. O(runs touched) on
+  /// a frozen segment — the batch-skip test that lets scans hop over
+  /// dead spans of cold data without decoding them.
+  bool AnyLive(size_t base, size_t n) const;
+
+  /// Insertion timestamps for [base, base + n) as doubles (the space
+  /// the vector kernel compares in).
+  void DecodeTs(size_t base, size_t n, double* out) const;
+
+  /// STORED freshness for [base, base + n) — callers evaluating
+  /// `__freshness` must replay pending_decay() on top. `alive` is the
+  /// span DecodeAlive returned for the same range (the frozen
+  /// uniform-value path reconstructs from liveness).
+  void DecodeStoredFreshness(size_t base, size_t n, const uint8_t* alive,
+                             double* out) const;
+
+  /// Numeric column cells for [base, base + n) as doubles
+  /// (int64/timestamp convert monotonically, float64 copies). When
+  /// `nulls` is non-null it receives 1 per null cell (whose value slot
+  /// is then unspecified); callers may pass nullptr for all-valid
+  /// columns (column_null_count() == 0).
+  void DecodeNumericColumn(size_t col, size_t base, size_t n, double* vals,
+                           uint8_t* nulls) const;
+
+  /// String equality against a literal for [base, base + n): eq[i] = 1
+  /// where the cell equals `needle`, nulls[i] = 1 where it is null. On
+  /// a frozen segment this compares dictionary codes — one dictionary
+  /// probe per call, no string decoding.
+  void MatchStringEq(size_t col, size_t base, size_t n,
+                     const std::string& needle, uint8_t* eq,
+                     uint8_t* nulls) const;
+
+  // --- Raw system-vector spans (plain tier only; src/storage and the
+  // invariant checker — everything else goes through the decode API,
+  // enforced by the `encoded-access` lint rule). ---
+
+  const Timestamp* ts_data() const {
+    assert(!frozen_);
+    return ts_.data();
+  }
 
   /// STORED freshness values — callers evaluating `__freshness` must
   /// replay pending_decay() on top (see VectorPredicate).
-  const double* freshness_data() const { return freshness_.data(); }
-  const uint8_t* alive_data() const { return alive_.data(); }
+  const double* freshness_data() const {
+    assert(!frozen_);
+    return freshness_.data();
+  }
+  const uint8_t* alive_data() const {
+    assert(!frozen_);
+    return alive_.data();
+  }
 
   void RecordAccess(size_t off);
   uint32_t AccessCount(size_t off) const;
 
+  /// Heap bytes of the current representation — the encoded image when
+  /// frozen, the plain vectors when thawed.
   size_t MemoryUsage() const;
 
   // --- Verification accessors (invariant checker only). ---
 
-  /// Raw system-vector lengths; each must equal num_rows(), and the
-  /// access vector must be empty unless tracking is on.
+  /// Raw system-vector lengths; each must equal num_rows() on a thawed
+  /// segment (and be zero on a frozen one), and the access vector must
+  /// be empty unless tracking is on.
   size_t freshness_vector_size() const { return freshness_.size(); }
   size_t alive_vector_size() const { return alive_.size(); }
   size_t access_vector_size() const { return access_.size(); }
@@ -246,6 +391,10 @@ class Segment {
   // the eager path bit for bit). Cleared by MaterializePendingDecay.
   std::vector<double> pending_decay_;
   uint64_t decay_epoch_ = 0;
+  // Non-null iff the segment is on the cold tier; the plain vectors
+  // above are then empty (audited by the `encoded-segment` fsck rule).
+  std::unique_ptr<encode::FrozenSegment> frozen_;
+  uint64_t last_touch_epoch_ = 0;
 };
 
 }  // namespace fungusdb

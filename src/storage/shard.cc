@@ -22,8 +22,25 @@ Segment* Shard::GetOrCreateSegment(uint64_t seg_no, const Schema& schema,
                                   rows_per_segment_, track_access))
              .first;
   }
+  // Appends only land in non-full segments, which are never frozen —
+  // stamping the touch epoch is all the freeze policy needs here.
+  it->second->set_last_touch_epoch(decay_epoch_);
   rows_materialized_ += it->second->MaterializePendingDecay(decay_epoch_);
   return it->second.get();
+}
+
+size_t Shard::FreezeColdSegments(uint64_t min_idle_epochs,
+                                 size_t max_segments) {
+  size_t frozen = 0;
+  for (auto& [seg_no, seg] : segments_) {
+    if (frozen >= max_segments) break;
+    if (!seg->can_freeze()) continue;
+    if (decay_epoch_ - seg->last_touch_epoch() < min_idle_epochs) continue;
+    seg->Freeze();
+    ++frozen;
+  }
+  segments_frozen_ += frozen;
+  return frozen;
 }
 
 bool Shard::TryFoldUniformDecay(uint64_t seg_no, double delta) {
@@ -50,8 +67,10 @@ Status Shard::SetFreshness(RowId row, double f) {
   if (seg == nullptr) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
-  // First mutating touch: pending decrements must land before any
-  // per-row write (Segment::SetFreshness works in stored space).
+  // First mutating touch: thaw if frozen, then pending decrements must
+  // land before any per-row write (Segment::SetFreshness works in
+  // stored space).
+  TouchForWrite(seg);
   rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
   if (!seg->IsLive(off)) {
     return Status::FailedPrecondition("row " + std::to_string(row) +
@@ -73,6 +92,7 @@ Status Shard::DecayFreshness(RowId row, double delta) {
   if (seg == nullptr) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
+  TouchForWrite(seg);
   rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
   if (!seg->IsLive(off)) {
     return Status::FailedPrecondition("row " + std::to_string(row) +
@@ -92,8 +112,9 @@ Status Shard::Kill(RowId row) {
     return Status::NotFound("row " + std::to_string(row) + " not present");
   }
   // Kill() leaves other rows' stored freshness alone, but the segment's
-  // zone bounds and live set change — keep the invariant that a mutated
-  // segment holds no pending decay.
+  // zone bounds and live set change — thaw if frozen, and keep the
+  // invariant that a mutated segment holds no pending decay.
+  TouchForWrite(seg);
   rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
   if (seg->Kill(off)) {
     --live_rows_;

@@ -108,6 +108,20 @@ class Shard {
   /// (the price actually paid for deferred ticks).
   uint64_t rows_materialized() const { return rows_materialized_; }
 
+  // --- Tiered storage (DESIGN.md §15). ---
+
+  /// Freezes cold full segments into the compact encoded tier. A
+  /// segment is cold when at least `min_idle_epochs` ticks passed since
+  /// its last mutating touch (append, per-row write, thaw — uniform
+  /// folds do not reset the clock). At most `max_segments` freeze per
+  /// call; oldest first. Returns segments frozen.
+  FUNGUS_REQUIRES_APPLY_PHASE size_t FreezeColdSegments(
+      uint64_t min_idle_epochs, size_t max_segments);
+
+  /// Cumulative freezes / mutating-touch thaws performed by this shard.
+  uint64_t segments_frozen() const { return segments_frozen_; }
+  uint64_t thaw_count() const { return thaw_count_; }
+
   // --- Per-row mutators (update shard-local counters only). ---
   //
   // FUNGUS_REQUIRES_APPLY_PHASE: these mutate shard state without a
@@ -145,6 +159,12 @@ class Shard {
   /// rows actually hold.
   void RecomputeZoneMaps() {
     for (auto& [seg_no, seg] : segments_) {
+      // A recount is a mutating touch: RecomputeZoneMap thaws a frozen
+      // segment internally; account for it here.
+      if (seg->is_frozen()) {
+        ++thaw_count_;
+        seg->set_last_touch_epoch(decay_epoch_);
+      }
       rows_materialized_ += seg->MaterializePendingDecay(decay_epoch_);
       seg->RecomputeZoneMap();
     }
@@ -174,6 +194,18 @@ class Shard {
   // read it.
   uint64_t decay_epoch_ = 0;
   uint64_t rows_materialized_ = 0;
+  uint64_t segments_frozen_ = 0;
+  uint64_t thaw_count_ = 0;
+
+  /// Thaws `seg` if frozen — the prologue of every per-row mutator —
+  /// and stamps the touch epoch either way.
+  void TouchForWrite(Segment* seg) {
+    if (seg->is_frozen()) {
+      seg->Thaw();
+      ++thaw_count_;
+    }
+    seg->set_last_touch_epoch(decay_epoch_);
+  }
 };
 
 }  // namespace fungusdb

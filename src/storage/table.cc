@@ -258,6 +258,34 @@ uint64_t Table::rows_materialized() const {
   return total;
 }
 
+size_t Table::FreezeColdSegments(uint64_t min_idle_epochs,
+                                 size_t max_segments) {
+  if (options_.track_access) return 0;
+  size_t frozen = 0;
+  for (Shard& shard : shards_) {
+    if (frozen >= max_segments) break;
+    frozen += shard.FreezeColdSegments(min_idle_epochs,
+                                       max_segments - frozen);
+  }
+  return frozen;
+}
+
+StorageStats Table::GetStorageStats() const {
+  StorageStats stats;
+  stats.total_segments = segment_index_.size();
+  for (const Shard& shard : shards_) {
+    stats.segments_frozen_total += shard.segments_frozen();
+    stats.thaw_count += shard.thaw_count();
+    for (const auto& [seg_no, seg] : shard.segments()) {
+      if (!seg->is_frozen()) continue;
+      ++stats.frozen_segments;
+      stats.encoded_bytes += seg->MemoryUsage();
+      stats.plain_bytes_before += seg->frozen().plain_bytes;
+    }
+  }
+  return stats;
+}
+
 uint64_t Table::ReclaimDeadSegments() {
   uint64_t freed = 0;
   std::vector<uint64_t> removed;

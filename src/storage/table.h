@@ -48,6 +48,30 @@ struct TableOptions {
   /// strategy, so it is a runtime knob, NOT serialized in snapshots or
   /// the journal. Off exists for differential testing and bisection.
   bool lazy_decay = true;
+
+  /// Freeze a full segment into the compact encoded cold tier once this
+  /// many decay ticks pass without a mutating touch (DESIGN.md §15).
+  /// 0 disables freezing. Like lazy_decay this is purely a
+  /// representation strategy — observable state is bit-identical with
+  /// freezing on or off — so it is a runtime knob, NOT serialized.
+  /// Ignored when track_access is set (hot access counters pin the
+  /// plain representation).
+  uint64_t freeze_after_idle_ticks = 0;
+};
+
+/// Point-in-time storage-tier accounting for one table, summed over
+/// shards. Reported by `\storage`, the rot report and the
+/// fungusdb.storage.* metrics.
+struct StorageStats {
+  uint64_t total_segments = 0;
+  uint64_t frozen_segments = 0;
+  /// Heap bytes the frozen segments hold now (encoded form).
+  uint64_t encoded_bytes = 0;
+  /// Heap bytes the same segments held in plain form at freeze time.
+  uint64_t plain_bytes_before = 0;
+  /// Cumulative freeze / mutating-touch-thaw counts.
+  uint64_t segments_frozen_total = 0;
+  uint64_t thaw_count = 0;
 };
 
 /// The paper's relation R(t, f, A1..An): an append-only, insertion-ordered
@@ -211,6 +235,19 @@ class Table {
   /// Cumulative live-row rewrites performed by lazy materialization,
   /// summed over shards.
   uint64_t rows_materialized() const;
+
+  // --- Tiered storage (DESIGN.md §15). ---
+
+  /// Freezes cold full segments (idle for >= `min_idle_epochs` ticks)
+  /// into the encoded tier, at most `max_segments` across the table
+  /// (oldest first per shard; the bench uses the cap to build exact
+  /// frozen fractions). Returns segments frozen. Same threading
+  /// contract as the per-row mutators.
+  size_t FreezeColdSegments(uint64_t min_idle_epochs,
+                            size_t max_segments = SIZE_MAX);
+
+  /// Current + cumulative tier accounting, summed over shards.
+  StorageStats GetStorageStats() const;
 
   // --- Sharding. ---
 

@@ -25,6 +25,11 @@ Status TestCorruptor::CorruptFreshness(Table& table, RowId row,
     return Status::FailedPrecondition(
         "row " + std::to_string(row) + " is dead; corrupt a live one");
   }
+  if (seg->is_frozen()) {
+    return Status::FailedPrecondition(
+        "row " + std::to_string(row) +
+        " is frozen; this seeder writes the plain freshness vector");
+  }
   seg->freshness_[off] = raw;
   return Status::OK();
 }
@@ -36,6 +41,11 @@ Status TestCorruptor::ResurrectRow(Table& table, RowId row) {
   if (seg->IsLive(off)) {
     return Status::FailedPrecondition(
         "row " + std::to_string(row) + " is live; resurrect a dead one");
+  }
+  if (seg->is_frozen()) {
+    return Status::FailedPrecondition(
+        "row " + std::to_string(row) +
+        " is frozen; this seeder writes the plain alive vector");
   }
   seg->alive_[off] = 1;  // freshness stays 0, counters stay stale
   return Status::OK();
@@ -84,6 +94,62 @@ Status TestCorruptor::StaleZoneMap(Table& table, uint64_t seg_no) {
   // a missed widening (or a buggy recount) would leave behind.
   seg.zone_map_.min_ts = seg.InsertTime(0) + 1;
   seg.zone_map_.max_ts = seg.InsertTime(0);
+  return Status::OK();
+}
+
+Status TestCorruptor::CorruptFrozenChecksum(Table& table, uint64_t seg_no) {
+  auto it = table.segment_index_.find(seg_no);
+  if (it == table.segment_index_.end()) return NoSuchSegment(seg_no);
+  Segment& seg = *it->second;
+  if (!seg.is_frozen()) {
+    return Status::FailedPrecondition(
+        "segment " + std::to_string(seg_no) +
+        " is not frozen; corrupt a frozen one");
+  }
+  encode::FrozenSegment& fz = *seg.frozen_;
+  // Flip one bit of the encoded payload, deliberately leaving
+  // fz.checksum at the value freeze recorded — the precise signature
+  // of a block rotting in memory (or a buggy in-place rewrite that
+  // forgot to rehash).
+  if (!fz.ts.words.empty()) {
+    fz.ts.words[0] ^= 1;
+  } else {
+    fz.ts.base ^= 1;
+  }
+  return Status::OK();
+}
+
+Status TestCorruptor::CorruptFrozenDictionaryCode(Table& table,
+                                                  uint64_t seg_no,
+                                                  size_t col) {
+  auto it = table.segment_index_.find(seg_no);
+  if (it == table.segment_index_.end()) return NoSuchSegment(seg_no);
+  Segment& seg = *it->second;
+  if (!seg.is_frozen()) {
+    return Status::FailedPrecondition(
+        "segment " + std::to_string(seg_no) +
+        " is not frozen; corrupt a frozen one");
+  }
+  encode::FrozenSegment& fz = *seg.frozen_;
+  if (col >= fz.columns.size()) {
+    return Status::OutOfRange("column " + std::to_string(col) +
+                              " out of range");
+  }
+  encode::FrozenColumn& fc = fz.columns[col];
+  if (fc.type != DataType::kString) {
+    return Status::FailedPrecondition(
+        "column " + std::to_string(col) +
+        " is not a string column; dictionary codes live only there");
+  }
+  if (fc.strings.codes.values.empty()) {
+    return Status::FailedPrecondition(
+        "column " + std::to_string(col) + " has no encoded rows");
+  }
+  fc.strings.codes.values[0] =
+      static_cast<uint32_t>(fc.strings.dict.size());
+  // Rehash so the checksum arm stays quiet and the fsck violation
+  // pinpoints the dictionary-range breach alone.
+  fz.checksum = fz.ComputeChecksum();
   return Status::OK();
 }
 

@@ -39,6 +39,21 @@ class TestCorruptor {
   /// segment. Requires a non-empty segment. Caught by `zone-map-bounds`.
   static Status StaleZoneMap(Table& table, uint64_t seg_no);
 
+  /// Flips a low bit of a frozen segment's encoded timestamp block
+  /// (the packed words, or the frame base when the span packs to zero
+  /// width) without refreshing the block checksum — the in-memory
+  /// image no longer hashes to what freeze recorded. Requires a frozen
+  /// segment. Caught by `encoded-segment` (checksum arm).
+  static Status CorruptFrozenChecksum(Table& table, uint64_t seg_no);
+
+  /// Rewrites the first dictionary-code run of a frozen string column
+  /// to a code one past the dictionary, then refreshes the checksum so
+  /// only the range violation remains. Requires a frozen segment and a
+  /// string column at `col`. Caught by `encoded-segment` (dictionary
+  /// arm).
+  static Status CorruptFrozenDictionaryCode(Table& table, uint64_t seg_no,
+                                            size_t col);
+
   /// Folds a pending decrement large enough to drive the segment's
   /// effective freshness floor below zero — the deferred death a
   /// correct fold can never produce — and stamps a decay epoch ahead

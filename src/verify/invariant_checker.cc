@@ -45,6 +45,109 @@ Violation Make(std::string invariant, const std::string& table,
   return v;
 }
 
+/// True when `p` is a well-formed FOR encoding: the declared bit width
+/// is storable, max_delta fits it, the word count matches, and no
+/// stored delta escapes max_delta (the bound the frozen scan fast path
+/// prunes whole segments with — an escaped delta makes pruning unsound).
+bool PackedIntsWellFormed(const encode::PackedInts& p) {
+  if (p.bit_width > 64) return false;
+  if (p.bit_width == 0) {
+    if (p.max_delta != 0) return false;
+  } else if (p.bit_width < 64 && (p.max_delta >> p.bit_width) != 0) {
+    return false;
+  }
+  if (p.words.size() != encode::PackedInts::WordsFor(p.count, p.bit_width)) {
+    return false;
+  }
+  for (uint64_t i = 0; i < p.count; ++i) {
+    const uint64_t delta = static_cast<uint64_t>(p.Get(i)) -
+                           static_cast<uint64_t>(p.base);
+    if (delta > p.max_delta) return false;
+  }
+  return true;
+}
+
+/// The `encoded-segment` rule body: audits one frozen segment's
+/// encoded image (stream lengths, FOR bounds, dictionary code range,
+/// block checksum) without thawing it.
+void CheckFrozenImage(const Segment& seg, const std::string& name,
+                      int64_t s, int64_t sno, Collector& out) {
+  const encode::FrozenSegment& fz = seg.frozen();
+  const uint64_t rows = fz.num_rows;
+  if (fz.ts.count != rows || fz.alive.count() != rows ||
+      (!fz.uniform_freshness && fz.freshness_raw.size() != rows)) {
+    out.Add(Make("encoded-segment", name,
+                 "encoded system streams span ts " +
+                     std::to_string(fz.ts.count) + ", alive " +
+                     std::to_string(fz.alive.count()) + ", freshness " +
+                     std::to_string(fz.uniform_freshness
+                                        ? rows
+                                        : fz.freshness_raw.size()) +
+                     " for " + std::to_string(rows) + " rows",
+                 s, sno));
+  }
+  if (!PackedIntsWellFormed(fz.ts)) {
+    out.Add(Make("encoded-segment", name,
+                 "FOR-packed __ts span violates its declared bit "
+                 "width / max delta",
+                 s, sno));
+  }
+  for (size_t c = 0; c < fz.columns.size(); ++c) {
+    const encode::FrozenColumn& fc = fz.columns[c];
+    uint64_t payload_rows = rows;
+    switch (fc.type) {
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        payload_rows = fc.ints.count;
+        if (!PackedIntsWellFormed(fc.ints)) {
+          out.Add(Make("encoded-segment", name,
+                       "FOR-packed column violates its declared bit "
+                       "width / max delta",
+                       s, sno, -1, static_cast<int64_t>(c)));
+        }
+        break;
+      case DataType::kFloat64:
+        payload_rows = fc.doubles.size();
+        break;
+      case DataType::kString: {
+        payload_rows = fc.strings.count();
+        const uint32_t dict_size =
+            static_cast<uint32_t>(fc.strings.dict.size());
+        for (const uint32_t code : fc.strings.codes.values) {
+          if (code >= dict_size) {
+            out.Add(Make("encoded-segment", name,
+                         "dictionary code " + std::to_string(code) +
+                             " escapes a dictionary of " +
+                             std::to_string(dict_size) + " entries",
+                         s, sno, -1, static_cast<int64_t>(c)));
+            break;
+          }
+        }
+        break;
+      }
+      case DataType::kBool:
+        payload_rows = fc.bools.count();
+        break;
+    }
+    if (fc.validity.count() != rows || payload_rows != rows) {
+      out.Add(Make("encoded-segment", name,
+                   "encoded column spans validity " +
+                       std::to_string(fc.validity.count()) + ", payload " +
+                       std::to_string(payload_rows) + " for " +
+                       std::to_string(rows) + " rows",
+                   s, sno, -1, static_cast<int64_t>(c)));
+    }
+  }
+  const uint32_t derived = fz.ComputeChecksum();
+  if (derived != fz.checksum) {
+    out.Add(Make("encoded-segment", name,
+                 "stored block checksum " + std::to_string(fz.checksum) +
+                     " != re-derived " + std::to_string(derived) +
+                     " (encoded block corrupted in memory)",
+                 s, sno));
+  }
+}
+
 }  // namespace
 
 std::string Violation::ToString() const {
@@ -161,11 +264,16 @@ Report InvariantChecker::CheckTable(const Table& table) const {
                          : "routing index points at a different segment",
                      static_cast<int64_t>(s), sno));
       }
-      // system-vector-length: ts/freshness/alive move in lockstep.
-      if (seg.freshness_vector_size() != num_rows ||
-          seg.alive_vector_size() != num_rows) {
+      // system-vector-length: ts/freshness/alive move in lockstep on
+      // the plain tier; a frozen segment must have released them all
+      // (the encoded image is then the only representation).
+      const size_t expected_vec = seg.is_frozen() ? 0 : num_rows;
+      if (seg.freshness_vector_size() != expected_vec ||
+          seg.alive_vector_size() != expected_vec) {
         out.Add(Make("system-vector-length", name,
-                     "rows " + std::to_string(num_rows) + ", freshness " +
+                     "rows " + std::to_string(num_rows) + " (" +
+                         (seg.is_frozen() ? "frozen" : "plain") +
+                         "), freshness " +
                          std::to_string(seg.freshness_vector_size()) +
                          ", alive " +
                          std::to_string(seg.alive_vector_size()),
@@ -184,27 +292,45 @@ Report InvariantChecker::CheckTable(const Table& table) const {
                      static_cast<int64_t>(s), sno));
       }
       // column-length / column-type: every user column matches the
-      // schema and holds exactly one cell per row.
-      for (size_t c = 0; c < num_fields; ++c) {
-        const Column& col = seg.column(c);
-        if (col.size() != num_rows) {
+      // schema and holds exactly one cell per row. The accessors here
+      // are tier-independent — a frozen segment answers from its
+      // encoded image without thawing.
+      if (seg.num_columns() != num_fields) {
+        out.Add(Make("column-length", name,
+                     "segment holds " + std::to_string(seg.num_columns()) +
+                         " columns for a schema of " +
+                         std::to_string(num_fields),
+                     static_cast<int64_t>(s), sno));
+      }
+      const size_t checkable_cols = std::min(seg.num_columns(), num_fields);
+      for (size_t c = 0; c < checkable_cols; ++c) {
+        if (seg.column_size(c) != num_rows) {
           out.Add(Make("column-length", name,
-                       "column has " + std::to_string(col.size()) +
+                       "column has " + std::to_string(seg.column_size(c)) +
                            " cells for " + std::to_string(num_rows) +
                            " rows",
                        static_cast<int64_t>(s), sno, -1,
                        static_cast<int64_t>(c)));
         }
-        if (col.type() != table.schema().field(c).type) {
+        if (seg.column_type(c) != table.schema().field(c).type) {
           out.Add(Make("column-type", name,
                        std::string("column type ") +
-                           std::string(DataTypeName(col.type())) +
+                           std::string(DataTypeName(seg.column_type(c))) +
                            " != schema type " +
                            std::string(DataTypeName(
                                table.schema().field(c).type)),
                        static_cast<int64_t>(s), sno, -1,
                        static_cast<int64_t>(c)));
         }
+      }
+      // encoded-segment: a frozen segment's encoded image must be
+      // internally consistent — every encoded stream spans exactly
+      // num_rows, FOR-packed spans honour their declared bit width and
+      // max delta (the bound the scan fast path prunes with),
+      // dictionary codes stay inside the dictionary, and the canonical
+      // bytes still hash to the stored block checksum.
+      if (seg.is_frozen()) {
+        CheckFrozenImage(seg, name, static_cast<int64_t>(s), sno, out);
       }
       // Per-row: freshness range, liveness agreement, time ordering;
       // exact bound recount for the zone-map audit below.
@@ -215,8 +341,10 @@ Report InvariantChecker::CheckTable(const Table& table) const {
       double exact_min_f = std::numeric_limits<double>::infinity();
       double exact_max_f = -std::numeric_limits<double>::infinity();
       const size_t walkable =
-          std::min({num_rows, seg.freshness_vector_size(),
-                    seg.alive_vector_size()});
+          seg.is_frozen()
+              ? num_rows
+              : std::min({num_rows, seg.freshness_vector_size(),
+                          seg.alive_vector_size()});
       for (size_t off = 0; off < walkable; ++off) {
         const RowId row = seg.first_row() + off;
         const double f = seg.Freshness(off);
@@ -341,15 +469,15 @@ Report InvariantChecker::CheckTable(const Table& table) const {
                          " columns for a schema of " +
                          std::to_string(num_fields)));
       }
-      const size_t zone_cols = std::min(zone.columns.size(), num_fields);
+      const size_t zone_cols =
+          std::min({zone.columns.size(), num_fields, seg.num_columns()});
       for (size_t c = 0; c < zone_cols; ++c) {
         const ColumnZone& col_zone = zone.columns[c];
         if (!col_zone.tracked) continue;
-        const Column& col = seg.column(c);
-        const size_t cells = std::min(col.size(), walkable);
+        const size_t cells = std::min(seg.column_size(c), walkable);
         for (size_t off = 0; off < cells; ++off) {
-          if (col.IsNull(off)) continue;
-          const Value cell = col.GetValue(off);
+          if (seg.IsColumnNull(off, c)) continue;
+          const Value cell = seg.GetValue(off, c);
           if (!IsNumeric(cell.type())) break;  // column-type flags this
           const double v = cell.ToDouble().value();
           const bool covered = std::isnan(v)

@@ -23,14 +23,15 @@ contracts that are not lock-shaped. This audit carries both halves:
                   and their ACQUIRE attributes, so dropped pins and
                   untracked acquisitions stay compile-visible.
   apply-phase     shard-state mutators (Shard::SetFreshness /
-                  DecayFreshness / Kill, marked
+                  DecayFreshness / Kill / TryFoldUniformDecay /
+                  FreezeColdSegments, marked
                   FUNGUS_REQUIRES_APPLY_PHASE in shard.h) may only be
                   called from the apply phase: storage/table.cc,
                   fungus/scheduler.cc, verify/corruptor.cc. Clang TSA
                   cannot express this (the capability is "being the
                   apply phase", not a nameable lock), so the audit does.
   marker          the FUNGUS_REQUIRES_APPLY_PHASE markers themselves
-                  must stay on the three Shard mutators.
+                  must stay on the Shard mutators listed above.
 
 Usage: tools/analyze/capability_audit.py [repo-root]
 Exits 0 when clean, 1 with one "file:line: rule: message" per finding.
@@ -94,7 +95,7 @@ APPLY_PHASE_ALLOWLIST = {
 }
 
 SHARD_MUTATORS = ("SetFreshness", "DecayFreshness", "Kill",
-                  "TryFoldUniformDecay")
+                  "TryFoldUniformDecay", "FreezeColdSegments")
 
 RE_RAW_MUTEX = re.compile(
     r"std\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex"

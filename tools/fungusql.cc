@@ -52,6 +52,8 @@ constexpr const char* kHelp = R"(fungusql meta commands:
   \analyze <table>                       per-column statistics
   \rot <table>                           rot report: freshness histogram,
                                          rot front, ticks-to-death, heatmap
+  \storage [table]                       cold-tier stats: frozen segments,
+                                         encoded vs plain bytes, thaws
   \metrics [prom]                        metrics dump (prom: Prometheus text)
   \trace on|off                          toggle the span tracer
   \trace dump [file]                     Chrome trace JSON (stdout or file)
@@ -329,6 +331,39 @@ class Shell {
       std::printf("%s", BuildRotReport(table.table(), &db_->scheduler())
                             .ToString()
                             .c_str());
+      return Status::OK();
+    }
+    if (cmd == "\\storage") {
+      if (args.size() > 2) {
+        return Status::InvalidArgument("usage: \\storage [table]");
+      }
+      std::vector<std::string> names;
+      if (args.size() == 2) {
+        FUNGUSDB_RETURN_IF_ERROR(db_->GetTable(args[1]).status());
+        names.push_back(args[1]);
+      } else {
+        names = db_->TableNames();
+      }
+      for (const std::string& name : names) {
+        FUNGUSDB_ASSIGN_OR_RETURN(TableHandle table, db_->GetTable(name));
+        const StorageStats st = table.table().GetStorageStats();
+        const double ratio =
+            (st.frozen_segments > 0 && st.encoded_bytes > 0)
+                ? static_cast<double>(st.plain_bytes_before) /
+                      static_cast<double>(st.encoded_bytes)
+                : 0.0;
+        std::printf(
+            "  %-24s segments=%llu frozen=%llu encoded=%llu plain=%llu "
+            "ratio=%.2f freezes=%llu thaws=%llu\n",
+            name.c_str(),
+            static_cast<unsigned long long>(st.total_segments),
+            static_cast<unsigned long long>(st.frozen_segments),
+            static_cast<unsigned long long>(st.encoded_bytes),
+            static_cast<unsigned long long>(st.plain_bytes_before),
+            ratio,
+            static_cast<unsigned long long>(st.segments_frozen_total),
+            static_cast<unsigned long long>(st.thaw_count));
+      }
       return Status::OK();
     }
     if (cmd == "\\metrics") {

@@ -29,6 +29,17 @@ Enforces the repo-specific rules that generic linters cannot:
                   must stay Value-free: no GetValue( calls — boxing a
                   Value per row is exactly what the kernel exists to
                   avoid; read typed column spans instead.
+  encoded-access  outside src/storage/, no code may assume the plain
+                  (thawed) representation: the raw span accessors
+                  (ts_data/freshness_data/alive_data), Segment::column()
+                  and the columns_ member all assert !is_frozen(), so a
+                  caller that compiles today crashes the moment the
+                  freeze policy touches its table. Everything above the
+                  storage layer goes through the tier-independent cell
+                  accessors and the decode-to-scratch API
+                  (storage/segment.h). One carve-out:
+                  src/verify/corruptor.cc seeds corruption through its
+                  friendship on purpose.
   public-api      examples/ and tools/ consume the library through the
                   public headers (include/fungusdb/...), never through
                   src/... directly — they are the reference embedders,
@@ -87,6 +98,12 @@ PUBLIC_API_ALLOWLIST = {
     "tools/funguscheck.cc": {"persist/fsck.h", "server/wire_format.h"},
 }
 
+# The corruption seeder writes raw segment state through its friendship
+# by design — it exists to plant exactly the damage fsck must detect.
+ENCODED_ACCESS_ALLOWLIST = {
+    "src/verify/corruptor.cc",
+}
+
 RE_VOID_DISCARD = re.compile(r"\(void\)\s*[\w:]+(?:\.|->|\()")
 RE_VOID_BARE = re.compile(r"\(void\)\s*\w+\s*;")
 RE_NAKED_RANDOM = re.compile(
@@ -97,6 +114,10 @@ RE_WIRE_FRAMING = re.compile(
     r"\b(?:hton|ntoh)(?:s|l|ll)\s*\("
     r"|\b(?:__builtin_)?memcpy\s*\(\s*&")
 RE_GET_VALUE = re.compile(r"\bGetValue\s*\(")
+RE_ENCODED_ACCESS = re.compile(
+    r"\b(?:ts_data|freshness_data|alive_data)\s*\("
+    r"|\bcolumns_\b"
+    r"|(?:\.|->)\s*column\s*\(")
 # A statement that is nothing but a pin acquisition: the scoped result
 # is a temporary, destroyed before the semicolon.
 RE_PIN_DISCARD = re.compile(
@@ -252,6 +273,16 @@ def lint_file(root, path, findings):
                              "GetValue( boxes a Value per row; the"
                              " vector kernel must read typed column"
                              " spans"))
+        if (rel.startswith("src/")
+                and not rel.startswith("src/storage/")
+                and rel not in ENCODED_ACCESS_ALLOWLIST
+                and RE_ENCODED_ACCESS.search(line)):
+            findings.append((rel, lineno, "encoded-access",
+                             "raw plain-tier segment access outside"
+                             " src/storage/ breaks on frozen segments;"
+                             " use the tier-independent accessors or"
+                             " the decode-to-scratch API"
+                             " (storage/segment.h)"))
     # Suppressions live in comments, so they are matched on RAW text.
     for lineno, line in enumerate(raw.splitlines(), start=1):
         if rel.startswith("src/") and RE_SUPPRESSION.search(line):

@@ -1,0 +1,14 @@
+#include "storage/segment.h"
+
+namespace fungusdb {
+
+// Deliberate violation: a plain-tier span read above the storage layer
+// asserts (and crashes) the moment the segment freezes.
+uint64_t CountLiveTheWrongWay(const Segment& seg) {
+  const uint8_t* alive = seg.alive_data();
+  uint64_t live = 0;
+  for (size_t off = 0; off < seg.num_rows(); ++off) live += alive[off];
+  return live;
+}
+
+}  // namespace fungusdb
