@@ -15,7 +15,17 @@
 // its own connection in lockstep request/response. Reported:
 // wall-clock statements/sec, p50 and p99 per-statement worker latency
 // (from the server's own histogram), and overload refusals.
+//
+// Scrape A/B (observability PR): the same 16-client read_only workload
+// twice — once bare, once with the HTTP observability plane mounted
+// and a client scraping GET /metrics at 1 Hz — to show the plane costs
+// read throughput nothing material (CI bar: scrape_on/scrape_off
+// >= 0.85; target is within 2%).
 
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -25,6 +35,7 @@
 
 #include "bench/bench_util.h"
 #include "server/client.h"
+#include "server/http_debug.h"
 #include "server/server.h"
 
 namespace fungusdb {
@@ -53,6 +64,100 @@ std::string StatementFor(const Workload& workload, int client, int i) {
   }
   return i % 4 == 3 ? "SELECT count(*) AS n FROM t"
                     : "\\insert t " + std::to_string(client * 1000 + i);
+}
+
+/// One full GET /metrics scrape over a fresh connection, drained to
+/// EOF like a real Prometheus client.
+void ScrapeOnce(uint16_t http_port) {
+  Result<server::UniqueFd> fd = server::ConnectTcp("127.0.0.1", http_port);
+  if (!fd.ok()) return;
+  const Status sent = server::WriteAll(
+      fd.value().get(), "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n");
+  (void)sent;
+  char buffer[4096];
+  while (::recv(fd.value().get(), buffer, sizeof(buffer), 0) > 0) {
+  }
+}
+
+/// The 16-client read_only workload, long enough that a 1 Hz scraper
+/// lands several full scrapes inside the measured window.
+void RunScrapeLeg(bool with_scrape, bench::TablePrinter& printer) {
+  constexpr int kClients = 16;
+  constexpr int kStatements = 1500;
+  const Workload& workload = kWorkloads[0];  // read_only
+
+  server::ServerOptions options;
+  options.queue_capacity = 2 * kClients + 8;
+  options.max_connections = kClients + 8;
+  auto srv = std::make_unique<server::Server>(std::make_unique<Database>(),
+                                              options);
+  FUNGUSDB_CHECK_OK(srv->database()
+                        .CreateTable("t", Schema::Parse("(a int64)").value())
+                        .status());
+  for (int i = 0; i < kPrepopulatedRows; ++i) {
+    FUNGUSDB_CHECK_OK(srv->database().Insert("t", {Value::Int64(i)}).status());
+  }
+  FUNGUSDB_CHECK_OK(srv->Start());
+
+  server::HttpDebugServer http;
+  std::atomic<bool> stop{false};
+  std::thread scraper;
+  if (with_scrape) {
+    FUNGUSDB_CHECK_OK(http.Start());
+    http.SetDatabase(&srv->database());
+    http.SetReadiness(server::HttpDebugServer::Readiness::kReady);
+    scraper = std::thread([&http, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ScrapeOnce(http.port());
+        for (int i = 0; i < 10 && !stop.load(std::memory_order_acquire);
+             ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
+    });
+  }
+
+  std::mutex mu;
+  uint64_t completed = 0;
+  bench::Stopwatch clock;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      server::Client client =
+          server::Client::Connect("127.0.0.1", srv->port()).value();
+      uint64_t my_completed = 0;
+      for (int i = 0; i < kStatements; ++i) {
+        if (client.ExecuteOne(StatementFor(workload, c, i)).ok()) {
+          ++my_completed;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      completed += my_completed;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = clock.ElapsedMicros() / 1e6;
+
+  if (with_scrape) {
+    stop.store(true, std::memory_order_release);
+    scraper.join();
+    http.Stop();
+  }
+
+  const HistogramMetric* latency = srv->database().metrics().FindHistogram(
+      "fungusdb.server.statement_latency_us");
+  const double p50_us = latency != nullptr ? latency->Quantile(0.5) : 0.0;
+  const double p99_us = latency != nullptr ? latency->Quantile(0.99) : 0.0;
+  srv->Stop();
+
+  const uint64_t total = static_cast<uint64_t>(kClients) * kStatements;
+  printer.PrintRow({with_scrape ? "scrape_on" : "scrape_off",
+                    bench::Fmt(static_cast<uint64_t>(kClients)),
+                    bench::Fmt(total), bench::Fmt(seconds, 3),
+                    bench::Fmt(completed / seconds, 0),
+                    bench::Fmt(p50_us, 1), bench::Fmt(p99_us, 1),
+                    bench::Fmt(uint64_t{0})});
 }
 
 void Run() {
@@ -134,6 +239,11 @@ void Run() {
                         bench::Fmt(overloaded)});
     }
   }
+
+  // Scrape A/B: same read path, with and without a live 1 Hz
+  // Prometheus scraper against the mounted HTTP plane.
+  RunScrapeLeg(/*with_scrape=*/false, printer);
+  RunScrapeLeg(/*with_scrape=*/true, printer);
 
   report.Write();
 }

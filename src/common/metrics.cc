@@ -129,6 +129,21 @@ double HistogramMetric::Quantile(double q) const {
   return static_cast<double>(max());
 }
 
+std::vector<std::pair<int64_t, int64_t>> HistogramMetric::CumulativeBuckets()
+    const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  int64_t cumulative = 0;
+  // Bucket 63 ([2^62, inf)) has no finite bound; it is covered by the
+  // +Inf series the exposition writer derives from count().
+  for (int i = 0; i < kNumBuckets - 1; ++i) {
+    if (buckets_[i] == 0) continue;
+    cumulative += buckets_[i];
+    const int64_t le = i == 0 ? 0 : static_cast<int64_t>((1ULL << i) - 1);
+    out.emplace_back(le, cumulative);
+  }
+  return out;
+}
+
 void HistogramMetric::Reset() {
   std::memset(buckets_, 0, sizeof(buckets_));
   count_ = 0;
@@ -261,17 +276,17 @@ std::string MetricsRegistry::PrometheusReport() const {
   }
   for (const auto& [name, by_label] : histograms_) {
     const std::string prom = PromName(name);
-    os << "# TYPE " << prom << " summary\n";
+    os << "# TYPE " << prom << " histogram\n";
     for (const auto& [label, h] : by_label) {
-      for (const auto& [q, qs] :
-           {std::pair<double, const char*>{0.5, "0.5"},
-            {0.9, "0.9"},
-            {0.99, "0.99"}}) {
-        os << prom
-           << PromLabels(label,
-                         std::string("quantile=\"") + qs + "\"")
-           << " " << FmtDouble(h.Quantile(q)) << "\n";
+      for (const auto& [le, cumulative] : h.CumulativeBuckets()) {
+        os << prom << "_bucket"
+           << PromLabels(label, "le=\"" + std::to_string(le) + "\"") << " "
+           << cumulative << "\n";
       }
+      // +Inf closes every histogram and always equals _count, including
+      // observations in the unbounded overflow bucket.
+      os << prom << "_bucket" << PromLabels(label, "le=\"+Inf\"") << " "
+         << h.count() << "\n";
       os << prom << "_sum" << PromLabels(label) << " " << h.sum() << "\n";
       os << prom << "_count" << PromLabels(label) << " " << h.count()
          << "\n";

@@ -33,6 +33,15 @@ class HistogramMetric {
   /// value when the histogram holds a single distinct sample.
   double Quantile(double q) const;
 
+  /// Cumulative (le, count) pairs for Prometheus `_bucket` series, in
+  /// ascending le order. Observations are integers, so each occupied
+  /// bucket reports its exact inclusive upper bound: le=0 for the
+  /// non-positive bucket, le = 2^i - 1 for bucket i in [1, 62]. Empty
+  /// buckets are omitted; the overflow bucket [2^62, inf) only shows up
+  /// in the implicit `le="+Inf"` series, which the exposition writer
+  /// renders from count(). An empty histogram yields an empty vector.
+  std::vector<std::pair<int64_t, int64_t>> CumulativeBuckets() const;
+
   void Reset();
 
  private:
@@ -92,8 +101,10 @@ class MetricsRegistry {
 
   /// Prometheus text exposition (version 0.0.4): `# TYPE` lines,
   /// sanitized metric names (dots become underscores), labeled series
-  /// as name{key="value"}, histograms as summaries with p50/p90/p99
-  /// quantiles plus _sum and _count. Deterministically ordered.
+  /// as name{key="value"}, histograms as real cumulative histograms —
+  /// `_bucket{le="..."}` series (exact inclusive integer bounds, always
+  /// closing with le="+Inf") plus `_sum` and `_count`. Deterministically
+  /// ordered.
   std::string PrometheusReport() const;
 
   void Reset();

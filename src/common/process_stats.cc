@@ -1,0 +1,100 @@
+#include "common/process_stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace fungusdb {
+namespace {
+
+/// Anchor for uptime, captured during static initialization so the
+/// first scrape already reports real process age (a lazily-seeded
+/// anchor would make whichever endpoint runs first report ~0).
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+#if defined(__linux__)
+void ReadLinuxMemory(ProcessStats& stats) {
+  std::ifstream statm("/proc/self/statm");
+  long long vm_pages = 0;
+  long long rss_pages = 0;
+  if (statm >> vm_pages >> rss_pages) {
+    const long page = sysconf(_SC_PAGESIZE);
+    stats.vm_bytes = static_cast<int64_t>(vm_pages) * page;
+    stats.rss_bytes = static_cast<int64_t>(rss_pages) * page;
+  }
+}
+
+void ReadLinuxThreads(ProcessStats& stats) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      std::istringstream fields(line.substr(8));
+      fields >> stats.threads;
+      return;
+    }
+  }
+}
+
+void ReadLinuxFds(ProcessStats& stats) {
+  std::error_code ec;
+  int64_t count = 0;
+  for (auto it = std::filesystem::directory_iterator("/proc/self/fd", ec);
+       !ec && it != std::filesystem::directory_iterator(); it.increment(ec)) {
+    ++count;
+  }
+  // The directory iterator itself holds one descriptor while counting.
+  stats.open_fds = count > 0 ? count - 1 : 0;
+}
+#endif  // __linux__
+
+}  // namespace
+
+ProcessStats ReadProcessStats(const std::string& snapshot_path) {
+  ProcessStats stats;
+  const auto now = std::chrono::steady_clock::now();
+  stats.uptime_seconds =
+      std::chrono::duration<double>(now - kProcessStart).count();
+#if defined(__linux__)
+  ReadLinuxMemory(stats);
+  ReadLinuxThreads(stats);
+  ReadLinuxFds(stats);
+#endif
+  if (!snapshot_path.empty()) {
+    std::error_code ec;
+    const auto written =
+        std::filesystem::last_write_time(snapshot_path, ec);
+    if (!ec) {
+      const auto age = std::filesystem::file_time_type::clock::now() - written;
+      stats.snapshot_age_seconds =
+          std::max(0.0, std::chrono::duration<double>(age).count());
+    }
+  }
+  return stats;
+}
+
+void UpdateProcessGauges(MetricsRegistry& registry,
+                         const std::string& snapshot_path) {
+  const ProcessStats stats = ReadProcessStats(snapshot_path);
+  registry.SetGauge("fungusdb.process.uptime_seconds", stats.uptime_seconds);
+  registry.SetGauge("fungusdb.process.rss_bytes",
+                    static_cast<double>(stats.rss_bytes));
+  registry.SetGauge("fungusdb.process.vm_bytes",
+                    static_cast<double>(stats.vm_bytes));
+  registry.SetGauge("fungusdb.process.open_fds",
+                    static_cast<double>(stats.open_fds));
+  registry.SetGauge("fungusdb.process.threads",
+                    static_cast<double>(stats.threads));
+  registry.SetGauge("fungusdb.process.snapshot_age_seconds",
+                    stats.snapshot_age_seconds);
+}
+
+}  // namespace fungusdb

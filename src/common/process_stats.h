@@ -1,0 +1,34 @@
+#ifndef FUNGUSDB_COMMON_PROCESS_STATS_H_
+#define FUNGUSDB_COMMON_PROCESS_STATS_H_
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace fungusdb {
+
+/// Snapshot of process-level health read from the OS (Linux procfs when
+/// available; zeroed fields elsewhere). All sizes in bytes.
+struct ProcessStats {
+  double uptime_seconds = 0.0;   ///< Since the first stats call in-process.
+  int64_t rss_bytes = 0;         ///< Resident set size.
+  int64_t vm_bytes = 0;          ///< Virtual memory size.
+  int64_t open_fds = 0;          ///< Open descriptors (sockets included).
+  int64_t threads = 0;           ///< OS threads in the process.
+  /// Seconds since the snapshot file was last written; -1.0 when no
+  /// snapshot path is configured or the file does not exist yet.
+  double snapshot_age_seconds = -1.0;
+};
+
+/// Reads current process stats. `snapshot_path` may be empty.
+ProcessStats ReadProcessStats(const std::string& snapshot_path);
+
+/// Publishes `fungusdb.process.*` gauges into `registry` so /metrics and
+/// /varz render the same numbers from one source of truth. Call at scrape
+/// time — gauges are point-in-time, not sampled on a timer.
+void UpdateProcessGauges(MetricsRegistry& registry,
+                         const std::string& snapshot_path = "");
+
+}  // namespace fungusdb
+
+#endif  // FUNGUSDB_COMMON_PROCESS_STATS_H_

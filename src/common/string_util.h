@@ -29,6 +29,11 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// Lowercases ASCII letters.
 std::string ToLower(std::string_view s);
 
+/// Escapes `s` for embedding inside a JSON string literal: quote,
+/// backslash and control characters become their \" / \\ / \uXXXX
+/// forms. Returns the escaped body WITHOUT surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace fungusdb
 
 #endif  // FUNGUSDB_COMMON_STRING_UTIL_H_

@@ -266,6 +266,20 @@ Status Database::AddCookSpec(CookSpec spec) {
   return kitchen_.AddSpec(std::move(spec));
 }
 
+Result<RotReport> Database::RotReportFor(const std::string& name) {
+  EpochManager::ReadPin pin(epochs_);
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(name));
+  return BuildRotReport(*table, &scheduler_);
+}
+
+Status Database::SetFreezeAfterIdleTicks(const std::string& name,
+                                         uint64_t ticks) {
+  EpochManager::WriteGuard guard(epochs_);
+  FUNGUSDB_ASSIGN_OR_RETURN(Table * table, MutableTable(name));
+  table->set_freeze_after_idle_ticks(ticks);
+  return Status::OK();
+}
+
 verify::Report Database::Fsck() const {
   EpochManager::ReadPin pin(epochs_);
   verify::InvariantChecker checker;

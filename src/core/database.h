@@ -17,6 +17,7 @@
 #include "core/epoch.h"
 #include "core/table_handle.h"
 #include "fungus/fungus.h"
+#include "fungus/rot_analysis.h"
 #include "fungus/scheduler.h"
 #include "pipeline/ingestor.h"
 #include "pipeline/kitchen.h"
@@ -201,6 +202,17 @@ class Database {
   // --- Introspection. ---
 
   HealthReport Health() const;
+
+  /// Composes the `\rot` report for one table under a single read pin:
+  /// rot structure, freshness histogram and the scheduler's decay
+  /// state. The supported read path for out-of-core observers (HTTP
+  /// handlers, CLIs) that must not touch Table directly.
+  Result<RotReport> RotReportFor(const std::string& name);
+
+  /// Runtime tuning of TableOptions::freeze_after_idle_ticks for one
+  /// table (0 disables freezing; see storage/table.h). Mutating:
+  /// enters the exclusive write section like every facade mutation.
+  Status SetFreezeAfterIdleTicks(const std::string& name, uint64_t ticks);
 
   /// Queue-wait attribution for the next ExecuteSql call, reported in
   /// its slow-query log line (the server sets this to the statement's

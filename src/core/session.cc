@@ -57,7 +57,12 @@ Result<ResultSet> Session::ExecutePinned(const Query& query,
         query.ToString());
   }
 
+  // Pin acquisition blocks while a writer holds the exclusive section,
+  // so its wall time is real head-of-line latency for the read pool —
+  // attribute it like queue wait (satellite of the slow-query contract).
+  const int64_t pin_begin_us = SteadyMicros();
   EpochManager::ReadPin pin(db_->epochs_);
+  const int64_t pin_wait_us = SteadyMicros() - pin_begin_us;
   if (pinned_epoch != nullptr) *pinned_epoch = pin.epoch();
   FUNGUSDB_ASSIGN_OR_RETURN(Table * table,
                             db_->MutableTable(query.table_name));
@@ -70,6 +75,9 @@ Result<ResultSet> Session::ExecutePinned(const Query& query,
   }
   db_->metrics().IncrementCounter("fungusdb.query.executed");
   db_->metrics().IncrementCounter("fungusdb.exec.read_statements");
+  db_->metrics().RecordHistogram("fungusdb.query.pin_wait_us", pin_wait_us);
+  db_->metrics().RecordHistogram("fungusdb.query.pin_wait_us",
+                                 "table=" + query.table_name, pin_wait_us);
   const int64_t begin_us = SteadyMicros();
   // The engine takes Table& but this call graph is read-only end to
   // end: record_access is off, the query is non-consuming, and the pin
@@ -87,7 +95,8 @@ Result<ResultSet> Session::ExecutePinned(const Query& query,
     FUNGUSDB_LOG(Warning)
         << "slow-query t=" << db_->clock_.Now()
         << " table=" << query.table_name << " us=" << exec_us
-        << " queue_us=" << queue_wait_us << " epoch=" << pin.epoch()
+        << " queue_us=" << queue_wait_us << " pin_wait_us=" << pin_wait_us
+        << " epoch=" << pin.epoch()
         << " rows_scanned=" << stats.rows_scanned
         << " rows_pruned=" << stats.rows_pruned
         << " segments_scanned=" << stats.segments_scanned

@@ -33,6 +33,11 @@ class TableHandle {
   size_t num_segments() const { return table_->num_segments(); }
   size_t memory_bytes() const { return table_->MemoryUsage(); }
 
+  /// Tiered-storage occupancy (frozen segments, encoded bytes, ...).
+  /// The supported way for out-of-core observers (HTTP handlers, CLIs)
+  /// to read storage state without touching Table internals.
+  StorageStats storage_stats() const { return table_->GetStorageStats(); }
+
   /// Read-only access for in-process utilities that walk tuples
   /// (column statistics, CSV export). Const: mutations must flow
   /// through the Database facade.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/string_util.h"
+
 namespace fungusdb {
 
 RotStructure AnalyzeRot(const Table& table) {
@@ -214,6 +216,41 @@ std::string RotReport::ToString() const {
   os << "    |" << heatmap << "|\n";
   os << "  storage tier    (time axis, 'F'=frozen '.'=plain '~'=mixed):\n";
   os << "    |" << tier_map << "|\n";
+  return os.str();
+}
+
+std::string RotReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"table\":\"" << JsonEscape(table_name) << "\""
+     << ",\"live_tuples\":" << structure.live_tuples
+     << ",\"dead_tuples\":" << structure.dead_tuples
+     << ",\"reclaimed_tuples\":" << structure.reclaimed_tuples
+     << ",\"num_spots\":" << structure.num_spots
+     << ",\"max_spot\":" << structure.max_spot
+     << ",\"mean_spot\":" << structure.mean_spot
+     << ",\"oldest_live_ts\":" << oldest_live_ts
+     << ",\"estimated_ticks_to_death\":" << estimated_ticks_to_death
+     << ",\"decay_ticks\":" << decay_ticks
+     << ",\"segments_folded\":" << segments_folded
+     << ",\"rows_materialized\":" << rows_materialized
+     << ",\"fold_ratio\":" << fold_ratio
+     << ",\"total_segments\":" << total_segments
+     << ",\"frozen_segments\":" << frozen_segments
+     << ",\"encoded_bytes\":" << encoded_bytes
+     << ",\"plain_bytes_before\":" << plain_bytes_before;
+  if (frozen_segments > 0 && encoded_bytes > 0) {
+    os << ",\"compression_ratio\":"
+       << (static_cast<double>(plain_bytes_before) /
+           static_cast<double>(encoded_bytes));
+  }
+  os << ",\"freshness_histogram\":[";
+  for (size_t i = 0; i < freshness_histogram.size(); ++i) {
+    if (i > 0) os << ",";
+    os << freshness_histogram[i];
+  }
+  os << "]"
+     << ",\"heatmap\":\"" << JsonEscape(heatmap) << "\""
+     << ",\"tier_map\":\"" << JsonEscape(tier_map) << "\"}";
   return os.str();
 }
 

@@ -85,6 +85,11 @@ struct RotReport {
   std::string tier_map;  // RenderTierAxis at width 60
 
   std::string ToString() const;
+
+  /// Machine-readable rendering for the HTTP plane's /rotz endpoint:
+  /// one JSON object with the same fields ToString() prints, plus the
+  /// compression ratio when the frozen tier is occupied.
+  std::string ToJson() const;
 };
 
 /// Builds the `\rot` report. `scheduler` may be null (no decay info).

@@ -556,6 +556,23 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
                       us == 0 ? "slow-query log disabled"
                               : "slow-query threshold " + args[1] + "us");
   }
+  if (cmd == "\\freeze") {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("usage: \\freeze <table> <idle_ticks>");
+    }
+    char* end = nullptr;
+    const unsigned long long ticks = std::strtoull(args[2].c_str(), &end, 10);
+    if (end == args[2].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad tick count '" + args[2] + "'");
+    }
+    FUNGUSDB_RETURN_IF_ERROR(
+        db_->SetFreezeAfterIdleTicks(args[1], ticks));
+    return TextResult("freeze",
+                      ticks == 0
+                          ? "freezing disabled on " + args[1]
+                          : args[1] + " freezes after " + args[2] +
+                                " idle ticks");
+  }
   if (cmd == "\\advance") {
     if (args.size() != 2) {
       return Status::InvalidArgument("usage: \\advance <duration>");
@@ -618,7 +635,7 @@ Result<ResultSet> Server::ExecuteMeta(const std::string& line) {
       "unknown server command " + cmd +
       " (remote subset: \\health \\now \\metrics [prom] \\fsck \\tables "
       "\\storage \\advance \\create \\insert \\attach \\rot \\trace "
-      "\\slowlog)");
+      "\\slowlog \\freeze)");
 }
 
 }  // namespace fungusdb::server

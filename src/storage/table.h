@@ -113,6 +113,13 @@ class Table {
   const Schema& schema() const { return schema_; }
   const TableOptions& options() const { return options_; }
 
+  /// Adjusts the freeze-after-idle runtime knob post-construction
+  /// (0 disables freezing). Writer-thread-only, like every structural
+  /// mutation; takes effect on the next decay tick.
+  void set_freeze_after_idle_ticks(uint64_t ticks) {
+    options_.freeze_after_idle_ticks = ticks;
+  }
+
   /// Appends one tuple with insertion time `now` and freshness 1.0.
   /// Validates arity, types, and nullability against the schema.
   Result<RowId> Append(const std::vector<Value>& values, Timestamp now);

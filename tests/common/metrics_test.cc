@@ -115,10 +115,15 @@ TEST(MetricsTest, PrometheusReportShape) {
       prom.find("fungusdb_rot_oldest_live_ts{table=\"events\"} 99\n"),
       std::string::npos);
   EXPECT_NE(
-      prom.find("# TYPE fungusdb_server_statement_latency_us summary\n"),
+      prom.find("# TYPE fungusdb_server_statement_latency_us histogram\n"),
+      std::string::npos);
+  // 100 lands in bucket [64, 128) whose inclusive integer bound is 127.
+  EXPECT_NE(
+      prom.find("fungusdb_server_statement_latency_us_bucket{le=\"127\"} 1\n"),
       std::string::npos);
   EXPECT_NE(
-      prom.find("fungusdb_server_statement_latency_us{quantile=\"0.5\"}"),
+      prom.find(
+          "fungusdb_server_statement_latency_us_bucket{le=\"+Inf\"} 1\n"),
       std::string::npos);
   EXPECT_NE(prom.find("fungusdb_server_statement_latency_us_sum 100\n"),
             std::string::npos);
@@ -126,15 +131,98 @@ TEST(MetricsTest, PrometheusReportShape) {
             std::string::npos);
 }
 
-TEST(MetricsTest, PrometheusQuantileMergesWithSeriesLabel) {
+TEST(MetricsTest, PrometheusBucketMergesWithSeriesLabel) {
   MetricsRegistry m;
   m.RecordHistogram("fungusdb.decay.tick_duration_us", "table=t", 10);
   const std::string prom = m.PrometheusReport();
-  EXPECT_NE(prom.find("fungusdb_decay_tick_duration_us{table=\"t\","
-                      "quantile=\"0.5\"}"),
+  EXPECT_NE(prom.find("fungusdb_decay_tick_duration_us_bucket{table=\"t\","
+                      "le=\"15\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_decay_tick_duration_us_bucket{table=\"t\","
+                      "le=\"+Inf\"} 1"),
             std::string::npos);
   EXPECT_NE(prom.find("fungusdb_decay_tick_duration_us_count{table=\"t\"} 1"),
             std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusBucketsAreCumulativeAndOrdered) {
+  MetricsRegistry m;
+  // One observation per decade: buckets le=0, le=1, le=15, le=127, +Inf.
+  m.RecordHistogram("fungusdb.test.h", -5);
+  m.RecordHistogram("fungusdb.test.h", 1);
+  m.RecordHistogram("fungusdb.test.h", 9);
+  m.RecordHistogram("fungusdb.test.h", 100);
+  const std::string prom = m.PrometheusReport();
+  const size_t b0 = prom.find("fungusdb_test_h_bucket{le=\"0\"} 1\n");
+  const size_t b1 = prom.find("fungusdb_test_h_bucket{le=\"1\"} 2\n");
+  const size_t b15 = prom.find("fungusdb_test_h_bucket{le=\"15\"} 3\n");
+  const size_t b127 = prom.find("fungusdb_test_h_bucket{le=\"127\"} 4\n");
+  const size_t binf = prom.find("fungusdb_test_h_bucket{le=\"+Inf\"} 4\n");
+  ASSERT_NE(b0, std::string::npos);
+  ASSERT_NE(b1, std::string::npos);
+  ASSERT_NE(b15, std::string::npos);
+  ASSERT_NE(b127, std::string::npos);
+  ASSERT_NE(binf, std::string::npos);
+  EXPECT_LT(b0, b1);
+  EXPECT_LT(b1, b15);
+  EXPECT_LT(b15, b127);
+  EXPECT_LT(b127, binf);
+  EXPECT_NE(prom.find("fungusdb_test_h_sum 105\n"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusEmptyHistogramStillCloses) {
+  MetricsRegistry m;
+  m.Histogram("fungusdb.test.empty");
+  const std::string prom = m.PrometheusReport();
+  EXPECT_NE(prom.find("# TYPE fungusdb_test_empty histogram\n"),
+            std::string::npos);
+  // No finite buckets, but the +Inf / _sum / _count triplet must appear
+  // so scrapers see a well-formed (zero-sample) histogram.
+  EXPECT_EQ(prom.find("fungusdb_test_empty_bucket{le=\"0\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_test_empty_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_test_empty_sum 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_test_empty_count 0\n"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusLabelValueEscaping) {
+  MetricsRegistry m;
+  m.IncrementCounter("fungusdb.test.escaped", "table=a\"b\\c\nd", 1);
+  m.RecordHistogram("fungusdb.test.escaped_h", "table=q\"t", 7);
+  const std::string prom = m.PrometheusReport();
+  EXPECT_NE(prom.find("fungusdb_test_escaped{table=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fungusdb_test_escaped_h_bucket{table=\"q\\\"t\","
+                      "le=\"7\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(HistogramMetricTest, CumulativeBucketsExactBounds) {
+  HistogramMetric h;
+  EXPECT_TRUE(h.CumulativeBuckets().empty());
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(4);
+  const auto buckets = h.CumulativeBuckets();
+  // 0 -> le=0; 1 -> le=1; 2,3 -> le=3; 4 -> le=7.
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], (std::pair<int64_t, int64_t>{0, 1}));
+  EXPECT_EQ(buckets[1], (std::pair<int64_t, int64_t>{1, 2}));
+  EXPECT_EQ(buckets[2], (std::pair<int64_t, int64_t>{3, 4}));
+  EXPECT_EQ(buckets[3], (std::pair<int64_t, int64_t>{7, 5}));
+}
+
+TEST(HistogramMetricTest, CumulativeBucketsOverflowOnlyInInf) {
+  HistogramMetric h;
+  h.Record(int64_t{1} << 62);  // Lands in the unbounded top bucket.
+  h.Record(5);
+  const auto buckets = h.CumulativeBuckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0], (std::pair<int64_t, int64_t>{7, 1}));
+  EXPECT_EQ(h.count(), 2);  // +Inf series (count) covers the overflow.
 }
 
 TEST(HistogramMetricTest, EmptyHistogram) {

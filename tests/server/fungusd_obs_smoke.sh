@@ -1,13 +1,21 @@
 #!/bin/sh
-# Observability smoke for a live fungusd: boot on an ephemeral port,
-# drive a session with a decay tick, a fully-pruned scan, and remote
-# statements, then verify that
+# Observability smoke for a live fungusd: boot with both the wire port
+# and the HTTP observability plane on ephemeral ports, drive a session
+# with decay ticks, frozen segments, and remote statements, then verify
 #   (a) `\trace dump <file>` lands valid Chrome trace JSON on the
 #       CLIENT side holding decay.tick / server.statement /
 #       server.read_worker / scan spans,
 #   (b) `\metrics prom` scrapes as Prometheus text exposition with
-#       labeled fungusdb_* series, and
-#   (c) `\rot <table>` renders the freshness report.
+#       labeled fungusdb_* series and real histogram _bucket output,
+#   (c) `\rot <table>` renders the freshness report,
+#   (d) GET /metrics validates under tools/lint/prom_validator.py with
+#       at least one finite histogram bucket,
+#   (e) GET /rotz and /storagez return per-table JSON showing the
+#       frozen tier (after `\freeze t 1` + a decay tick),
+#   (f) GET /tracez?ms=N captures a live window holding decay.tick and
+#       server.statement spans,
+#   (g) GET /readyz answers 503 during the SIGTERM drain window while
+#       /healthz stays 200, and the daemon still exits 0.
 #
 #   tests/server/fungusd_obs_smoke.sh <build-dir>
 set -eu
@@ -15,40 +23,78 @@ set -eu
 build_dir=${1:?usage: fungusd_obs_smoke.sh <build-dir>}
 fungusd=$build_dir/tools/fungusd
 fungusql=$build_dir/tools/fungusql
+script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+repo_root=$script_dir/../..
+prom_validator=$repo_root/tools/lint/prom_validator.py
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"; kill "$daemon" 2>/dev/null || true' EXIT
 
-"$fungusd" --port 0 --port-file "$workdir/port" --read-workers 2 &
+"$fungusd" --port 0 --port-file "$workdir/port" --read-workers 2 \
+  --http-port 0 --http-port-file "$workdir/http_port" \
+  --drain-grace-ms 1500 &
 daemon=$!
 
-tries=0
-while [ ! -s "$workdir/port" ]; do
-  tries=$((tries + 1))
-  if [ "$tries" -gt 100 ]; then
-    echo "FAIL: fungusd never wrote its port file" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
+wait_for_file() {
+  tries=0
+  while [ ! -s "$1" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "FAIL: fungusd never wrote $1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+wait_for_file "$workdir/http_port"
+wait_for_file "$workdir/port"
 port=$(cat "$workdir/port")
+http_port=$(cat "$workdir/http_port")
 
-# One session: tracer on, a table with a retention fungus, three decay
-# ticks (the 3h advance), and a scan whose predicate no zone can match
-# (v > 10^9 prunes every segment).
-printf '%s\n' \
-  '\trace on' \
-  '\create t (v int64)' \
-  '\insert t 1' \
-  '\insert t 2' \
-  '\insert t 3' \
-  '\insert t 4' \
-  '\attach retention t 1h 2h' \
-  '\advance 3h' \
-  'SELECT count(*) AS n FROM t WHERE v > 1000000000' \
-  'SELECT count(*) AS n FROM t' \
-  '\quit' |
-  "$fungusql" --connect "127.0.0.1:$port" | tee "$workdir/session.log"
+have_python=0
+if command -v python3 > /dev/null 2>&1; then have_python=1; fi
+
+# http_get <path> <outfile>: prints the status code; 000 when the
+# connection itself fails.
+http_get() {
+  python3 -c '
+import sys, urllib.error, urllib.request
+try:
+    with urllib.request.urlopen(sys.argv[1], timeout=15) as r:
+        body, code = r.read(), r.status
+except urllib.error.HTTPError as e:
+    body, code = e.read(), e.code
+except OSError:
+    body, code = b"", 0
+with open(sys.argv[2], "wb") as f:
+    f.write(body)
+print("%03d" % code)
+' "http://127.0.0.1:$http_port$1" "$2"
+}
+
+# One session: tracer on, a table with a retention fungus, a full
+# segment (freezing requires full()), and a scan whose predicate no
+# zone can match (v > 10^9 prunes every segment). `\freeze t 1` then
+# two decay ticks pushes the idle full segment into the frozen tier —
+# while its rows are still live (1h ticks, 8h lifetime: the rows
+# outlive every tick here) — so the HTTP introspection endpoints have
+# a real frozen strip to report and the count(*) scan decodes the
+# frozen image.
+{
+  printf '%s\n' \
+    '\trace on' \
+    '\create t (v int64)' \
+    '\attach retention t 1h 8h'
+  seq 1 4096 | sed 's/^/\\insert t /'
+  printf '%s\n' \
+    '\freeze t 1' \
+    '\advance 1h' \
+    '\advance 1h' \
+    'SELECT count(*) AS n FROM t WHERE v > 1000000000' \
+    'SELECT count(*) AS n FROM t' \
+    '\quit'
+} | "$fungusql" --connect "127.0.0.1:$port" > "$workdir/session.log"
+tail -n 8 "$workdir/session.log"
 
 printf '%s\n' '\rot t' '\quit' |
   "$fungusql" --connect "127.0.0.1:$port" | tee "$workdir/rot.log"
@@ -67,13 +113,137 @@ printf '\\trace dump %s\n\\quit\n' "$workdir/trace.json" |
 printf '%s\n' '\metrics prom' '\quit' |
   "$fungusql" --connect "127.0.0.1:$port" > "$workdir/prom.txt"
 
+if [ "$have_python" -eq 1 ]; then
+  # -- HTTP plane, live --------------------------------------------------
+  [ "$(http_get /healthz "$workdir/healthz")" = 200 ] || {
+    echo "FAIL: /healthz not 200 while serving" >&2
+    exit 1
+  }
+  [ "$(http_get /readyz "$workdir/readyz")" = 200 ] || {
+    echo "FAIL: /readyz not 200 while serving" >&2
+    exit 1
+  }
+
+  # Live capture: open the /tracez window in the background, then drive
+  # a tick and statements through it so server-side spans land inside.
+  http_get "/tracez?ms=1500" "$workdir/tracez.json" \
+    > "$workdir/tracez.status" &
+  tracez_pid=$!
+  sleep 0.3
+  printf '%s\n' '\advance 1h' 'SELECT count(*) AS n FROM t' '\quit' |
+    "$fungusql" --connect "127.0.0.1:$port" > /dev/null
+  wait "$tracez_pid"
+  [ "$(cat "$workdir/tracez.status")" = 200 ] || {
+    echo "FAIL: /tracez not 200" >&2
+    exit 1
+  }
+
+  [ "$(http_get /metrics "$workdir/http_metrics.txt")" = 200 ] || {
+    echo "FAIL: /metrics not 200" >&2
+    exit 1
+  }
+  python3 "$prom_validator" "$workdir/http_metrics.txt" \
+    --require-bucket \
+    --require fungusdb_http_requests \
+    --require fungusdb_process_uptime_seconds \
+    --require fungusdb_exec_epoch || {
+    echo "FAIL: GET /metrics failed the scrape validator" >&2
+    exit 1
+  }
+
+  [ "$(http_get /varz "$workdir/varz.json")" = 200 ] || {
+    echo "FAIL: /varz not 200" >&2
+    exit 1
+  }
+  [ "$(http_get /rotz "$workdir/rotz.json")" = 200 ] || {
+    echo "FAIL: /rotz not 200" >&2
+    exit 1
+  }
+  [ "$(http_get /storagez "$workdir/storagez.json")" = 200 ] || {
+    echo "FAIL: /storagez not 200" >&2
+    exit 1
+  }
+  [ "$(http_get /rotz?table=nope "$workdir/rotz404.json")" = 404 ] || {
+    echo "FAIL: /rotz?table=nope not 404" >&2
+    exit 1
+  }
+
+  python3 - "$workdir" <<'EOF'
+import json
+import sys
+
+workdir = sys.argv[1]
+
+varz = json.load(open(workdir + "/varz.json"))
+assert varz["readiness"] == "ready", varz
+assert varz["tables"] >= 1, varz
+assert varz["read_workers"] >= 1, varz
+assert varz["uptime_seconds"] > 0, varz
+
+rotz = json.load(open(workdir + "/rotz.json"))
+tables = {entry["table"]: entry for entry in rotz["tables"]}
+assert "t" in tables, rotz
+rot_t = tables["t"]
+assert rot_t["frozen_segments"] >= 1, rot_t
+assert rot_t["decay_ticks"] >= 3, rot_t
+assert "fold_ratio" in rot_t and "tier_map" in rot_t, rot_t
+
+storagez = json.load(open(workdir + "/storagez.json"))
+stor_t = {e["table"]: e for e in storagez["tables"]}["t"]
+assert stor_t["frozen_segments"] >= 1, stor_t
+assert stor_t["total_segments"] >= stor_t["frozen_segments"], stor_t
+
+trace = json.load(open(workdir + "/tracez.json"))
+events = trace["traceEvents"]
+assert events, "empty /tracez capture"
+names = {e["name"] for e in events}
+for required in ("decay.tick", "server.statement"):
+    assert required in names, (required, sorted(names))
+print("varz/rotz/storagez/tracez shapes OK (frozen tier visible)")
+EOF
+else
+  echo "SKIP: python3 unavailable; HTTP plane checks skipped" >&2
+fi
+
 kill -TERM "$daemon"
+
+if [ "$have_python" -eq 1 ]; then
+  # The drain grace window (1500ms) must answer /readyz with 503 —
+  # that is the signal a balancer uses to rotate the node out — while
+  # /healthz stays 200 so supervisors don't hard-kill mid-drain.
+  saw_draining=0
+  tries=0
+  while [ "$tries" -lt 25 ]; do
+    code=$(http_get /readyz "$workdir/drain_readyz")
+    if [ "$code" = 503 ]; then
+      saw_draining=1
+      break
+    fi
+    if [ "$code" = 000 ]; then
+      break  # already shut down: too late to observe the window
+    fi
+    tries=$((tries + 1))
+  done
+  [ "$saw_draining" -eq 1 ] || {
+    echo "FAIL: /readyz never answered 503 during the drain window" >&2
+    exit 1
+  }
+  grep -q draining "$workdir/drain_readyz" || {
+    echo "FAIL: draining /readyz body lacks the reason" >&2
+    exit 1
+  }
+  [ "$(http_get /healthz "$workdir/drain_healthz")" = 200 ] || {
+    echo "FAIL: /healthz flipped during drain" >&2
+    exit 1
+  }
+fi
+
 wait "$daemon" || {
   echo "FAIL: fungusd exited non-zero after SIGTERM" >&2
   exit 1
 }
 
-if command -v python3 > /dev/null 2>&1; then
+if [ "$have_python" -eq 1 ]; then
   python3 - "$workdir/trace.json" "$workdir/prom.txt" <<'EOF'
 import json
 import re
@@ -106,11 +276,18 @@ assert any(l.startswith("fungusdb_server_requests_total ") for l in lines), \
     lines[:10]
 assert any(re.match(r'fungusdb_decay_ticks\{table="t"\} ', l)
            for l in lines), "no labeled decay series"
-assert any('quantile="0.5"' in l for l in lines), "no quantile series"
+assert any('_bucket{' in l and 'le="+Inf"' in l for l in lines), \
+    "no histogram +Inf bucket"
+assert any(re.search(r'_bucket\{.*le="[0-9]+"\}', l) for l in lines), \
+    "no finite histogram bucket"
+assert not any('quantile=' in l for l in lines), \
+    "quantile summaries should be gone"
 assert any(l.startswith("fungusdb_exec_epoch ") for l in lines), \
     "no epoch gauge"
 assert any(re.match(r'fungusdb_server_statements_total\{worker="read-', l)
            for l in lines), "no per-read-worker statement series"
+assert any(l.startswith("fungusdb_query_pin_wait_us_") for l in lines), \
+    "no pin-wait attribution series"
 print("trace.json and prom.txt shapes OK")
 EOF
 else
@@ -123,4 +300,4 @@ else
   grep -q '^fungusdb_exec_epoch ' "$workdir/prom.txt"
 fi
 
-echo "PASS: fungusd traced a tick, scraped prom metrics, rendered rot"
+echo "PASS: fungusd traced a tick, scraped prom + HTTP plane, drained"

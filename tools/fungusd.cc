@@ -19,11 +19,22 @@
 //   --read-workers <n>     read worker pool size; -1 = auto (hardware,
 //                          capped at 8), 0 = writer-only execution
 //   --snapshot <path>      load at boot when present; saved on shutdown
+//   --http-port <n>        mount the HTTP observability plane here
+//                          (0 = ephemeral); omitted = no HTTP plane.
+//                          Serves /metrics /healthz /readyz /rotz
+//                          /storagez /tracez /varz (DESIGN.md §16)
+//   --http-port-file <path> write the bound HTTP port here
+//   --drain-grace-ms <n>   on SIGTERM, keep serving (with /readyz 503)
+//                          this long before draining the wire queues —
+//                          the window a load balancer needs to rotate
+//                          the node out (default 0)
 //
 // Environment: FUNGUSDB_TRACE (any value but "0") enables the span
 // tracer at boot — same as a client sending \trace on. Dump the ring
-// any time with `fungusql --connect ...` and `\trace dump <file>`.
+// any time with `fungusql --connect ...` and `\trace dump <file>`, or
+// capture a live window over HTTP with GET /tracez?ms=N.
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,10 +43,12 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "fungusdb/common.h"
 #include "fungusdb/database.h"
 #include "fungusdb/persist.h"
+#include "server/http_debug.h"
 #include "server/server.h"
 
 namespace {
@@ -44,9 +57,17 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host addr] [--port n] [--port-file path]\n"
                "          [--queue-capacity n] [--max-connections n]\n"
-               "          [--read-workers n] [--snapshot path]\n",
+               "          [--read-workers n] [--snapshot path]\n"
+               "          [--http-port n] [--http-port-file path]\n"
+               "          [--drain-grace-ms n]\n",
                argv0);
   return 2;
+}
+
+bool WritePortFile(const std::string& path, uint16_t port) {
+  std::ofstream out(path, std::ios::trunc);
+  out << port << "\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -55,6 +76,9 @@ int main(int argc, char** argv) {
   fungusdb::server::ServerOptions options;
   options.port = 7464;
   std::string port_file;
+  int http_port = -1;  // -1 = HTTP plane disabled
+  std::string http_port_file;
+  long long drain_grace_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,6 +99,14 @@ int main(int argc, char** argv) {
       options.read_workers = std::atoi(argv[++i]);
     } else if (arg == "--snapshot" && has_value) {
       options.snapshot_path = argv[++i];
+    } else if (arg == "--http-port" && has_value) {
+      http_port = std::atoi(argv[++i]);
+      if (http_port < 0 || http_port > 65535) return Usage(argv[0]);
+    } else if (arg == "--http-port-file" && has_value) {
+      http_port_file = argv[++i];
+    } else if (arg == "--drain-grace-ms" && has_value) {
+      drain_grace_ms = std::strtoll(argv[++i], nullptr, 10);
+      if (drain_grace_ms < 0) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
@@ -93,6 +125,30 @@ int main(int argc, char** argv) {
   sigaddset(&signals, SIGTERM);
   sigaddset(&signals, SIGINT);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  // The HTTP plane comes up BEFORE snapshot replay so /healthz answers
+  // (and /readyz reports "starting") while a large snapshot loads.
+  std::unique_ptr<fungusdb::server::HttpDebugServer> http;
+  if (http_port >= 0) {
+    fungusdb::server::HttpDebugOptions http_options;
+    http_options.host = options.host;
+    http_options.port = static_cast<uint16_t>(http_port);
+    http_options.snapshot_path = options.snapshot_path;
+    http = std::make_unique<fungusdb::server::HttpDebugServer>(http_options);
+    const fungusdb::Status http_started = http->Start();
+    if (!http_started.ok()) {
+      std::fprintf(stderr, "fungusd: http: %s\n",
+                   http_started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "fungusd: http plane on port %u\n", http->port());
+    if (!http_port_file.empty() &&
+        !WritePortFile(http_port_file, http->port())) {
+      std::fprintf(stderr, "fungusd: cannot write %s\n",
+                   http_port_file.c_str());
+      return 1;
+    }
+  }
 
   std::unique_ptr<fungusdb::Database> db;
   if (!options.snapshot_path.empty() &&
@@ -119,20 +175,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "fungusd: listening on port %u\n", server.port());
-  if (!port_file.empty()) {
-    std::ofstream out(port_file, std::ios::trunc);
-    out << server.port() << "\n";
-    if (!out) {
-      std::fprintf(stderr, "fungusd: cannot write %s\n", port_file.c_str());
-      server.Stop();
-      return 1;
-    }
+  if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+    std::fprintf(stderr, "fungusd: cannot write %s\n", port_file.c_str());
+    server.Stop();
+    return 1;
+  }
+  if (http != nullptr) {
+    http->SetDatabase(&server.database());
+    http->SetReadiness(
+        fungusdb::server::HttpDebugServer::Readiness::kReady);
   }
 
   int caught = 0;
   sigwait(&signals, &caught);
   std::fprintf(stderr, "fungusd: %s — draining\n", strsignal(caught));
+  if (http != nullptr) {
+    // Flip /readyz to 503 first, then hold the grace window so load
+    // balancers rotate the node out while it still answers cleanly.
+    http->SetReadiness(
+        fungusdb::server::HttpDebugServer::Readiness::kDraining);
+    if (drain_grace_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(drain_grace_ms));
+    }
+  }
   server.Stop();
+  if (http != nullptr) http->Stop();
   if (!snapshot_path.empty()) {
     std::fprintf(stderr, "fungusd: snapshot saved to %s\n",
                  snapshot_path.c_str());

@@ -40,6 +40,15 @@ Enforces the repo-specific rules that generic linters cannot:
                   (storage/segment.h). One carve-out:
                   src/verify/corruptor.cc seeds corruption through its
                   friendship on purpose.
+  http-handler    the HTTP observability plane (src/server/http_*) reads
+                  database state only through epoch-pinned facade calls
+                  and the public stats structs (TableHandle,
+                  Database::RotReportFor, StorageStats) — never through
+                  Table pointers/references, the TableHandle::table()
+                  escape hatch, MutableTable, BuildRotReport or
+                  GetStorageStats on a raw Table. A handler that held a
+                  Table* could outlive its pin or bypass the tier
+                  contract; the narrow surface keeps the plane auditable.
   public-api      examples/ and tools/ consume the library through the
                   public headers (include/fungusdb/...), never through
                   src/... directly — they are the reference embedders,
@@ -94,7 +103,7 @@ SRC_TOP_DIRS = ("common", "core", "fungus", "persist", "pipeline",
 # The daemons may reach named server internals that are deliberately
 # not part of the embedder API.
 PUBLIC_API_ALLOWLIST = {
-    "tools/fungusd.cc": {"server/server.h"},
+    "tools/fungusd.cc": {"server/server.h", "server/http_debug.h"},
     "tools/funguscheck.cc": {"persist/fsck.h", "server/wire_format.h"},
 }
 
@@ -123,6 +132,12 @@ RE_ENCODED_ACCESS = re.compile(
 RE_PIN_DISCARD = re.compile(
     r"^\s*(?:[\w:]+(?:\(\s*\))?\s*(?:\.|->)\s*)*"
     r"(?:PinRead|BeginWrite)\s*\(\s*\)\s*;")
+RE_HTTP_HANDLER = re.compile(
+    r"\bTable\b\s*[*&]"
+    r"|\bMutableTable\s*\("
+    r"|(?:\.|->)\s*table\s*\("
+    r"|\bBuildRotReport\s*\("
+    r"|\bGetStorageStats\s*\(")
 RE_METRIC_CALL = re.compile(
     r"\b(?:IncrementCounter|SetGauge|RecordHistogram|GetCounter"
     r"|GetGauge|FindHistogram|Histogram)\s*\(\s*\"([^\"]*)\"")
@@ -273,6 +288,14 @@ def lint_file(root, path, findings):
                              "GetValue( boxes a Value per row; the"
                              " vector kernel must read typed column"
                              " spans"))
+        if (rel.startswith("src/server/http_")
+                and RE_HTTP_HANDLER.search(line)):
+            findings.append((rel, lineno, "http-handler",
+                             "HTTP handlers must not touch Table or the"
+                             " plain tier directly; read through epoch-"
+                             "pinned facade calls and the public stats"
+                             " structs (TableHandle::storage_stats,"
+                             " Database::RotReportFor)"))
         if (rel.startswith("src/")
                 and not rel.startswith("src/storage/")
                 and rel not in ENCODED_ACCESS_ALLOWLIST

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Tiny Prometheus text-exposition (0.0.4) scrape validator.
+
+Validates the output of MetricsRegistry::PrometheusReport() — and any
+live GET /metrics scrape — without third-party dependencies:
+
+  * every non-comment line parses as `name{labels} value` with legal
+    metric/label names and properly escaped label values;
+  * every sample's metric (its base name, for histogram `_bucket` /
+    `_sum` / `_count` suffixes) carries a preceding `# TYPE`;
+  * histograms are real cumulative histograms: per label set, bucket
+    counts are non-decreasing as `le` grows, a `le="+Inf"` bucket is
+    present, it equals the `_count` sample, and a `_sum` sample exists;
+  * counters are non-negative.
+
+Usage: prom_validator.py [FILE] [--require-bucket] [--require NAME]...
+       (reads stdin when FILE is absent or `-`)
+
+  --require-bucket   fail unless at least one histogram exports a
+                     finite-bound _bucket sample (the PR 10 acceptance
+                     bar: summaries quantile output does not count)
+  --require NAME     fail unless a sample of metric NAME exists
+                     (repeatable)
+
+Exits 0 when valid, 1 with one message per problem. Registered against
+golden/bad fixtures by the prom_validator_* ctests and used live by the
+fungusd obs smoke test and the CI obs-smoke job.
+"""
+
+import re
+import sys
+
+RE_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+RE_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+RE_TYPE_LINE = re.compile(r"^# TYPE (\S+) (counter|gauge|histogram|summary"
+                          r"|untyped)$")
+# value: int/float/scientific, +Inf/-Inf/NaN
+RE_VALUE = re.compile(r"^[+-]?(?:Inf|NaN|\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+                      r"|\.\d+(?:[eE][+-]?\d+)?)$")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(raw, lineno, errors):
+    """Parses `key="value",key2="value2"` (no surrounding braces).
+    Returns a dict; reports malformed pairs."""
+    labels = {}
+    i, n = 0, len(raw)
+    while i < n:
+        eq = raw.find("=", i)
+        if eq == -1:
+            errors.append("line %d: malformed label pair %r" %
+                          (lineno, raw[i:]))
+            return labels
+        name = raw[i:eq]
+        if not RE_LABEL_NAME.match(name):
+            errors.append("line %d: bad label name %r" % (lineno, name))
+        if eq + 1 >= n or raw[eq + 1] != '"':
+            errors.append("line %d: unquoted label value for %r" %
+                          (lineno, name))
+            return labels
+        j = eq + 2
+        value = []
+        closed = False
+        while j < n:
+            c = raw[j]
+            if c == "\\":
+                if j + 1 >= n or raw[j + 1] not in ('"', "\\", "n"):
+                    errors.append("line %d: bad escape in label %r" %
+                                  (lineno, name))
+                    return labels
+                value.append({"n": "\n"}.get(raw[j + 1], raw[j + 1]))
+                j += 2
+            elif c == '"':
+                closed = True
+                j += 1
+                break
+            else:
+                value.append(c)
+                j += 1
+        if not closed:
+            errors.append("line %d: unterminated label value for %r" %
+                          (lineno, name))
+            return labels
+        labels[name] = "".join(value)
+        if j < n:
+            if raw[j] != ",":
+                errors.append("line %d: expected ',' between labels, got %r"
+                              % (lineno, raw[j]))
+                return labels
+            j += 1
+        i = j
+    return labels
+
+
+def base_name(name, types):
+    """Maps histogram sample names back to their declared family."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            family = name[: -len(suffix)]
+            if types.get(family) == "histogram":
+                return family
+    return name
+
+
+def le_sort_key(le):
+    if le == "+Inf":
+        return (1, 0.0)
+    try:
+        return (0, float(le))
+    except ValueError:
+        return (2, 0.0)
+
+
+def validate(text):
+    errors = []
+    types = {}  # family -> declared type
+    samples = []  # (lineno, name, labels, value)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = RE_TYPE_LINE.match(line)
+            if match:
+                family, kind = match.groups()
+                if not RE_METRIC_NAME.match(family):
+                    errors.append("line %d: bad metric name %r" %
+                                  (lineno, family))
+                if family in types:
+                    errors.append("line %d: duplicate TYPE for %s" %
+                                  (lineno, family))
+                types[family] = kind
+            elif not line.startswith(("# HELP", "# EOF")):
+                # Unknown comment forms are legal; broken TYPE lines are
+                # the thing to catch.
+                if line.startswith("# TYPE"):
+                    errors.append("line %d: malformed TYPE line: %s" %
+                                  (lineno, line))
+            continue
+
+        space = line.rfind(" ")
+        if space == -1:
+            errors.append("line %d: no value: %s" % (lineno, line))
+            continue
+        series, value_text = line[:space], line[space + 1:]
+        if not RE_VALUE.match(value_text):
+            errors.append("line %d: bad sample value %r" %
+                          (lineno, value_text))
+            continue
+        if series.endswith("}"):
+            brace = series.find("{")
+            if brace == -1:
+                errors.append("line %d: '}' without '{': %s" %
+                              (lineno, line))
+                continue
+            name = series[:brace]
+            labels = parse_labels(series[brace + 1:-1], lineno, errors)
+        else:
+            name, labels = series, {}
+        if not RE_METRIC_NAME.match(name):
+            errors.append("line %d: bad metric name %r" % (lineno, name))
+            continue
+        family = base_name(name, types)
+        if family not in types:
+            errors.append("line %d: sample %s has no preceding # TYPE %s"
+                          % (lineno, name, family))
+        samples.append((lineno, name, labels, float(value_text)))
+
+    # Histogram contract per (family, label-set-minus-le).
+    for family, kind in sorted(types.items()):
+        if kind == "histogram":
+            validate_histogram(family, samples, errors)
+        elif kind == "counter":
+            for lineno, name, _, value in samples:
+                if name == family and value < 0:
+                    errors.append("line %d: counter %s is negative (%g)" %
+                                  (lineno, family, value))
+    return errors, types, samples
+
+
+def validate_histogram(family, samples, errors):
+    buckets = {}  # frozenset(labels minus le) -> [(le, lineno, value)]
+    sums = {}
+    counts = {}
+    for lineno, name, labels, value in samples:
+        if name == family + "_bucket":
+            le = labels.get("le")
+            if le is None:
+                errors.append("line %d: %s_bucket without le" %
+                              (lineno, family))
+                continue
+            key = frozenset((k, v) for k, v in labels.items() if k != "le")
+            buckets.setdefault(key, []).append((le, lineno, value))
+        elif name == family + "_sum":
+            sums[frozenset(labels.items())] = value
+        elif name == family + "_count":
+            counts[frozenset(labels.items())] = value
+
+    if not buckets and not sums and not counts:
+        errors.append("histogram %s declared but has no samples" % family)
+        return
+    for key, entries in sorted(buckets.items(), key=lambda kv: sorted(kv[0])):
+        entries.sort(key=lambda e: le_sort_key(e[0]))
+        label_desc = "{%s}" % ",".join(
+            "%s=%s" % kv for kv in sorted(key)) if key else "(no labels)"
+        previous = None
+        for le, lineno, value in entries:
+            if le_sort_key(le)[0] == 2:
+                errors.append("line %d: %s_bucket has bad le=%r" %
+                              (lineno, family, le))
+            if previous is not None and value < previous:
+                errors.append(
+                    "line %d: %s_bucket %s not cumulative at le=%s "
+                    "(%g < %g)" %
+                    (lineno, family, label_desc, le, value, previous))
+            previous = value
+        les = [e[0] for e in entries]
+        if "+Inf" not in les:
+            errors.append("histogram %s %s is missing le=\"+Inf\"" %
+                          (family, label_desc))
+            continue
+        inf_value = next(e[2] for e in entries if e[0] == "+Inf")
+        if key not in counts:
+            errors.append("histogram %s %s has no _count sample" %
+                          (family, label_desc))
+        elif counts[key] != inf_value:
+            errors.append(
+                "histogram %s %s: le=\"+Inf\" (%g) != _count (%g)" %
+                (family, label_desc, inf_value, counts[key]))
+        if key not in sums:
+            errors.append("histogram %s %s has no _sum sample" %
+                          (family, label_desc))
+
+
+def main(argv):
+    path = None
+    require_bucket = False
+    required = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--require-bucket":
+            require_bucket = True
+        elif arg == "--require":
+            if i + 1 >= len(argv):
+                print("prom_validator: --require needs a metric name")
+                return 2
+            i += 1
+            required.append(argv[i])
+        elif path is None:
+            path = arg
+        else:
+            print("prom_validator: unexpected argument %r" % arg)
+            return 2
+        i += 1
+
+    if path is None or path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+    errors, types, samples = validate(text)
+
+    if require_bucket:
+        finite = [
+            s for s in samples
+            if s[1].endswith("_bucket") and s[2].get("le") not in (None,
+                                                                   "+Inf")
+            and types.get(base_name(s[1], types)) == "histogram"
+        ]
+        if not finite:
+            errors.append("--require-bucket: no histogram exports a "
+                          "finite _bucket sample")
+    sample_names = {s[1] for s in samples}
+    for name in required:
+        if name not in sample_names:
+            errors.append("--require: no sample of metric %r" % name)
+
+    for message in errors:
+        print("prom_validator: %s" % message)
+    if errors:
+        print("prom_validator: %d problem(s)" % len(errors))
+        return 1
+    print("prom_validator: ok (%d samples, %d families)" %
+          (len(samples), len(types)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

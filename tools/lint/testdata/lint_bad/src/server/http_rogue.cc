@@ -1,0 +1,13 @@
+#include "core/database.h"
+
+namespace fungusdb::server {
+
+// Deliberate violations: an HTTP handler reaching Table directly — the
+// escape hatch, then a raw-Table stats call — instead of reading
+// through epoch-pinned facade calls and the public stats structs.
+uint64_t RogueSegmentCount(TableHandle handle) {
+  const Table& raw = handle.table();
+  return raw.GetStorageStats().total_segments;
+}
+
+}  // namespace fungusdb::server
